@@ -1,0 +1,43 @@
+//! # batchsim — case study #3: batch scheduling (the paper's future work)
+//!
+//! The paper's conclusion names batch scheduling — "Alea or Batsim and
+//! data from the Parallel Workload Archive" — as the next domain where it
+//! expects its level-of-detail conclusions to generalize. This crate
+//! implements that case study: an EASY-backfilling batch-scheduling
+//! simulator with **4 level-of-detail versions** (2 scheduler-overhead x
+//! 2 job-runtime options), a PWA-style synthetic [workload] generator,
+//! a production-RJMS-style [ground-truth emulator](ground_truth), and the
+//! [`simcal`] integration ([`scenario`]) reusing case study
+//! #1's structured losses unchanged.
+//!
+//! ## Example
+//!
+//! ```
+//! use batchsim::prelude::*;
+//! use simcal::prelude::*;
+//!
+//! let cfg = BatchEmulatorConfig::default();
+//! let scenarios = dataset(&default_grid(1)[..1], &cfg, 2, 42);
+//! let sim = BatchSimulator::new(BatchVersion::lowest_detail(), cfg.total_nodes);
+//! let obj = objective(&sim, &scenarios,
+//!     StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"));
+//! let result = Calibrator::bo_gp(Budget::Evaluations(30), 1).calibrate(&obj);
+//! assert!(result.loss.is_finite());
+//! ```
+
+pub mod ground_truth;
+pub mod scenario;
+pub mod simulator;
+pub mod versions;
+pub mod workload;
+
+/// One-stop imports for case-study-3 users.
+pub mod prelude {
+    pub use crate::ground_truth::{
+        dataset, default_grid, BatchEmulatorConfig, BatchGroundTruthRecord,
+    };
+    pub use crate::scenario::{objective, BatchScenario};
+    pub use crate::simulator::{BatchOutput, BatchSimulator};
+    pub use crate::versions::{BatchVersion, OverheadDetail, RuntimeDetail};
+    pub use crate::workload::{generate, Job, WorkloadSpec};
+}

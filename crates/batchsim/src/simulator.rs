@@ -1,0 +1,440 @@
+//! The batch-scheduling simulator: EASY backfilling on a homogeneous
+//! cluster, with configurable levels of detail for the scheduler-overhead
+//! model and the job-runtime model.
+//!
+//! Both the candidate simulators and the ground-truth emulator run the
+//! same EASY backfilling algorithm (like Alea and Batsim do); the levels
+//! of detail differ in what *platform behaviour* is modelled around it,
+//! exactly as in the paper's two case studies.
+
+use crate::versions::{BatchVersion, OverheadDetail, RuntimeDetail};
+use crate::workload::Job;
+use numeric::{lognormal, rng_from_seed};
+use serde::{Deserialize, Serialize};
+use simcal::prelude::Calibration;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of simulating one workload execution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatchOutput {
+    /// Time the last job finished (s).
+    pub makespan: f64,
+    /// Per-job turnaround times: completion minus submission (s).
+    pub turnarounds: Vec<f64>,
+}
+
+/// Fully-resolved model (one value per knob).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ResolvedBatch {
+    /// Node speed: work units per second.
+    pub node_speed: f64,
+    /// Runtime inflation per unit of cluster utilization at job start
+    /// (0 = no interference modelled).
+    pub contention_coeff: f64,
+    /// Scheduling-pass period (0 = scheduler reacts instantly).
+    pub sched_cycle: f64,
+    /// Per-job dispatch overhead added before execution.
+    pub dispatch_overhead: f64,
+    /// Ground-truth-only lognormal sigma on job runtimes.
+    pub noise_sigma: f64,
+    /// Ground-truth-only noise seed.
+    pub noise_seed: u64,
+}
+
+/// Map a calibration in `version`'s space to a resolved model.
+pub(crate) fn resolve(version: BatchVersion, calib: &Calibration) -> ResolvedBatch {
+    let space = version.parameter_space();
+    let get = |name: &str| space.value(calib, name);
+    ResolvedBatch {
+        node_speed: get("node_speed"),
+        contention_coeff: match version.runtime {
+            RuntimeDetail::Contention => get("contention_coeff"),
+            RuntimeDetail::Proportional => 0.0,
+        },
+        sched_cycle: match version.overhead {
+            OverheadDetail::Cycle => get("sched_cycle"),
+            OverheadDetail::Instant => 0.0,
+        },
+        dispatch_overhead: match version.overhead {
+            OverheadDetail::Cycle => get("dispatch_overhead"),
+            OverheadDetail::Instant => 0.0,
+        },
+        noise_sigma: 0.0,
+        noise_seed: 0,
+    }
+}
+
+/// A calibratable batch-scheduling simulator at one level of detail.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchSimulator {
+    /// The level-of-detail configuration.
+    pub version: BatchVersion,
+    /// Cluster size in nodes.
+    pub total_nodes: u32,
+}
+
+impl BatchSimulator {
+    /// A simulator of a `total_nodes`-node cluster.
+    pub fn new(version: BatchVersion, total_nodes: u32) -> Self {
+        assert!(total_nodes > 0, "cluster needs nodes");
+        Self { version, total_nodes }
+    }
+
+    /// Simulate `jobs` (sorted by submission) under `calibration`.
+    pub fn simulate(&self, jobs: &[Job], calibration: &Calibration) -> BatchOutput {
+        execute(jobs, self.total_nodes, &resolve(self.version, calibration))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Event-driven EASY-backfilling execution.
+pub(crate) fn execute(jobs: &[Job], total_nodes: u32, model: &ResolvedBatch) -> BatchOutput {
+    assert!(
+        jobs.iter().all(|j| j.nodes <= total_nodes),
+        "a job requests more nodes than the cluster has"
+    );
+    let n = jobs.len();
+    let mut end_time = vec![f64::NAN; n];
+    if n == 0 {
+        return BatchOutput { makespan: 0.0, turnarounds: Vec::new() };
+    }
+
+    // Pre-drawn runtime noise (ground-truth emulator only).
+    let noise: Vec<f64> = if model.noise_sigma > 0.0 {
+        let mut rng = rng_from_seed(model.noise_seed);
+        let s = model.noise_sigma;
+        (0..n).map(|_| lognormal(&mut rng, -s * s / 2.0, s)).collect()
+    } else {
+        vec![1.0; n]
+    };
+
+    let mut free = total_nodes;
+    let mut queue: Vec<usize> = Vec::new();
+    // (end_time, job, nodes) of running jobs.
+    let mut running: BinaryHeap<Reverse<(OrdF64, usize, u32)>> = BinaryHeap::new();
+    let mut next_arrival = 0usize;
+    let mut makespan = 0.0f64;
+
+    // Start a job at `start` (dispatch overhead included by the caller).
+    let start_job = |j: usize,
+                     start: f64,
+                     free: &mut u32,
+                     running: &mut BinaryHeap<Reverse<(OrdF64, usize, u32)>>,
+                     end_time: &mut [f64],
+                     makespan: &mut f64| {
+        let job = &jobs[j];
+        // Utilization-dependent runtime inflation (interference model).
+        let utilization = 1.0 - *free as f64 / total_nodes as f64;
+        let runtime = jobs[j].work / model.node_speed
+            * (1.0 + model.contention_coeff * utilization)
+            * noise[j];
+        let end = start + model.dispatch_overhead + runtime;
+        *free -= job.nodes;
+        running.push(Reverse((OrdF64(end), j, job.nodes)));
+        end_time[j] = end;
+        *makespan = makespan.max(end);
+    };
+
+    // EASY backfilling pass at time `now` over the FIFO queue.
+    let schedule = |now: f64,
+                    free: &mut u32,
+                    queue: &mut Vec<usize>,
+                    running: &mut BinaryHeap<Reverse<(OrdF64, usize, u32)>>,
+                    end_time: &mut [f64],
+                    makespan: &mut f64| {
+        loop {
+            let Some(&head) = queue.first() else { return };
+            if jobs[head].nodes <= *free {
+                queue.remove(0);
+                start_job(head, now, free, running, end_time, makespan);
+                continue;
+            }
+            // Head does not fit: compute its reservation (shadow time) from
+            // the walltime-estimate end times of running jobs, then
+            // backfill jobs that cannot delay it.
+            let mut releases: Vec<(f64, u32)> = running
+                .iter()
+                .map(|Reverse((OrdF64(end), _, nodes))| (*end, *nodes))
+                .collect();
+            releases.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut avail = *free;
+            let mut shadow_time = f64::INFINITY;
+            for (end, nodes) in &releases {
+                avail += nodes;
+                if avail >= jobs[head].nodes {
+                    shadow_time = *end;
+                    break;
+                }
+            }
+            // Nodes still free at the shadow time once the head starts.
+            let extra = avail.saturating_sub(jobs[head].nodes);
+
+            let mut backfilled = false;
+            let mut i = 1;
+            while i < queue.len() {
+                let j = queue[i];
+                let fits_now = jobs[j].nodes <= *free;
+                let cannot_delay_head = now + jobs[j].walltime_estimate <= shadow_time
+                    || jobs[j].nodes <= extra.min(*free);
+                if fits_now && cannot_delay_head {
+                    queue.remove(i);
+                    start_job(j, now, free, running, end_time, makespan);
+                    backfilled = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !backfilled {
+                return;
+            }
+            // A backfill may have freed nothing, but utilization changed;
+            // loop to re-check the head (it still cannot fit) and stop.
+            if jobs[head].nodes > *free {
+                return;
+            }
+        }
+    };
+
+    // Cycle-aligned scheduling: passes happen at multiples of the period.
+    let cycle = if model.sched_cycle > 0.0 { Some(model.sched_cycle.max(1e-3)) } else { None };
+    let next_cycle_after = |t: f64, c: f64| {
+        let k = (t / c).floor() + 1.0;
+        k * c
+    };
+    let mut pending_cycle: Option<f64> = None;
+    // A scheduling pass is useful only after an arrival or a completion;
+    // tracking this lets cycle ticks jump over idle periods, which keeps
+    // the event count bounded by the number of state changes even when a
+    // calibration proposes a microscopic cycle period.
+    let mut state_changed = true;
+
+    let mut completed = 0usize;
+    while completed < n {
+        // Next event time.
+        let t_arr = jobs.get(next_arrival).map(|j| j.submit_time).unwrap_or(f64::INFINITY);
+        let t_done = running.peek().map(|Reverse((OrdF64(e), _, _))| *e).unwrap_or(f64::INFINITY);
+        let t_cyc = pending_cycle.unwrap_or(f64::INFINITY);
+        let t = t_arr.min(t_done).min(t_cyc);
+        assert!(t.is_finite(), "no events but {} jobs incomplete", n - completed);
+        let now = t;
+
+        // Process arrivals at t.
+        while next_arrival < n && jobs[next_arrival].submit_time <= now {
+            queue.push(next_arrival);
+            next_arrival += 1;
+            state_changed = true;
+        }
+        // Process completions at t.
+        while let Some(Reverse((OrdF64(e), _, _))) = running.peek() {
+            if *e > now {
+                break;
+            }
+            let Reverse((_, _, nodes)) = running.pop().expect("peeked");
+            free += nodes;
+            completed += 1;
+            state_changed = true;
+        }
+
+        match cycle {
+            None => {
+                schedule(now, &mut free, &mut queue, &mut running, &mut end_time, &mut makespan);
+            }
+            Some(c) => {
+                let is_cycle_tick = pending_cycle.is_some_and(|pc| pc <= now);
+                if is_cycle_tick {
+                    pending_cycle = None;
+                    if state_changed {
+                        schedule(
+                            now,
+                            &mut free,
+                            &mut queue,
+                            &mut running,
+                            &mut end_time,
+                            &mut makespan,
+                        );
+                        state_changed = false;
+                    }
+                }
+                if !queue.is_empty() && pending_cycle.is_none() {
+                    // With nothing new to schedule, the next useful tick is
+                    // the first boundary at or after the next state change.
+                    let t_arr2 =
+                        jobs.get(next_arrival).map(|j| j.submit_time).unwrap_or(f64::INFINITY);
+                    let t_done2 = running
+                        .peek()
+                        .map(|Reverse((OrdF64(e), _, _))| *e)
+                        .unwrap_or(f64::INFINITY);
+                    let base = if state_changed { now } else { t_arr2.min(t_done2) };
+                    assert!(
+                        base.is_finite(),
+                        "queued jobs but no future event can free resources"
+                    );
+                    let mut boundary = (base / c).ceil() * c;
+                    if boundary <= now {
+                        boundary = next_cycle_after(now, c);
+                    }
+                    pending_cycle = Some(boundary);
+                }
+            }
+        }
+    }
+
+    let turnarounds: Vec<f64> = jobs
+        .iter()
+        .zip(&end_time)
+        .map(|(j, &e)| {
+            debug_assert!(e.is_finite(), "every job must have finished");
+            e - j.submit_time
+        })
+        .collect();
+    BatchOutput { makespan, turnarounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::versions::BatchVersion;
+    use crate::workload::{generate, WorkloadSpec};
+
+    fn resolved(speed: f64, cycle: f64, dispatch: f64, contention: f64) -> ResolvedBatch {
+        ResolvedBatch {
+            node_speed: speed,
+            contention_coeff: contention,
+            sched_cycle: cycle,
+            dispatch_overhead: dispatch,
+            noise_sigma: 0.0,
+            noise_seed: 0,
+        }
+    }
+
+    fn job(submit: f64, nodes: u32, work: f64, estimate: f64) -> Job {
+        Job { submit_time: submit, nodes, work, walltime_estimate: estimate }
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let jobs = vec![job(5.0, 2, 100.0, 200.0)];
+        let out = execute(&jobs, 4, &resolved(1.0, 0.0, 0.0, 0.0));
+        assert!((out.makespan - 105.0).abs() < 1e-9);
+        assert!((out.turnarounds[0] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifo_when_cluster_is_full() {
+        // Two 4-node jobs on a 4-node cluster: strictly serial.
+        let jobs = vec![job(0.0, 4, 100.0, 150.0), job(0.0, 4, 100.0, 150.0)];
+        let out = execute(&jobs, 4, &resolved(1.0, 0.0, 0.0, 0.0));
+        assert!((out.makespan - 200.0).abs() < 1e-9);
+        assert!((out.turnarounds[1] - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn easy_backfills_a_small_job_that_cannot_delay_the_head() {
+        // t=0: A (3 nodes, 100s) starts on a 4-node cluster.
+        // B (4 nodes) must wait for A => shadow time 100.
+        // C (1 node, estimate 50s <= shadow) backfills immediately.
+        let jobs = vec![
+            job(0.0, 3, 100.0, 120.0),
+            job(1.0, 4, 50.0, 60.0),
+            job(2.0, 1, 40.0, 50.0),
+        ];
+        let out = execute(&jobs, 4, &resolved(1.0, 0.0, 0.0, 0.0));
+        // C ends at 2+40 = 42 (backfilled), B starts at 100.
+        assert!((out.turnarounds[2] - 40.0).abs() < 1e-9, "C {:?}", out.turnarounds);
+        assert!((out.turnarounds[1] - (150.0 - 1.0)).abs() < 1e-9, "B {:?}", out.turnarounds);
+    }
+
+    #[test]
+    fn backfill_never_delays_the_head_job() {
+        // C's estimate exceeds the shadow time and would use the head's
+        // nodes: it must NOT backfill.
+        let jobs = vec![
+            job(0.0, 3, 100.0, 120.0),
+            job(1.0, 4, 50.0, 60.0),
+            job(2.0, 1, 500.0, 600.0), // too long to backfill
+        ];
+        let out = execute(&jobs, 4, &resolved(1.0, 0.0, 0.0, 0.0));
+        // B starts when A ends (t=100); C runs after B (1-node slot opens
+        // only after B, since B takes the whole cluster).
+        assert!((out.turnarounds[1] - 149.0).abs() < 1e-9, "B {:?}", out.turnarounds);
+        assert!(out.turnarounds[2] > 500.0, "C must wait: {:?}", out.turnarounds);
+    }
+
+    #[test]
+    fn scheduling_cycle_delays_starts_to_boundaries() {
+        let jobs = vec![job(5.0, 1, 10.0, 20.0)];
+        let out = execute(&jobs, 4, &resolved(1.0, 30.0, 0.0, 0.0));
+        // Arrival at 5; first cycle boundary after 5 is 30.
+        assert!((out.makespan - 40.0).abs() < 1e-9, "makespan {}", out.makespan);
+    }
+
+    #[test]
+    fn dispatch_overhead_added_per_job() {
+        let jobs = vec![job(0.0, 1, 10.0, 20.0), job(0.0, 1, 10.0, 20.0)];
+        let out = execute(&jobs, 4, &resolved(1.0, 1.0, 5.0, 0.0));
+        // Both start at the first cycle (t=1), each pays 5s dispatch.
+        assert!((out.makespan - 16.0).abs() < 1e-9, "makespan {}", out.makespan);
+    }
+
+    #[test]
+    fn contention_inflates_runtime_under_load() {
+        let base = vec![job(0.0, 2, 100.0, 150.0), job(0.0, 2, 100.0, 150.0)];
+        let no_contention = execute(&base, 4, &resolved(1.0, 0.0, 0.0, 0.0));
+        let contended = execute(&base, 4, &resolved(1.0, 0.0, 0.0, 1.0));
+        assert!((no_contention.makespan - 100.0).abs() < 1e-9);
+        // Second job starts when utilization is 0.5 -> inflated by 1.5x.
+        assert!(contended.makespan > 125.0, "contended {}", contended.makespan);
+    }
+
+    #[test]
+    fn faster_nodes_shorten_everything() {
+        let jobs = generate(&WorkloadSpec { num_jobs: 40, ..Default::default() });
+        let slow = execute(&jobs, 32, &resolved(0.5, 0.0, 0.0, 0.0));
+        let fast = execute(&jobs, 32, &resolved(2.0, 0.0, 0.0, 0.0));
+        assert!(fast.makespan < slow.makespan);
+        let t_slow: f64 = slow.turnarounds.iter().sum();
+        let t_fast: f64 = fast.turnarounds.iter().sum();
+        assert!(t_fast < t_slow);
+    }
+
+    #[test]
+    fn all_jobs_complete_and_turnarounds_cover_runtimes() {
+        let jobs = generate(&WorkloadSpec { num_jobs: 200, seed: 9, ..Default::default() });
+        let out = execute(&jobs, 64, &resolved(1.0, 30.0, 2.0, 0.5));
+        assert_eq!(out.turnarounds.len(), 200);
+        for (j, t) in jobs.iter().zip(&out.turnarounds) {
+            assert!(*t >= j.work / 1.0 - 1e-9, "turnaround below runtime");
+        }
+    }
+
+    #[test]
+    fn simulator_api_is_deterministic() {
+        let jobs = generate(&WorkloadSpec { num_jobs: 60, seed: 2, ..Default::default() });
+        let version = BatchVersion::highest_detail();
+        let space = version.parameter_space();
+        let calib = space.denormalize(&vec![0.5; space.dim()]);
+        let sim = BatchSimulator::new(version, 32);
+        assert_eq!(sim.simulate(&jobs, &calib), sim.simulate(&jobs, &calib));
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes than the cluster")]
+    fn oversized_job_rejected() {
+        let jobs = vec![job(0.0, 8, 1.0, 2.0)];
+        execute(&jobs, 4, &resolved(1.0, 0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,89 @@
+//! Criterion benches for the calibration framework itself: surrogate
+//! fit/predict cost and end-to-end optimizer throughput on an analytic
+//! objective. These bound the *overhead* of the calibration process on
+//! top of the simulator invocations (which dominate in real use).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcal::prelude::*;
+use std::hint::black_box;
+
+fn training_data(n: usize, dim: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = numeric::rng_from_seed(7);
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rand::Rng::gen::<f64>(&mut rng)).collect())
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|p| p.iter().map(|v| (v - 0.4) * (v - 0.4)).sum::<f64>())
+        .collect();
+    (x, y)
+}
+
+fn bench_surrogate_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("surrogate_fit_n100_d8");
+    let (x, y) = training_data(100, 8);
+    for kind in SurrogateKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut s = kind.build(1);
+                s.fit(&x, &y);
+                black_box(s.predict(&[0.5; 8]))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_surrogate_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("surrogate_predict_n100_d8");
+    let (x, y) = training_data(100, 8);
+    for kind in SurrogateKind::ALL {
+        let mut s = kind.build(1);
+        s.fit(&x, &y);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| black_box(s.predict(&[0.31; 8])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithms_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm_100_evals_d6");
+    group.sample_size(10);
+    let mut space = ParameterSpace::new();
+    for i in 0..6 {
+        space.add(&format!("x{i}"), ParamKind::Continuous { lo: 0.0, hi: 1.0 });
+    }
+    for kind in [AlgorithmKind::Random, AlgorithmKind::Grid, AlgorithmKind::Gradient, AlgorithmKind::BoGp] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let obj = FnObjective::new(
+                    ParameterSpace::new()
+                        .with("a", ParamKind::Continuous { lo: 0.0, hi: 1.0 })
+                        .with("b", ParamKind::Continuous { lo: 0.0, hi: 1.0 })
+                        .with("c", ParamKind::Continuous { lo: 0.0, hi: 1.0 })
+                        .with("d", ParamKind::Continuous { lo: 0.0, hi: 1.0 })
+                        .with("e", ParamKind::Continuous { lo: 0.0, hi: 1.0 })
+                        .with("f", ParamKind::Continuous { lo: 0.0, hi: 1.0 }),
+                    |calib: &Calibration| {
+                        calib.values.iter().map(|v| (v - 0.6) * (v - 0.6)).sum()
+                    },
+                );
+                let r = Calibrator { algorithm: kind, budget: Budget::Evaluations(100), seed: 3 }
+                    .calibrate(&obj);
+                black_box(r.loss)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_surrogate_fit, bench_surrogate_predict, bench_algorithms_end_to_end
+}
+criterion_main!(benches);

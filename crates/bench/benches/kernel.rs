@@ -1,0 +1,61 @@
+//! Criterion benches for the dessim kernel: max-min solver scaling and
+//! discrete-event engine throughput. These quantify the cost side of the
+//! level-of-detail trade-off the paper studies (more links and flows =
+//! more detailed network models).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dessim::{max_min_fair_share, ActivityKind, Engine, Platform};
+use std::hint::black_box;
+
+fn bench_max_min(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_min_fair_share");
+    for &(n_links, n_flows) in &[(8usize, 32usize), (64, 256), (256, 1024), (512, 3072)] {
+        let caps: Vec<f64> = (0..n_links).map(|i| 1e9 + (i as f64) * 1e6).collect();
+        // Flows over 3-link routes spread deterministically.
+        let routes: Vec<Vec<usize>> = (0..n_flows)
+            .map(|f| vec![f % n_links, (f * 7 + 1) % n_links, (f * 13 + 2) % n_links])
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_links}l_{n_flows}f")),
+            &(caps, routes),
+            |b, (caps, routes)| b.iter(|| black_box(max_min_fair_share(caps, routes))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_engine_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for &n in &[100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("timers", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut e = Engine::new(Platform::new());
+                for i in 0..n {
+                    e.add_activity(ActivityKind::timer((i % 17) as f64 + 0.5), i as u64);
+                }
+                black_box(e.run_to_completion().len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("shared_link_flows", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut p = Platform::new();
+                let l = p.add_link(1e9, 1e-4);
+                let mut e = Engine::new(p);
+                for i in 0..n {
+                    e.add_activity(ActivityKind::flow(vec![l], 1e6 + (i as f64) * 1e3), i as u64);
+                }
+                black_box(e.run_to_completion().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_max_min, bench_engine_events
+}
+criterion_main!(benches);

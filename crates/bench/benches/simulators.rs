@@ -1,0 +1,103 @@
+//! Criterion benches for both case-study simulators across their levels
+//! of detail. The paper observes that "all simulators achieve comparable
+//! simulation speed" within each case study — these benches verify that
+//! property for our implementations and quantify the residual cost of the
+//! higher-detail options.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpisim::prelude::*;
+use simcal::prelude::Calibration;
+use std::hint::black_box;
+use wfsim::prelude::*;
+
+fn mid_calibration(dim: usize) -> Vec<f64> {
+    vec![0.5; dim]
+}
+
+fn bench_wfsim_versions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wfsim_versions");
+    let wf = generate(&WorkflowSpec {
+        app: AppKind::Genome1000,
+        num_tasks: 54,
+        work_per_task_secs: 1.47,
+        data_footprint_bytes: 150e6,
+        seed: 1,
+    });
+    for version in SimulatorVersion::all() {
+        let sim = WorkflowSimulator::new(version);
+        let space = version.parameter_space();
+        let calib = space.denormalize(&mid_calibration(space.dim()));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(version.label()),
+            &calib,
+            |b, calib: &Calibration| b.iter(|| black_box(sim.simulate(&wf, 4, calib).makespan)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_wfsim_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wfsim_task_count");
+    let version = SimulatorVersion::highest_detail();
+    let sim = WorkflowSimulator::new(version);
+    let space = version.parameter_space();
+    let calib = space.denormalize(&mid_calibration(space.dim()));
+    for &n in &[54usize, 108, 270] {
+        let wf = generate(&WorkflowSpec {
+            app: AppKind::Genome1000,
+            num_tasks: n,
+            work_per_task_secs: 1.47,
+            data_footprint_bytes: 150e6,
+            seed: 1,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &wf, |b, wf| {
+            b.iter(|| black_box(sim.simulate(wf, 4, &calib).makespan))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mpisim_versions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpisim_versions");
+    let sizes = message_sizes();
+    for version in MpiSimulatorVersion::all() {
+        let sim = MpiSimulator::new(version);
+        let space = version.parameter_space();
+        let calib = space.denormalize(&mid_calibration(space.dim()));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(version.label()),
+            &calib,
+            |b, calib: &Calibration| {
+                b.iter(|| {
+                    black_box(sim.transfer_rates(BenchmarkKind::BiRandom, 128, &sizes, calib))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mpisim_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpisim_node_count");
+    let version = MpiSimulatorVersion::highest_detail();
+    let sim = MpiSimulator::new(version);
+    let space = version.parameter_space();
+    let calib = space.denormalize(&mid_calibration(space.dim()));
+    let sizes = message_sizes();
+    for &n in &NODE_COUNTS {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(sim.transfer_rates(BenchmarkKind::BiRandom, n, &sizes, &calib)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_wfsim_versions, bench_wfsim_scaling, bench_mpisim_versions, bench_mpisim_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Minimal shared CLI parsing for the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! - `--budget-evals N`  — loss evaluations per calibration (deterministic);
+//! - `--budget-secs S`   — wall-clock seconds per calibration (overrides
+//!   evaluations when both are given, mirroring the paper's fixed
+//!   time-budget comparisons);
+//! - `--seed S`          — master seed;
+//! - `--fast`            — shrink the experiment grid for a quick smoke run;
+//! - `--tsv PATH`        — also write the result rows as TSV;
+//! - `--uncalibrated`    — where applicable, add the spec-based baseline.
+
+use simcal::prelude::Budget;
+use std::time::Duration;
+
+/// Parsed common arguments.
+#[derive(Clone, Debug)]
+pub struct ExpArgs {
+    /// Per-calibration budget.
+    pub budget: Budget,
+    /// Master seed.
+    pub seed: u64,
+    /// Reduced-grid smoke mode.
+    pub fast: bool,
+    /// Optional TSV output path.
+    pub tsv: Option<String>,
+    /// Include the uncalibrated spec-based baseline.
+    pub uncalibrated: bool,
+}
+
+impl ExpArgs {
+    /// Parse from `std::env::args`, with a default evaluation budget.
+    ///
+    /// Exits with a usage message on an unknown flag.
+    pub fn parse(default_evals: usize) -> ExpArgs {
+        let mut budget_evals = default_evals;
+        let mut budget_secs: Option<f64> = None;
+        let mut seed = 20250706u64;
+        let mut fast = false;
+        let mut tsv = None;
+        let mut uncalibrated = false;
+
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let take_value = |i: &mut usize| -> String {
+                *i += 1;
+                args.get(*i)
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for {}", args[*i - 1]);
+                        std::process::exit(2);
+                    })
+                    .clone()
+            };
+            match args[i].as_str() {
+                "--budget-evals" => {
+                    budget_evals = take_value(&mut i).parse().unwrap_or_else(|e| {
+                        eprintln!("invalid --budget-evals: {e}");
+                        std::process::exit(2);
+                    })
+                }
+                "--budget-secs" => {
+                    budget_secs = Some(take_value(&mut i).parse().unwrap_or_else(|e| {
+                        eprintln!("invalid --budget-secs: {e}");
+                        std::process::exit(2);
+                    }))
+                }
+                "--seed" => {
+                    seed = take_value(&mut i).parse().unwrap_or_else(|e| {
+                        eprintln!("invalid --seed: {e}");
+                        std::process::exit(2);
+                    })
+                }
+                "--fast" => fast = true,
+                "--tsv" => tsv = Some(take_value(&mut i)),
+                "--uncalibrated" => uncalibrated = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --budget-evals N | --budget-secs S | --seed S | --fast | \
+                         --tsv PATH | --uncalibrated"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+
+        let budget = match budget_secs {
+            Some(s) => Budget::WallClock(Duration::from_secs_f64(s)),
+            None => Budget::Evaluations(budget_evals),
+        };
+        ExpArgs { budget, seed, fast, tsv, uncalibrated }
+    }
+
+    /// Write `table` to the TSV path if one was requested.
+    pub fn maybe_write_tsv(&self, table: &crate::report::Table) {
+        if let Some(path) = &self.tsv {
+            if let Err(e) = table.write_tsv(std::path::Path::new(path)) {
+                eprintln!("failed to write {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Regenerates **Figure 2**: percent relative error between simulated and
+//! ground-truth makespans for all 12 calibrated simulator versions, on
+//! held-out "large" executions (§5.4 train/test split). With
+//! `--uncalibrated`, also reports the §5.4 baseline: the lowest-detail
+//! simulator with hardware-spec parameter values.
+//!
+//! Paper shapes to reproduce:
+//! - simulating HTCondor is crucial (top half of the figure much worse);
+//! - one-link ≈ star; shared+dedicated does worse (extra dimensionality);
+//! - storage on all nodes brings only marginal benefit;
+//! - the spec-based uncalibrated baseline is orders of magnitude worse.
+//!
+//! ```text
+//! cargo run --release -p lodcal-bench --bin fig2 [-- --fast --uncalibrated]
+//! ```
+
+use lodcal_bench::args::ExpArgs;
+use lodcal_bench::case1::{calibrate_version_best_of, dataset_options, makespan_errors, summarize};
+use lodcal_bench::report::{pct, Table};
+use simcal::prelude::*;
+use wfsim::prelude::*;
+
+fn main() {
+    let args = ExpArgs::parse(150);
+    let opts = dataset_options(args.fast, args.seed);
+    let apps: Vec<AppKind> =
+        if args.fast { vec![AppKind::Genome1000, AppKind::Montage] } else { AppKind::REAL.to_vec() };
+
+    // Per-application train/test splits (the paper's §5.4 scheme).
+    let mut splits = Vec::new();
+    for &app in &apps {
+        let records = dataset_for(app, &opts);
+        let (train, test) = split_train_test(&records);
+        eprintln!(
+            "{}: {} train / {} test records",
+            app.name(),
+            train.len(),
+            test.len()
+        );
+        splits.push((app, WfScenario::from_records(&train), WfScenario::from_records(&test)));
+    }
+
+    let loss = StructuredLoss::paper_set()[0].clone(); // L1 (selected by Table 3)
+    let mut table =
+        Table::new(&["version (net/storage/compute)", "avg err %", "min err %", "max err %"]);
+
+    for version in SimulatorVersion::all() {
+        // One calibration per application, then aggregate across apps —
+        // the bars (avg) and error bars (min/max) of Figure 2.
+        let mut per_app_errors = Vec::new();
+        for (app, train, test) in &splits {
+            let result = calibrate_version_best_of(
+                version, train, loss.clone(), args.budget, args.seed, 3,
+            );
+            let errs = makespan_errors(version, &result.calibration, test);
+            per_app_errors.push(numeric::mean(&errs));
+            eprintln!(
+                "  {} / {}: train loss {:.3}, test err {:.1}%",
+                version.label(),
+                app.name(),
+                result.loss,
+                numeric::mean(&errs) * 100.0
+            );
+        }
+        let (avg, min, max) = summarize(&per_app_errors);
+        table.row(vec![version.label(), pct(avg), pct(min), pct(max)]);
+    }
+
+    println!("Figure 2: percent relative makespan error, all 12 calibrated versions\n");
+    println!("{}", table.render());
+
+    if args.uncalibrated {
+        let version = SimulatorVersion::lowest_detail();
+        let calib = spec_calibration(version);
+        let mut per_app = Vec::new();
+        for (app, _, test) in &splits {
+            let errs = makespan_errors(version, &calib, test);
+            per_app.push(numeric::mean(&errs));
+            eprintln!("  uncalibrated / {}: {:.0}%", app.name(), numeric::mean(&errs) * 100.0);
+        }
+        let (avg, min, max) = summarize(&per_app);
+        let mut t = Table::new(&["baseline", "avg err %", "min err %", "max err %"]);
+        t.row(vec!["spec-based, lowest detail".into(), pct(avg), pct(min), pct(max)]);
+        println!("§5.4 uncalibrated baseline (hardware-spec values, no calibration):\n");
+        println!("{}", t.render());
+    }
+    args.maybe_write_tsv(&table);
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Figure 4**: loss value vs. time when calibrating against
+//! all 128-node ground-truth data (BO-GP + L1, case study #2).
+//!
+//! Paper shape to reproduce: fast early convergence, marginal gains late.
+//!
+//! ```text
+//! cargo run --release -p lodcal-bench --bin fig4 [-- --fast]
+//! ```
+
+use lodcal_bench::args::ExpArgs;
+use lodcal_bench::case2::{calibrate_version, emulator_config, node_counts};
+use lodcal_bench::report::{fnum, Table};
+use mpisim::prelude::*;
+use simcal::prelude::*;
+
+fn main() {
+    let args = ExpArgs::parse(500);
+    let cfg = emulator_config(args.fast);
+    let base_nodes = node_counts(args.fast)[0];
+
+    let scenarios = dataset(&BenchmarkKind::CALIBRATION_SET, &[base_nodes], &cfg, args.seed);
+    eprintln!(
+        "calibrating against {} benchmarks at {base_nodes} nodes",
+        scenarios.len()
+    );
+
+    let loss = MatrixLoss::paper_set()[0].clone(); // L1
+    let result = calibrate_version(
+        MpiSimulatorVersion::highest_detail(),
+        &scenarios,
+        loss,
+        args.budget,
+        args.seed,
+    );
+
+    let mut table = Table::new(&["evaluations", "elapsed_s", "best_loss"]);
+    for p in &result.trace {
+        table.row(vec![
+            p.evaluations.to_string(),
+            format!("{:.3}", p.elapsed_secs),
+            format!("{:.5}", p.best_loss),
+        ]);
+    }
+
+    println!("Figure 4: loss vs. time, {base_nodes}-node ground truth, BO-GP + L1\n");
+    println!("{}", table.render());
+    println!(
+        "final loss {} after {} evaluations in {:.2}s",
+        fnum(result.loss),
+        result.evaluations,
+        result.elapsed_secs
+    );
+    args.maybe_write_tsv(&table);
+}

@@ -1,0 +1,69 @@
+//! Regenerates **Figure 5**: percent relative error between simulated and
+//! ground-truth transfer rates for all 16 calibrated MPI simulator
+//! versions. As in the paper (§6.4), training and testing both use the
+//! 128-node PingPing/PingPong/BiRandom ground truth (deliberate
+//! overfitting; generalization is studied by `sec6_5`). With
+//! `--uncalibrated`, also reports the §6.4 spec-based baseline.
+//!
+//! Paper shapes to reproduce:
+//! - all versions land in a similar error band (average 13-24%);
+//! - complex nodes slightly better in most cases;
+//! - fixed change points give lower variance than arbitrary ones;
+//! - backbone+links strikes the best accuracy/dimensionality compromise,
+//!   while 4-ary tree / fat-tree topologies do worse;
+//! - the spec-based baseline is ~91-97% error.
+//!
+//! ```text
+//! cargo run --release -p lodcal-bench --bin fig5 [-- --fast --uncalibrated]
+//! ```
+
+use lodcal_bench::args::ExpArgs;
+use lodcal_bench::case1::summarize;
+use lodcal_bench::case2::{calibrate_version_best_of, emulator_config, node_counts, rate_errors};
+use lodcal_bench::report::{pct, Table};
+use mpisim::prelude::*;
+use simcal::prelude::*;
+
+fn main() {
+    let args = ExpArgs::parse(500);
+    let cfg = emulator_config(args.fast);
+    let base_nodes = node_counts(args.fast)[0];
+
+    let scenarios = dataset(&BenchmarkKind::CALIBRATION_SET, &[base_nodes], &cfg, args.seed);
+    let loss = MatrixLoss::paper_set()[0].clone(); // L1 (selected by Table 5)
+
+    let mut table =
+        Table::new(&["version (topology/node/protocol)", "avg err %", "min err %", "max err %"]);
+
+    for version in MpiSimulatorVersion::all() {
+        let result = calibrate_version_best_of(version, &scenarios, loss.clone(), args.budget, args.seed, 5);
+        // Per-benchmark errors: bars (avg) and error bars (min/max).
+        let errs = rate_errors(version, &result.calibration, &scenarios);
+        let (avg, min, max) = summarize(&errs);
+        eprintln!(
+            "{}: loss {:.3}, err avg {:.1}%",
+            version.label(),
+            result.loss,
+            avg * 100.0
+        );
+        table.row(vec![version.label(), pct(avg), pct(min), pct(max)]);
+    }
+
+    println!(
+        "Figure 5: percent relative transfer-rate error, all 16 calibrated versions \
+         ({base_nodes}-node ground truth)\n"
+    );
+    println!("{}", table.render());
+
+    if args.uncalibrated {
+        let version = MpiSimulatorVersion::lowest_detail();
+        let calib = spec_calibration(version);
+        let errs = rate_errors(version, &calib, &scenarios);
+        let (avg, min, max) = summarize(&errs);
+        let mut t = Table::new(&["baseline", "avg err %", "min err %", "max err %"]);
+        t.row(vec!["spec-based, lowest detail".into(), pct(avg), pct(min), pct(max)]);
+        println!("§6.4 uncalibrated baseline (Summit spec values, no calibration):\n");
+        println!("{}", t.render());
+    }
+    args.maybe_write_tsv(&table);
+}

@@ -1,0 +1,104 @@
+//! Shared plumbing for the case-study-1 (workflow) experiment binaries.
+//!
+//! The paper's 9,200-execution ground-truth grid takes days of testbed
+//! time; our emulated grid is cheap, but calibrating 12 versions x 5
+//! applications must still fit in minutes on one core, so the experiment
+//! binaries run on a documented sub-grid of Table 1 (configurable via
+//! `--fast` and the budget flags).
+
+use simcal::prelude::*;
+use wfsim::prelude::*;
+
+/// The Table 1 sub-grid the experiments use by default: the two smallest
+/// workflow sizes (the split still yields large-vs-small test structure),
+/// one short and one long per-task work, a zero and a mid data footprint,
+/// and all four worker counts.
+pub fn dataset_options(fast: bool, seed: u64) -> DatasetOptions {
+    if fast {
+        DatasetOptions {
+            repetitions: 2,
+            seed,
+            size_indices: vec![0, 1],
+            work_indices: vec![1],
+            footprint_indices: vec![1],
+            worker_counts: vec![1, 2, 4, 6],
+            ..Default::default()
+        }
+    } else {
+        DatasetOptions {
+            repetitions: 3,
+            seed,
+            size_indices: vec![0, 1, 2],
+            work_indices: vec![0, 3],
+            footprint_indices: vec![0, 2],
+            worker_counts: vec![1, 2, 4, 6],
+            ..Default::default()
+        }
+    }
+}
+
+/// Calibrate `version` against `train` under `loss`, returning the result.
+pub fn calibrate_version(
+    version: SimulatorVersion,
+    train: &[WfScenario],
+    loss: StructuredLoss,
+    budget: Budget,
+    seed: u64,
+) -> CalibrationResult {
+    let sim = WorkflowSimulator::new(version);
+    let obj = objective(&sim, train, loss);
+    Calibrator::bo_gp(budget, seed).calibrate(&obj)
+}
+
+/// Calibrate with `restarts` independent seeds, keeping the calibration
+/// with the lowest *training* loss (what a practitioner does with a
+/// multi-start optimizer; no test data is consulted).
+pub fn calibrate_version_best_of(
+    version: SimulatorVersion,
+    train: &[WfScenario],
+    loss: StructuredLoss,
+    budget: Budget,
+    seed: u64,
+    restarts: usize,
+) -> CalibrationResult {
+    (0..restarts.max(1))
+        .map(|r| {
+            calibrate_version(version, train, loss.clone(), budget, seed ^ (r as u64) << 32)
+        })
+        .min_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("at least one restart")
+}
+
+/// Percent relative makespan error of `calibration` on each scenario.
+pub fn makespan_errors(
+    version: SimulatorVersion,
+    calibration: &Calibration,
+    scenarios: &[WfScenario],
+) -> Vec<f64> {
+    let sim = WorkflowSimulator::new(version);
+    scenarios
+        .iter()
+        .map(|s| {
+            let out = sim.simulate(&s.workflow, s.n_workers, calibration);
+            relative_error(s.gt_makespan, out.makespan)
+        })
+        .collect()
+}
+
+/// Loss of a fixed calibration on a scenario set, under a loss function.
+pub fn fixed_loss(
+    version: SimulatorVersion,
+    calibration: &Calibration,
+    scenarios: &[WfScenario],
+    loss: &StructuredLoss,
+) -> f64 {
+    let sim = WorkflowSimulator::new(version);
+    let outs: Vec<ScenarioError> =
+        scenarios.iter().map(|s| sim.run(s, calibration)).collect();
+    loss.aggregate(&outs)
+}
+
+/// Summary statistics `(avg, min, max)` of a slice.
+pub fn summarize(xs: &[f64]) -> (f64, f64, f64) {
+    (numeric::mean(xs), numeric::min(xs), numeric::max(xs))
+}

@@ -1,0 +1,65 @@
+//! Shared plumbing for the case-study-2 (MPI) experiment binaries.
+
+use mpisim::prelude::*;
+use simcal::prelude::*;
+
+/// Node counts used by the experiments. The paper runs 128/256/512; the
+/// `--fast` grid shrinks the base scale (contention structure is
+//  preserved) so smoke runs finish in seconds.
+pub fn node_counts(fast: bool) -> Vec<usize> {
+    if fast {
+        vec![32, 64, 128]
+    } else {
+        NODE_COUNTS.to_vec()
+    }
+}
+
+/// Ground-truth emulator configuration for the experiments.
+pub fn emulator_config(fast: bool) -> MpiEmulatorConfig {
+    MpiEmulatorConfig { repetitions: if fast { 3 } else { 5 }, ..Default::default() }
+}
+
+/// Calibrate `version` against `train` under `loss`.
+pub fn calibrate_version(
+    version: MpiSimulatorVersion,
+    train: &[MpiScenario],
+    loss: MatrixLoss,
+    budget: Budget,
+    seed: u64,
+) -> CalibrationResult {
+    let sim = MpiSimulator::new(version);
+    let obj = objective(&sim, train, loss);
+    Calibrator::bo_gp(budget, seed).calibrate(&obj)
+}
+
+/// Calibrate with `restarts` independent seeds, keeping the calibration
+/// with the lowest *training* loss.
+pub fn calibrate_version_best_of(
+    version: MpiSimulatorVersion,
+    train: &[MpiScenario],
+    loss: MatrixLoss,
+    budget: Budget,
+    seed: u64,
+    restarts: usize,
+) -> CalibrationResult {
+    (0..restarts.max(1))
+        .map(|r| {
+            calibrate_version(version, train, loss.clone(), budget, seed ^ (r as u64) << 32)
+        })
+        .min_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("at least one restart")
+}
+
+/// Percent relative transfer-rate error (averaged over message sizes) of
+/// `calibration` on each scenario.
+pub fn rate_errors(
+    version: MpiSimulatorVersion,
+    calibration: &Calibration,
+    scenarios: &[MpiScenario],
+) -> Vec<f64> {
+    let sim = MpiSimulator::new(version);
+    scenarios
+        .iter()
+        .map(|s| mean_relative_rate_error(&sim, s, calibration))
+        .collect()
+}

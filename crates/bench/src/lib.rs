@@ -1,0 +1,10 @@
+//! # lodcal-bench — experiment harness
+//!
+//! Shared plumbing for the binaries under `src/bin/`, each of which
+//! regenerates one table or figure of the paper (see DESIGN.md for the
+//! per-experiment index), and for the Criterion benches under `benches/`.
+
+pub mod args;
+pub mod case1;
+pub mod case2;
+pub mod report;

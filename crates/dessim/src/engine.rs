@@ -1,0 +1,527 @@
+//! The discrete-event engine: activities, virtual time, and completions.
+//!
+//! The engine owns a [`Platform`] and a set of in-flight activities. Each
+//! call to [`Engine::step`] advances virtual time to the next activity
+//! completion and returns it; the simulator built on top reacts by adding
+//! new activities. Rates are recomputed (max-min fair sharing for flows,
+//! equal sharing with a concurrency cap for disks) whenever the activity
+//! set changes, which is the classic fluid-model event loop.
+
+use crate::platform::{DiskId, LinkId, Platform};
+use crate::sharing::max_min_fair_share;
+use std::collections::BTreeMap;
+
+/// Relative tolerance under which a remaining amount counts as finished.
+const EPS: f64 = 1e-9;
+
+/// Unique identifier of an activity within one [`Engine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActivityId(u64);
+
+/// What an activity does. Construct via the helper constructors.
+#[derive(Clone, Debug)]
+pub enum ActivityKind {
+    /// Computation progressing at a fixed caller-chosen rate (ops/s).
+    Compute {
+        /// Progress rate in operations per second.
+        rate: f64,
+        /// Total work in operations.
+        work: f64,
+    },
+    /// A disk I/O operation; the disk's bandwidth is shared equally among
+    /// the oldest `max_concurrency` pending operations.
+    Io {
+        /// Target disk.
+        disk: DiskId,
+        /// Bytes to read or write.
+        bytes: f64,
+    },
+    /// A network flow across a route of links; bandwidth shared max-min
+    /// fair with all other active flows. The route's total latency is
+    /// charged serially before the transfer starts.
+    Flow {
+        /// Links traversed, in order.
+        route: Vec<LinkId>,
+        /// Bytes to transfer.
+        bytes: f64,
+    },
+    /// Fires after a fixed delay (e.g. a scheduler's periodic cycle).
+    Timer {
+        /// Delay in seconds from the moment the timer is added.
+        delay: f64,
+    },
+}
+
+impl ActivityKind {
+    /// A fixed-rate computation of `work` operations at `rate` ops/s.
+    ///
+    /// # Panics
+    /// Panics if `rate <= 0`, or if either argument is non-finite or
+    /// `work < 0`.
+    pub fn compute(rate: f64, work: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "compute rate must be positive");
+        assert!(work >= 0.0 && work.is_finite(), "compute work must be non-negative");
+        ActivityKind::Compute { rate, work }
+    }
+
+    /// A disk I/O operation of `bytes` bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is negative or non-finite.
+    pub fn io(disk: DiskId, bytes: f64) -> Self {
+        assert!(bytes >= 0.0 && bytes.is_finite(), "io bytes must be non-negative");
+        ActivityKind::Io { disk, bytes }
+    }
+
+    /// A network flow of `bytes` bytes along `route`.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is negative or non-finite.
+    pub fn flow(route: Vec<LinkId>, bytes: f64) -> Self {
+        assert!(bytes >= 0.0 && bytes.is_finite(), "flow bytes must be non-negative");
+        ActivityKind::Flow { route, bytes }
+    }
+
+    /// A timer firing `delay` seconds from now.
+    ///
+    /// # Panics
+    /// Panics if `delay` is negative or non-finite.
+    pub fn timer(delay: f64) -> Self {
+        assert!(delay >= 0.0 && delay.is_finite(), "timer delay must be non-negative");
+        ActivityKind::Timer { delay }
+    }
+}
+
+/// A finished activity, as returned by [`Engine::step`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Completion {
+    /// The finished activity.
+    pub id: ActivityId,
+    /// The caller-supplied tag identifying what this activity meant.
+    pub tag: u64,
+    /// Virtual time of completion, in seconds.
+    pub time: f64,
+}
+
+#[derive(Clone, Debug)]
+enum Phase {
+    /// Flow still paying its route latency (`remaining` is seconds).
+    Latency,
+    /// Transferring / computing / waiting (`remaining` is bytes, ops, or
+    /// seconds depending on the kind).
+    Active,
+}
+
+#[derive(Clone, Debug)]
+struct Act {
+    kind: ActivityKind,
+    tag: u64,
+    phase: Phase,
+    /// Remaining amount in the unit of the current phase.
+    remaining: f64,
+    /// Current progress rate (recomputed on activity-set changes).
+    rate: f64,
+}
+
+/// Flow-level discrete-event simulation engine.
+///
+/// See the [crate-level docs](crate) for an example.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    platform: Platform,
+    time: f64,
+    next_id: u64,
+    acts: BTreeMap<u64, Act>,
+    dirty: bool,
+}
+
+impl Engine {
+    /// Create an engine over `platform`, at virtual time 0.
+    pub fn new(platform: Platform) -> Self {
+        Self { platform, time: 0.0, next_id: 0, acts: BTreeMap::new(), dirty: true }
+    }
+
+    /// Current virtual time in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The platform this engine simulates.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Number of in-flight activities.
+    pub fn active_count(&self) -> usize {
+        self.acts.len()
+    }
+
+    /// Add an activity; `tag` is echoed back in its [`Completion`].
+    pub fn add_activity(&mut self, kind: ActivityKind, tag: u64) -> ActivityId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let (phase, remaining) = match &kind {
+            ActivityKind::Compute { work, .. } => (Phase::Active, *work),
+            ActivityKind::Io { bytes, .. } => (Phase::Active, *bytes),
+            ActivityKind::Flow { route, bytes } => {
+                let lat = self.platform.route_latency(route);
+                if lat > 0.0 {
+                    (Phase::Latency, lat)
+                } else {
+                    (Phase::Active, *bytes)
+                }
+            }
+            ActivityKind::Timer { delay } => (Phase::Active, *delay),
+        };
+        self.acts.insert(id, Act { kind, tag, phase, remaining, rate: 0.0 });
+        self.dirty = true;
+        ActivityId(id)
+    }
+
+    /// Recompute every activity's progress rate from the current set.
+    fn recompute_rates(&mut self) {
+        // Flows in the Active phase share links max-min fair.
+        let flow_ids: Vec<u64> = self
+            .acts
+            .iter()
+            .filter(|(_, a)| {
+                matches!(a.kind, ActivityKind::Flow { .. }) && matches!(a.phase, Phase::Active)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        let caps: Vec<f64> = self.platform.links().map(|(_, l)| l.bandwidth).collect();
+        let routes: Vec<Vec<usize>> = flow_ids
+            .iter()
+            .map(|id| match &self.acts[id].kind {
+                ActivityKind::Flow { route, .. } => route.iter().map(|l| l.index()).collect(),
+                _ => unreachable!(),
+            })
+            .collect();
+        let flow_rates = max_min_fair_share(&caps, &routes);
+        for (id, rate) in flow_ids.iter().zip(flow_rates) {
+            // An empty route (intra-host transfer) gets "infinite" rate;
+            // completion is then immediate. Keep it finite for arithmetic.
+            self.acts.get_mut(id).unwrap().rate = if rate.is_finite() { rate } else { f64::MAX };
+        }
+
+        // Disk ops: oldest `max_concurrency` ops on each disk share its
+        // bandwidth equally; younger ops wait at rate 0.
+        for d in 0..self.platform.num_disks() {
+            let disk = self.platform.disk(DiskId(d));
+            let ops: Vec<u64> = self
+                .acts
+                .iter()
+                .filter(|(_, a)| matches!(a.kind, ActivityKind::Io { disk: did, .. } if did.index() == d))
+                .map(|(id, _)| *id)
+                .collect();
+            let served = ops.len().min(disk.max_concurrency as usize);
+            let share = if served > 0 { disk.bandwidth / served as f64 } else { 0.0 };
+            for (i, id) in ops.iter().enumerate() {
+                self.acts.get_mut(id).unwrap().rate = if i < served { share } else { 0.0 };
+            }
+        }
+
+        // Computations, timers, and latency-phase flows progress in their
+        // own unit at fixed rates.
+        for a in self.acts.values_mut() {
+            match (&a.kind, &a.phase) {
+                (ActivityKind::Compute { rate, .. }, _) => a.rate = *rate,
+                (ActivityKind::Timer { .. }, _) => a.rate = 1.0,
+                (ActivityKind::Flow { .. }, Phase::Latency) => a.rate = 1.0,
+                _ => {}
+            }
+        }
+        self.dirty = false;
+    }
+
+    /// Advance to the next completion and return it, or `None` when no
+    /// activities remain. Internal phase transitions (a flow finishing its
+    /// latency and starting to consume bandwidth) are handled transparently.
+    pub fn step(&mut self) -> Option<Completion> {
+        loop {
+            if self.acts.is_empty() {
+                return None;
+            }
+            if self.dirty {
+                self.recompute_rates();
+            }
+
+            // Earliest event: min over activities of remaining/rate.
+            let mut best: Option<(u64, f64)> = None;
+            for (&id, a) in &self.acts {
+                let dt = if a.remaining <= EPS {
+                    0.0
+                } else if a.rate > 0.0 {
+                    a.remaining / a.rate
+                } else {
+                    f64::INFINITY
+                };
+                if best.is_none_or(|(_, b)| dt < b) {
+                    best = Some((id, dt));
+                }
+            }
+            let (event_id, dt) = best.expect("non-empty activity set");
+            assert!(
+                dt.is_finite(),
+                "deadlock: every in-flight activity has rate 0 (time {})",
+                self.time
+            );
+
+            // Advance all activities by dt.
+            if dt > 0.0 {
+                self.time += dt;
+                for a in self.acts.values_mut() {
+                    if a.rate > 0.0 {
+                        a.remaining = (a.remaining - a.rate * dt).max(0.0);
+                    }
+                }
+            }
+
+            let act = self.acts.get_mut(&event_id).expect("event activity exists");
+            match act.phase {
+                Phase::Latency => {
+                    // Latency paid: start the transfer phase.
+                    let bytes = match &act.kind {
+                        ActivityKind::Flow { bytes, .. } => *bytes,
+                        _ => unreachable!("only flows have a latency phase"),
+                    };
+                    act.phase = Phase::Active;
+                    act.remaining = bytes;
+                    act.rate = 0.0;
+                    self.dirty = true;
+                    // Loop: the phase change alters sharing but completes
+                    // nothing caller-visible.
+                }
+                Phase::Active => {
+                    let tag = act.tag;
+                    self.acts.remove(&event_id);
+                    self.dirty = true;
+                    return Some(Completion { id: ActivityId(event_id), tag, time: self.time });
+                }
+            }
+        }
+    }
+
+    /// Run until no activities remain, returning every completion in order.
+    pub fn run_to_completion(&mut self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while let Some(c) = self.step() {
+            out.push(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn single_flow_latency_plus_transfer() {
+        let mut p = Platform::new();
+        let l = p.add_link(100.0, 0.5);
+        let mut e = Engine::new(p);
+        e.add_activity(ActivityKind::flow(vec![l], 200.0), 1);
+        let c = e.step().unwrap();
+        assert!(close(c.time, 0.5 + 2.0), "time {}", c.time);
+        assert!(e.step().is_none());
+    }
+
+    #[test]
+    fn two_equal_flows_share_bandwidth() {
+        let mut p = Platform::new();
+        let l = p.add_link(100.0, 0.0);
+        let mut e = Engine::new(p);
+        e.add_activity(ActivityKind::flow(vec![l], 100.0), 1);
+        e.add_activity(ActivityKind::flow(vec![l], 100.0), 2);
+        let c1 = e.step().unwrap();
+        let c2 = e.step().unwrap();
+        // Each gets 50 B/s: both finish at t=2.
+        assert!(close(c1.time, 2.0));
+        assert!(close(c2.time, 2.0));
+    }
+
+    #[test]
+    fn short_flow_completion_speeds_up_long_flow() {
+        let mut p = Platform::new();
+        let l = p.add_link(100.0, 0.0);
+        let mut e = Engine::new(p);
+        e.add_activity(ActivityKind::flow(vec![l], 50.0), 1); // short
+        e.add_activity(ActivityKind::flow(vec![l], 150.0), 2); // long
+        let c1 = e.step().unwrap();
+        assert_eq!(c1.tag, 1);
+        assert!(close(c1.time, 1.0)); // 50 bytes at 50 B/s
+        let c2 = e.step().unwrap();
+        assert_eq!(c2.tag, 2);
+        // Long flow: 50 bytes at 50 B/s (t in [0,1]) + 100 bytes at 100 B/s.
+        assert!(close(c2.time, 2.0), "time {}", c2.time);
+    }
+
+    #[test]
+    fn compute_activity_runs_at_given_rate() {
+        let mut e = Engine::new(Platform::new());
+        e.add_activity(ActivityKind::compute(4.0, 10.0), 9);
+        let c = e.step().unwrap();
+        assert!(close(c.time, 2.5));
+        assert_eq!(c.tag, 9);
+    }
+
+    #[test]
+    fn timer_fires_at_absolute_delay() {
+        let mut e = Engine::new(Platform::new());
+        e.add_activity(ActivityKind::timer(3.0), 5);
+        let c = e.step().unwrap();
+        assert!(close(c.time, 3.0));
+    }
+
+    #[test]
+    fn timer_added_later_fires_relative_to_add_time() {
+        let mut e = Engine::new(Platform::new());
+        e.add_activity(ActivityKind::timer(1.0), 1);
+        assert!(close(e.step().unwrap().time, 1.0));
+        e.add_activity(ActivityKind::timer(2.0), 2);
+        assert!(close(e.step().unwrap().time, 3.0));
+    }
+
+    #[test]
+    fn disk_concurrency_limit_queues_ops() {
+        let mut p = Platform::new();
+        let d = p.add_disk(100.0, 1); // one op at a time
+        let mut e = Engine::new(p);
+        e.add_activity(ActivityKind::io(d, 100.0), 1);
+        e.add_activity(ActivityKind::io(d, 100.0), 2);
+        let c1 = e.step().unwrap();
+        let c2 = e.step().unwrap();
+        assert_eq!((c1.tag, c2.tag), (1, 2));
+        assert!(close(c1.time, 1.0));
+        assert!(close(c2.time, 2.0), "serialized, not shared: {}", c2.time);
+    }
+
+    #[test]
+    fn disk_shares_bandwidth_up_to_concurrency() {
+        let mut p = Platform::new();
+        let d = p.add_disk(100.0, 2);
+        let mut e = Engine::new(p);
+        e.add_activity(ActivityKind::io(d, 100.0), 1);
+        e.add_activity(ActivityKind::io(d, 100.0), 2);
+        let c1 = e.step().unwrap();
+        let c2 = e.step().unwrap();
+        assert!(close(c1.time, 2.0));
+        assert!(close(c2.time, 2.0));
+    }
+
+    #[test]
+    fn zero_byte_flow_costs_latency_only() {
+        let mut p = Platform::new();
+        let l = p.add_link(100.0, 0.25);
+        let mut e = Engine::new(p);
+        e.add_activity(ActivityKind::flow(vec![l], 0.0), 1);
+        assert!(close(e.step().unwrap().time, 0.25));
+    }
+
+    #[test]
+    fn zero_work_completes_immediately() {
+        let mut e = Engine::new(Platform::new());
+        e.add_activity(ActivityKind::compute(1.0, 0.0), 1);
+        let c = e.step().unwrap();
+        assert_eq!(c.time, 0.0);
+    }
+
+    #[test]
+    fn empty_route_flow_is_instant_after_no_latency() {
+        let mut e = Engine::new(Platform::new());
+        e.add_activity(ActivityKind::flow(vec![], 1e9), 1);
+        let c = e.step().unwrap();
+        assert!(c.time < 1e-6);
+    }
+
+    #[test]
+    fn multi_link_route_pays_summed_latency_and_bottleneck() {
+        let mut p = Platform::new();
+        let a = p.add_link(100.0, 0.1);
+        let b = p.add_link(50.0, 0.2);
+        let mut e = Engine::new(p);
+        e.add_activity(ActivityKind::flow(vec![a, b], 100.0), 1);
+        let c = e.step().unwrap();
+        // 0.3 latency + 100/50 transfer.
+        assert!(close(c.time, 2.3), "time {}", c.time);
+    }
+
+    #[test]
+    fn interleaved_kinds_complete_in_time_order() {
+        let mut p = Platform::new();
+        let l = p.add_link(100.0, 0.0);
+        let d = p.add_disk(100.0, 4);
+        let mut e = Engine::new(p);
+        e.add_activity(ActivityKind::compute(10.0, 15.0), 1); // t=1.5
+        e.add_activity(ActivityKind::flow(vec![l], 50.0), 2); // t=0.5
+        e.add_activity(ActivityKind::io(d, 100.0), 3); // t=1.0
+        e.add_activity(ActivityKind::timer(0.25), 4); // t=0.25
+        let order: Vec<u64> = e.run_to_completion().iter().map(|c| c.tag).collect();
+        assert_eq!(order, vec![4, 2, 3, 1]);
+    }
+
+    #[test]
+    fn run_to_completion_drains_everything() {
+        let mut e = Engine::new(Platform::new());
+        for i in 0..10 {
+            e.add_activity(ActivityKind::timer(i as f64), i);
+        }
+        assert_eq!(e.run_to_completion().len(), 10);
+        assert_eq!(e.active_count(), 0);
+    }
+
+    #[test]
+    fn latency_phase_does_not_consume_bandwidth() {
+        // Flow A has huge latency; flow B should get the full link until
+        // A's latency elapses.
+        let mut p = Platform::new();
+        let l = p.add_link(100.0, 0.0);
+        let l_lat = p.add_link(1e12, 10.0); // pure-latency hop for A
+        let mut e = Engine::new(p);
+        e.add_activity(ActivityKind::flow(vec![l_lat, l], 100.0), 1);
+        e.add_activity(ActivityKind::flow(vec![l], 100.0), 2);
+        let c = e.step().unwrap();
+        assert_eq!(c.tag, 2);
+        assert!(close(c.time, 1.0), "B at full bandwidth: {}", c.time);
+        let c = e.step().unwrap();
+        assert_eq!(c.tag, 1);
+        assert!(close(c.time, 11.0), "A: 10 latency + 1 transfer: {}", c.time);
+    }
+
+    #[test]
+    fn simultaneous_completions_all_reported() {
+        let mut e = Engine::new(Platform::new());
+        e.add_activity(ActivityKind::timer(1.0), 1);
+        e.add_activity(ActivityKind::timer(1.0), 2);
+        let c1 = e.step().unwrap();
+        let c2 = e.step().unwrap();
+        assert!(close(c1.time, 1.0) && close(c2.time, 1.0));
+        assert_ne!(c1.tag, c2.tag);
+    }
+
+    #[test]
+    fn time_is_monotone_nondecreasing() {
+        let mut p = Platform::new();
+        let l = p.add_link(10.0, 0.01);
+        let d = p.add_disk(5.0, 2);
+        let mut e = Engine::new(p);
+        for i in 0..20 {
+            match i % 3 {
+                0 => e.add_activity(ActivityKind::flow(vec![l], (i * 7 % 13) as f64), i),
+                1 => e.add_activity(ActivityKind::io(d, (i * 5 % 11) as f64), i),
+                _ => e.add_activity(ActivityKind::compute(2.0, (i % 9) as f64), i),
+            };
+        }
+        let mut last = 0.0;
+        while let Some(c) = e.step() {
+            assert!(c.time >= last - 1e-12);
+            last = c.time;
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Max-min fair bandwidth sharing via progressive filling.
+//!
+//! Given a set of flows, each traversing a set of links, and per-link
+//! capacities, progressive filling raises every flow's rate uniformly until
+//! some link saturates, freezes the flows crossing that link at their
+//! current rate, removes the consumed capacity, and repeats. The result is
+//! the unique max-min fair allocation, the same sharing model SimGrid's
+//! fluid network model (and hence SMPI and WRENCH) uses.
+
+/// Compute the max-min fair allocation.
+///
+/// `capacities[l]` is the capacity of link `l`; `flow_routes[f]` lists the
+/// link indices flow `f` traverses (duplicates are permitted and count
+/// once). Returns one rate per flow. A flow with an empty route is
+/// unconstrained and gets `f64::INFINITY` — callers model such flows
+/// (e.g. intra-host transfers) with an explicit bound elsewhere.
+///
+/// # Panics
+/// Panics if any route references a link index out of bounds.
+pub fn max_min_fair_share(capacities: &[f64], flow_routes: &[Vec<usize>]) -> Vec<f64> {
+    let nf = flow_routes.len();
+    let nl = capacities.len();
+    let mut rates = vec![f64::INFINITY; nf];
+    if nf == 0 {
+        return rates;
+    }
+
+    // Number of unfrozen flows crossing each link, and remaining capacity.
+    let mut remaining = capacities.to_vec();
+    let mut crossing = vec![0usize; nl];
+    // Deduplicated routes so a flow listed twice on a link counts once.
+    let deduped: Vec<Vec<usize>> = flow_routes
+        .iter()
+        .map(|route| {
+            let mut r = route.clone();
+            r.sort_unstable();
+            r.dedup();
+            for &l in &r {
+                assert!(l < nl, "route references link {l} but only {nl} links exist");
+            }
+            r
+        })
+        .collect();
+    for route in &deduped {
+        for &l in route {
+            crossing[l] += 1;
+        }
+    }
+
+    let mut frozen = vec![false; nf];
+    // Flows with empty routes are unconstrained; leave their rate infinite.
+    let mut unfrozen_constrained: usize = deduped
+        .iter()
+        .enumerate()
+        .filter(|(f, route)| {
+            if route.is_empty() {
+                frozen[*f] = true;
+                false
+            } else {
+                true
+            }
+        })
+        .count();
+
+    // Progressive filling: at most one link saturates per round.
+    while unfrozen_constrained > 0 {
+        // Bottleneck link: minimal fair share among links with unfrozen flows.
+        let mut best: Option<(usize, f64)> = None;
+        for l in 0..nl {
+            if crossing[l] == 0 {
+                continue;
+            }
+            let share = remaining[l].max(0.0) / crossing[l] as f64;
+            if best.is_none_or(|(_, s)| share < s) {
+                best = Some((l, share));
+            }
+        }
+        let (bottleneck, share) = best.expect("unfrozen flows imply a crossed link");
+
+        // Freeze every unfrozen flow crossing the bottleneck at `share`,
+        // and release the capacity they consume on their other links.
+        for f in 0..nf {
+            if frozen[f] || !deduped[f].contains(&bottleneck) {
+                continue;
+            }
+            frozen[f] = true;
+            unfrozen_constrained -= 1;
+            rates[f] = share;
+            for &l in &deduped[f] {
+                remaining[l] -= share;
+                crossing[l] -= 1;
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn single_flow_gets_full_link() {
+        let rates = max_min_fair_share(&[100.0], &[vec![0]]);
+        assert!(close(rates[0], 100.0));
+    }
+
+    #[test]
+    fn two_flows_split_evenly() {
+        let rates = max_min_fair_share(&[100.0], &[vec![0], vec![0]]);
+        assert!(close(rates[0], 50.0));
+        assert!(close(rates[1], 50.0));
+    }
+
+    #[test]
+    fn bottleneck_frees_capacity_elsewhere() {
+        // Link 0: cap 100 shared by flows A and B. Link 1: cap 30, only B.
+        // B is bottlenecked at 30 on link 1, so A gets 70 on link 0.
+        let rates = max_min_fair_share(&[100.0, 30.0], &[vec![0], vec![0, 1]]);
+        assert!(close(rates[1], 30.0), "B: {}", rates[1]);
+        assert!(close(rates[0], 70.0), "A: {}", rates[0]);
+    }
+
+    #[test]
+    fn classic_three_flow_line_network() {
+        // Line of 2 links, cap 1 each. Flow 0 uses both; flows 1 and 2 use
+        // one link each. Max-min: flow 0 gets 0.5, flows 1 and 2 get 0.5.
+        let rates = max_min_fair_share(&[1.0, 1.0], &[vec![0, 1], vec![0], vec![1]]);
+        assert!(close(rates[0], 0.5));
+        assert!(close(rates[1], 0.5));
+        assert!(close(rates[2], 0.5));
+    }
+
+    #[test]
+    fn heterogeneous_line_network() {
+        // Link caps 1 and 2. Long flow + one local flow per link.
+        // Bottleneck is link 0: share 0.5 freezes long flow and flow 1.
+        // Flow 2 then gets 2 - 0.5 = 1.5.
+        let rates = max_min_fair_share(&[1.0, 2.0], &[vec![0, 1], vec![0], vec![1]]);
+        assert!(close(rates[0], 0.5));
+        assert!(close(rates[1], 0.5));
+        assert!(close(rates[2], 1.5));
+    }
+
+    #[test]
+    fn empty_route_is_unconstrained() {
+        let rates = max_min_fair_share(&[10.0], &[vec![], vec![0]]);
+        assert_eq!(rates[0], f64::INFINITY);
+        assert!(close(rates[1], 10.0));
+    }
+
+    #[test]
+    fn duplicate_links_in_route_count_once() {
+        let rates = max_min_fair_share(&[100.0], &[vec![0, 0], vec![0]]);
+        assert!(close(rates[0], 50.0));
+        assert!(close(rates[1], 50.0));
+    }
+
+    #[test]
+    fn no_flows_yields_empty() {
+        assert!(max_min_fair_share(&[1.0, 2.0], &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "references link")]
+    fn out_of_bounds_route_panics() {
+        max_min_fair_share(&[1.0], &[vec![3]]);
+    }
+
+    proptest! {
+        /// No link is over-subscribed by the computed allocation.
+        #[test]
+        fn prop_capacity_never_exceeded(
+            caps in proptest::collection::vec(0.1f64..100.0, 1..6),
+            routes in proptest::collection::vec(
+                proptest::collection::vec(0usize..6, 1..4), 1..12),
+        ) {
+            let nl = caps.len();
+            let routes: Vec<Vec<usize>> = routes
+                .into_iter()
+                .map(|r| r.into_iter().map(|l| l % nl).collect())
+                .collect();
+            let rates = max_min_fair_share(&caps, &routes);
+            for (l, &cap) in caps.iter().enumerate() {
+                let used: f64 = routes
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(route, _)| route.contains(&l))
+                    .map(|(_, r)| r)
+                    .sum();
+                prop_assert!(used <= cap * (1.0 + 1e-9) + 1e-9,
+                    "link {l}: used {used} > cap {cap}");
+            }
+        }
+
+        /// Every flow has a saturated bottleneck link: the allocation is
+        /// Pareto-efficient (no single flow's rate can increase).
+        #[test]
+        fn prop_every_flow_has_saturated_bottleneck(
+            caps in proptest::collection::vec(0.1f64..100.0, 1..5),
+            routes in proptest::collection::vec(
+                proptest::collection::vec(0usize..5, 1..3), 1..8),
+        ) {
+            let nl = caps.len();
+            let routes: Vec<Vec<usize>> = routes
+                .into_iter()
+                .map(|r| r.into_iter().map(|l| l % nl).collect())
+                .collect();
+            let rates = max_min_fair_share(&caps, &routes);
+            let used: Vec<f64> = (0..nl)
+                .map(|l| routes.iter().zip(&rates)
+                    .filter(|(route, _)| route.contains(&l))
+                    .map(|(_, r)| r)
+                    .sum())
+                .collect();
+            for route in &routes {
+                let saturated = route
+                    .iter()
+                    .any(|&l| used[l] >= caps[l] * (1.0 - 1e-6));
+                prop_assert!(saturated, "flow has slack on all its links");
+            }
+        }
+
+        /// All rates are non-negative and finite for non-empty routes.
+        #[test]
+        fn prop_rates_valid(
+            caps in proptest::collection::vec(0.1f64..100.0, 1..5),
+            routes in proptest::collection::vec(
+                proptest::collection::vec(0usize..5, 1..3), 0..8),
+        ) {
+            let nl = caps.len();
+            let routes: Vec<Vec<usize>> = routes
+                .into_iter()
+                .map(|r| r.into_iter().map(|l| l % nl).collect())
+                .collect();
+            let rates = max_min_fair_share(&caps, &routes);
+            for r in &rates {
+                prop_assert!(*r >= 0.0 && r.is_finite());
+            }
+        }
+    }
+}

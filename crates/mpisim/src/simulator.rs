@@ -1,0 +1,524 @@
+//! The MPI benchmark simulator: computes steady-state data transfer rates
+//! for an IMB communication pattern on a modelled platform (paper §6.2).
+//!
+//! Like SMPI, the model is fluid: every concurrently-active message flow
+//! receives a max-min fair share of the links along its route (computed by
+//! [`dessim::max_min_fair_share`]), the adaptive MPI protocol scales the
+//! achievable rate by a message-size-dependent factor, and a flow's
+//! transfer time is `latency + size / (factor * allocated_bandwidth)`.
+//! The reported metric — as in the IMB logs the ground truth consists of —
+//! is the data transfer rate per flow, averaged over flows.
+
+use crate::benchmarks::{BenchmarkKind, RANKS_PER_NODE};
+use crate::versions::{
+    MpiSimulatorVersion, NodeModel, ProtocolModel, TopologyModel, FIXED_CHANGEPOINTS_LOG2,
+};
+use dessim::max_min_fair_share;
+use simcal::prelude::Calibration;
+
+/// Effective bandwidth for same-socket (shared-memory) exchanges, which no
+/// version calibrates: 20 GB/s.
+pub const INTRA_NODE_BW: f64 = 20e9;
+
+/// Deterministic workload seed shared by the ground-truth emulator and all
+/// candidate simulators: the BiRandom pairing is part of the workload, not
+/// of the model.
+pub fn workload_seed(benchmark: BenchmarkKind, n_nodes: usize) -> u64 {
+    0xB1DA_0000_0000_0000 ^ ((benchmark as u64) << 32) ^ n_nodes as u64
+}
+
+/// Fully-resolved MPI platform model.
+#[derive(Clone, Debug)]
+pub(crate) struct ResolvedMpi {
+    pub topology: TopologyModel,
+    pub bb_bw: f64,
+    pub bb_lat: f64,
+    pub link_bw: f64,
+    pub link_lat: f64,
+    pub down_bw: f64,
+    pub up_bw: f64,
+    pub node: NodeModel,
+    pub xbus_bw: f64,
+    pub pcie_bw: f64,
+    /// Protocol bandwidth factors: small / medium / large messages.
+    pub factors: [f64; 3],
+    /// Protocol change points, log2(bytes).
+    pub changepoints_log2: [f64; 2],
+    /// Ground-truth-only: per-flow rate multiplier `(128 / n_nodes)^e`
+    /// modelling adaptive-routing congestion that grows with scale. Zero
+    /// for every candidate simulator.
+    pub scale_exponent: f64,
+}
+
+/// Map a calibration (in `version`'s space) to a resolved model.
+pub(crate) fn resolve(version: MpiSimulatorVersion, calib: &Calibration) -> ResolvedMpi {
+    let space = version.parameter_space();
+    let get = |name: &str| space.value(calib, name);
+    let (bb_bw, bb_lat, link_bw, link_lat, down_bw, up_bw) = match version.topology {
+        TopologyModel::Backbone => (get("bb_bw"), get("bb_lat"), 0.0, 0.0, 0.0, 0.0),
+        TopologyModel::BackboneLinks => {
+            (get("bb_bw"), get("bb_lat"), get("link_bw"), get("link_lat"), 0.0, 0.0)
+        }
+        TopologyModel::Tree4 => (0.0, 0.0, get("link_bw"), get("link_lat"), 0.0, 0.0),
+        TopologyModel::FatTree => {
+            (0.0, 0.0, 0.0, get("link_lat"), get("down_bw"), get("up_bw"))
+        }
+    };
+    let (xbus_bw, pcie_bw) = match version.node {
+        NodeModel::Complex => (get("xbus_bw"), get("pcie_bw")),
+        NodeModel::Simple => (0.0, 0.0),
+    };
+    let changepoints_log2 = match version.protocol {
+        ProtocolModel::FixedChangepoints => FIXED_CHANGEPOINTS_LOG2,
+        ProtocolModel::ArbitraryChangepoints => {
+            let (a, b) = (get("changepoint1_log2"), get("changepoint2_log2"));
+            // The two change points are unordered parameters; the model
+            // sorts them so the piecewise regions are well-defined.
+            if a <= b {
+                [a, b]
+            } else {
+                [b, a]
+            }
+        }
+    };
+    ResolvedMpi {
+        topology: version.topology,
+        bb_bw,
+        bb_lat,
+        link_bw,
+        link_lat,
+        down_bw,
+        up_bw,
+        node: version.node,
+        xbus_bw,
+        pcie_bw,
+        factors: [get("factor_small"), get("factor_medium"), get("factor_large")],
+        changepoints_log2,
+        scale_exponent: 0.0,
+    }
+}
+
+impl ResolvedMpi {
+    /// Protocol bandwidth factor for a message of `size` bytes.
+    pub fn protocol_factor(&self, size: f64) -> f64 {
+        let log2 = size.max(1.0).log2();
+        if log2 < self.changepoints_log2[0] {
+            self.factors[0]
+        } else if log2 < self.changepoints_log2[1] {
+            self.factors[1]
+        } else {
+            self.factors[2]
+        }
+    }
+}
+
+/// The network as links + per-flow routes, ready for max-min sharing.
+struct FlowNetwork {
+    capacities: Vec<f64>,
+    latencies: Vec<f64>,
+    routes: Vec<Vec<usize>>,
+}
+
+/// Build the link set and the route of every flow.
+fn build_network(model: &ResolvedMpi, n_nodes: usize, flows: &[(usize, usize)]) -> FlowNetwork {
+    let mut capacities = Vec::new();
+    let mut latencies = Vec::new();
+    let mut add_link = |bw: f64, lat: f64| -> usize {
+        capacities.push(bw.max(1.0));
+        latencies.push(lat.max(0.0));
+        capacities.len() - 1
+    };
+
+    // Topology links and a node-to-node route function.
+    enum Topo {
+        Backbone { bb: usize },
+        BackboneLinks { bb: usize, node_links: Vec<usize> },
+        Tree { parent_link: Vec<Option<usize>>, parent: Vec<Option<usize>>, leaf: Vec<usize> },
+        FatTree { down: Vec<usize>, up: Vec<usize> },
+    }
+    let topo = match model.topology {
+        TopologyModel::Backbone => Topo::Backbone { bb: add_link(model.bb_bw, model.bb_lat) },
+        TopologyModel::BackboneLinks => {
+            let bb = add_link(model.bb_bw, model.bb_lat);
+            let node_links =
+                (0..n_nodes).map(|_| add_link(model.link_bw, model.link_lat)).collect();
+            Topo::BackboneLinks { bb, node_links }
+        }
+        TopologyModel::Tree4 => {
+            // Vertices: n leaves, then ceil-by-4 groups per level up to a root.
+            let mut parent: Vec<Option<usize>> = Vec::new();
+            let mut parent_link: Vec<Option<usize>> = Vec::new();
+            let mut level_start = 0usize;
+            let mut level_count = n_nodes;
+            let leaf: Vec<usize> = (0..n_nodes).collect();
+            // Create leaf vertices.
+            for _ in 0..n_nodes {
+                parent.push(None);
+                parent_link.push(None);
+            }
+            // Uplink capacity aggregates the subtree it serves (a switch
+            // uplink carries its four children's traffic), so the single
+            // calibratable bandwidth describes the leaf edge and the tree
+            // is not artificially root-choked.
+            let mut level = 0u32;
+            while level_count > 1 {
+                let next_count = level_count.div_ceil(4);
+                let next_start = parent.len();
+                for _ in 0..next_count {
+                    parent.push(None);
+                    parent_link.push(None);
+                }
+                let capacity = model.link_bw * 4f64.powi(level as i32);
+                for i in 0..level_count {
+                    let v = level_start + i;
+                    let p = next_start + i / 4;
+                    parent[v] = Some(p);
+                    parent_link[v] = Some(add_link(capacity, model.link_lat));
+                }
+                level_start = next_start;
+                level_count = next_count;
+                level += 1;
+            }
+            Topo::Tree { parent_link, parent, leaf }
+        }
+        TopologyModel::FatTree => {
+            let down = (0..n_nodes).map(|_| add_link(model.down_bw, model.link_lat)).collect();
+            let n_switches = n_nodes.div_ceil(18);
+            let up = (0..n_switches).map(|_| add_link(model.up_bw, model.link_lat)).collect();
+            Topo::FatTree { down, up }
+        }
+    };
+
+    // Intra-node links for the complex node model.
+    let (pcie, xbus): (Vec<usize>, Vec<usize>) = if model.node == NodeModel::Complex {
+        (
+            (0..n_nodes).map(|_| add_link(model.pcie_bw, 0.0)).collect(),
+            (0..n_nodes).map(|_| add_link(model.xbus_bw, 0.0)).collect(),
+        )
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    let node_of = |rank: usize| rank / RANKS_PER_NODE;
+    let socket_of = |rank: usize| (rank % RANKS_PER_NODE) / (RANKS_PER_NODE / 2);
+
+    let node_route = |a: usize, b: usize| -> Vec<usize> {
+        match &topo {
+            Topo::Backbone { bb } => vec![*bb],
+            Topo::BackboneLinks { bb, node_links } => vec![node_links[a], *bb, node_links[b]],
+            Topo::Tree { parent_link, parent, leaf } => {
+                // Walk both leaves up to the LCA, collecting edge links.
+                let mut pa = Vec::new();
+                let mut pb = Vec::new();
+                let mut va = leaf[a];
+                let mut vb = leaf[b];
+                let depth = |mut v: usize| {
+                    let mut d = 0;
+                    while let Some(p) = parent[v] {
+                        v = p;
+                        d += 1;
+                    }
+                    d
+                };
+                let (mut da, mut db) = (depth(va), depth(vb));
+                while da > db {
+                    pa.push(parent_link[va].expect("non-root has a parent link"));
+                    va = parent[va].expect("non-root");
+                    da -= 1;
+                }
+                while db > da {
+                    pb.push(parent_link[vb].expect("non-root has a parent link"));
+                    vb = parent[vb].expect("non-root");
+                    db -= 1;
+                }
+                while va != vb {
+                    pa.push(parent_link[va].expect("non-root"));
+                    pb.push(parent_link[vb].expect("non-root"));
+                    va = parent[va].expect("non-root");
+                    vb = parent[vb].expect("non-root");
+                }
+                pa.extend(pb.into_iter().rev());
+                pa
+            }
+            Topo::FatTree { down, up } => {
+                let (sa, sb) = (a / 18, b / 18);
+                if sa == sb {
+                    vec![down[a], down[b]]
+                } else {
+                    vec![down[a], up[sa], up[sb], down[b]]
+                }
+            }
+        }
+    };
+
+    let routes: Vec<Vec<usize>> = flows
+        .iter()
+        .map(|&(src, dst)| {
+            let (na, nb) = (node_of(src), node_of(dst));
+            let mut route = Vec::new();
+            if na != nb {
+                // Inter-node: rank -> (X-Bus if far socket) -> PCIe ->
+                // NIC -> network -> NIC -> PCIe -> (X-Bus) -> rank.
+                if model.node == NodeModel::Complex {
+                    if socket_of(src) == 1 {
+                        route.push(xbus[na]);
+                    }
+                    route.push(pcie[na]);
+                }
+                route.extend(node_route(na, nb));
+                if model.node == NodeModel::Complex {
+                    route.push(pcie[nb]);
+                    if socket_of(dst) == 1 {
+                        route.push(xbus[nb]);
+                    }
+                }
+            } else if model.node == NodeModel::Complex && socket_of(src) != socket_of(dst) {
+                // Cross-socket, same node: X-Bus only (PCIe models the
+                // path to the NIC, which shared-memory traffic never
+                // touches).
+                route.push(xbus[na]);
+            }
+            // Same node, same socket: empty route (shared memory); the
+            // rate model caps it at the memory-copy ceiling.
+            route
+        })
+        .collect();
+
+    FlowNetwork { capacities, latencies, routes }
+}
+
+/// Per-flow data transfer rates (bytes/s) for one benchmark at one message
+/// size, averaged into the benchmark's reported rate.
+pub(crate) fn transfer_rates_resolved(
+    model: &ResolvedMpi,
+    benchmark: BenchmarkKind,
+    n_nodes: usize,
+    sizes: &[f64],
+) -> Vec<f64> {
+    let n_ranks = n_nodes * RANKS_PER_NODE;
+    let flows = benchmark.flows(n_ranks, workload_seed(benchmark, n_nodes));
+    let net = build_network(model, n_nodes, &flows);
+    let allocations = max_min_fair_share(&net.capacities, &net.routes);
+    let scale_mult = (128.0 / n_nodes as f64).powf(model.scale_exponent);
+
+    sizes
+        .iter()
+        .map(|&size| {
+            let factor = model.protocol_factor(size);
+            let mut sum = 0.0;
+            for (alloc, route) in allocations.iter().zip(&net.routes) {
+                // Memory-copy speed is a universal ceiling on any single
+                // MPI transfer (and the rate of same-socket exchanges,
+                // whose route is empty).
+                let bw = alloc.min(INTRA_NODE_BW) * scale_mult;
+                let lat: f64 = route.iter().map(|&l| net.latencies[l]).sum();
+                let t = lat + size / (factor * bw.max(1.0));
+                sum += size / t;
+            }
+            sum / flows.len() as f64
+        })
+        .collect()
+}
+
+/// A calibratable MPI benchmark simulator at one level of detail.
+#[derive(Clone, Copy, Debug)]
+pub struct MpiSimulator {
+    /// The level-of-detail configuration.
+    pub version: MpiSimulatorVersion,
+}
+
+impl MpiSimulator {
+    /// Construct a simulator for `version`.
+    pub fn new(version: MpiSimulatorVersion) -> Self {
+        Self { version }
+    }
+
+    /// Simulated data transfer rates (bytes/s), one per message size, for
+    /// `benchmark` on `n_nodes` nodes under `calibration`.
+    pub fn transfer_rates(
+        &self,
+        benchmark: BenchmarkKind,
+        n_nodes: usize,
+        sizes: &[f64],
+        calibration: &Calibration,
+    ) -> Vec<f64> {
+        let model = resolve(self.version, calibration);
+        transfer_rates_resolved(&model, benchmark, n_nodes, sizes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::message_sizes;
+
+    fn calib_for(version: MpiSimulatorVersion) -> Calibration {
+        let space = version.parameter_space();
+        let values: Vec<f64> = space
+            .params()
+            .iter()
+            .map(|p| match p.name.as_str() {
+                "bb_bw" => 2e11,
+                "link_bw" | "down_bw" | "up_bw" => 12.5e9,
+                "bb_lat" | "link_lat" => 1.5e-6,
+                "xbus_bw" => 32e9,
+                "pcie_bw" => 16e9,
+                "factor_small" => 1.0,
+                "factor_medium" => 0.7,
+                "factor_large" => 0.9,
+                "changepoint1_log2" => 13.0,
+                "changepoint2_log2" => 17.0,
+                other => panic!("unexpected parameter {other}"),
+            })
+            .collect();
+        Calibration::new(values)
+    }
+
+    #[test]
+    fn all_sixteen_versions_produce_rates() {
+        let sizes = message_sizes();
+        for version in MpiSimulatorVersion::all() {
+            let sim = MpiSimulator::new(version);
+            for b in BenchmarkKind::ALL {
+                let rates = sim.transfer_rates(b, 16, &sizes, &calib_for(version));
+                assert_eq!(rates.len(), 13, "{} {}", version.label(), b.name());
+                assert!(
+                    rates.iter().all(|&r| r > 0.0 && r.is_finite()),
+                    "{} {}: {rates:?}",
+                    version.label(),
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rates_increase_with_message_size_under_latency_dominance() {
+        // Small messages are latency-bound: rate grows with size.
+        let version = MpiSimulatorVersion::lowest_detail();
+        let sim = MpiSimulator::new(version);
+        let sizes = message_sizes();
+        let rates = sim.transfer_rates(BenchmarkKind::PingPong, 4, &sizes, &calib_for(version));
+        assert!(rates[1] > rates[0], "{rates:?}");
+    }
+
+    #[test]
+    fn pingpong_is_at_least_as_fast_as_pingping() {
+        // PingPing has twice the concurrent flows -> more contention.
+        let version = MpiSimulatorVersion::lowest_detail();
+        let sim = MpiSimulator::new(version);
+        let c = calib_for(version);
+        let sizes = [4_194_304.0];
+        let pong = sim.transfer_rates(BenchmarkKind::PingPong, 16, &sizes, &c)[0];
+        let ping = sim.transfer_rates(BenchmarkKind::PingPing, 16, &sizes, &c)[0];
+        assert!(pong >= ping, "pong {pong} vs ping {ping}");
+    }
+
+    #[test]
+    fn backbone_contention_scales_with_node_count() {
+        let version = MpiSimulatorVersion::lowest_detail();
+        let sim = MpiSimulator::new(version);
+        let c = calib_for(version);
+        let sizes = [4_194_304.0];
+        let r16 = sim.transfer_rates(BenchmarkKind::BiRandom, 16, &sizes, &c)[0];
+        let r64 = sim.transfer_rates(BenchmarkKind::BiRandom, 64, &sizes, &c)[0];
+        assert!(r64 < r16, "shared backbone must slow down at scale: {r16} -> {r64}");
+    }
+
+    #[test]
+    fn fat_tree_scales_better_than_backbone() {
+        let bb = MpiSimulatorVersion::lowest_detail();
+        let ft = MpiSimulatorVersion { topology: TopologyModel::FatTree, ..bb };
+        let sizes = [4_194_304.0];
+        let r_bb = MpiSimulator::new(bb).transfer_rates(
+            BenchmarkKind::BiRandom,
+            64,
+            &sizes,
+            &calib_for(bb),
+        )[0];
+        let r_ft = MpiSimulator::new(ft).transfer_rates(
+            BenchmarkKind::BiRandom,
+            64,
+            &sizes,
+            &calib_for(ft),
+        )[0];
+        assert!(r_ft > r_bb, "fat tree {r_ft} vs single backbone {r_bb}");
+    }
+
+    #[test]
+    fn protocol_factor_is_piecewise_by_size() {
+        let version = MpiSimulatorVersion::lowest_detail();
+        let model = resolve(version, &calib_for(version));
+        assert_eq!(model.protocol_factor(1024.0), 1.0);
+        assert_eq!(model.protocol_factor(16_384.0), 0.7);
+        assert_eq!(model.protocol_factor(1_048_576.0), 0.9);
+    }
+
+    #[test]
+    fn arbitrary_changepoints_are_sorted() {
+        let version = MpiSimulatorVersion {
+            protocol: ProtocolModel::ArbitraryChangepoints,
+            ..MpiSimulatorVersion::lowest_detail()
+        };
+        let space = version.parameter_space();
+        let mut values = calib_for(version).values;
+        // Swap the change points: 17 before 13.
+        let i1 = space.index_of("changepoint1_log2").unwrap();
+        let i2 = space.index_of("changepoint2_log2").unwrap();
+        values[i1] = 17.0;
+        values[i2] = 13.0;
+        let model = resolve(version, &Calibration::new(values));
+        assert_eq!(model.changepoints_log2, [13.0, 17.0]);
+    }
+
+    #[test]
+    fn complex_node_pcie_contention_lowers_rates() {
+        let simple = MpiSimulatorVersion::lowest_detail();
+        let complex = MpiSimulatorVersion { node: NodeModel::Complex, ..simple };
+        // Give the complex node a PCIe much slower than the network: the
+        // six ranks of a node share it, so rates must drop.
+        let space = complex.parameter_space();
+        let mut values = calib_for(complex).values;
+        values[space.index_of("pcie_bw").unwrap()] = 1e8;
+        let sizes = [4_194_304.0];
+        let r_simple = MpiSimulator::new(simple).transfer_rates(
+            BenchmarkKind::PingPong,
+            8,
+            &sizes,
+            &calib_for(simple),
+        )[0];
+        let r_complex = MpiSimulator::new(complex).transfer_rates(
+            BenchmarkKind::PingPong,
+            8,
+            &sizes,
+            &Calibration::new(values),
+        )[0];
+        assert!(r_complex < r_simple / 2.0, "{r_complex} vs {r_simple}");
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let version = MpiSimulatorVersion::highest_detail();
+        let sim = MpiSimulator::new(version);
+        let c = calib_for(version);
+        let sizes = message_sizes();
+        let a = sim.transfer_rates(BenchmarkKind::BiRandom, 32, &sizes, &c);
+        let b = sim.transfer_rates(BenchmarkKind::BiRandom, 32, &sizes, &c);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_scale_128_nodes_is_tractable() {
+        let version = MpiSimulatorVersion::highest_detail();
+        let sim = MpiSimulator::new(version);
+        let start = std::time::Instant::now();
+        let rates =
+            sim.transfer_rates(BenchmarkKind::BiRandom, 128, &message_sizes(), &calib_for(version));
+        assert!(rates.iter().all(|&r| r > 0.0));
+        assert!(
+            start.elapsed().as_millis() < 2_000,
+            "128-node simulation too slow: {:?}",
+            start.elapsed()
+        );
+    }
+}

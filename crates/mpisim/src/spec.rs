@@ -1,0 +1,62 @@
+//! Specification-based (uncalibrated) parameter values — the §6.4
+//! baseline: set the lowest-detail simulator's parameters straight from
+//! Summit's published specifications.
+//!
+//! Specs quote peak link rates (dual-rail EDR InfiniBand: 25 GB/s per
+//! node) and say nothing about protocol behaviour, so a spec-driven user
+//! leaves every bandwidth factor at 1 — missing the rendezvous dips, the
+//! effective (much lower) end-to-end rates, and all software latency.
+
+use crate::versions::MpiSimulatorVersion;
+use simcal::prelude::Calibration;
+
+/// Parameter values read off Summit's spec sheet.
+pub fn spec_calibration(version: MpiSimulatorVersion) -> Calibration {
+    let space = version.parameter_space();
+    let values: Vec<f64> = space
+        .params()
+        .iter()
+        .map(|p| match p.name.as_str() {
+            // Non-blocking fat tree, read as "bandwidth is never the
+            // bottleneck": a giant shared backbone.
+            "bb_bw" => 1e12,
+            "link_bw" | "down_bw" => 2.5e10, // dual-rail EDR, peak
+            "up_bw" => 2.5e10 * 18.0,        // non-blocking uplinks
+            "bb_lat" | "link_lat" => 1e-6,   // switch spec latency
+            "xbus_bw" => 6.4e10,
+            "pcie_bw" => 1.6e10,
+            // No documented protocol behaviour: factors of 1.
+            "factor_small" | "factor_medium" | "factor_large" => 1.0,
+            "changepoint1_log2" => 13.0,
+            "changepoint2_log2" => 17.0,
+            other => panic!("unexpected parameter {other}"),
+        })
+        .collect();
+    Calibration::new(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_calibration_fits_every_version_space() {
+        for v in MpiSimulatorVersion::all() {
+            assert_eq!(
+                spec_calibration(v).values.len(),
+                v.parameter_space().dim(),
+                "{}",
+                v.label()
+            );
+        }
+    }
+
+    #[test]
+    fn spec_factors_are_unity() {
+        let v = MpiSimulatorVersion::lowest_detail();
+        let c = spec_calibration(v);
+        let s = v.parameter_space();
+        assert_eq!(s.value(&c, "factor_small"), 1.0);
+        assert_eq!(s.value(&c, "factor_large"), 1.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the MPI simulator: totality across the whole
+//! version/parameter space, physical sanity of the rate model, and
+//! workload invariants.
+
+use mpisim::prelude::*;
+use proptest::prelude::*;
+use simcal::prelude::Calibration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every version at every in-range calibration produces positive,
+    /// finite rates bounded by the memory-copy ceiling times the largest
+    /// protocol factor.
+    #[test]
+    fn transfer_rates_are_total_and_bounded(
+        version_idx in 0usize..16,
+        unit in proptest::collection::vec(0.02f64..0.98, 11),
+        bench_idx in 0usize..4,
+        n_nodes in 2usize..24,
+    ) {
+        let version = MpiSimulatorVersion::all()[version_idx];
+        let space = version.parameter_space();
+        let calib: Calibration = space.denormalize(&unit[..space.dim()]);
+        let benchmark = BenchmarkKind::ALL[bench_idx];
+        let sizes = [1024.0, 65536.0, 4194304.0];
+        let rates = MpiSimulator::new(version)
+            .transfer_rates(benchmark, n_nodes, &sizes, &calib);
+        prop_assert_eq!(rates.len(), 3);
+        let ceiling = 1.5 * INTRA_NODE_BW; // max factor x memory ceiling
+        for r in &rates {
+            prop_assert!(r.is_finite() && *r > 0.0);
+            prop_assert!(*r <= ceiling * (1.0 + 1e-9), "rate {r} above ceiling");
+        }
+    }
+
+    /// With a flat protocol (all factors equal) and zero latency, rates
+    /// are non-decreasing in message size (no latency to amortize, fixed
+    /// allocation); with positive latency small messages are slower.
+    #[test]
+    fn latency_amortization(seed_factor in 0.2f64..1.4) {
+        let version = MpiSimulatorVersion::lowest_detail();
+        let space = version.parameter_space();
+        let calib = space.calibration_from_pairs(&[
+            ("bb_bw", 1e10),
+            ("bb_lat", 2e-6),
+            ("factor_small", seed_factor),
+            ("factor_medium", seed_factor),
+            ("factor_large", seed_factor),
+        ]);
+        let sizes = message_sizes();
+        let rates = MpiSimulator::new(version)
+            .transfer_rates(BenchmarkKind::PingPong, 8, &sizes, &calib);
+        for w in rates.windows(2) {
+            prop_assert!(w[1] >= w[0] * (1.0 - 1e-9), "{:?}", rates);
+        }
+    }
+
+    /// The emulator's measured samples always scatter around the
+    /// noise-free truth within a few sigma.
+    #[test]
+    fn measurement_noise_is_bounded(n_nodes in 2usize..16, seed in 0u64..100) {
+        let cfg = MpiEmulatorConfig { repetitions: 4, ..Default::default() };
+        let sizes = [131072.0];
+        let truth = cfg.true_rates(BenchmarkKind::PingPong, n_nodes, &sizes)[0];
+        let samples = &cfg.measure(BenchmarkKind::PingPong, n_nodes, &sizes, seed)[0];
+        for s in samples {
+            let ratio = s / truth;
+            prop_assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+        }
+    }
+
+    /// BiRandom pairings are perfect matchings for any even rank count.
+    #[test]
+    fn birandom_matching(n_nodes in 1usize..50, seed in 0u64..100) {
+        let n_ranks = n_nodes * RANKS_PER_NODE;
+        let flows = BenchmarkKind::BiRandom.flows(n_ranks, seed);
+        let mut degree = vec![0u32; n_ranks];
+        for (s, d) in flows {
+            prop_assert!(s != d);
+            degree[s] += 1;
+            degree[d] += 1;
+        }
+        prop_assert!(degree.iter().all(|&d| d == 2));
+    }
+
+    /// More nodes never increases the per-flow rate on a fixed-capacity
+    /// shared backbone (contention is monotone).
+    #[test]
+    fn backbone_contention_monotone(steps in 1usize..4) {
+        let version = MpiSimulatorVersion::lowest_detail();
+        let space = version.parameter_space();
+        let calib = space.calibration_from_pairs(&[
+            ("bb_bw", 5e10),
+            ("bb_lat", 1e-6),
+            ("factor_small", 1.0),
+            ("factor_medium", 1.0),
+            ("factor_large", 1.0),
+        ]);
+        let sizes = [4194304.0];
+        let sim = MpiSimulator::new(version);
+        let mut last = f64::INFINITY;
+        for k in 0..=steps {
+            let nodes = 4 << k;
+            let r = sim.transfer_rates(BenchmarkKind::BiRandom, nodes, &sizes, &calib)[0];
+            prop_assert!(r <= last * (1.0 + 1e-9), "nodes {nodes}: {r} > {last}");
+            last = r;
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Deterministic random sampling helpers.
+//!
+//! Every stochastic component of the workspace (ground-truth noise,
+//! search algorithms, tree surrogates) draws from a [`rand::rngs::StdRng`]
+//! seeded explicitly by the caller. This module adds the continuous
+//! distributions the workspace needs without pulling in `rand_distr`:
+//! normal (Box–Muller), lognormal, and truncated normal.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Construct a deterministic RNG from a seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Sample `N(mean, std^2)` via the Box–Muller transform.
+///
+/// # Panics
+/// Panics if `std` is negative.
+pub fn normal(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+    assert!(std >= 0.0, "standard deviation must be non-negative");
+    if std == 0.0 {
+        return mean;
+    }
+    // Box–Muller: u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std * z
+}
+
+/// Sample a lognormal variate whose *underlying normal* has the given mean
+/// and standard deviation (i.e. `exp(N(mu, sigma^2))`).
+pub fn lognormal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Sample `N(mean, std^2)` truncated to `[lo, hi]` by rejection, falling
+/// back to clamping after 64 rejections (relevant only for extreme
+/// truncations).
+///
+/// # Panics
+/// Panics if `lo > hi`.
+pub fn truncated_normal(rng: &mut impl Rng, mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi, "invalid truncation interval");
+    for _ in 0..64 {
+        let x = normal(rng, mean, std);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    normal(rng, mean, std).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let mut a = rng_from_seed(42);
+        let mut b = rng_from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = rng_from_seed(1);
+        let mut b = rng_from_seed(2);
+        let same = (0..32).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn normal_zero_std_is_deterministic() {
+        let mut rng = rng_from_seed(7);
+        assert_eq!(normal(&mut rng, 3.5, 0.0), 3.5);
+    }
+
+    #[test]
+    fn normal_moments_are_approximately_right() {
+        let mut rng = rng_from_seed(123);
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = crate::stats::mean(&xs);
+        let std = crate::stats::std_dev(&xs);
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((std - 2.0).abs() < 0.05, "std {std}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = rng_from_seed(5);
+        for _ in 0..1000 {
+            assert!(lognormal(&mut rng, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut rng = rng_from_seed(9);
+        for _ in 0..1000 {
+            let x = truncated_normal(&mut rng, 0.0, 5.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn truncated_normal_extreme_truncation_clamps() {
+        // Mean far outside the interval: rejection will fail, clamp kicks in.
+        let mut rng = rng_from_seed(11);
+        let x = truncated_normal(&mut rng, 1000.0, 0.01, 0.0, 1.0);
+        assert!((0.0..=1.0).contains(&x));
+    }
+}

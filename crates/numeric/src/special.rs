@@ -1,0 +1,80 @@
+//! Special functions: error function and standard-normal PDF/CDF.
+//!
+//! Needed by the Expected-Improvement acquisition function of the Bayesian
+//! optimizer. `erf` uses the Abramowitz & Stegun 7.1.26 rational
+//! approximation (|error| < 1.5e-7), which is far below the tolerance any
+//! acquisition maximization needs.
+
+/// Error function, via Abramowitz & Stegun 7.1.26.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal probability density function.
+pub fn norm_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution function.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779095).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded() {
+        for i in -40..=40 {
+            let x = i as f64 / 10.0;
+            assert!((erf(x) + erf(-x)).abs() < 1e-7);
+            assert!(erf(x).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn norm_cdf_symmetry_and_known_points() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 1e-3);
+        for i in -30..=30 {
+            let x = i as f64 / 10.0;
+            assert!((norm_cdf(x) + norm_cdf(-x) - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn norm_pdf_peak_and_decay() {
+        assert!((norm_pdf(0.0) - 0.3989422804).abs() < 1e-9);
+        assert!(norm_pdf(5.0) < 1e-5);
+        assert!((norm_pdf(1.0) - norm_pdf(-1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn norm_cdf_monotone() {
+        let mut prev = 0.0;
+        for i in -50..=50 {
+            let c = norm_cdf(i as f64 / 10.0);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+}

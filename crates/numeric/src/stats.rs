@@ -1,0 +1,278 @@
+//! Descriptive statistics and distance metrics over `f64` slices.
+//!
+//! The calibration framework aggregates simulation errors with these
+//! helpers; the ground-truth emulators use them to summarize repeated
+//! measurements. All functions are total over finite inputs and document
+//! their behaviour on empty slices.
+
+/// Arithmetic mean. Returns `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. Returns `0.0` for slices of length < 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum value. Returns `f64::INFINITY` for an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum value. Returns `f64::NEG_INFINITY` for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Index of the smallest element, or `None` for an empty slice.
+/// NaN elements are never selected.
+pub fn argmin(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        if best.is_none_or(|(_, b)| x < b) {
+            best = Some((i, x));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the largest element, or `None` for an empty slice.
+/// NaN elements are never selected.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        if best.is_none_or(|(_, b)| x > b) {
+            best = Some((i, x));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Median (by sorting a copy). Returns `0.0` for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolation quantile, `q` in `[0, 1]`. Returns `0.0` for an
+/// empty slice.
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0, 1]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (s.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        s[lo]
+    } else {
+        let frac = pos - lo as f64;
+        s[lo] * (1.0 - frac) + s[hi] * frac
+    }
+}
+
+/// L1 distance `sum |a_i - b_i|`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "l1_distance length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// L2 (Euclidean) distance.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "l2_distance length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Relative L1 distance between a candidate calibration `a` and a reference
+/// calibration `r`: `sum_i |a_i - r_i| / max(|r_i|, eps)`.
+///
+/// This is the paper's *calibration error* metric (Section 3): the relative
+/// L1 distance between a computed calibration and the known best calibration
+/// of a synthetic-benchmarking run. Reported values in Tables 3 and 5 are
+/// this quantity (scaled by 100 by the reporting layer).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn relative_l1_distance(a: &[f64], r: &[f64]) -> f64 {
+    assert_eq!(a.len(), r.len(), "relative_l1_distance length mismatch");
+    a.iter()
+        .zip(r)
+        .map(|(x, y)| (x - y).abs() / y.abs().max(1e-12))
+        .sum()
+}
+
+/// Explained-variance ratio used by case study #2 (Section 6.3.2):
+/// `a / b` where `a` is the L1 distance between the measured samples and the
+/// (single, deterministic) model value, and `b` is the L1 distance between
+/// the samples and their own mean.
+///
+/// A value close to 1 means the model value is about as representative of
+/// the samples as their mean is; larger values mean the model misses the
+/// sample cloud. Returns `a / eps`-style large values when the samples have
+/// (near-)zero dispersion but the model is off; returns 1.0 when both
+/// dispersion and error are ~0.
+pub fn explained_variance(samples: &[f64], model_value: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::INFINITY;
+    }
+    let m = mean(samples);
+    let a: f64 = samples.iter().map(|s| (s - model_value).abs()).sum();
+    let b: f64 = samples.iter().map(|s| (s - m).abs()).sum();
+    if b < 1e-12 {
+        if a < 1e-12 {
+            1.0
+        } else {
+            a / 1e-12
+        }
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_variance_of_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn empty_slices_are_handled() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(min(&[]), f64::INFINITY);
+        assert_eq!(max(&[]), f64::NEG_INFINITY);
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0), 10.0);
+        assert_eq!(quantile(&xs, 1.0), 40.0);
+        assert!((quantile(&xs, 1.0 / 3.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn argmin_skips_nan() {
+        assert_eq!(argmin(&[f64::NAN, 2.0, 1.0]), Some(2));
+        assert_eq!(argmax(&[f64::NAN, 2.0, 1.0]), Some(1));
+        assert_eq!(argmin(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn distances_known_values() {
+        assert_eq!(l1_distance(&[1.0, 2.0], &[4.0, 0.0]), 5.0);
+        assert_eq!(l2_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(relative_l1_distance(&[2.0, 1.0], &[1.0, 2.0]), 1.5);
+    }
+
+    #[test]
+    fn explained_variance_perfect_model_on_noisy_samples() {
+        // Samples symmetric around 10: the mean IS 10, so a model value of
+        // 10 explains exactly as much as the mean: ratio 1.
+        let samples = [9.0, 11.0, 8.0, 12.0];
+        assert!((explained_variance(&samples, 10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explained_variance_bad_model_is_large() {
+        let samples = [9.0, 11.0];
+        assert!(explained_variance(&samples, 100.0) > 10.0);
+    }
+
+    #[test]
+    fn explained_variance_degenerate_samples() {
+        assert_eq!(explained_variance(&[5.0, 5.0], 5.0), 1.0);
+        assert!(explained_variance(&[5.0, 5.0], 6.0) > 1e6);
+        assert_eq!(explained_variance(&[], 1.0), f64::INFINITY);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_bounded_by_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let m = mean(&xs);
+            prop_assert!(m >= min(&xs) - 1e-9 && m <= max(&xs) + 1e-9);
+        }
+
+        #[test]
+        fn prop_l1_triangle_inequality(
+            a in proptest::collection::vec(-1e3f64..1e3, 5),
+            b in proptest::collection::vec(-1e3f64..1e3, 5),
+            c in proptest::collection::vec(-1e3f64..1e3, 5),
+        ) {
+            prop_assert!(l1_distance(&a, &c) <= l1_distance(&a, &b) + l1_distance(&b, &c) + 1e-9);
+        }
+
+        #[test]
+        fn prop_l2_symmetry_and_identity(
+            a in proptest::collection::vec(-1e3f64..1e3, 4),
+            b in proptest::collection::vec(-1e3f64..1e3, 4),
+        ) {
+            prop_assert!((l2_distance(&a, &b) - l2_distance(&b, &a)).abs() < 1e-9);
+            prop_assert!(l2_distance(&a, &a) < 1e-9);
+        }
+
+        #[test]
+        fn prop_quantile_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+            let q25 = quantile(&xs, 0.25);
+            let q50 = quantile(&xs, 0.50);
+            let q75 = quantile(&xs, 0.75);
+            prop_assert!(q25 <= q50 + 1e-9 && q50 <= q75 + 1e-9);
+        }
+
+        #[test]
+        fn prop_variance_nonnegative(xs in proptest::collection::vec(-1e4f64..1e4, 0..50)) {
+            prop_assert!(variance(&xs) >= 0.0);
+        }
+
+        #[test]
+        fn prop_relative_l1_zero_iff_equal(r in proptest::collection::vec(0.1f64..1e3, 1..10)) {
+            prop_assert!(relative_l1_distance(&r, &r) < 1e-12);
+        }
+    }
+}

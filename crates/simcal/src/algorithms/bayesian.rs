@@ -1,0 +1,251 @@
+//! Bayesian optimization (paper's BO-GP / BO-RF / BO-ET / BO-GBRT).
+//!
+//! Sequential model-based optimization: an incrementally refit surrogate
+//! models the loss landscape; candidates are scored with Expected
+//! Improvement, balancing exploration (high predictive uncertainty) and
+//! exploitation (low predicted loss); the top-scoring batch is evaluated
+//! in parallel and added to the training set.
+
+use super::SearchAlgorithm;
+use crate::budget::Evaluator;
+use crate::surrogate::SurrogateKind;
+use numeric::{norm_cdf, norm_pdf, rng_from_seed};
+use rand::Rng;
+
+/// Bayesian optimization with a pluggable surrogate.
+#[derive(Clone, Debug)]
+pub struct BayesianOpt {
+    /// Surrogate regressor.
+    pub surrogate: SurrogateKind,
+    /// Random points evaluated before the first surrogate fit.
+    pub n_initial: usize,
+    /// Points proposed (and evaluated in parallel) per iteration.
+    pub batch_size: usize,
+    /// Size of the random candidate pool scored by the acquisition.
+    pub n_candidates: usize,
+    /// Fraction of candidates drawn as local perturbations of the
+    /// incumbent rather than uniformly (exploitation bias).
+    pub local_fraction: f64,
+    /// Standard deviation of the local perturbations (unit-cube units).
+    pub local_sigma: f64,
+}
+
+impl BayesianOpt {
+    /// Default configuration for the given surrogate.
+    pub fn new(surrogate: SurrogateKind) -> Self {
+        Self {
+            surrogate,
+            n_initial: 16,
+            batch_size: 8,
+            n_candidates: 512,
+            local_fraction: 0.3,
+            local_sigma: 0.08,
+        }
+    }
+}
+
+/// Expected improvement of a candidate with predictive `(mean, std)` over
+/// the incumbent `best`: `(best - mean) Φ(z) + σ φ(z)`, `z = (best - mean)/σ`.
+fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
+    if std <= 1e-12 {
+        return (best - mean).max(0.0);
+    }
+    let z = (best - mean) / std;
+    (best - mean) * norm_cdf(z) + std * norm_pdf(z)
+}
+
+impl SearchAlgorithm for BayesianOpt {
+    fn name(&self) -> &'static str {
+        match self.surrogate {
+            SurrogateKind::GaussianProcess => "BO-GP",
+            SurrogateKind::RandomForest => "BO-RF",
+            SurrogateKind::ExtraTrees => "BO-ET",
+            SurrogateKind::Gbrt => "BO-GBRT",
+        }
+    }
+
+    fn search(&self, evaluator: &Evaluator<'_>, seed: u64) {
+        let dim = evaluator.space().dim();
+        let mut rng = rng_from_seed(seed);
+
+        // Observation history (unit points and losses).
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+
+        // Initial design: uniform random.
+        let init: Vec<Vec<f64>> = (0..self.n_initial.max(2))
+            .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        match evaluator.eval_batch(&init) {
+            Some(losses) => {
+                let n = losses.len();
+                xs.extend_from_slice(&init[..n]);
+                ys.extend(losses);
+            }
+            None => return,
+        }
+
+        let mut surrogate = self.surrogate.build(seed ^ 0x5eed);
+        while !evaluator.exhausted() {
+            // Guard against degenerate histories (all-equal losses still
+            // fit fine; NaN losses would poison the surrogate).
+            debug_assert!(ys.iter().all(|y| y.is_finite()));
+            surrogate.fit(&xs, &ys);
+            let best_y = ys.iter().copied().fold(f64::INFINITY, f64::min);
+            let best_x = xs[numeric::argmin(&ys).expect("non-empty history")].clone();
+
+            // Candidate pool: uniform exploration, multi-scale Gaussian
+            // perturbations of the incumbent, and single-coordinate
+            // mutations (the loss landscapes of calibration problems are
+            // largely axis-aligned: one parameter per simulated component).
+            let n_local = (self.n_candidates as f64 * self.local_fraction) as usize;
+            let n_coord = n_local; // same share for coordinate mutations
+            let scales = [self.local_sigma * 2.0, self.local_sigma, self.local_sigma * 0.25];
+            let candidates: Vec<Vec<f64>> = (0..self.n_candidates)
+                .map(|i| {
+                    if i < n_local {
+                        let sigma = scales[i % scales.len()];
+                        best_x
+                            .iter()
+                            .map(|&v| numeric::normal(&mut rng, v, sigma).clamp(0.0, 1.0))
+                            .collect()
+                    } else if i < n_local + n_coord {
+                        let mut c = best_x.clone();
+                        let d = rng.gen_range(0..dim);
+                        c[d] = if i % 2 == 0 {
+                            rng.gen::<f64>()
+                        } else {
+                            let sigma = scales[i % scales.len()];
+                            numeric::normal(&mut rng, c[d], sigma).clamp(0.0, 1.0)
+                        };
+                        c
+                    } else {
+                        (0..dim).map(|_| rng.gen::<f64>()).collect()
+                    }
+                })
+                .collect();
+
+            // Acquisition portfolio: half the batch by Expected
+            // Improvement (exploration/exploitation balance), half by pure
+            // predicted mean (greedy exploitation). A pure-EI batch tends
+            // to chase high-uncertainty corners of a 10-D cube forever; the
+            // greedy half keeps refining the incumbent basin.
+            let preds: Vec<(f64, f64)> =
+                candidates.iter().map(|c| surrogate.predict(c)).collect();
+            let mut by_ei: Vec<usize> = (0..candidates.len()).collect();
+            by_ei.sort_by(|&a, &b| {
+                let ea = expected_improvement(preds[a].0, preds[a].1, best_y);
+                let eb = expected_improvement(preds[b].0, preds[b].1, best_y);
+                eb.partial_cmp(&ea).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut by_mean: Vec<usize> = (0..candidates.len()).collect();
+            by_mean.sort_by(|&a, &b| {
+                preds[a].0.partial_cmp(&preds[b].0).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut chosen: Vec<usize> = Vec::with_capacity(self.batch_size);
+            let mut ei_it = by_ei.into_iter();
+            let mut mean_it = by_mean.into_iter();
+            while chosen.len() < self.batch_size {
+                let next = if chosen.len().is_multiple_of(2) { ei_it.next() } else { mean_it.next() };
+                match next {
+                    Some(i) if !chosen.contains(&i) => chosen.push(i),
+                    Some(_) => continue,
+                    None => break,
+                }
+            }
+            let batch: Vec<Vec<f64>> = chosen.iter().map(|&i| candidates[i].clone()).collect();
+
+            match evaluator.eval_batch(&batch) {
+                Some(losses) => {
+                    let n = losses.len();
+                    xs.extend_from_slice(&batch[..n]);
+                    ys.extend(losses);
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::objective::FnObjective;
+    use crate::param::{Calibration, ParamKind, ParameterSpace};
+
+    fn make_objective(
+        dim: usize,
+        f: impl Fn(&[f64]) -> f64 + Sync,
+    ) -> FnObjective<impl Fn(&Calibration) -> f64 + Sync> {
+        let mut space = ParameterSpace::new();
+        for i in 0..dim {
+            space.add(&format!("x{i}"), ParamKind::Continuous { lo: 0.0, hi: 1.0 });
+        }
+        FnObjective::new(space, move |c: &Calibration| f(&c.values))
+    }
+
+    #[test]
+    fn ei_prefers_low_mean_and_high_uncertainty() {
+        // Lower mean wins at equal std.
+        assert!(expected_improvement(0.2, 0.1, 1.0) > expected_improvement(0.8, 0.1, 1.0));
+        // Higher std wins at equal mean above the incumbent.
+        assert!(expected_improvement(1.5, 1.0, 1.0) > expected_improvement(1.5, 0.01, 1.0));
+        // Zero std, mean above incumbent: no improvement expected.
+        assert_eq!(expected_improvement(2.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn bo_gp_beats_random_on_smooth_function() {
+        // Multi-modal-ish smooth landscape with global minimum near (0.7, 0.3).
+        let f = |v: &[f64]| {
+            (v[0] - 0.7).powi(2) + (v[1] - 0.3).powi(2)
+                + 0.05 * ((8.0 * v[0]).sin() * (8.0 * v[1]).cos())
+                + 0.05
+        };
+        let obj = make_objective(2, f);
+        let budget = Budget::Evaluations(120);
+
+        let ev_bo = Evaluator::new(&obj, budget);
+        BayesianOpt::new(SurrogateKind::GaussianProcess).search(&ev_bo, 1);
+        let bo = ev_bo.best().unwrap().0;
+
+        let ev_rand = Evaluator::new(&obj, budget);
+        crate::algorithms::RandomSearch::default().search(&ev_rand, 1);
+        let rand = ev_rand.best().unwrap().0;
+
+        assert!(bo <= rand * 1.25 + 1e-9, "BO {bo} should not lose badly to RAND {rand}");
+        assert!(bo < 0.06, "BO should approach the global optimum: {bo}");
+    }
+
+    #[test]
+    fn all_surrogates_run_to_budget() {
+        let obj = make_objective(3, |v| v.iter().map(|x| (x - 0.5).powi(2)).sum());
+        for kind in SurrogateKind::ALL {
+            let ev = Evaluator::new(&obj, Budget::Evaluations(60));
+            BayesianOpt::new(kind).search(&ev, 2);
+            assert_eq!(ev.evaluations(), 60, "{}", kind.name());
+            assert!(ev.best().unwrap().0 < 0.3, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let obj = make_objective(2, |v| (v[0] - 0.2).abs() + (v[1] - 0.9).abs());
+        let run = |seed| {
+            let ev = Evaluator::new(&obj, Budget::Evaluations(50));
+            BayesianOpt::new(SurrogateKind::GaussianProcess).search(&ev, seed);
+            ev.best().unwrap().0
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn tiny_budget_smaller_than_initial_design_is_safe() {
+        let obj = make_objective(2, |v| v[0] + v[1]);
+        let ev = Evaluator::new(&obj, Budget::Evaluations(5));
+        BayesianOpt::new(SurrogateKind::GaussianProcess).search(&ev, 0);
+        assert_eq!(ev.evaluations(), 5);
+        assert!(ev.best().is_some());
+    }
+}

@@ -1,0 +1,124 @@
+//! Search algorithms (paper §4): grid search, random search, gradient
+//! descent with random restarts, and Bayesian optimization with four
+//! surrogate regressors.
+//!
+//! Every algorithm drives a budget-enforcing [`Evaluator`]
+//! and terminates when the budget is exhausted, so that different
+//! algorithms can be compared fairly under the same budget — the core of
+//! the paper's methodology.
+
+mod bayesian;
+mod gradient;
+mod grid;
+mod random;
+
+pub use bayesian::BayesianOpt;
+pub use gradient::GradientDescent;
+pub use grid::GridSearch;
+pub use random::RandomSearch;
+
+use crate::budget::Evaluator;
+use crate::surrogate::SurrogateKind;
+
+/// A calibration search algorithm.
+pub trait SearchAlgorithm: Sync {
+    /// Short identifier for reports (e.g. `"BO-GP"`).
+    fn name(&self) -> &'static str;
+
+    /// Search until the evaluator's budget is exhausted. The evaluator
+    /// records the incumbent and the convergence trace.
+    fn search(&self, evaluator: &Evaluator<'_>, seed: u64);
+}
+
+/// The paper's algorithm menu, as a plain enum for sweeps and CLI flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Exhaustive discretized grid, resolution doubled per iteration.
+    Grid,
+    /// Uniform random sampling.
+    Random,
+    /// Random-restart finite-difference gradient descent.
+    Gradient,
+    /// Bayesian optimization with a Gaussian-process surrogate.
+    BoGp,
+    /// Bayesian optimization with a random-forest surrogate.
+    BoRf,
+    /// Bayesian optimization with an extra-trees surrogate.
+    BoEt,
+    /// Bayesian optimization with gradient-boosted quantile trees.
+    BoGbrt,
+}
+
+impl AlgorithmKind {
+    /// All algorithm kinds, in paper order.
+    pub const ALL: [AlgorithmKind; 7] = [
+        AlgorithmKind::Grid,
+        AlgorithmKind::Random,
+        AlgorithmKind::Gradient,
+        AlgorithmKind::BoGp,
+        AlgorithmKind::BoRf,
+        AlgorithmKind::BoEt,
+        AlgorithmKind::BoGbrt,
+    ];
+
+    /// Report name matching the paper's notation.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::Grid => "GRID",
+            AlgorithmKind::Random => "RAND",
+            AlgorithmKind::Gradient => "GRAD",
+            AlgorithmKind::BoGp => "BO-GP",
+            AlgorithmKind::BoRf => "BO-RF",
+            AlgorithmKind::BoEt => "BO-ET",
+            AlgorithmKind::BoGbrt => "BO-GBRT",
+        }
+    }
+
+    /// Instantiate the algorithm with its default configuration.
+    pub fn build(self) -> Box<dyn SearchAlgorithm> {
+        match self {
+            AlgorithmKind::Grid => Box::new(GridSearch::default()),
+            AlgorithmKind::Random => Box::new(RandomSearch::default()),
+            AlgorithmKind::Gradient => Box::new(GradientDescent::default()),
+            AlgorithmKind::BoGp => Box::new(BayesianOpt::new(SurrogateKind::GaussianProcess)),
+            AlgorithmKind::BoRf => Box::new(BayesianOpt::new(SurrogateKind::RandomForest)),
+            AlgorithmKind::BoEt => Box::new(BayesianOpt::new(SurrogateKind::ExtraTrees)),
+            AlgorithmKind::BoGbrt => Box::new(BayesianOpt::new(SurrogateKind::Gbrt)),
+        }
+    }
+
+    /// Parse a paper-notation name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "GRID" => Some(AlgorithmKind::Grid),
+            "RAND" | "RANDOM" => Some(AlgorithmKind::Random),
+            "GRAD" | "GRADIENT" => Some(AlgorithmKind::Gradient),
+            "BO-GP" | "BOGP" => Some(AlgorithmKind::BoGp),
+            "BO-RF" | "BORF" => Some(AlgorithmKind::BoRf),
+            "BO-ET" | "BOET" => Some(AlgorithmKind::BoEt),
+            "BO-GBRT" | "BOGBRT" => Some(AlgorithmKind::BoGbrt),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        for kind in AlgorithmKind::ALL {
+            assert_eq!(AlgorithmKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(AlgorithmKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        assert_eq!(AlgorithmKind::BoGp.build().name(), "BO-GP");
+        assert_eq!(AlgorithmKind::Random.build().name(), "RAND");
+        assert_eq!(AlgorithmKind::Grid.build().name(), "GRID");
+        assert_eq!(AlgorithmKind::Gradient.build().name(), "GRAD");
+    }
+}

@@ -1,0 +1,282 @@
+//! Calibration budgets and the budget-enforcing evaluator.
+//!
+//! The paper fixes a calibration *time budget* so that different
+//! loss/algorithm combinations can be compared fairly (§3, §5.3.3, §6.3.3).
+//! For reproducibility on arbitrary hardware this crate also supports an
+//! *evaluation-count* budget: results under `Budget::Evaluations` are
+//! bit-for-bit reproducible regardless of host speed, which is what the
+//! workspace's tests and experiment binaries use by default.
+
+use crate::objective::Objective;
+use crate::param::Calibration;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// A bound on the calibration effort.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Budget {
+    /// Stop after this many loss evaluations (deterministic).
+    Evaluations(usize),
+    /// Stop once this much wall-clock time has elapsed.
+    WallClock(Duration),
+    /// Stop at whichever bound is reached first.
+    Either(usize, Duration),
+}
+
+impl Budget {
+    /// The evaluation bound, if any.
+    pub fn max_evaluations(&self) -> Option<usize> {
+        match self {
+            Budget::Evaluations(n) | Budget::Either(n, _) => Some(*n),
+            Budget::WallClock(_) => None,
+        }
+    }
+
+    /// The wall-clock bound, if any.
+    pub fn max_elapsed(&self) -> Option<Duration> {
+        match self {
+            Budget::WallClock(d) | Budget::Either(_, d) => Some(*d),
+            Budget::Evaluations(_) => None,
+        }
+    }
+}
+
+/// One point of the loss-vs-effort convergence trace (Figures 1 and 4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TracePoint {
+    /// Number of loss evaluations completed when this best was found.
+    pub evaluations: usize,
+    /// Wall-clock seconds elapsed when this best was found.
+    pub elapsed_secs: f64,
+    /// The best (lowest) loss seen so far.
+    pub best_loss: f64,
+}
+
+struct Best {
+    loss: f64,
+    unit_point: Vec<f64>,
+    trace: Vec<TracePoint>,
+}
+
+/// Budget-enforcing, trace-recording gateway between search algorithms and
+/// the objective. Algorithms request evaluations of unit-hypercube points;
+/// the evaluator denormalizes, invokes the objective (in parallel for
+/// batches), counts evaluations, tracks the incumbent, and reports budget
+/// exhaustion.
+pub struct Evaluator<'a> {
+    objective: &'a dyn Objective,
+    budget: Budget,
+    start: Instant,
+    count: AtomicUsize,
+    best: Mutex<Best>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Create an evaluator; the wall-clock budget starts now.
+    pub fn new(objective: &'a dyn Objective, budget: Budget) -> Self {
+        Self {
+            objective,
+            budget,
+            start: Instant::now(),
+            count: AtomicUsize::new(0),
+            best: Mutex::new(Best { loss: f64::INFINITY, unit_point: Vec::new(), trace: Vec::new() }),
+        }
+    }
+
+    /// The objective's parameter space.
+    pub fn space(&self) -> &crate::param::ParameterSpace {
+        self.objective.space()
+    }
+
+    /// True once the budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        if let Some(n) = self.budget.max_evaluations() {
+            if self.count.load(Ordering::Relaxed) >= n {
+                return true;
+            }
+        }
+        if let Some(d) = self.budget.max_elapsed() {
+            if self.start.elapsed() >= d {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Evaluations performed so far.
+    pub fn evaluations(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// How many more evaluations the budget admits right now
+    /// (`usize::MAX` under a pure wall-clock budget that has not expired).
+    pub fn remaining(&self) -> usize {
+        if self.exhausted() {
+            return 0;
+        }
+        match self.budget.max_evaluations() {
+            Some(n) => n.saturating_sub(self.count.load(Ordering::Relaxed)),
+            None => usize::MAX,
+        }
+    }
+
+    fn record(&self, unit_point: &[f64], loss: f64) {
+        let evaluations = self.count.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut best = self.best.lock();
+        if loss < best.loss {
+            best.loss = loss;
+            best.unit_point = unit_point.to_vec();
+            let elapsed_secs = self.start.elapsed().as_secs_f64();
+            best.trace.push(TracePoint { evaluations, elapsed_secs, best_loss: loss });
+        }
+    }
+
+    /// Evaluate one unit-hypercube point. Returns `None` (without
+    /// evaluating) when the budget is exhausted.
+    pub fn eval(&self, unit_point: &[f64]) -> Option<f64> {
+        if self.exhausted() {
+            return None;
+        }
+        let calib = self.objective.space().denormalize(unit_point);
+        let loss = self.objective.loss(&calib);
+        self.record(unit_point, loss);
+        Some(loss)
+    }
+
+    /// Evaluate a batch of points in parallel. The batch is truncated to
+    /// the remaining evaluation budget; returns `None` when nothing could
+    /// be evaluated. Results are in input order.
+    pub fn eval_batch(&self, unit_points: &[Vec<f64>]) -> Option<Vec<f64>> {
+        let take = unit_points.len().min(self.remaining());
+        if take == 0 {
+            return None;
+        }
+        let losses: Vec<f64> = unit_points[..take]
+            .par_iter()
+            .map(|p| {
+                let calib = self.objective.space().denormalize(p);
+                self.objective.loss(&calib)
+            })
+            .collect();
+        // Record sequentially so the incumbent/trace update is deterministic
+        // (input order), independent of rayon's scheduling.
+        for (p, &l) in unit_points[..take].iter().zip(&losses) {
+            self.record(p, l);
+        }
+        Some(losses)
+    }
+
+    /// The incumbent `(loss, unit_point, natural calibration)`, or `None`
+    /// if nothing has been evaluated.
+    pub fn best(&self) -> Option<(f64, Vec<f64>, Calibration)> {
+        let best = self.best.lock();
+        if best.loss.is_finite() {
+            let calib = self.objective.space().denormalize(&best.unit_point);
+            Some((best.loss, best.unit_point.clone(), calib))
+        } else {
+            None
+        }
+    }
+
+    /// The convergence trace (one point per incumbent improvement).
+    pub fn trace(&self) -> Vec<TracePoint> {
+        self.best.lock().trace.clone()
+    }
+
+    /// Wall-clock seconds since the evaluator was created.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use crate::param::{Calibration, ParamKind, ParameterSpace};
+
+    fn sphere() -> FnObjective<impl Fn(&Calibration) -> f64 + Sync> {
+        let space = ParameterSpace::new()
+            .with("a", ParamKind::Continuous { lo: -1.0, hi: 1.0 })
+            .with("b", ParamKind::Continuous { lo: -1.0, hi: 1.0 });
+        FnObjective::new(space, |c: &Calibration| c.values.iter().map(|v| v * v).sum())
+    }
+
+    #[test]
+    fn evaluation_budget_is_enforced_exactly() {
+        let obj = sphere();
+        let ev = Evaluator::new(&obj, Budget::Evaluations(3));
+        assert!(ev.eval(&[0.5, 0.5]).is_some());
+        assert!(ev.eval(&[0.1, 0.1]).is_some());
+        assert!(ev.eval(&[0.9, 0.9]).is_some());
+        assert!(ev.eval(&[0.2, 0.2]).is_none());
+        assert_eq!(ev.evaluations(), 3);
+        assert!(ev.exhausted());
+    }
+
+    #[test]
+    fn batch_truncates_to_budget() {
+        let obj = sphere();
+        let ev = Evaluator::new(&obj, Budget::Evaluations(2));
+        let batch = vec![vec![0.5, 0.5], vec![0.0, 0.0], vec![1.0, 1.0]];
+        let losses = ev.eval_batch(&batch).unwrap();
+        assert_eq!(losses.len(), 2);
+        assert!(ev.eval_batch(&batch).is_none());
+    }
+
+    #[test]
+    fn best_tracks_minimum_and_trace_is_decreasing() {
+        let obj = sphere();
+        let ev = Evaluator::new(&obj, Budget::Evaluations(10));
+        ev.eval(&[0.9, 0.9]).unwrap();
+        ev.eval(&[0.5, 0.5]).unwrap(); // natural (0,0): loss 0
+        ev.eval(&[0.8, 0.8]).unwrap(); // worse, should not displace best
+        let (loss, unit, calib) = ev.best().unwrap();
+        assert!(loss.abs() < 1e-12);
+        assert_eq!(unit, vec![0.5, 0.5]);
+        assert!(calib.values.iter().all(|v| v.abs() < 1e-12));
+        let trace = ev.trace();
+        assert!(trace.windows(2).all(|w| w[1].best_loss <= w[0].best_loss));
+        assert!(trace.windows(2).all(|w| w[1].evaluations > w[0].evaluations));
+    }
+
+    #[test]
+    fn wallclock_budget_expires() {
+        let obj = sphere();
+        let ev = Evaluator::new(&obj, Budget::WallClock(Duration::from_millis(0)));
+        assert!(ev.exhausted());
+        assert!(ev.eval(&[0.5, 0.5]).is_none());
+        assert!(ev.best().is_none());
+    }
+
+    #[test]
+    fn either_budget_takes_tighter_bound() {
+        let obj = sphere();
+        let ev = Evaluator::new(&obj, Budget::Either(1, Duration::from_secs(3600)));
+        assert!(ev.eval(&[0.5, 0.5]).is_some());
+        assert!(ev.eval(&[0.5, 0.5]).is_none());
+    }
+
+    #[test]
+    fn batch_results_are_in_input_order() {
+        let obj = sphere();
+        let ev = Evaluator::new(&obj, Budget::Evaluations(100));
+        let batch: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0, 0.5]).collect();
+        let losses = ev.eval_batch(&batch).unwrap();
+        for (p, l) in batch.iter().zip(&losses) {
+            let v = 2.0 * p[0] - 1.0;
+            assert!((l - v * v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let obj = sphere();
+        let ev = Evaluator::new(&obj, Budget::Evaluations(5));
+        assert_eq!(ev.remaining(), 5);
+        ev.eval(&[0.5, 0.5]);
+        assert_eq!(ev.remaining(), 4);
+    }
+}

@@ -1,0 +1,129 @@
+//! The top-level calibration driver.
+//!
+//! A [`Calibrator`] bundles an algorithm choice, a budget, and a seed, and
+//! produces a [`CalibrationResult`] with the best calibration found, its
+//! loss, and the loss-vs-effort convergence trace (the data behind the
+//! paper's Figures 1 and 4).
+
+use crate::algorithms::AlgorithmKind;
+use crate::budget::{Budget, Evaluator, TracePoint};
+use crate::objective::Objective;
+use crate::param::Calibration;
+
+/// Configuration of one calibration run.
+#[derive(Clone, Copy, Debug)]
+pub struct Calibrator {
+    /// Which search algorithm to run.
+    pub algorithm: AlgorithmKind,
+    /// Effort bound (identical budgets make algorithm/loss comparisons
+    /// fair — the core of the paper's methodology).
+    pub budget: Budget,
+    /// Seed for all of the run's randomness.
+    pub seed: u64,
+}
+
+impl Calibrator {
+    /// A calibrator with the paper's headline configuration (BO-GP).
+    pub fn bo_gp(budget: Budget, seed: u64) -> Self {
+        Self { algorithm: AlgorithmKind::BoGp, budget, seed }
+    }
+
+    /// Run the calibration against `objective`.
+    ///
+    /// # Panics
+    /// Panics if the budget admitted no evaluation at all (e.g. a
+    /// zero-duration wall-clock budget), since there would be no
+    /// calibration to return.
+    pub fn calibrate(&self, objective: &dyn Objective) -> CalibrationResult {
+        let evaluator = Evaluator::new(objective, self.budget);
+        self.algorithm.build().search(&evaluator, self.seed);
+        let (loss, _, calibration) = evaluator
+            .best()
+            .expect("budget admitted no evaluations; nothing to return");
+        CalibrationResult {
+            calibration,
+            loss,
+            evaluations: evaluator.evaluations(),
+            elapsed_secs: evaluator.elapsed_secs(),
+            trace: evaluator.trace(),
+            algorithm: self.algorithm,
+        }
+    }
+}
+
+/// Outcome of a calibration run.
+#[derive(Clone, Debug)]
+pub struct CalibrationResult {
+    /// Best calibration found (natural units).
+    pub calibration: Calibration,
+    /// Its loss on the training dataset.
+    pub loss: f64,
+    /// Loss evaluations performed.
+    pub evaluations: usize,
+    /// Wall-clock seconds spent.
+    pub elapsed_secs: f64,
+    /// Convergence trace: one point per incumbent improvement.
+    pub trace: Vec<TracePoint>,
+    /// The algorithm that produced this result.
+    pub algorithm: AlgorithmKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use crate::param::{Calibration, ParamKind, ParameterSpace};
+
+    fn bowl() -> FnObjective<impl Fn(&Calibration) -> f64 + Sync> {
+        let space = ParameterSpace::new()
+            .with("a", ParamKind::Continuous { lo: 0.0, hi: 10.0 })
+            .with("b", ParamKind::Continuous { lo: 0.0, hi: 10.0 });
+        FnObjective::new(space, |c: &Calibration| {
+            (c.values[0] - 3.0).powi(2) + (c.values[1] - 8.0).powi(2)
+        })
+    }
+
+    #[test]
+    fn calibrate_returns_consistent_result() {
+        let obj = bowl();
+        let result = Calibrator::bo_gp(Budget::Evaluations(100), 42).calibrate(&obj);
+        assert_eq!(result.evaluations, 100);
+        assert!(result.loss < 1.0, "loss {}", result.loss);
+        assert!((result.calibration.values[0] - 3.0).abs() < 1.5);
+        assert!((result.calibration.values[1] - 8.0).abs() < 1.5);
+        // The trace ends at the reported loss.
+        assert_eq!(result.trace.last().unwrap().best_loss, result.loss);
+        assert_eq!(result.algorithm, AlgorithmKind::BoGp);
+    }
+
+    #[test]
+    fn all_algorithms_produce_results_under_equal_budget() {
+        let obj = bowl();
+        for kind in AlgorithmKind::ALL {
+            let c = Calibrator { algorithm: kind, budget: Budget::Evaluations(64), seed: 7 };
+            let r = c.calibrate(&obj);
+            assert!(r.loss.is_finite(), "{}", kind.name());
+            assert!(r.evaluations <= 64, "{}", kind.name());
+            assert!(!r.trace.is_empty(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn trace_is_monotone() {
+        let obj = bowl();
+        let r = Calibrator { algorithm: AlgorithmKind::Random, budget: Budget::Evaluations(200), seed: 0 }
+            .calibrate(&obj);
+        assert!(r.trace.windows(2).all(|w| w[1].best_loss < w[0].best_loss));
+        assert!(r.trace.windows(2).all(|w| w[1].evaluations > w[0].evaluations));
+    }
+
+    #[test]
+    fn reproducible_for_fixed_seed() {
+        let obj = bowl();
+        let c = Calibrator::bo_gp(Budget::Evaluations(60), 9);
+        let a = c.calibrate(&obj);
+        let b = c.calibrate(&obj);
+        assert_eq!(a.loss, b.loss);
+        assert_eq!(a.calibration, b.calibration);
+    }
+}

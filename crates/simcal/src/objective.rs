@@ -1,0 +1,188 @@
+//! The objective a calibration minimizes, and the paper-style `Simulator`
+//! abstraction used to assemble one from a simulator + ground-truth
+//! dataset + loss function.
+//!
+//! The paper's framework (§4) "provides a `Simulator` class with a `run()`
+//! method to be overridden for invoking the simulator", invoked once per
+//! ground-truth data point; a user-provided loss function turns the
+//! collected results into the scalar the optimizer minimizes. The Rust
+//! equivalents are the [`Simulator`] trait and [`SimulationObjective`].
+
+use crate::loss::Loss;
+use crate::param::{Calibration, ParameterSpace};
+
+/// A black-box function of a [`Calibration`] that the calibrator minimizes.
+///
+/// Implementations must be `Sync`: the calibrator evaluates batches of
+/// points in parallel (the paper's framework parallelizes over cores with
+/// `multiprocessing`; here it is rayon).
+pub trait Objective: Sync {
+    /// The domain of the calibration problem.
+    fn space(&self) -> &ParameterSpace;
+
+    /// The loss at `calibration` (lower is better). Must be deterministic
+    /// for a given calibration.
+    fn loss(&self, calibration: &Calibration) -> f64;
+}
+
+/// A use-case-specific simulator: invoked once per ground-truth scenario,
+/// it produces whatever per-scenario result the loss function consumes
+/// (for the workflow case study a [`crate::loss::ScenarioError`]; for the
+/// MPI case study a row of explained-variance values).
+///
+/// The scenario type embeds the ground-truth observations, mirroring the
+/// paper's setup where `run()` has access to the ground-truth data point it
+/// is asked to reproduce.
+pub trait Simulator: Sync {
+    /// One ground-truth data point: a workload/platform configuration plus
+    /// its observed execution metrics.
+    type Scenario: Sync;
+    /// Per-scenario result consumed by the loss function.
+    type Output: Send;
+
+    /// Simulate `scenario` under `calibration` and report the result.
+    fn run(&self, scenario: &Self::Scenario, calibration: &Calibration) -> Self::Output;
+}
+
+/// [`Objective`] assembled from a simulator, a ground-truth dataset, and a
+/// loss function — one simulator invocation per data point per evaluation,
+/// exactly the cost structure the paper's time-budget discussion assumes.
+pub struct SimulationObjective<'a, S: Simulator, L> {
+    simulator: &'a S,
+    dataset: &'a [S::Scenario],
+    loss: L,
+    space: ParameterSpace,
+}
+
+impl<'a, S: Simulator, L> SimulationObjective<'a, S, L> {
+    /// Assemble an objective.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty (a calibration against nothing is
+    /// meaningless and would silently return zero loss).
+    pub fn new(simulator: &'a S, dataset: &'a [S::Scenario], loss: L, space: ParameterSpace) -> Self {
+        assert!(!dataset.is_empty(), "calibration dataset must be non-empty");
+        Self { simulator, dataset, loss, space }
+    }
+
+    /// Number of ground-truth data points (simulator invocations per loss
+    /// evaluation).
+    pub fn dataset_len(&self) -> usize {
+        self.dataset.len()
+    }
+}
+
+impl<'a, S, L> Objective for SimulationObjective<'a, S, L>
+where
+    S: Simulator,
+    L: Loss<S::Output>,
+{
+    fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    fn loss(&self, calibration: &Calibration) -> f64 {
+        let outputs: Vec<S::Output> = self
+            .dataset
+            .iter()
+            .map(|scenario| self.simulator.run(scenario, calibration))
+            .collect();
+        self.loss.aggregate(&outputs)
+    }
+}
+
+/// A closure-backed objective, handy for tests and for analytic
+/// benchmarking of the optimizers themselves.
+pub struct FnObjective<F> {
+    space: ParameterSpace,
+    f: F,
+}
+
+impl<F: Fn(&Calibration) -> f64 + Sync> FnObjective<F> {
+    /// Wrap `f` over `space`.
+    pub fn new(space: ParameterSpace, f: F) -> Self {
+        Self { space, f }
+    }
+}
+
+impl<F: Fn(&Calibration) -> f64 + Sync> Objective for FnObjective<F> {
+    fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    fn loss(&self, calibration: &Calibration) -> f64 {
+        (self.f)(calibration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{Agg, ElementMix, ScenarioError, StructuredLoss};
+    use crate::param::ParamKind;
+
+    /// A toy simulator: the "ground truth" is a target value; the simulated
+    /// value is the calibration's single parameter. Error is relative.
+    struct Toy;
+    impl Simulator for Toy {
+        type Scenario = f64;
+        type Output = ScenarioError;
+        fn run(&self, scenario: &f64, calibration: &Calibration) -> ScenarioError {
+            ScenarioError::scalar_only(crate::loss::relative_error(*scenario, calibration.values[0]))
+        }
+    }
+
+    fn space1() -> ParameterSpace {
+        ParameterSpace::new().with("x", ParamKind::Continuous { lo: 0.0, hi: 100.0 })
+    }
+
+    #[test]
+    fn simulation_objective_runs_per_data_point() {
+        let dataset = vec![10.0, 20.0];
+        let obj = SimulationObjective::new(
+            &Toy,
+            &dataset,
+            StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
+            space1(),
+        );
+        assert_eq!(obj.dataset_len(), 2);
+        // calibration 10: errors are 0 and 0.5 -> avg 0.25
+        let loss = obj.loss(&Calibration::new(vec![10.0]));
+        assert!((loss - 0.25).abs() < 1e-12);
+        // perfect for neither, zero for the truth-weighted point
+        assert_eq!(obj.loss(&Calibration::new(vec![20.0])).min(1.0), 0.5);
+    }
+
+    #[test]
+    fn max_loss_takes_worst_scenario() {
+        let dataset = vec![10.0, 20.0];
+        let obj = SimulationObjective::new(
+            &Toy,
+            &dataset,
+            StructuredLoss::new(Agg::Max, ElementMix::Ignore, "L2"),
+            space1(),
+        );
+        let loss = obj.loss(&Calibration::new(vec![10.0]));
+        assert!((loss - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_dataset_rejected() {
+        let dataset: Vec<f64> = vec![];
+        let _ = SimulationObjective::new(
+            &Toy,
+            &dataset,
+            StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
+            space1(),
+        );
+    }
+
+    #[test]
+    fn fn_objective_evaluates_closure() {
+        let obj = FnObjective::new(space1(), |c: &Calibration| (c.values[0] - 3.0).powi(2));
+        assert_eq!(obj.loss(&Calibration::new(vec![3.0])), 0.0);
+        assert_eq!(obj.loss(&Calibration::new(vec![5.0])), 4.0);
+        assert_eq!(obj.space().dim(), 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Gaussian-process regression with an RBF kernel.
+//!
+//! Targets are standardized before fitting; the RBF length scale is chosen
+//! from a small grid by log marginal likelihood, which is the behaviour
+//! that matters for BO (adapting to how wiggly the loss landscape is)
+//! without a full hyperparameter optimizer.
+
+use super::Surrogate;
+use numeric::Matrix;
+
+/// Gaussian process with kernel
+/// `k(a, b) = exp(-||a - b||^2 / (2 l^2)) + noise * 1{a == b}` over
+/// standardized targets.
+#[derive(Clone, Debug)]
+pub struct GaussianProcess {
+    /// Candidate RBF length scales (unit-cube coordinates).
+    pub length_scales: Vec<f64>,
+    /// Observation-noise variance added to the kernel diagonal.
+    pub noise: f64,
+    /// Cap on training points; the most recent and best points are kept.
+    pub max_points: usize,
+    fitted: Option<Fitted>,
+}
+
+#[derive(Clone, Debug)]
+struct Fitted {
+    x: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: numeric::Cholesky,
+    length_scale: f64,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl Default for GaussianProcess {
+    fn default() -> Self {
+        Self {
+            length_scales: vec![0.05, 0.1, 0.2, 0.5, 1.0],
+            noise: 1e-6,
+            max_points: 200,
+            fitted: None,
+        }
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl GaussianProcess {
+    /// Subsample training data to `max_points`: keep the `max_points / 2`
+    /// best (lowest-y) points plus the most recent remainder. BO cares most
+    /// about modelling the promising region and the frontier.
+    fn subsample<'a>(&self, x: &'a [Vec<f64>], y: &'a [f64]) -> (Vec<Vec<f64>>, Vec<f64>) {
+        if x.len() <= self.max_points {
+            return (x.to_vec(), y.to_vec());
+        }
+        let keep_best = self.max_points / 2;
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        order.sort_by(|&a, &b| y[a].partial_cmp(&y[b]).unwrap_or(std::cmp::Ordering::Equal));
+        let mut selected: Vec<usize> = order[..keep_best].to_vec();
+        let recent_start = x.len() - (self.max_points - keep_best);
+        for i in recent_start..x.len() {
+            if !selected.contains(&i) {
+                selected.push(i);
+            }
+        }
+        selected.sort_unstable();
+        selected.truncate(self.max_points);
+        (
+            selected.iter().map(|&i| x[i].clone()).collect(),
+            selected.iter().map(|&i| y[i]).collect(),
+        )
+    }
+
+    fn fit_at_scale(x: &[Vec<f64>], ys: &[f64], l: f64, noise: f64) -> Option<(numeric::Cholesky, Vec<f64>, f64)> {
+        let n = x.len();
+        let mut k = Matrix::from_symmetric_fn(n, |i, j| (-sq_dist(&x[i], &x[j]) / (2.0 * l * l)).exp());
+        k.add_diagonal(noise + 1e-10);
+        let chol = k.cholesky()?;
+        let alpha = chol.solve(ys);
+        // log marginal likelihood = -0.5 y^T alpha - 0.5 log det K - n/2 log 2pi
+        let lml = -0.5 * ys.iter().zip(&alpha).map(|(a, b)| a * b).sum::<f64>()
+            - 0.5 * chol.log_det()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+        Some((chol, alpha, lml))
+    }
+}
+
+impl Surrogate for GaussianProcess {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        let (x, y) = self.subsample(x, y);
+
+        let y_mean = numeric::mean(&y);
+        let y_std = numeric::std_dev(&y).max(1e-12);
+        let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+
+        let mut best: Option<(f64, numeric::Cholesky, Vec<f64>, f64)> = None;
+        for &l in &self.length_scales {
+            if let Some((chol, alpha, lml)) = Self::fit_at_scale(&x, &ys, l, self.noise) {
+                if best.as_ref().is_none_or(|(b, ..)| lml > *b) {
+                    best = Some((lml, chol, alpha, l));
+                }
+            }
+        }
+        let (_, chol, alpha, length_scale) =
+            best.expect("at least one length scale must yield a PD kernel");
+        self.fitted = Some(Fitted { x, alpha, chol, length_scale, y_mean, y_std });
+    }
+
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let f = self.fitted.as_ref().expect("predict before fit");
+        let l = f.length_scale;
+        let kstar: Vec<f64> = f
+            .x
+            .iter()
+            .map(|xi| (-sq_dist(xi, x) / (2.0 * l * l)).exp())
+            .collect();
+        let mean_std = kstar.iter().zip(&f.alpha).map(|(a, b)| a * b).sum::<f64>();
+        let v = f.chol.solve_lower(&kstar);
+        let var = (1.0 + self.noise - v.iter().map(|x| x * x).sum::<f64>()).max(0.0);
+        (f.y_mean + f.y_std * mean_std, f.y_std * var.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_training_points_closely() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| p[0] * p[0]).collect();
+        let mut gp = GaussianProcess::default();
+        gp.fit(&x, &y);
+        for (xi, yi) in x.iter().zip(&y) {
+            let (mean, std) = gp.predict(xi);
+            assert!((mean - yi).abs() < 1e-2, "mean {mean} vs {yi}");
+            assert!(std < 0.1, "training-point std should be small: {std}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let x = vec![vec![0.0], vec![0.1], vec![0.2]];
+        let y = vec![0.0, 1.0, 2.0];
+        let mut gp = GaussianProcess::default();
+        gp.fit(&x, &y);
+        let (_, std_near) = gp.predict(&[0.1]);
+        let (_, std_far) = gp.predict(&[0.95]);
+        assert!(std_far > std_near * 2.0, "near {std_near}, far {std_far}");
+    }
+
+    #[test]
+    fn constant_targets_predict_the_constant() {
+        let x: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 / 4.0]).collect();
+        let y = vec![3.0; 5];
+        let mut gp = GaussianProcess::default();
+        gp.fit(&x, &y);
+        let (mean, _) = gp.predict(&[0.5]);
+        assert!((mean - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subsampling_keeps_best_points() {
+        let gp = GaussianProcess { max_points: 10, ..Default::default() };
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 49.0]).collect();
+        // Minimum at index 7.
+        let y: Vec<f64> = (0..50).map(|i| ((i as f64) - 7.0).abs()).collect();
+        let (xs, ys) = gp.subsample(&x, &y);
+        assert_eq!(xs.len(), 10);
+        assert!(ys.contains(&0.0), "best point must survive subsampling");
+    }
+
+    #[test]
+    fn fit_handles_duplicate_points() {
+        let x = vec![vec![0.5], vec![0.5], vec![0.7]];
+        let y = vec![1.0, 1.0, 2.0];
+        let mut gp = GaussianProcess::default();
+        gp.fit(&x, &y); // must not panic (jitter on the duplicate Gram rows)
+        let (mean, _) = gp.predict(&[0.5]);
+        assert!((mean - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        GaussianProcess::default().predict(&[0.5]);
+    }
+
+    #[test]
+    fn multidimensional_fit() {
+        let mut pts = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                let p = vec![i as f64 / 5.0, j as f64 / 5.0];
+                ys.push(p[0] + 2.0 * p[1]);
+                pts.push(p);
+            }
+        }
+        let mut gp = GaussianProcess::default();
+        gp.fit(&pts, &ys);
+        let (mean, _) = gp.predict(&[0.5, 0.5]);
+        assert!((mean - 1.5).abs() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,474 @@
+//! WfCommons-style workflow generators (paper §5.1, Table 1).
+//!
+//! Generates level-structured task graphs whose shapes follow the five
+//! real-world applications of the paper's ground truth (Epigenomics,
+//! 1000Genome, SoyKB, Montage, Seismology) plus the two synthetic patterns
+//! (chain, forkjoin). Generation is parameterized by the Table 1 axes:
+//! number of tasks, sequential work per task (seconds on a reference
+//! core), and total data footprint (bytes), and is deterministic per seed.
+//!
+//! What matters for the calibration methodology is structural diversity —
+//! fan-out/fan-in widths, chain depths, and data-to-compute ratios — which
+//! these generators reproduce from the published workflow structures.
+
+use crate::workflow::Workflow;
+use numeric::{lognormal, rng_from_seed};
+use serde::{Deserialize, Serialize};
+
+/// Abstract operations corresponding to one second of sequential work on a
+/// reference worker core (Table 1's "sequential work / task" unit).
+pub const OPS_PER_REF_SECOND: f64 = 1_073_741_824.0; // 2^30
+
+/// The seven workflow applications of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    /// Bioinformatics: split → 4 parallel per-branch stages → 3-stage merge.
+    Epigenomics,
+    /// Bioinformatics: parallel individuals + sifting, two analysis fans.
+    Genome1000,
+    /// Bioinformatics: wide alignment/sort fans into merge + haplotype fan.
+    SoyKb,
+    /// Astronomy: project/diff-fit fans, global fit, background fan, add.
+    Montage,
+    /// Seismology: wide deconvolution fan into a single merge.
+    Seismology,
+    /// Synthetic linear chain (no parallelism).
+    Chain,
+    /// Synthetic fan-out/fan-in.
+    Forkjoin,
+}
+
+impl AppKind {
+    /// All applications, in Table 1 order.
+    pub const ALL: [AppKind; 7] = [
+        AppKind::Epigenomics,
+        AppKind::Genome1000,
+        AppKind::SoyKb,
+        AppKind::Montage,
+        AppKind::Seismology,
+        AppKind::Chain,
+        AppKind::Forkjoin,
+    ];
+
+    /// The five real-world applications (excludes the synthetic patterns).
+    pub const REAL: [AppKind; 5] = [
+        AppKind::Epigenomics,
+        AppKind::Genome1000,
+        AppKind::SoyKb,
+        AppKind::Montage,
+        AppKind::Seismology,
+    ];
+
+    /// Smallest task count the application's level structure supports
+    /// (WfCommons similarly enforces representative minimum sizes).
+    pub fn min_tasks(self) -> usize {
+        match self {
+            AppKind::Epigenomics => 8, // split + 4 stages + 3 merge steps
+            AppKind::Genome1000 => 4,
+            AppKind::SoyKb => 5,
+            AppKind::Montage => 9,
+            AppKind::Seismology => 3,
+            AppKind::Chain | AppKind::Forkjoin => 3,
+        }
+    }
+
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Epigenomics => "epigenomics",
+            AppKind::Genome1000 => "1000genome",
+            AppKind::SoyKb => "soykb",
+            AppKind::Montage => "montage",
+            AppKind::Seismology => "seismology",
+            AppKind::Chain => "chain",
+            AppKind::Forkjoin => "forkjoin",
+        }
+    }
+}
+
+/// A workflow generation request (one Table 1 grid point).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowSpec {
+    /// Which application's structure to generate.
+    pub app: AppKind,
+    /// Total number of tasks.
+    pub num_tasks: usize,
+    /// Average sequential work per task, in reference-core seconds.
+    pub work_per_task_secs: f64,
+    /// Total data footprint (sum of all file sizes), in bytes.
+    pub data_footprint_bytes: f64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+/// Level widths for `app` at `n` tasks. Widths always sum to exactly `n`.
+fn level_widths(app: AppKind, n: usize) -> Vec<usize> {
+    let n = n.max(3);
+    match app {
+        AppKind::Chain => vec![1; n],
+        AppKind::Forkjoin => vec![1, n - 2, 1],
+        AppKind::Seismology => vec![n - 1, 1],
+        AppKind::Epigenomics => {
+            // split + 4 parallel stages of width b + mapMerge/maqIndex/pileup.
+            let b = ((n.saturating_sub(4)) / 4).max(1);
+            let mut w = vec![1, b, b, b, b, 1, 1, 1];
+            let total: usize = w.iter().sum();
+            w[1] += n.saturating_sub(total); // leftover widens the first fan
+            w
+        }
+        AppKind::Genome1000 => {
+            // individuals fan + merge, then two analysis fans.
+            let a = (n / 2).max(1);
+            let b = ((n - a - 1) / 2).max(1);
+            let mut w = vec![a, 1, b, b];
+            let total: usize = w.iter().sum();
+            w[0] += n.saturating_sub(total);
+            w
+        }
+        AppKind::SoyKb => {
+            // alignment fan, sort fan, merge, haplotype fan, genotype.
+            let a = ((n.saturating_sub(2)) / 3).max(1);
+            let b = n.saturating_sub(2 + 2 * a).max(1);
+            let mut w = vec![a, a, 1, b, 1];
+            let total: usize = w.iter().sum();
+            w[3] += n.saturating_sub(total);
+            w
+        }
+        AppKind::Montage => {
+            // mProject fan, wider mDiffFit fan, two global steps,
+            // mBackground fan, four finishing steps.
+            let p = ((n.saturating_sub(6)) / 4).max(1);
+            let d = n.saturating_sub(6 + 2 * p).max(1);
+            let mut w = vec![p, d, 1, 1, p, 1, 1, 1, 1];
+            let total: usize = w.iter().sum();
+            w[1] += n.saturating_sub(total);
+            w
+        }
+    }
+}
+
+/// Generate a workflow for `spec`.
+///
+/// Invariants: exactly `spec.num_tasks` tasks (for `num_tasks >= 3`); the
+/// data footprint matches `spec.data_footprint_bytes` up to rounding; task
+/// work averages `spec.work_per_task_secs * OPS_PER_REF_SECOND`.
+pub fn generate(spec: &WorkflowSpec) -> Workflow {
+    assert!(
+        spec.num_tasks >= spec.app.min_tasks(),
+        "{} needs at least {} tasks (requested {})",
+        spec.app.name(),
+        spec.app.min_tasks(),
+        spec.num_tasks
+    );
+    let mut rng = rng_from_seed(spec.seed ^ (spec.num_tasks as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let widths = level_widths(spec.app, spec.num_tasks);
+    let name = format!(
+        "{}-{}t-{}s-{}b",
+        spec.app.name(),
+        spec.num_tasks,
+        spec.work_per_task_secs,
+        spec.data_footprint_bytes
+    );
+    let mut w = Workflow::new(&name);
+
+    // Per-task work: lognormal jitter around the requested mean.
+    let mean_ops = spec.work_per_task_secs * OPS_PER_REF_SECOND;
+    let sigma = 0.25;
+    // lognormal(mu, sigma) has mean exp(mu + sigma^2/2).
+    let mu = mean_ops.max(f64::MIN_POSITIVE).ln() - sigma * sigma / 2.0;
+
+    // Build tasks level by level.
+    let mut levels: Vec<Vec<usize>> = Vec::with_capacity(widths.len());
+    for (l, &width) in widths.iter().enumerate() {
+        let mut level = Vec::with_capacity(width);
+        for i in 0..width {
+            let work = if mean_ops == 0.0 { 0.0 } else { lognormal(&mut rng, mu, sigma) };
+            level.push(w.add_task(&format!("{}-l{}-{}", spec.app.name(), l, i), work));
+        }
+        levels.push(level);
+    }
+
+    // Wire consecutive levels: one-to-one when widths match, modulo
+    // fan-in/fan-out otherwise (every task gets at least one parent).
+    // File sizes get a weight now and are scaled to the footprint below.
+    let mut edge_weights: Vec<f64> = Vec::new();
+    let mut edge_files: Vec<usize> = Vec::new();
+    {
+        for l in 1..levels.len() {
+            let (prev, cur) = (&levels[l - 1], &levels[l]);
+            let mut wire = |from: usize, to: usize| {
+                let fname = format!("f-{}-{}", w.tasks[from].name, w.tasks[to].name);
+                let f = w.connect(from, to, &fname, 0.0);
+                edge_files.push(f);
+                edge_weights.push(lognormal(&mut rng, 0.0, 0.5));
+            };
+            if cur.len() >= prev.len() {
+                // Fan-out: each child draws from one parent.
+                for (i, &to) in cur.iter().enumerate() {
+                    wire(prev[i % prev.len()], to);
+                }
+            } else {
+                // Fan-in: each parent feeds one child; children may have many.
+                for (j, &from) in prev.iter().enumerate() {
+                    wire(from, cur[j % cur.len()]);
+                }
+            }
+        }
+        // External input per entry task; external output per sink task.
+        let preds = w.predecessors();
+        let succs = w.successors();
+        for t in 0..w.num_tasks() {
+            if preds[t].is_empty() {
+                let f = w.add_file(&format!("in-{}", w.tasks[t].name), 0.0);
+                w.add_input(t, f);
+                edge_files.push(f);
+                edge_weights.push(lognormal(&mut rng, 0.0, 0.5));
+            }
+            if succs[t].is_empty() {
+                let f = w.add_file(&format!("out-{}", w.tasks[t].name), 0.0);
+                w.add_output(t, f);
+                edge_files.push(f);
+                edge_weights.push(lognormal(&mut rng, 0.0, 0.5));
+            }
+        }
+    }
+
+    // Scale file sizes so the footprint matches the request exactly.
+    let total_weight: f64 = edge_weights.iter().sum();
+    if spec.data_footprint_bytes > 0.0 && total_weight > 0.0 {
+        for (&f, &wt) in edge_files.iter().zip(&edge_weights) {
+            w.files[f].size = spec.data_footprint_bytes * wt / total_weight;
+        }
+    }
+
+    debug_assert!(w.validate().is_ok());
+    w
+}
+
+/// One row of the paper's Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Application.
+    pub app: AppKind,
+    /// Workflow sizes (numbers of tasks).
+    pub sizes: Vec<usize>,
+    /// Sequential work per task, in seconds.
+    pub works_secs: Vec<f64>,
+    /// Total data footprints, in megabytes.
+    pub footprints_mb: Vec<f64>,
+    /// Worker counts the benchmarks were executed on.
+    pub worker_counts: Vec<usize>,
+}
+
+/// The paper's Table 1, verbatim.
+pub fn table1() -> Vec<Table1Row> {
+    let real_fp = vec![0.0, 150.0, 1500.0, 15000.0];
+    let synth_fp = vec![0.0, 150.0, 1500.0];
+    let workers = vec![1, 2, 4, 6];
+    vec![
+        Table1Row {
+            app: AppKind::Epigenomics,
+            sizes: vec![43, 64, 86, 129, 215],
+            works_secs: vec![0.6, 1.15, 1.73, 7.22, 73.25],
+            footprints_mb: real_fp.clone(),
+            worker_counts: workers.clone(),
+        },
+        Table1Row {
+            app: AppKind::Genome1000,
+            sizes: vec![54, 81, 108, 162, 270],
+            works_secs: vec![0.9, 1.47, 2.11, 8.02, 80.94],
+            footprints_mb: real_fp.clone(),
+            worker_counts: workers.clone(),
+        },
+        Table1Row {
+            app: AppKind::SoyKb,
+            sizes: vec![98, 147, 196, 294, 490],
+            works_secs: vec![0.53, 1.06, 1.6, 6.55, 74.21],
+            footprints_mb: real_fp.clone(),
+            worker_counts: workers.clone(),
+        },
+        Table1Row {
+            app: AppKind::Montage,
+            sizes: vec![60, 90, 120, 180, 300],
+            works_secs: vec![0.59, 1.12, 1.75, 7.07, 73.13],
+            footprints_mb: real_fp.clone(),
+            worker_counts: workers.clone(),
+        },
+        Table1Row {
+            app: AppKind::Seismology,
+            sizes: vec![103, 154, 206, 309, 515],
+            works_secs: vec![0.74, 1.28, 1.91, 8.34, 86.25],
+            footprints_mb: real_fp,
+            worker_counts: workers.clone(),
+        },
+        Table1Row {
+            app: AppKind::Chain,
+            sizes: vec![10, 25, 50],
+            works_secs: vec![0.83, 1.36, 1.85, 5.74, 48.94],
+            footprints_mb: synth_fp.clone(),
+            worker_counts: vec![1],
+        },
+        Table1Row {
+            app: AppKind::Forkjoin,
+            sizes: vec![10, 25, 50],
+            works_secs: vec![0.84, 1.39, 2.05, 7.61, 70.76],
+            footprints_mb: synth_fp,
+            worker_counts: workers,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_sum_to_task_count() {
+        for app in AppKind::ALL {
+            for n in [10, 43, 64, 129, 215, 270, 490, 515] {
+                let widths = level_widths(app, n);
+                let total: usize = widths.iter().sum();
+                assert_eq!(total, n, "{} at {n}", app.name());
+            }
+        }
+    }
+
+    #[test]
+    fn generate_exact_task_count_and_footprint() {
+        for app in AppKind::ALL {
+            let spec = WorkflowSpec {
+                app,
+                num_tasks: 50,
+                work_per_task_secs: 1.5,
+                data_footprint_bytes: 150e6,
+                seed: 42,
+            };
+            let w = generate(&spec);
+            assert_eq!(w.num_tasks(), 50, "{}", app.name());
+            assert!(
+                (w.data_footprint() - 150e6).abs() < 1.0,
+                "{}: footprint {}",
+                app.name(),
+                w.data_footprint()
+            );
+            assert!(w.validate().is_ok(), "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn zero_footprint_yields_zero_sizes() {
+        let spec = WorkflowSpec {
+            app: AppKind::Montage,
+            num_tasks: 60,
+            work_per_task_secs: 1.0,
+            data_footprint_bytes: 0.0,
+            seed: 1,
+        };
+        let w = generate(&spec);
+        assert_eq!(w.data_footprint(), 0.0);
+        assert!(w.files.iter().all(|f| f.size == 0.0));
+    }
+
+    #[test]
+    fn zero_work_yields_zero_ops() {
+        let spec = WorkflowSpec {
+            app: AppKind::Chain,
+            num_tasks: 10,
+            work_per_task_secs: 0.0,
+            data_footprint_bytes: 1e6,
+            seed: 1,
+        };
+        let w = generate(&spec);
+        assert_eq!(w.total_work(), 0.0);
+    }
+
+    #[test]
+    fn average_work_is_near_requested() {
+        let spec = WorkflowSpec {
+            app: AppKind::Seismology,
+            num_tasks: 515,
+            work_per_task_secs: 2.0,
+            data_footprint_bytes: 0.0,
+            seed: 7,
+        };
+        let w = generate(&spec);
+        let avg_secs = w.total_work() / w.num_tasks() as f64 / OPS_PER_REF_SECOND;
+        assert!((avg_secs - 2.0).abs() < 0.3, "avg {avg_secs}");
+    }
+
+    #[test]
+    fn chain_is_a_chain() {
+        let spec = WorkflowSpec {
+            app: AppKind::Chain,
+            num_tasks: 10,
+            work_per_task_secs: 1.0,
+            data_footprint_bytes: 1e6,
+            seed: 3,
+        };
+        let w = generate(&spec);
+        assert_eq!(w.depth(), 10);
+        let preds = w.predecessors();
+        assert_eq!(preds.iter().filter(|p| p.is_empty()).count(), 1);
+    }
+
+    #[test]
+    fn forkjoin_has_wide_middle() {
+        let spec = WorkflowSpec {
+            app: AppKind::Forkjoin,
+            num_tasks: 25,
+            work_per_task_secs: 1.0,
+            data_footprint_bytes: 1e6,
+            seed: 3,
+        };
+        let w = generate(&spec);
+        assert_eq!(w.depth(), 3);
+        let levels = w.levels();
+        assert_eq!(levels.iter().filter(|&&l| l == 1).count(), 23);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkflowSpec {
+            app: AppKind::Epigenomics,
+            num_tasks: 86,
+            work_per_task_secs: 1.73,
+            data_footprint_bytes: 1.5e9,
+            seed: 11,
+        };
+        assert_eq!(generate(&spec), generate(&spec));
+        let other = WorkflowSpec { seed: 12, ..spec };
+        assert_ne!(generate(&spec), generate(&other));
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t[0].sizes, vec![43, 64, 86, 129, 215]);
+        assert_eq!(t[1].works_secs[4], 80.94);
+        assert_eq!(t[4].sizes[4], 515);
+        assert_eq!(t[5].worker_counts, vec![1]); // chain runs on 1 worker
+        assert_eq!(t[2].footprints_mb, vec![0.0, 150.0, 1500.0, 15000.0]);
+        assert_eq!(t[6].footprints_mb, vec![0.0, 150.0, 1500.0]);
+    }
+
+    #[test]
+    fn all_real_apps_have_parallel_levels() {
+        for app in AppKind::REAL {
+            let spec = WorkflowSpec {
+                app,
+                num_tasks: 100,
+                work_per_task_secs: 1.0,
+                data_footprint_bytes: 0.0,
+                seed: 5,
+            };
+            let w = generate(&spec);
+            let levels = w.levels();
+            let max_width = (0..w.depth())
+                .map(|l| levels.iter().filter(|&&x| x == l).count())
+                .max()
+                .unwrap();
+            assert!(max_width > 5, "{} should have parallelism", app.name());
+        }
+    }
+}

@@ -1,0 +1,803 @@
+//! The workflow simulator: executes a workflow on a submit-node + workers
+//! platform at a configurable level of detail (paper §5.2).
+//!
+//! The execution model mirrors the paper's Pegasus/HTCondor deployment:
+//! the workflow's input data starts on the submit node's disk; workers run
+//! tasks on their cores; all data moves between the submit node and the
+//! workers (with optional worker-local storage reuse under
+//! [`StorageModel::AllNodes`]); task starts go either directly to workers
+//! or through an HTCondor-style negotiation-cycle service.
+//!
+//! One execution engine serves both the 12 candidate simulator versions
+//! (via [`WorkflowSimulator`]) and the ground-truth emulator (which layers
+//! extra hidden effects on top through the resolved model's noise fields).
+
+use crate::versions::{ComputeModel, NetworkModel, SimulatorVersion, StorageModel};
+use crate::workflow::{FileId, TaskId, Workflow};
+use dessim::{ActivityKind, DiskId, Engine, LinkId, Platform};
+use numeric::{lognormal, rng_from_seed};
+use rand::Rng;
+use simcal::prelude::Calibration;
+use std::collections::{HashMap, VecDeque};
+
+/// Result of simulating one workflow execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimOutput {
+    /// Overall execution time (seconds).
+    pub makespan: f64,
+    /// Per-task execution times, indexed by [`TaskId`]: from assignment to
+    /// a worker core until all outputs are stored and overheads paid.
+    pub task_times: Vec<f64>,
+}
+
+/// Task-start overhead model.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum OverheadModel {
+    /// Constant startup delay before each task (no batching).
+    Direct {
+        /// Startup overhead in seconds.
+        startup: f64,
+    },
+    /// HTCondor-style: task starts are released at periodic negotiation
+    /// cycles; each task pays `pre` before staging and `post` after.
+    Condor {
+        /// Negotiation cycle period in seconds.
+        cycle: f64,
+        /// Pre-execution overhead in seconds.
+        pre: f64,
+        /// Post-execution overhead in seconds.
+        post: f64,
+    },
+}
+
+/// Hidden stochastic effects used only by the ground-truth emulator.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct NoiseModel {
+    /// Lognormal sigma on per-task compute time.
+    pub compute_sigma: f64,
+    /// Relative jitter on overheads (uniform in `[1-j, 1+j]`).
+    pub overhead_jitter: f64,
+    /// Maximum extra scheduling delay per task (uniform in `[0, s]`).
+    pub sched_jitter: f64,
+    /// Noise seed.
+    pub seed: u64,
+}
+
+/// Fully-resolved simulation model: one concrete value per knob.
+#[derive(Clone, Debug)]
+pub(crate) struct ResolvedModel {
+    pub network: NetworkModel,
+    pub backbone_bw: f64,
+    pub backbone_lat: f64,
+    pub net_bw: f64,
+    pub net_lat: f64,
+    pub storage: StorageModel,
+    pub submit_disk_bw: f64,
+    pub worker_disk_bw: f64,
+    pub disk_concurrency: u32,
+    pub core_speed: f64,
+    pub overhead: OverheadModel,
+    pub noise: Option<NoiseModel>,
+}
+
+/// Map a calibration (in `version`'s parameter space) to a resolved model.
+pub(crate) fn resolve(version: SimulatorVersion, calib: &Calibration) -> ResolvedModel {
+    let space = version.parameter_space();
+    let get = |name: &str| space.value(calib, name);
+    let (backbone_bw, backbone_lat) = match version.network {
+        NetworkModel::SharedDedicated => (get("backbone_bw"), get("backbone_lat")),
+        _ => (0.0, 0.0),
+    };
+    let worker_disk_bw = match version.storage {
+        StorageModel::AllNodes => get("worker_disk_bw"),
+        StorageModel::SubmitOnly => 0.0,
+    };
+    let overhead = match version.compute {
+        ComputeModel::Direct => OverheadModel::Direct { startup: 0.0 },
+        ComputeModel::HtCondor => OverheadModel::Condor {
+            cycle: get("condor_cycle"),
+            pre: get("condor_overhead"),
+            post: 0.0,
+        },
+    };
+    ResolvedModel {
+        network: version.network,
+        backbone_bw,
+        backbone_lat,
+        net_bw: get("net_bw"),
+        net_lat: get("net_lat"),
+        storage: version.storage,
+        submit_disk_bw: get("submit_disk_bw"),
+        worker_disk_bw,
+        disk_concurrency: get("disk_concurrency").round().max(1.0) as u32,
+        core_speed: get("core_speed"),
+        overhead,
+        noise: None,
+    }
+}
+
+/// A calibratable workflow simulator at one level of detail.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkflowSimulator {
+    /// The level-of-detail configuration.
+    pub version: SimulatorVersion,
+    /// Cores per worker node (48 on the paper's Chameleon deployment).
+    pub cores_per_worker: u32,
+}
+
+impl WorkflowSimulator {
+    /// A simulator with the paper's 48-core workers.
+    pub fn new(version: SimulatorVersion) -> Self {
+        Self { version, cores_per_worker: 48 }
+    }
+
+    /// Simulate `workflow` on `n_workers` workers under `calibration`
+    /// (which must live in `self.version.parameter_space()`).
+    pub fn simulate(
+        &self,
+        workflow: &Workflow,
+        n_workers: usize,
+        calibration: &Calibration,
+    ) -> SimOutput {
+        let model = resolve(self.version, calibration);
+        execute(workflow, n_workers, self.cores_per_worker, &model)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution engine
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+enum Meta {
+    /// HTCondor negotiation cycle tick.
+    CondorCycle,
+    /// Pre-task overhead finished; begin input staging.
+    PreDone(TaskId),
+    /// One stage of an input file's journey completed.
+    StageIn { task: TaskId, file: FileId, step: StageStep },
+    /// Compute phase finished; begin output staging.
+    ComputeDone(TaskId),
+    /// One stage of an output file's journey completed.
+    StageOut { task: TaskId, file: FileId, step: StageStep },
+    /// Post-task overhead finished; task is done.
+    PostDone(TaskId),
+}
+
+#[derive(Clone, Copy, Debug)]
+enum StageStep {
+    /// Disk read at the source completed.
+    ReadSrc,
+    /// Network transfer completed.
+    Transfer,
+    /// Disk write at the destination completed.
+    WriteDst,
+}
+
+struct Exec<'a> {
+    workflow: &'a Workflow,
+    model: &'a ResolvedModel,
+    n_workers: usize,
+
+    engine: Engine,
+    next_tag: u64,
+    meta: HashMap<u64, Meta>,
+
+    submit_disk: DiskId,
+    worker_disks: Vec<DiskId>,
+    routes: Vec<Vec<LinkId>>,
+
+    // Task state
+    successors: Vec<Vec<TaskId>>,
+    deps_remaining: Vec<usize>,
+    inputs_remaining: Vec<usize>,
+    outputs_remaining: Vec<usize>,
+    assigned_worker: Vec<usize>,
+    start_time: Vec<f64>,
+    task_times: Vec<f64>,
+    done: Vec<bool>,
+    done_count: usize,
+
+    // Scheduling state
+    ready_queue: VecDeque<TaskId>,
+    free_cores: Vec<u32>,
+    cycle_timer_active: bool,
+
+    // File locations
+    at_worker: Vec<Vec<bool>>, // [file][worker]
+
+    // Pre-drawn noise (ground-truth emulator only)
+    work_mult: Vec<f64>,
+    pre_mult: Vec<f64>,
+    post_mult: Vec<f64>,
+    sched_delay: Vec<f64>,
+}
+
+/// Execute `workflow` under a fully-resolved model.
+pub(crate) fn execute(
+    workflow: &Workflow,
+    n_workers: usize,
+    cores_per_worker: u32,
+    model: &ResolvedModel,
+) -> SimOutput {
+    assert!(n_workers >= 1, "need at least one worker");
+    let n_tasks = workflow.num_tasks();
+    if n_tasks == 0 {
+        return SimOutput { makespan: 0.0, task_times: Vec::new() };
+    }
+
+    // Build the platform.
+    let mut platform = Platform::new();
+    let routes: Vec<Vec<LinkId>> = match model.network {
+        NetworkModel::OneLink => {
+            let l = platform.add_link(model.net_bw, model.net_lat);
+            (0..n_workers).map(|_| vec![l]).collect()
+        }
+        NetworkModel::Star => (0..n_workers)
+            .map(|_| vec![platform.add_link(model.net_bw, model.net_lat)])
+            .collect(),
+        NetworkModel::SharedDedicated => {
+            let bb = platform.add_link(model.backbone_bw, model.backbone_lat);
+            (0..n_workers)
+                .map(|_| vec![bb, platform.add_link(model.net_bw, model.net_lat)])
+                .collect()
+        }
+    };
+    let submit_disk = platform.add_disk(model.submit_disk_bw, model.disk_concurrency);
+    let worker_disks: Vec<DiskId> = match model.storage {
+        StorageModel::AllNodes => (0..n_workers)
+            .map(|_| platform.add_disk(model.worker_disk_bw, model.disk_concurrency))
+            .collect(),
+        StorageModel::SubmitOnly => Vec::new(),
+    };
+
+    // Pre-draw noise.
+    let (work_mult, pre_mult, post_mult, sched_delay) = match &model.noise {
+        Some(noise) => {
+            let mut rng = rng_from_seed(noise.seed);
+            let s = noise.compute_sigma;
+            let work: Vec<f64> = (0..n_tasks)
+                .map(|_| if s > 0.0 { lognormal(&mut rng, -s * s / 2.0, s) } else { 1.0 })
+                .collect();
+            let j = noise.overhead_jitter;
+            let pre: Vec<f64> =
+                (0..n_tasks).map(|_| 1.0 + j * (2.0 * rng.gen::<f64>() - 1.0)).collect();
+            let post: Vec<f64> =
+                (0..n_tasks).map(|_| 1.0 + j * (2.0 * rng.gen::<f64>() - 1.0)).collect();
+            let sched: Vec<f64> =
+                (0..n_tasks).map(|_| noise.sched_jitter * rng.gen::<f64>()).collect();
+            (work, pre, post, sched)
+        }
+        None => (vec![1.0; n_tasks], vec![1.0; n_tasks], vec![1.0; n_tasks], vec![0.0; n_tasks]),
+    };
+
+    let preds = workflow.predecessors();
+    let mut exec = Exec {
+        workflow,
+        model,
+        n_workers,
+        engine: Engine::new(platform),
+        next_tag: 0,
+        meta: HashMap::new(),
+        submit_disk,
+        worker_disks,
+        routes,
+        successors: workflow.successors(),
+        deps_remaining: preds.iter().map(|p| p.len()).collect(),
+        inputs_remaining: vec![0; n_tasks],
+        outputs_remaining: vec![0; n_tasks],
+        assigned_worker: vec![usize::MAX; n_tasks],
+        start_time: vec![0.0; n_tasks],
+        task_times: vec![0.0; n_tasks],
+        done: vec![false; n_tasks],
+        done_count: 0,
+        ready_queue: VecDeque::new(),
+        free_cores: vec![cores_per_worker; n_workers],
+        cycle_timer_active: false,
+        at_worker: vec![vec![false; n_workers]; workflow.files.len()],
+        work_mult,
+        pre_mult,
+        post_mult,
+        sched_delay,
+    };
+    exec.run()
+}
+
+impl<'a> Exec<'a> {
+    fn add(&mut self, kind: ActivityKind, meta: Meta) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.meta.insert(tag, meta);
+        self.engine.add_activity(kind, tag);
+    }
+
+    fn run(&mut self) -> SimOutput {
+        // Seed: entry tasks are ready.
+        for t in 0..self.workflow.num_tasks() {
+            if self.deps_remaining[t] == 0 {
+                self.ready_queue.push_back(t);
+            }
+        }
+        self.schedule();
+
+        let mut makespan: f64 = 0.0;
+        while self.done_count < self.workflow.num_tasks() {
+            let completion = self
+                .engine
+                .step()
+                .expect("engine drained before all tasks completed (scheduling deadlock)");
+            let meta = self.meta.remove(&completion.tag).expect("unknown activity tag");
+            self.handle(meta, completion.time);
+            makespan = makespan.max(completion.time);
+        }
+        SimOutput { makespan, task_times: self.task_times.clone() }
+    }
+
+    /// Effective negotiation-cycle period (guarded against a zero value
+    /// that would stall virtual time).
+    fn effective_cycle(cycle: f64) -> f64 {
+        cycle.max(1e-3)
+    }
+
+    /// Assign ready tasks to free cores according to the compute model.
+    fn schedule(&mut self) {
+        match self.model.overhead {
+            OverheadModel::Direct { .. } => {
+                while !self.ready_queue.is_empty() && self.total_free_cores() > 0 {
+                    let t = self.ready_queue.pop_front().expect("non-empty queue");
+                    self.assign(t);
+                }
+            }
+            OverheadModel::Condor { cycle, .. } => {
+                // Tasks wait for the next negotiation cycle.
+                if !self.ready_queue.is_empty() && !self.cycle_timer_active {
+                    let c = Self::effective_cycle(cycle);
+                    let now = self.engine.time();
+                    let mut delay = c - (now % c);
+                    if delay < 1e-9 {
+                        delay = c;
+                    }
+                    self.add(ActivityKind::timer(delay), Meta::CondorCycle);
+                    self.cycle_timer_active = true;
+                }
+            }
+        }
+    }
+
+    fn total_free_cores(&self) -> u32 {
+        self.free_cores.iter().sum()
+    }
+
+    /// Put `t` on the worker with the most free cores and start its
+    /// pre-task overhead.
+    fn assign(&mut self, t: TaskId) {
+        let worker = (0..self.n_workers)
+            .max_by_key(|&w| self.free_cores[w])
+            .expect("at least one worker");
+        assert!(self.free_cores[worker] > 0, "assign called with no free core");
+        self.free_cores[worker] -= 1;
+        self.assigned_worker[t] = worker;
+        self.start_time[t] = self.engine.time();
+
+        let pre = match self.model.overhead {
+            OverheadModel::Direct { startup } => startup,
+            OverheadModel::Condor { pre, .. } => pre,
+        };
+        let delay = pre * self.pre_mult[t] + self.sched_delay[t];
+        self.add(ActivityKind::timer(delay.max(0.0)), Meta::PreDone(t));
+    }
+
+    fn handle(&mut self, meta: Meta, now: f64) {
+        match meta {
+            Meta::CondorCycle => {
+                self.cycle_timer_active = false;
+                while !self.ready_queue.is_empty() && self.total_free_cores() > 0 {
+                    let t = self.ready_queue.pop_front().expect("non-empty queue");
+                    self.assign(t);
+                }
+                // Tasks still waiting (for cores) get the next cycle.
+                self.schedule();
+            }
+            Meta::PreDone(t) => self.start_staging_in(t),
+            Meta::StageIn { task, file, step } => self.advance_stage_in(task, file, step),
+            Meta::ComputeDone(t) => self.start_staging_out(t),
+            Meta::StageOut { task, file, step } => self.advance_stage_out(task, file, step),
+            Meta::PostDone(t) => self.finish_task(t, now),
+        }
+    }
+
+    // ---- input staging ----
+
+    fn start_staging_in(&mut self, t: TaskId) {
+        let inputs = self.workflow.tasks[t].inputs.clone();
+        self.inputs_remaining[t] = inputs.len();
+        if inputs.is_empty() {
+            self.start_compute(t);
+            return;
+        }
+        for f in inputs {
+            let w = self.assigned_worker[t];
+            let size = self.workflow.files[f].size;
+            let local = self.model.storage == StorageModel::AllNodes && self.at_worker[f][w];
+            let disk = if local { self.worker_disks[w] } else { self.submit_disk };
+            // Read at the source; `advance_stage_in` routes the rest.
+            self.add(
+                ActivityKind::io(disk, size),
+                Meta::StageIn { task: t, file: f, step: StageStep::ReadSrc },
+            );
+        }
+    }
+
+    fn advance_stage_in(&mut self, t: TaskId, f: FileId, step: StageStep) {
+        let w = self.assigned_worker[t];
+        let size = self.workflow.files[f].size;
+        let local = self.model.storage == StorageModel::AllNodes && self.at_worker[f][w];
+        match step {
+            StageStep::ReadSrc => {
+                if local {
+                    // Local read: staging of this file is complete.
+                    self.input_staged(t);
+                } else {
+                    self.add(
+                        ActivityKind::flow(self.routes[w].clone(), size),
+                        Meta::StageIn { task: t, file: f, step: StageStep::Transfer },
+                    );
+                }
+            }
+            StageStep::Transfer => {
+                if self.model.storage == StorageModel::AllNodes {
+                    self.add(
+                        ActivityKind::io(self.worker_disks[w], size),
+                        Meta::StageIn { task: t, file: f, step: StageStep::WriteDst },
+                    );
+                } else {
+                    // Submit-only storage: data is consumed in-stream.
+                    self.input_staged(t);
+                }
+            }
+            StageStep::WriteDst => {
+                self.at_worker[f][w] = true;
+                self.input_staged(t);
+            }
+        }
+    }
+
+    fn input_staged(&mut self, t: TaskId) {
+        self.inputs_remaining[t] -= 1;
+        if self.inputs_remaining[t] == 0 {
+            self.start_compute(t);
+        }
+    }
+
+    // ---- compute ----
+
+    fn start_compute(&mut self, t: TaskId) {
+        let work = self.workflow.tasks[t].work * self.work_mult[t];
+        self.add(
+            ActivityKind::compute(self.model.core_speed, work),
+            Meta::ComputeDone(t),
+        );
+    }
+
+    // ---- output staging ----
+
+    fn start_staging_out(&mut self, t: TaskId) {
+        let outputs = self.workflow.tasks[t].outputs.clone();
+        self.outputs_remaining[t] = outputs.len();
+        if outputs.is_empty() {
+            self.start_post(t);
+            return;
+        }
+        for f in outputs {
+            let w = self.assigned_worker[t];
+            let size = self.workflow.files[f].size;
+            if self.model.storage == StorageModel::AllNodes {
+                // Write locally first; reuse by same-worker consumers.
+                self.add(
+                    ActivityKind::io(self.worker_disks[w], size),
+                    Meta::StageOut { task: t, file: f, step: StageStep::ReadSrc },
+                );
+            } else {
+                // Stream straight to the submit node.
+                self.add(
+                    ActivityKind::flow(self.routes[w].clone(), size),
+                    Meta::StageOut { task: t, file: f, step: StageStep::Transfer },
+                );
+            }
+        }
+    }
+
+    fn advance_stage_out(&mut self, t: TaskId, f: FileId, step: StageStep) {
+        let w = self.assigned_worker[t];
+        let size = self.workflow.files[f].size;
+        match step {
+            StageStep::ReadSrc => {
+                // Local write done: file now available worker-locally.
+                self.at_worker[f][w] = true;
+                self.add(
+                    ActivityKind::flow(self.routes[w].clone(), size),
+                    Meta::StageOut { task: t, file: f, step: StageStep::Transfer },
+                );
+            }
+            StageStep::Transfer => {
+                self.add(
+                    ActivityKind::io(self.submit_disk, size),
+                    Meta::StageOut { task: t, file: f, step: StageStep::WriteDst },
+                );
+            }
+            StageStep::WriteDst => {
+                self.output_staged(t);
+            }
+        }
+    }
+
+    fn output_staged(&mut self, t: TaskId) {
+        self.outputs_remaining[t] -= 1;
+        if self.outputs_remaining[t] == 0 {
+            self.start_post(t);
+        }
+    }
+
+    // ---- completion ----
+
+    fn start_post(&mut self, t: TaskId) {
+        let post = match self.model.overhead {
+            OverheadModel::Direct { .. } => 0.0,
+            OverheadModel::Condor { post, .. } => post,
+        };
+        self.add(ActivityKind::timer((post * self.post_mult[t]).max(0.0)), Meta::PostDone(t));
+    }
+
+    fn finish_task(&mut self, t: TaskId, now: f64) {
+        debug_assert!(!self.done[t], "task finished twice");
+        self.done[t] = true;
+        self.done_count += 1;
+        self.task_times[t] = now - self.start_time[t];
+        let w = self.assigned_worker[t];
+        self.free_cores[w] += 1;
+
+        // Unlock successors.
+        let successors = std::mem::take(&mut self.successors[t]);
+        for &s in &successors {
+            self.deps_remaining[s] -= 1;
+            if self.deps_remaining[s] == 0 {
+                self.ready_queue.push_back(s);
+            }
+        }
+        self.schedule();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, AppKind, WorkflowSpec};
+
+    /// A fixed, plausible calibration for a version's space.
+    fn calib_for(version: SimulatorVersion) -> Calibration {
+        let space = version.parameter_space();
+        let mut pairs: Vec<(&str, f64)> = Vec::new();
+        for p in space.params() {
+            let v = match p.name.as_str() {
+                "net_bw" | "backbone_bw" => 1.25e9,
+                "net_lat" | "backbone_lat" => 1e-4,
+                "submit_disk_bw" | "worker_disk_bw" => 5e8,
+                "disk_concurrency" => 8.0,
+                "core_speed" => crate::generator::OPS_PER_REF_SECOND,
+                "condor_cycle" => 2.0,
+                "condor_overhead" => 1.0,
+                other => panic!("unexpected parameter {other}"),
+            };
+            pairs.push((Box::leak(p.name.clone().into_boxed_str()), v));
+        }
+        space.calibration_from_pairs(&pairs)
+    }
+
+    fn small_workflow() -> Workflow {
+        generate(&WorkflowSpec {
+            app: AppKind::Forkjoin,
+            num_tasks: 10,
+            work_per_task_secs: 1.0,
+            data_footprint_bytes: 10e6,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn all_twelve_versions_run_and_agree_dimensionally() {
+        let wf = small_workflow();
+        for version in SimulatorVersion::all() {
+            let sim = WorkflowSimulator::new(version);
+            let out = sim.simulate(&wf, 2, &calib_for(version));
+            assert!(out.makespan > 0.0, "{}", version.label());
+            assert_eq!(out.task_times.len(), 10, "{}", version.label());
+            assert!(out.task_times.iter().all(|&t| t > 0.0), "{}", version.label());
+            // Makespan at least the critical path of compute times alone.
+            assert!(out.makespan >= 3.0, "{}: {}", version.label(), out.makespan);
+        }
+    }
+
+    #[test]
+    fn more_workers_never_slow_down_direct_execution() {
+        let wf = generate(&WorkflowSpec {
+            app: AppKind::Seismology,
+            num_tasks: 60,
+            work_per_task_secs: 2.0,
+            data_footprint_bytes: 0.0,
+            seed: 2,
+        });
+        let version = SimulatorVersion {
+            network: NetworkModel::Star,
+            storage: StorageModel::SubmitOnly,
+            compute: ComputeModel::Direct,
+        };
+        let sim = WorkflowSimulator { version, cores_per_worker: 4 };
+        let c = calib_for(version);
+        let m1 = sim.simulate(&wf, 1, &c).makespan;
+        let m4 = sim.simulate(&wf, 4, &c).makespan;
+        assert!(m4 <= m1 * 1.01, "1 worker {m1}, 4 workers {m4}");
+        assert!(m4 < m1 * 0.6, "parallel speedup expected: {m1} -> {m4}");
+    }
+
+    #[test]
+    fn chain_workflow_is_fully_serial() {
+        let wf = generate(&WorkflowSpec {
+            app: AppKind::Chain,
+            num_tasks: 5,
+            work_per_task_secs: 1.0,
+            data_footprint_bytes: 0.0,
+            seed: 3,
+        });
+        let version = SimulatorVersion::lowest_detail();
+        let sim = WorkflowSimulator::new(version);
+        let out = sim.simulate(&wf, 1, &calib_for(version));
+        // Fully serial: the makespan covers at least every task's compute,
+        // and per-task times sum to at least the makespan's compute content.
+        let total_compute = wf.total_work() / crate::generator::OPS_PER_REF_SECOND;
+        assert!(out.makespan >= total_compute, "makespan {}", out.makespan);
+        let time_total: f64 = out.task_times.iter().sum();
+        assert!(time_total >= total_compute, "task-time total {time_total}");
+    }
+
+    #[test]
+    fn condor_batches_task_starts_at_cycles() {
+        let wf = generate(&WorkflowSpec {
+            app: AppKind::Forkjoin,
+            num_tasks: 10,
+            work_per_task_secs: 0.1,
+            data_footprint_bytes: 0.0,
+            seed: 4,
+        });
+        let direct_v = SimulatorVersion {
+            network: NetworkModel::OneLink,
+            storage: StorageModel::SubmitOnly,
+            compute: ComputeModel::Direct,
+        };
+        let condor_v = SimulatorVersion { compute: ComputeModel::HtCondor, ..direct_v };
+        // Zero overheads except the condor cycle: the cycle alone must
+        // stretch the makespan (3 waves x up-to-5s waits).
+        let direct_c = direct_v
+            .parameter_space()
+            .calibration_from_pairs(&[
+                ("net_bw", 1e9),
+                ("net_lat", 0.0),
+                ("submit_disk_bw", 1e9),
+                ("disk_concurrency", 10.0),
+                ("core_speed", crate::generator::OPS_PER_REF_SECOND),
+            ]);
+        let condor_c = condor_v
+            .parameter_space()
+            .calibration_from_pairs(&[
+                ("net_bw", 1e9),
+                ("net_lat", 0.0),
+                ("submit_disk_bw", 1e9),
+                ("disk_concurrency", 10.0),
+                ("core_speed", crate::generator::OPS_PER_REF_SECOND),
+                ("condor_cycle", 5.0),
+                ("condor_overhead", 0.0),
+            ]);
+        let md = WorkflowSimulator::new(direct_v).simulate(&wf, 2, &direct_c).makespan;
+        let mc = WorkflowSimulator::new(condor_v).simulate(&wf, 2, &condor_c).makespan;
+        assert!(mc > md + 10.0, "cycle batching should dominate: direct {md}, condor {mc}");
+        // Task starts are aligned to 5s multiples => makespan near one.
+        assert!(mc >= 15.0, "three levels x 5s cycles: {mc}");
+    }
+
+    #[test]
+    fn all_nodes_storage_reuses_local_files_on_one_worker() {
+        // A chain on 1 worker: with AllNodes, intermediate files are read
+        // locally; with SubmitOnly every input is re-fetched over the
+        // network. Given a slow network and fast disks, AllNodes is faster.
+        let wf = generate(&WorkflowSpec {
+            app: AppKind::Chain,
+            num_tasks: 8,
+            work_per_task_secs: 0.0,
+            data_footprint_bytes: 800e6,
+            seed: 5,
+        });
+        let base = SimulatorVersion {
+            network: NetworkModel::OneLink,
+            storage: StorageModel::SubmitOnly,
+            compute: ComputeModel::Direct,
+        };
+        let submit_only = base.parameter_space().calibration_from_pairs(&[
+            ("net_bw", 1e8), // slow network
+            ("net_lat", 0.0),
+            ("submit_disk_bw", 1e10),
+            ("disk_concurrency", 10.0),
+            ("core_speed", 1e9),
+        ]);
+        let all_v = SimulatorVersion { storage: StorageModel::AllNodes, ..base };
+        let all_nodes = all_v.parameter_space().calibration_from_pairs(&[
+            ("net_bw", 1e8),
+            ("net_lat", 0.0),
+            ("submit_disk_bw", 1e10),
+            ("worker_disk_bw", 1e10),
+            ("disk_concurrency", 10.0),
+            ("core_speed", 1e9),
+        ]);
+        let m_submit = WorkflowSimulator::new(base).simulate(&wf, 1, &submit_only).makespan;
+        let m_all = WorkflowSimulator::new(all_v).simulate(&wf, 1, &all_nodes).makespan;
+        // SubmitOnly pays: input transfer + output transfer per task.
+        // AllNodes pays: output transfer only (inputs are local).
+        assert!(
+            m_all < m_submit * 0.7,
+            "local reuse should halve network traffic: submit {m_submit}, all {m_all}"
+        );
+    }
+
+    #[test]
+    fn slower_network_increases_makespan_monotonically() {
+        let wf = small_workflow();
+        let version = SimulatorVersion::lowest_detail();
+        let mk = |bw: f64| {
+            let c = version.parameter_space().calibration_from_pairs(&[
+                ("net_bw", bw),
+                ("net_lat", 1e-4),
+                ("submit_disk_bw", 1e10),
+                ("disk_concurrency", 10.0),
+                ("core_speed", 1e9),
+                ]);
+            WorkflowSimulator::new(version).simulate(&wf, 2, &c).makespan
+        };
+        let fast = mk(1e10);
+        let mid = mk(1e8);
+        let slow = mk(1e7);
+        assert!(fast < mid && mid < slow, "{fast} < {mid} < {slow} violated");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let wf = small_workflow();
+        let version = SimulatorVersion::highest_detail();
+        let sim = WorkflowSimulator::new(version);
+        let c = calib_for(version);
+        let a = sim.simulate(&wf, 4, &c);
+        let b = sim.simulate(&wf, 4, &c);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_footprint_workflow_still_pays_latency_and_compute() {
+        let wf = generate(&WorkflowSpec {
+            app: AppKind::Forkjoin,
+            num_tasks: 10,
+            work_per_task_secs: 1.0,
+            data_footprint_bytes: 0.0,
+            seed: 6,
+        });
+        let version = SimulatorVersion::lowest_detail();
+        let out = WorkflowSimulator::new(version).simulate(&wf, 2, &calib_for(version));
+        assert!(out.makespan > 3.0, "3 levels x ~1s compute: {}", out.makespan);
+    }
+
+    #[test]
+    fn task_times_sum_to_at_least_serial_content() {
+        let wf = small_workflow();
+        let version = SimulatorVersion::highest_detail();
+        let out = WorkflowSimulator::new(version).simulate(&wf, 2, &calib_for(version));
+        let compute_total = wf.total_work() / crate::generator::OPS_PER_REF_SECOND;
+        let time_total: f64 = out.task_times.iter().sum();
+        assert!(time_total > compute_total, "{time_total} vs {compute_total}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Specification-based (uncalibrated) parameter values — the §5.4
+//! baseline.
+//!
+//! The paper contrasts automated calibration with "what authors do when
+//! they do not mention calibration": take the lowest-detail simulator and
+//! set every parameter from the hardware specifications documented for
+//! the platform (Chameleon Cloud node specs). Specs describe *peak*
+//! hardware capability, not the effective performance a workflow
+//! execution sees through the whole software stack — and they say nothing
+//! about middleware overheads, which spec-driven users set to zero.
+
+use crate::versions::SimulatorVersion;
+use simcal::prelude::Calibration;
+
+/// Parameter values a user would read off the platform's documentation:
+/// 10 GbE NICs, NVMe-class storage, 2.8 GHz cores — and no overheads,
+/// because no specification documents middleware behaviour.
+pub fn spec_calibration(version: SimulatorVersion) -> Calibration {
+    let space = version.parameter_space();
+    let values: Vec<f64> = space
+        .params()
+        .iter()
+        .map(|p| match p.name.as_str() {
+            // 10 Gbit/s Ethernet => 1.25e9 bytes/s; datacenter latency.
+            "net_bw" | "backbone_bw" => 1.25e9,
+            "net_lat" | "backbone_lat" => 5e-5,
+            // NVMe spec sheet: ~2 GB/s. I/O concurrency is documented
+            // nowhere, so the simulator's conservative default (serial
+            // I/O) is left in place -- the classic uncalibrated mistake.
+            "submit_disk_bw" | "worker_disk_bw" => 2e9,
+            "disk_concurrency" => 1.0,
+            // 2.8 GHz core, read as 2.8e9 ops/s.
+            "core_speed" => 2.8e9,
+            // Specs say nothing about overheads: zero.
+            "condor_cycle" | "condor_overhead" => 0.0,
+            other => panic!("unexpected parameter {other}"),
+        })
+        .collect();
+    Calibration::new(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::versions::SimulatorVersion;
+
+    #[test]
+    fn spec_calibration_matches_space_dimension() {
+        for v in SimulatorVersion::all() {
+            let c = spec_calibration(v);
+            assert_eq!(c.values.len(), v.parameter_space().dim(), "{}", v.label());
+        }
+    }
+
+    #[test]
+    fn spec_overheads_are_zero() {
+        let v = SimulatorVersion::lowest_detail();
+        let c = spec_calibration(v);
+        let space = v.parameter_space();
+        assert_eq!(space.value(&c, "core_speed"), 2.8e9);
+    }
+}

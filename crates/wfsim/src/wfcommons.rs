@@ -1,0 +1,203 @@
+//! WfCommons-like JSON interchange for workflows.
+//!
+//! The paper's simulator consumes workflow specifications "as a WfCommons
+//! JSON file". This module reads and writes a name-based JSON schema in
+//! the same spirit: tasks reference files by name, dependencies are
+//! implied by data flow, and file sizes are in bytes.
+
+use crate::workflow::Workflow;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Schema identifier embedded in every document this module writes.
+pub const SCHEMA_VERSION: &str = "lodcal-wfcommons-1.0";
+
+#[derive(Serialize, Deserialize)]
+struct Doc {
+    name: String,
+    #[serde(rename = "schemaVersion")]
+    schema_version: String,
+    workflow: WorkflowDoc,
+}
+
+#[derive(Serialize, Deserialize)]
+struct WorkflowDoc {
+    tasks: Vec<TaskDoc>,
+    files: Vec<FileDoc>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct TaskDoc {
+    name: String,
+    /// Sequential work in abstract operations.
+    work: f64,
+    #[serde(rename = "inputFiles")]
+    input_files: Vec<String>,
+    #[serde(rename = "outputFiles")]
+    output_files: Vec<String>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct FileDoc {
+    name: String,
+    #[serde(rename = "sizeInBytes")]
+    size_in_bytes: f64,
+}
+
+/// Serialize a workflow to the WfCommons-like JSON document.
+pub fn to_json(workflow: &Workflow) -> String {
+    let doc = Doc {
+        name: workflow.name.clone(),
+        schema_version: SCHEMA_VERSION.to_string(),
+        workflow: WorkflowDoc {
+            tasks: workflow
+                .tasks
+                .iter()
+                .map(|t| TaskDoc {
+                    name: t.name.clone(),
+                    work: t.work,
+                    input_files: t.inputs.iter().map(|&f| workflow.files[f].name.clone()).collect(),
+                    output_files: t.outputs.iter().map(|&f| workflow.files[f].name.clone()).collect(),
+                })
+                .collect(),
+            files: workflow
+                .files
+                .iter()
+                .map(|f| FileDoc { name: f.name.clone(), size_in_bytes: f.size })
+                .collect(),
+        },
+    };
+    serde_json::to_string_pretty(&doc).expect("workflow serialization cannot fail")
+}
+
+/// Parse a WfCommons-like JSON document into a [`Workflow`].
+///
+/// Returns a descriptive error for malformed JSON, unknown file
+/// references, or structurally invalid workflows (cycles, duplicates).
+pub fn from_json(json: &str) -> Result<Workflow, String> {
+    let doc: Doc = serde_json::from_str(json).map_err(|e| format!("malformed JSON: {e}"))?;
+    let mut w = Workflow::new(&doc.name);
+    let mut file_ids = HashMap::new();
+    for f in &doc.workflow.files {
+        if f.size_in_bytes < 0.0 || !f.size_in_bytes.is_finite() {
+            return Err(format!("file {:?} has invalid size {}", f.name, f.size_in_bytes));
+        }
+        let id = w.add_file(&f.name, f.size_in_bytes);
+        if file_ids.insert(f.name.clone(), id).is_some() {
+            return Err(format!("duplicate file name {:?}", f.name));
+        }
+    }
+    for t in &doc.workflow.tasks {
+        if t.work < 0.0 || !t.work.is_finite() {
+            return Err(format!("task {:?} has invalid work {}", t.name, t.work));
+        }
+        let id = w.add_task(&t.name, t.work);
+        for fname in &t.input_files {
+            let &f = file_ids
+                .get(fname)
+                .ok_or_else(|| format!("task {:?} reads unknown file {fname:?}", t.name))?;
+            w.add_input(id, f);
+        }
+        for fname in &t.output_files {
+            let &f = file_ids
+                .get(fname)
+                .ok_or_else(|| format!("task {:?} writes unknown file {fname:?}", t.name))?;
+            if w.producers()[f].is_some() {
+                return Err(format!("file {fname:?} has multiple producers"));
+            }
+            w.add_output(id, f);
+        }
+    }
+    w.validate()?;
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Workflow {
+        let mut w = Workflow::new("sample");
+        let a = w.add_task("stage-in", 1e9);
+        let b = w.add_task("analyze", 5e9);
+        let input = w.add_file("raw.dat", 1e6);
+        w.add_input(a, input);
+        w.connect(a, b, "clean.dat", 2e6);
+        w
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let w = sample();
+        let json = to_json(&w);
+        let back = from_json(&json).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn json_contains_schema_and_names() {
+        let json = to_json(&sample());
+        assert!(json.contains(SCHEMA_VERSION));
+        assert!(json.contains("\"clean.dat\""));
+        assert!(json.contains("\"sizeInBytes\""));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_json("{not json").unwrap_err().contains("malformed"));
+    }
+
+    #[test]
+    fn unknown_file_reference_is_an_error() {
+        let json = r#"{
+            "name": "w", "schemaVersion": "lodcal-wfcommons-1.0",
+            "workflow": {
+                "tasks": [{"name": "t", "work": 1.0, "inputFiles": ["ghost"], "outputFiles": []}],
+                "files": []
+            }
+        }"#;
+        assert!(from_json(json).unwrap_err().contains("unknown file"));
+    }
+
+    #[test]
+    fn multiple_producers_is_an_error() {
+        let json = r#"{
+            "name": "w", "schemaVersion": "lodcal-wfcommons-1.0",
+            "workflow": {
+                "tasks": [
+                    {"name": "a", "work": 1.0, "inputFiles": [], "outputFiles": ["f"]},
+                    {"name": "b", "work": 1.0, "inputFiles": [], "outputFiles": ["f"]}
+                ],
+                "files": [{"name": "f", "sizeInBytes": 1.0}]
+            }
+        }"#;
+        assert!(from_json(json).unwrap_err().contains("multiple producers"));
+    }
+
+    #[test]
+    fn negative_size_is_an_error() {
+        let json = r#"{
+            "name": "w", "schemaVersion": "lodcal-wfcommons-1.0",
+            "workflow": {
+                "tasks": [],
+                "files": [{"name": "f", "sizeInBytes": -3.0}]
+            }
+        }"#;
+        assert!(from_json(json).unwrap_err().contains("invalid size"));
+    }
+
+    #[test]
+    fn cyclic_document_is_an_error() {
+        let json = r#"{
+            "name": "w", "schemaVersion": "lodcal-wfcommons-1.0",
+            "workflow": {
+                "tasks": [
+                    {"name": "a", "work": 1.0, "inputFiles": ["ba"], "outputFiles": ["ab"]},
+                    {"name": "b", "work": 1.0, "inputFiles": ["ab"], "outputFiles": ["ba"]}
+                ],
+                "files": [{"name": "ab", "sizeInBytes": 1.0}, {"name": "ba", "sizeInBytes": 1.0}]
+            }
+        }"#;
+        assert!(from_json(json).unwrap_err().contains("cycle"));
+    }
+}

@@ -1,0 +1,374 @@
+//! Workflow model: tasks, data files, and the DAG induced by data flow.
+//!
+//! A workflow is a set of tasks and a set of data files; a task consumes
+//! its input files and produces its output files. Dependencies are
+//! *derived* from data flow (a task depends on the producers of its
+//! inputs), exactly like WfCommons instances. Control-only dependencies
+//! (zero data) are modelled as zero-byte files.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a task within its workflow.
+pub type TaskId = usize;
+/// Index of a data file within its workflow.
+pub type FileId = usize;
+
+/// A single workflow task.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Human-readable name (unique within the workflow).
+    pub name: String,
+    /// Sequential work in abstract operations (executed on one core).
+    pub work: f64,
+    /// Files read before execution.
+    pub inputs: Vec<FileId>,
+    /// Files written after execution.
+    pub outputs: Vec<FileId>,
+}
+
+/// A data file exchanged between tasks (or with the outside world).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DataFile {
+    /// Human-readable name (unique within the workflow).
+    pub name: String,
+    /// Size in bytes.
+    pub size: f64,
+}
+
+/// A workflow: tasks plus data files, with data-flow-derived dependencies.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    /// Workflow name (e.g. `"epigenomics-129"`).
+    pub name: String,
+    /// Tasks, indexed by [`TaskId`].
+    pub tasks: Vec<Task>,
+    /// Data files, indexed by [`FileId`].
+    pub files: Vec<DataFile>,
+}
+
+impl Workflow {
+    /// An empty workflow with the given name.
+    pub fn new(name: &str) -> Self {
+        Self { name: name.to_string(), tasks: Vec::new(), files: Vec::new() }
+    }
+
+    /// Add a task; returns its id.
+    pub fn add_task(&mut self, name: &str, work: f64) -> TaskId {
+        assert!(work >= 0.0 && work.is_finite(), "task work must be non-negative");
+        self.tasks.push(Task { name: name.to_string(), work, inputs: Vec::new(), outputs: Vec::new() });
+        self.tasks.len() - 1
+    }
+
+    /// Add a data file; returns its id.
+    pub fn add_file(&mut self, name: &str, size: f64) -> FileId {
+        assert!(size >= 0.0 && size.is_finite(), "file size must be non-negative");
+        self.files.push(DataFile { name: name.to_string(), size });
+        self.files.len() - 1
+    }
+
+    /// Declare that `task` reads `file`.
+    pub fn add_input(&mut self, task: TaskId, file: FileId) {
+        assert!(file < self.files.len(), "unknown file");
+        self.tasks[task].inputs.push(file);
+    }
+
+    /// Declare that `task` writes `file`.
+    ///
+    /// # Panics
+    /// Panics if the file already has a producer (single-writer rule).
+    pub fn add_output(&mut self, task: TaskId, file: FileId) {
+        assert!(file < self.files.len(), "unknown file");
+        assert!(
+            self.tasks.iter().all(|t| !t.outputs.contains(&file)),
+            "file {} already has a producer",
+            self.files[file].name
+        );
+        self.tasks[task].outputs.push(file);
+    }
+
+    /// Convenience: add a file produced by `from` and consumed by `to`.
+    pub fn connect(&mut self, from: TaskId, to: TaskId, name: &str, size: f64) -> FileId {
+        let f = self.add_file(name, size);
+        self.add_output(from, f);
+        self.add_input(to, f);
+        f
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The producer of each file (`None` for workflow inputs).
+    pub fn producers(&self) -> Vec<Option<TaskId>> {
+        let mut p = vec![None; self.files.len()];
+        for (t, task) in self.tasks.iter().enumerate() {
+            for &f in &task.outputs {
+                p[f] = Some(t);
+            }
+        }
+        p
+    }
+
+    /// Direct predecessors of each task (deduplicated, sorted).
+    pub fn predecessors(&self) -> Vec<Vec<TaskId>> {
+        let producers = self.producers();
+        self.tasks
+            .iter()
+            .map(|task| {
+                let mut preds: Vec<TaskId> =
+                    task.inputs.iter().filter_map(|&f| producers[f]).collect();
+                preds.sort_unstable();
+                preds.dedup();
+                preds
+            })
+            .collect()
+    }
+
+    /// Direct successors of each task (deduplicated, sorted).
+    pub fn successors(&self) -> Vec<Vec<TaskId>> {
+        let mut succ = vec![Vec::new(); self.tasks.len()];
+        for (t, preds) in self.predecessors().iter().enumerate() {
+            for &p in preds {
+                succ[p].push(t);
+            }
+        }
+        for s in &mut succ {
+            s.sort_unstable();
+            s.dedup();
+        }
+        succ
+    }
+
+    /// Files that no task produces (the workflow's external inputs).
+    pub fn input_files(&self) -> Vec<FileId> {
+        self.producers()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(f, _)| f)
+            .collect()
+    }
+
+    /// Sum of all file sizes — the paper's *data footprint* (Table 1).
+    pub fn data_footprint(&self) -> f64 {
+        self.files.iter().map(|f| f.size).sum()
+    }
+
+    /// Sum of all task work.
+    pub fn total_work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.work).sum()
+    }
+
+    /// Tasks in a deterministic topological order.
+    ///
+    /// # Panics
+    /// Panics if the data-flow graph has a cycle.
+    pub fn topological_order(&self) -> Vec<TaskId> {
+        let preds = self.predecessors();
+        let mut indegree: Vec<usize> = preds.iter().map(|p| p.len()).collect();
+        let succ = self.successors();
+        // Kahn's algorithm with an index-ordered frontier for determinism.
+        let mut frontier: Vec<TaskId> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(t, _)| t)
+            .collect();
+        let mut order = Vec::with_capacity(self.tasks.len());
+        while let Some(&t) = frontier.first() {
+            frontier.remove(0);
+            order.push(t);
+            for &s in &succ[t] {
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    // Insert keeping the frontier sorted.
+                    let pos = frontier.partition_point(|&x| x < s);
+                    frontier.insert(pos, s);
+                }
+            }
+        }
+        assert_eq!(order.len(), self.tasks.len(), "workflow {} has a dependency cycle", self.name);
+        order
+    }
+
+    /// Depth (level) of each task: 0 for entry tasks, `1 + max(pred)`
+    /// otherwise.
+    pub fn levels(&self) -> Vec<usize> {
+        let preds = self.predecessors();
+        let mut level = vec![0usize; self.tasks.len()];
+        for &t in &self.topological_order() {
+            level[t] = preds[t].iter().map(|&p| level[p] + 1).max().unwrap_or(0);
+        }
+        level
+    }
+
+    /// Length of the longest chain of tasks (critical path in task count).
+    pub fn depth(&self) -> usize {
+        self.levels().iter().max().map_or(0, |m| m + 1)
+    }
+
+    /// Basic structural validation: names unique, file references in
+    /// range, graph acyclic. Returns a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut names = HashMap::new();
+        for (i, t) in self.tasks.iter().enumerate() {
+            if let Some(prev) = names.insert(&t.name, i) {
+                return Err(format!("duplicate task name {:?} (tasks {prev} and {i})", t.name));
+            }
+            for &f in t.inputs.iter().chain(&t.outputs) {
+                if f >= self.files.len() {
+                    return Err(format!("task {:?} references unknown file {f}", t.name));
+                }
+            }
+        }
+        let mut fnames = HashMap::new();
+        for (i, f) in self.files.iter().enumerate() {
+            if let Some(prev) = fnames.insert(&f.name, i) {
+                return Err(format!("duplicate file name {:?} (files {prev} and {i})", f.name));
+            }
+        }
+        // Cycle check via Kahn (reuse topological_order but non-panicking).
+        let preds = self.predecessors();
+        let succ = self.successors();
+        let mut indegree: Vec<usize> = preds.iter().map(|p| p.len()).collect();
+        let mut frontier: Vec<TaskId> =
+            indegree.iter().enumerate().filter(|(_, &d)| d == 0).map(|(t, _)| t).collect();
+        let mut seen = 0;
+        while let Some(t) = frontier.pop() {
+            seen += 1;
+            for &s in &succ[t] {
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    frontier.push(s);
+                }
+            }
+        }
+        if seen != self.tasks.len() {
+            return Err(format!("workflow {:?} has a dependency cycle", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// diamond: a -> {b, c} -> d
+    fn diamond() -> Workflow {
+        let mut w = Workflow::new("diamond");
+        let a = w.add_task("a", 1.0);
+        let b = w.add_task("b", 2.0);
+        let c = w.add_task("c", 3.0);
+        let d = w.add_task("d", 4.0);
+        w.connect(a, b, "ab", 10.0);
+        w.connect(a, c, "ac", 20.0);
+        w.connect(b, d, "bd", 30.0);
+        w.connect(c, d, "cd", 40.0);
+        w
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let w = diamond();
+        assert!(w.validate().is_ok());
+        assert_eq!(w.predecessors(), vec![vec![], vec![0], vec![0], vec![1, 2]]);
+        assert_eq!(w.successors(), vec![vec![1, 2], vec![3], vec![3], vec![]]);
+        assert_eq!(w.topological_order(), vec![0, 1, 2, 3]);
+        assert_eq!(w.levels(), vec![0, 1, 1, 2]);
+        assert_eq!(w.depth(), 3);
+        assert_eq!(w.data_footprint(), 100.0);
+        assert_eq!(w.total_work(), 10.0);
+    }
+
+    #[test]
+    fn external_inputs_are_producerless() {
+        let mut w = diamond();
+        let ext = w.add_file("raw-input", 99.0);
+        w.add_input(0, ext);
+        assert_eq!(w.input_files(), vec![4]);
+    }
+
+    #[test]
+    fn duplicate_consumers_dedup_in_predecessors() {
+        let mut w = Workflow::new("w");
+        let a = w.add_task("a", 1.0);
+        let b = w.add_task("b", 1.0);
+        w.connect(a, b, "f1", 1.0);
+        w.connect(a, b, "f2", 1.0);
+        assert_eq!(w.predecessors()[b], vec![a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a producer")]
+    fn single_writer_rule() {
+        let mut w = Workflow::new("w");
+        let a = w.add_task("a", 1.0);
+        let b = w.add_task("b", 1.0);
+        let f = w.add_file("f", 1.0);
+        w.add_output(a, f);
+        w.add_output(b, f);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut w = Workflow::new("cyclic");
+        let a = w.add_task("a", 1.0);
+        let b = w.add_task("b", 1.0);
+        w.connect(a, b, "ab", 1.0);
+        // b -> a closes a cycle.
+        let f = w.add_file("ba", 1.0);
+        w.add_output(b, f);
+        w.add_input(a, f);
+        assert!(w.validate().unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn topological_order_panics_on_cycle() {
+        let mut w = Workflow::new("cyclic");
+        let a = w.add_task("a", 1.0);
+        let b = w.add_task("b", 1.0);
+        w.connect(a, b, "ab", 1.0);
+        let f = w.add_file("ba", 1.0);
+        w.add_output(b, f);
+        w.add_input(a, f);
+        w.topological_order();
+    }
+
+    #[test]
+    fn validate_catches_duplicate_names() {
+        let mut w = Workflow::new("w");
+        w.add_task("same", 1.0);
+        w.add_task("same", 1.0);
+        assert!(w.validate().unwrap_err().contains("duplicate task name"));
+    }
+
+    #[test]
+    fn empty_workflow_is_valid() {
+        let w = Workflow::new("empty");
+        assert!(w.validate().is_ok());
+        assert_eq!(w.depth(), 0);
+        assert!(w.topological_order().is_empty());
+    }
+
+    #[test]
+    fn topological_order_is_deterministic_and_respects_deps() {
+        let w = diamond();
+        let order = w.topological_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; order.len()];
+            for (i, &t) in order.iter().enumerate() {
+                p[t] = i;
+            }
+            p
+        };
+        for (t, preds) in w.predecessors().iter().enumerate() {
+            for &p in preds {
+                assert!(pos[p] < pos[t]);
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the workflow generators, the JSON
+//! interchange, and the simulator's structural invariants.
+
+use proptest::prelude::*;
+use simcal::prelude::Calibration;
+use wfsim::prelude::*;
+
+fn arb_app() -> impl Strategy<Value = AppKind> {
+    prop_oneof![
+        Just(AppKind::Epigenomics),
+        Just(AppKind::Genome1000),
+        Just(AppKind::SoyKb),
+        Just(AppKind::Montage),
+        Just(AppKind::Seismology),
+        Just(AppKind::Chain),
+        Just(AppKind::Forkjoin),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated workflow has exactly the requested task count, is
+    /// structurally valid, and matches the requested footprint.
+    #[test]
+    fn generator_invariants(
+        app in arb_app(),
+        num_tasks in 9usize..120,
+        work in 0.0f64..10.0,
+        footprint_mb in 0.0f64..2000.0,
+        seed in 0u64..1000,
+    ) {
+        let spec = WorkflowSpec {
+            app,
+            num_tasks,
+            work_per_task_secs: work,
+            data_footprint_bytes: footprint_mb * 1e6,
+            seed,
+        };
+        let w = generate(&spec);
+        prop_assert_eq!(w.num_tasks(), num_tasks);
+        prop_assert!(w.validate().is_ok());
+        prop_assert!((w.data_footprint() - footprint_mb * 1e6).abs() < 1.0);
+        // Entry tasks exist and levels are consistent.
+        let preds = w.predecessors();
+        prop_assert!(preds.iter().any(|p| p.is_empty()));
+        let levels = w.levels();
+        for (t, ps) in preds.iter().enumerate() {
+            for &p in ps {
+                prop_assert!(levels[p] < levels[t]);
+            }
+        }
+    }
+
+    /// WfCommons JSON roundtrips every generated workflow exactly.
+    #[test]
+    fn wfcommons_roundtrip(
+        app in arb_app(),
+        num_tasks in 9usize..60,
+        seed in 0u64..500,
+    ) {
+        let w = generate(&WorkflowSpec {
+            app,
+            num_tasks,
+            work_per_task_secs: 1.0,
+            data_footprint_bytes: 5e7,
+            seed,
+        });
+        let json = to_json(&w);
+        let back = from_json(&json).expect("generated workflows parse back");
+        prop_assert_eq!(w, back);
+    }
+
+    /// The simulator never panics and returns sane output across versions
+    /// and random calibrations: positive finite makespan at least as long
+    /// as the critical-path compute time.
+    #[test]
+    fn simulate_is_total_and_sane(
+        version_idx in 0usize..12,
+        unit in proptest::collection::vec(0.05f64..0.95, 10),
+        n_workers in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        let version = SimulatorVersion::all()[version_idx];
+        let space = version.parameter_space();
+        let calib: Calibration = space.denormalize(&unit[..space.dim()]);
+        let w = generate(&WorkflowSpec {
+            app: AppKind::Forkjoin,
+            num_tasks: 12,
+            work_per_task_secs: 0.5,
+            data_footprint_bytes: 1e6,
+            seed,
+        });
+        let sim = WorkflowSimulator::new(version);
+        let out = sim.simulate(&w, n_workers, &calib);
+        prop_assert!(out.makespan.is_finite() && out.makespan > 0.0);
+        prop_assert_eq!(out.task_times.len(), w.num_tasks());
+        prop_assert!(out.task_times.iter().all(|t| t.is_finite() && *t >= 0.0));
+        // Critical path bound: depth x min task compute time.
+        let core_speed = space.value(&calib, "core_speed");
+        let min_task_secs = w
+            .tasks
+            .iter()
+            .map(|t| t.work / core_speed)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(out.makespan >= w.depth() as f64 * min_task_secs - 1e-9);
+    }
+
+    /// The ground-truth emulator is monotone in worker count for
+    /// embarrassingly parallel workloads (more workers never hurt much).
+    #[test]
+    fn emulator_parallel_speedup(seed in 0u64..50) {
+        let cfg = EmulatorConfig::default();
+        let w = generate(&WorkflowSpec {
+            app: AppKind::Seismology,
+            num_tasks: 40,
+            work_per_task_secs: 5.0,
+            data_footprint_bytes: 0.0,
+            seed,
+        });
+        let m1 = cfg.emulate(&w, 1, seed).makespan;
+        let m4 = cfg.emulate(&w, 4, seed).makespan;
+        // Generous slack: condor cycles and noise blur the boundary.
+        prop_assert!(m4 <= m1 * 1.2, "1w {m1} vs 4w {m4}");
+    }
+}

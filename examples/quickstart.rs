@@ -1,0 +1,64 @@
+//! Quickstart: calibrate a workflow simulator against emulated ground
+//! truth and report its accuracy on held-out executions.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lodcal::simcal::prelude::*;
+use lodcal::wfsim::prelude::*;
+
+fn main() {
+    // 1. Ground truth: emulated "real-world" executions of small forkjoin
+    //    benchmarks (in a real study this comes from testbed logs).
+    let opts = DatasetOptions {
+        repetitions: 2,
+        size_indices: vec![0, 1],
+        work_indices: vec![1],
+        footprint_indices: vec![1],
+        worker_counts: vec![1, 2, 4],
+        ..Default::default()
+    };
+    let records = dataset_for(AppKind::Forkjoin, &opts);
+    let (train, test) = split_train_test(&records);
+    println!("ground truth: {} training / {} testing executions", train.len(), test.len());
+
+    // 2. Pick a simulator version (a level-of-detail choice) and calibrate
+    //    it against the training executions under a fixed budget.
+    let version = SimulatorVersion {
+        network: NetworkModel::OneLink,
+        storage: StorageModel::SubmitOnly,
+        compute: ComputeModel::HtCondor,
+    };
+    let simulator = WorkflowSimulator::new(version);
+    let train_scenarios = WfScenario::from_records(&train);
+    let obj = objective(
+        &simulator,
+        &train_scenarios,
+        StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
+    );
+    let result = Calibrator::bo_gp(Budget::Evaluations(60), 42).calibrate(&obj);
+    println!(
+        "calibrated {} in {} evaluations: training loss {:.3}",
+        version.label(),
+        result.evaluations,
+        result.loss
+    );
+    for (param, value) in obj.space().params().iter().zip(&result.calibration.values) {
+        println!("  {} = {:.4e}", param.name, value);
+    }
+
+    // 3. Evaluate the calibrated simulator on the held-out executions.
+    let test_scenarios = WfScenario::from_records(&test);
+    let mut errors = Vec::new();
+    for s in &test_scenarios {
+        let out = simulator.simulate(&s.workflow, s.n_workers, &result.calibration);
+        errors.push(relative_error(s.gt_makespan, out.makespan));
+    }
+    println!(
+        "held-out makespan error: avg {:.1}% (min {:.1}%, max {:.1}%)",
+        lodcal::numeric::mean(&errors) * 100.0,
+        lodcal::numeric::min(&errors) * 100.0,
+        lodcal::numeric::max(&errors) * 100.0,
+    );
+}

@@ -1,0 +1,37 @@
+//! # lodcal — Levels-of-Detail Calibration
+//!
+//! A Rust reproduction of *"Determining Levels of Detail for Simulators of
+//! Parallel and Distributed Computing Systems via Automated Calibration"*
+//! (PMBS'25 / SC 2025 workshops).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! - [`simcal`] — the paper's contribution: an automated simulation
+//!   calibration framework (parameter spaces, loss functions, search
+//!   algorithms including Bayesian optimization, budgets, and synthetic
+//!   benchmarking for loss/algorithm selection).
+//! - [`wfsim`] — case study #1: a scientific-workflow simulator with 12
+//!   level-of-detail versions and a Pegasus/HTCondor-style ground-truth
+//!   emulator.
+//! - [`mpisim`] — case study #2: an MPI point-to-point benchmark simulator
+//!   with 16 level-of-detail versions and a Summit-style ground-truth
+//!   emulator.
+//! - [`batchsim`] — case study #3 (the paper's stated future-work domain):
+//!   a batch-scheduling simulator with EASY backfilling and 4
+//!   level-of-detail versions.
+//! - [`dessim`] — the flow-level discrete-event simulation kernel the
+//!   first two case studies are built on.
+//! - [`numeric`] — dense linear algebra, statistics, and seeded sampling.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete run: generate ground truth,
+//! calibrate a simulator version under a fixed budget, and report the
+//! makespan error on held-out executions.
+
+pub use batchsim;
+pub use dessim;
+pub use mpisim;
+pub use numeric;
+pub use simcal;
+pub use wfsim;

@@ -1,0 +1,102 @@
+//! End-to-end integration tests for case study #3 (batch scheduling),
+//! plus serde persistence of ground-truth records across all three case
+//! studies (users calibrate against saved datasets).
+
+use lodcal::batchsim::prelude::*;
+use lodcal::simcal::prelude::*;
+
+#[test]
+fn batch_calibration_beats_nominal_values() {
+    let cfg = BatchEmulatorConfig::default();
+    let grid = default_grid(3);
+    let train = dataset(&grid[..2], &cfg, 2, 3);
+    let test = dataset(&grid[2..4], &cfg, 2, 3);
+
+    let version = BatchVersion::highest_detail();
+    let sim = BatchSimulator::new(version, cfg.total_nodes);
+    let obj = objective(&sim, &train, StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"));
+    let result = Calibrator::bo_gp(Budget::Evaluations(150), 5).calibrate(&obj);
+
+    let err = |calib: &Calibration| -> f64 {
+        let errs: Vec<f64> = test
+            .iter()
+            .map(|s| relative_error(s.makespan, sim.simulate(&s.jobs, calib).makespan))
+            .collect();
+        numeric::mean(&errs)
+    };
+    let calibrated = err(&result.calibration);
+    // Nominal values: speed 1.0, everything else mid-range guesswork.
+    let space = version.parameter_space();
+    let nominal = space.calibration_from_pairs(&[
+        ("node_speed", 1.0),
+        ("contention_coeff", 0.0),
+        ("sched_cycle", 0.0),
+        ("dispatch_overhead", 0.0),
+    ]);
+    let baseline = err(&nominal);
+    assert!(
+        calibrated < baseline,
+        "calibrated {calibrated:.3} must beat nominal {baseline:.3}"
+    );
+}
+
+#[test]
+fn batch_ground_truth_records_roundtrip_through_json() {
+    let cfg = BatchEmulatorConfig::default();
+    let records = dataset(&default_grid(1)[..1], &cfg, 1, 2);
+    let json = serde_json::to_string(&records).expect("serialize");
+    let back: Vec<BatchGroundTruthRecord> = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(records.len(), back.len());
+    assert_eq!(records[0].makespan, back[0].makespan);
+    assert_eq!(records[0].jobs, back[0].jobs);
+    assert_eq!(records[0].turnarounds, back[0].turnarounds);
+}
+
+#[test]
+fn workflow_ground_truth_records_roundtrip_through_json() {
+    use lodcal::wfsim::prelude::*;
+    let records = dataset_for(
+        AppKind::Forkjoin,
+        &DatasetOptions {
+            repetitions: 1,
+            size_indices: vec![0],
+            work_indices: vec![0],
+            footprint_indices: vec![0],
+            worker_counts: vec![1],
+            ..Default::default()
+        },
+    );
+    let json = serde_json::to_string(&records).expect("serialize");
+    let back: Vec<GroundTruthRecord> = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.len(), records.len());
+    assert_eq!(back[0].spec, records[0].spec);
+    assert_eq!(back[0].makespan, records[0].makespan);
+    // The scenario can be rebuilt from the deserialized record.
+    let s = WfScenario::from_record(&back[0]);
+    assert_eq!(s.workflow.num_tasks(), back[0].spec.num_tasks);
+}
+
+#[test]
+fn mpi_ground_truth_records_roundtrip_through_json() {
+    use lodcal::mpisim::prelude::*;
+    let cfg = MpiEmulatorConfig { repetitions: 2, ..Default::default() };
+    let records = dataset(&[BenchmarkKind::PingPong], &[8], &cfg, 4);
+    let json = serde_json::to_string(&records).expect("serialize");
+    let back: Vec<MpiGroundTruthRecord> = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back[0].samples, records[0].samples);
+    assert_eq!(back[0].benchmark, records[0].benchmark);
+}
+
+#[test]
+fn calibrations_and_spaces_roundtrip_through_json() {
+    let version = BatchVersion::highest_detail();
+    let space = version.parameter_space();
+    let calib = space.denormalize(&vec![0.42; space.dim()]);
+    let json = serde_json::to_string(&(&space, &calib)).expect("serialize");
+    let (space2, calib2): (ParameterSpace, Calibration) =
+        serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(space, space2);
+    assert_eq!(calib, calib2);
+    // The deserialized pair still works together.
+    assert_eq!(space2.value(&calib2, "node_speed"), space.value(&calib, "node_speed"));
+}
