@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn emulation_is_reproducible_and_noisy() {
         let cfg = BatchEmulatorConfig::default();
-        let jobs = generate(&WorkloadSpec { num_jobs: 40, ..Default::default() });
+        let jobs = generate(&WorkloadSpec {
+            num_jobs: 40,
+            ..Default::default()
+        });
         let a = cfg.emulate(&jobs, 1);
         let b = cfg.emulate(&jobs, 1);
         let c = cfg.emulate(&jobs, 2);
@@ -150,8 +153,16 @@ mod tests {
     #[test]
     fn heavier_load_takes_longer() {
         let cfg = BatchEmulatorConfig::default();
-        let light = WorkloadSpec { num_jobs: 60, mean_interarrival: 60.0, ..Default::default() };
-        let heavy = WorkloadSpec { num_jobs: 60, mean_interarrival: 5.0, ..Default::default() };
+        let light = WorkloadSpec {
+            num_jobs: 60,
+            mean_interarrival: 60.0,
+            ..Default::default()
+        };
+        let heavy = WorkloadSpec {
+            num_jobs: 60,
+            mean_interarrival: 5.0,
+            ..Default::default()
+        };
         let r = dataset(&[light, heavy], &cfg, 1, 1);
         // Heavier arrival rate => more queueing => larger mean turnaround.
         let mean_light = numeric::mean(&r[0].turnarounds);

@@ -36,7 +36,12 @@ pub fn objective<'a>(
     scenarios: &'a [BatchScenario],
     loss: StructuredLoss,
 ) -> SimulationObjective<'a, BatchSimulator, StructuredLoss> {
-    SimulationObjective::new(simulator, scenarios, loss, simulator.version.parameter_space())
+    SimulationObjective::new(
+        simulator,
+        scenarios,
+        loss,
+        simulator.version.parameter_space(),
+    )
 }
 
 #[cfg(test)]
@@ -52,10 +57,16 @@ mod tests {
         let scenarios = dataset(&default_grid(1)[..2], &cfg, 2, 7);
         let version = BatchVersion::highest_detail();
         let sim = BatchSimulator::new(version, cfg.total_nodes);
-        let obj =
-            objective(&sim, &scenarios, StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"));
-        let arbitrary =
-            obj.loss(&version.parameter_space().denormalize(&vec![0.2; obj.space().dim()]));
+        let obj = objective(
+            &sim,
+            &scenarios,
+            StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
+        );
+        let arbitrary = obj.loss(
+            &version
+                .parameter_space()
+                .denormalize(&vec![0.2; obj.space().dim()]),
+        );
         let result = Calibrator::bo_gp(Budget::Evaluations(80), 3).calibrate(&obj);
         assert!(result.loss <= arbitrary, "{} vs {arbitrary}", result.loss);
         assert!(result.loss < 0.5, "calibrated loss {}", result.loss);

@@ -9,6 +9,7 @@
 
 use crate::versions::{BatchVersion, OverheadDetail, RuntimeDetail};
 use crate::workload::Job;
+use dessim::{ActivityKind, Engine, Platform};
 use numeric::{lognormal, rng_from_seed};
 use serde::{Deserialize, Serialize};
 use simcal::prelude::Calibration;
@@ -78,7 +79,10 @@ impl BatchSimulator {
     /// A simulator of a `total_nodes`-node cluster.
     pub fn new(version: BatchVersion, total_nodes: u32) -> Self {
         assert!(total_nodes > 0, "cluster needs nodes");
-        Self { version, total_nodes }
+        Self {
+            version,
+            total_nodes,
+        }
     }
 
     /// Simulate `jobs` (sorted by submission) under `calibration`.
@@ -102,97 +106,159 @@ impl Ord for OrdF64 {
 }
 
 /// Event-driven EASY-backfilling execution.
+///
+/// Events (job arrivals, job completions, scheduler cycle ticks) live in a
+/// [`dessim::Engine`] as absolute-deadline [`ActivityKind::TimerAt`]
+/// activities — arrivals enter as one up-front [`Engine::add_activities`]
+/// batch — while the EASY state machine (FIFO queue, running-set heap for
+/// shadow-time queries) stays local. All events at one instant are drained
+/// via [`Engine::peek_time`] so a single scheduling pass covers them.
 pub(crate) fn execute(jobs: &[Job], total_nodes: u32, model: &ResolvedBatch) -> BatchOutput {
     assert!(
         jobs.iter().all(|j| j.nodes <= total_nodes),
         "a job requests more nodes than the cluster has"
     );
     let n = jobs.len();
-    let mut end_time = vec![f64::NAN; n];
     if n == 0 {
-        return BatchOutput { makespan: 0.0, turnarounds: Vec::new() };
+        return BatchOutput {
+            makespan: 0.0,
+            turnarounds: Vec::new(),
+        };
     }
 
     // Pre-drawn runtime noise (ground-truth emulator only).
     let noise: Vec<f64> = if model.noise_sigma > 0.0 {
         let mut rng = rng_from_seed(model.noise_seed);
         let s = model.noise_sigma;
-        (0..n).map(|_| lognormal(&mut rng, -s * s / 2.0, s)).collect()
+        (0..n)
+            .map(|_| lognormal(&mut rng, -s * s / 2.0, s))
+            .collect()
     } else {
         vec![1.0; n]
     };
 
-    let mut free = total_nodes;
-    let mut queue: Vec<usize> = Vec::new();
-    // (end_time, job, nodes) of running jobs.
-    let mut running: BinaryHeap<Reverse<(OrdF64, usize, u32)>> = BinaryHeap::new();
-    let mut next_arrival = 0usize;
-    let mut makespan = 0.0f64;
-
-    // Start a job at `start` (dispatch overhead included by the caller).
-    let start_job = |j: usize,
-                     start: f64,
-                     free: &mut u32,
-                     running: &mut BinaryHeap<Reverse<(OrdF64, usize, u32)>>,
-                     end_time: &mut [f64],
-                     makespan: &mut f64| {
-        let job = &jobs[j];
-        // Utilization-dependent runtime inflation (interference model).
-        let utilization = 1.0 - *free as f64 / total_nodes as f64;
-        let runtime = jobs[j].work / model.node_speed
-            * (1.0 + model.contention_coeff * utilization)
-            * noise[j];
-        let end = start + model.dispatch_overhead + runtime;
-        *free -= job.nodes;
-        running.push(Reverse((OrdF64(end), j, job.nodes)));
-        end_time[j] = end;
-        *makespan = makespan.max(end);
+    let mut sim = Sim {
+        jobs,
+        model,
+        noise,
+        total_nodes,
+        engine: Engine::new(Platform::new()),
+        free: total_nodes,
+        queue: Vec::new(),
+        running: BinaryHeap::new(),
+        end_time: vec![f64::NAN; n],
+        makespan: 0.0,
+        next_arrival: 0,
+        completed: 0,
+        // A scheduling pass is useful only after an arrival or a
+        // completion; tracking this lets cycle ticks jump over idle
+        // periods, which keeps the event count bounded by the number of
+        // state changes even when a calibration proposes a microscopic
+        // cycle period.
+        state_changed: true,
+        pending_cycle: None,
+        next_cycle_tag: 2 * n as u64,
     };
+    sim.run();
 
-    // EASY backfilling pass at time `now` over the FIFO queue.
-    let schedule = |now: f64,
-                    free: &mut u32,
-                    queue: &mut Vec<usize>,
-                    running: &mut BinaryHeap<Reverse<(OrdF64, usize, u32)>>,
-                    end_time: &mut [f64],
-                    makespan: &mut f64| {
+    let turnarounds: Vec<f64> = jobs
+        .iter()
+        .zip(&sim.end_time)
+        .map(|(j, &e)| {
+            debug_assert!(e.is_finite(), "every job must have finished");
+            e - j.submit_time
+        })
+        .collect();
+    BatchOutput {
+        makespan: sim.makespan,
+        turnarounds,
+    }
+}
+
+/// EASY-backfilling state machine over a [`dessim::Engine`] event queue.
+///
+/// Tag scheme: `[0, n)` completion of job `tag`; `[n, 2n)` arrival of job
+/// `tag - n`; `>= 2n` a scheduler cycle tick.
+struct Sim<'a> {
+    jobs: &'a [Job],
+    model: &'a ResolvedBatch,
+    noise: Vec<f64>,
+    total_nodes: u32,
+    engine: Engine,
+    free: u32,
+    /// FIFO queue of waiting jobs.
+    queue: Vec<usize>,
+    /// (end_time, job, nodes) of running jobs, for shadow-time queries.
+    running: BinaryHeap<Reverse<(OrdF64, usize, u32)>>,
+    end_time: Vec<f64>,
+    makespan: f64,
+    next_arrival: usize,
+    completed: usize,
+    state_changed: bool,
+    pending_cycle: Option<f64>,
+    next_cycle_tag: u64,
+}
+
+impl Sim<'_> {
+    /// Start job `j` at `start` (dispatch overhead included here).
+    fn start_job(&mut self, j: usize, start: f64) {
+        let job = &self.jobs[j];
+        // Utilization-dependent runtime inflation (interference model).
+        let utilization = 1.0 - self.free as f64 / self.total_nodes as f64;
+        let runtime = job.work / self.model.node_speed
+            * (1.0 + self.model.contention_coeff * utilization)
+            * self.noise[j];
+        let end = start + self.model.dispatch_overhead + runtime;
+        self.free -= job.nodes;
+        self.running.push(Reverse((OrdF64(end), j, job.nodes)));
+        self.end_time[j] = end;
+        self.makespan = self.makespan.max(end);
+        self.engine
+            .add_activity(ActivityKind::timer_at(end), j as u64);
+    }
+
+    /// EASY backfilling pass at time `now` over the FIFO queue.
+    fn schedule(&mut self, now: f64) {
         loop {
-            let Some(&head) = queue.first() else { return };
-            if jobs[head].nodes <= *free {
-                queue.remove(0);
-                start_job(head, now, free, running, end_time, makespan);
+            let Some(&head) = self.queue.first() else {
+                return;
+            };
+            if self.jobs[head].nodes <= self.free {
+                self.queue.remove(0);
+                self.start_job(head, now);
                 continue;
             }
             // Head does not fit: compute its reservation (shadow time) from
             // the walltime-estimate end times of running jobs, then
             // backfill jobs that cannot delay it.
-            let mut releases: Vec<(f64, u32)> = running
+            let mut releases: Vec<(f64, u32)> = self
+                .running
                 .iter()
                 .map(|Reverse((OrdF64(end), _, nodes))| (*end, *nodes))
                 .collect();
             releases.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let mut avail = *free;
+            let mut avail = self.free;
             let mut shadow_time = f64::INFINITY;
             for (end, nodes) in &releases {
                 avail += nodes;
-                if avail >= jobs[head].nodes {
+                if avail >= self.jobs[head].nodes {
                     shadow_time = *end;
                     break;
                 }
             }
             // Nodes still free at the shadow time once the head starts.
-            let extra = avail.saturating_sub(jobs[head].nodes);
+            let extra = avail.saturating_sub(self.jobs[head].nodes);
 
             let mut backfilled = false;
             let mut i = 1;
-            while i < queue.len() {
-                let j = queue[i];
-                let fits_now = jobs[j].nodes <= *free;
-                let cannot_delay_head = now + jobs[j].walltime_estimate <= shadow_time
-                    || jobs[j].nodes <= extra.min(*free);
+            while i < self.queue.len() {
+                let j = self.queue[i];
+                let fits_now = self.jobs[j].nodes <= self.free;
+                let cannot_delay_head = now + self.jobs[j].walltime_estimate <= shadow_time
+                    || self.jobs[j].nodes <= extra.min(self.free);
                 if fits_now && cannot_delay_head {
-                    queue.remove(i);
-                    start_job(j, now, free, running, end_time, makespan);
+                    self.queue.remove(i);
+                    self.start_job(j, now);
                     backfilled = true;
                 } else {
                     i += 1;
@@ -203,105 +269,120 @@ pub(crate) fn execute(jobs: &[Job], total_nodes: u32, model: &ResolvedBatch) -> 
             }
             // A backfill may have freed nothing, but utilization changed;
             // loop to re-check the head (it still cannot fit) and stop.
-            if jobs[head].nodes > *free {
+            if self.jobs[head].nodes > self.free {
                 return;
-            }
-        }
-    };
-
-    // Cycle-aligned scheduling: passes happen at multiples of the period.
-    let cycle = if model.sched_cycle > 0.0 { Some(model.sched_cycle.max(1e-3)) } else { None };
-    let next_cycle_after = |t: f64, c: f64| {
-        let k = (t / c).floor() + 1.0;
-        k * c
-    };
-    let mut pending_cycle: Option<f64> = None;
-    // A scheduling pass is useful only after an arrival or a completion;
-    // tracking this lets cycle ticks jump over idle periods, which keeps
-    // the event count bounded by the number of state changes even when a
-    // calibration proposes a microscopic cycle period.
-    let mut state_changed = true;
-
-    let mut completed = 0usize;
-    while completed < n {
-        // Next event time.
-        let t_arr = jobs.get(next_arrival).map(|j| j.submit_time).unwrap_or(f64::INFINITY);
-        let t_done = running.peek().map(|Reverse((OrdF64(e), _, _))| *e).unwrap_or(f64::INFINITY);
-        let t_cyc = pending_cycle.unwrap_or(f64::INFINITY);
-        let t = t_arr.min(t_done).min(t_cyc);
-        assert!(t.is_finite(), "no events but {} jobs incomplete", n - completed);
-        let now = t;
-
-        // Process arrivals at t.
-        while next_arrival < n && jobs[next_arrival].submit_time <= now {
-            queue.push(next_arrival);
-            next_arrival += 1;
-            state_changed = true;
-        }
-        // Process completions at t.
-        while let Some(Reverse((OrdF64(e), _, _))) = running.peek() {
-            if *e > now {
-                break;
-            }
-            let Reverse((_, _, nodes)) = running.pop().expect("peeked");
-            free += nodes;
-            completed += 1;
-            state_changed = true;
-        }
-
-        match cycle {
-            None => {
-                schedule(now, &mut free, &mut queue, &mut running, &mut end_time, &mut makespan);
-            }
-            Some(c) => {
-                let is_cycle_tick = pending_cycle.is_some_and(|pc| pc <= now);
-                if is_cycle_tick {
-                    pending_cycle = None;
-                    if state_changed {
-                        schedule(
-                            now,
-                            &mut free,
-                            &mut queue,
-                            &mut running,
-                            &mut end_time,
-                            &mut makespan,
-                        );
-                        state_changed = false;
-                    }
-                }
-                if !queue.is_empty() && pending_cycle.is_none() {
-                    // With nothing new to schedule, the next useful tick is
-                    // the first boundary at or after the next state change.
-                    let t_arr2 =
-                        jobs.get(next_arrival).map(|j| j.submit_time).unwrap_or(f64::INFINITY);
-                    let t_done2 = running
-                        .peek()
-                        .map(|Reverse((OrdF64(e), _, _))| *e)
-                        .unwrap_or(f64::INFINITY);
-                    let base = if state_changed { now } else { t_arr2.min(t_done2) };
-                    assert!(
-                        base.is_finite(),
-                        "queued jobs but no future event can free resources"
-                    );
-                    let mut boundary = (base / c).ceil() * c;
-                    if boundary <= now {
-                        boundary = next_cycle_after(now, c);
-                    }
-                    pending_cycle = Some(boundary);
-                }
             }
         }
     }
 
-    let turnarounds: Vec<f64> = jobs
-        .iter()
-        .zip(&end_time)
-        .map(|(j, &e)| {
-            debug_assert!(e.is_finite(), "every job must have finished");
-            e - j.submit_time
-        })
-        .collect();
-    BatchOutput { makespan, turnarounds }
+    /// Apply one engine event; returns whether it was a cycle tick.
+    fn handle_event(&mut self, tag: u64, now: f64) -> bool {
+        let n = self.jobs.len();
+        let tag = tag as usize;
+        if tag < n {
+            // Job completion. Completions fire in end-time order, so the
+            // running-set minimum is an entry ending at this instant.
+            let Reverse((OrdF64(end), _, nodes)) = self
+                .running
+                .pop()
+                .expect("completion event with empty running set");
+            debug_assert!(
+                end <= now + 1e-9,
+                "completion at {now} but earliest end is {end}"
+            );
+            self.free += nodes;
+            self.completed += 1;
+            self.state_changed = true;
+            false
+        } else if tag < 2 * n {
+            self.queue.push(tag - n);
+            self.next_arrival += 1;
+            self.state_changed = true;
+            false
+        } else {
+            true
+        }
+    }
+
+    fn run(&mut self) {
+        let n = self.jobs.len();
+        // All arrivals enter the engine as one batch of absolute timers.
+        let arrivals: Vec<(ActivityKind, u64)> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(j, job)| (ActivityKind::timer_at(job.submit_time), (n + j) as u64))
+            .collect();
+        self.engine.add_activities(arrivals);
+
+        // Cycle-aligned scheduling: passes happen at multiples of the
+        // period (guarded against a zero period stalling virtual time).
+        let cycle = if self.model.sched_cycle > 0.0 {
+            Some(self.model.sched_cycle.max(1e-3))
+        } else {
+            None
+        };
+
+        while self.completed < n {
+            let c = self
+                .engine
+                .step()
+                .unwrap_or_else(|| panic!("no events but {} jobs incomplete", n - self.completed));
+            let now = c.time;
+            let mut saw_cycle_tick = self.handle_event(c.tag, now);
+            // Drain every event at this instant (absolute timers make the
+            // comparison exact) so one scheduling pass covers them all.
+            while self.engine.peek_time().is_some_and(|t| t <= now) {
+                let c = self.engine.step().expect("peeked event");
+                saw_cycle_tick |= self.handle_event(c.tag, now);
+            }
+
+            match cycle {
+                None => self.schedule(now),
+                Some(cyc) => {
+                    if saw_cycle_tick {
+                        self.pending_cycle = None;
+                        if self.state_changed {
+                            self.schedule(now);
+                            self.state_changed = false;
+                        }
+                    }
+                    if !self.queue.is_empty() && self.pending_cycle.is_none() {
+                        // With nothing new to schedule, the next useful tick
+                        // is the first boundary at or after the next state
+                        // change.
+                        let t_arr = self
+                            .jobs
+                            .get(self.next_arrival)
+                            .map(|j| j.submit_time)
+                            .unwrap_or(f64::INFINITY);
+                        let t_done = self
+                            .running
+                            .peek()
+                            .map(|Reverse((OrdF64(e), _, _))| *e)
+                            .unwrap_or(f64::INFINITY);
+                        let base = if self.state_changed {
+                            now
+                        } else {
+                            t_arr.min(t_done)
+                        };
+                        assert!(
+                            base.is_finite(),
+                            "queued jobs but no future event can free resources"
+                        );
+                        let mut boundary = (base / cyc).ceil() * cyc;
+                        if boundary <= now {
+                            boundary = ((now / cyc).floor() + 1.0) * cyc;
+                        }
+                        self.engine
+                            .add_activity(ActivityKind::timer_at(boundary), self.next_cycle_tag);
+                        self.next_cycle_tag += 1;
+                        self.pending_cycle = Some(boundary);
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -322,7 +403,12 @@ mod tests {
     }
 
     fn job(submit: f64, nodes: u32, work: f64, estimate: f64) -> Job {
-        Job { submit_time: submit, nodes, work, walltime_estimate: estimate }
+        Job {
+            submit_time: submit,
+            nodes,
+            work,
+            walltime_estimate: estimate,
+        }
     }
 
     #[test]
@@ -354,8 +440,16 @@ mod tests {
         ];
         let out = execute(&jobs, 4, &resolved(1.0, 0.0, 0.0, 0.0));
         // C ends at 2+40 = 42 (backfilled), B starts at 100.
-        assert!((out.turnarounds[2] - 40.0).abs() < 1e-9, "C {:?}", out.turnarounds);
-        assert!((out.turnarounds[1] - (150.0 - 1.0)).abs() < 1e-9, "B {:?}", out.turnarounds);
+        assert!(
+            (out.turnarounds[2] - 40.0).abs() < 1e-9,
+            "C {:?}",
+            out.turnarounds
+        );
+        assert!(
+            (out.turnarounds[1] - (150.0 - 1.0)).abs() < 1e-9,
+            "B {:?}",
+            out.turnarounds
+        );
     }
 
     #[test]
@@ -370,8 +464,16 @@ mod tests {
         let out = execute(&jobs, 4, &resolved(1.0, 0.0, 0.0, 0.0));
         // B starts when A ends (t=100); C runs after B (1-node slot opens
         // only after B, since B takes the whole cluster).
-        assert!((out.turnarounds[1] - 149.0).abs() < 1e-9, "B {:?}", out.turnarounds);
-        assert!(out.turnarounds[2] > 500.0, "C must wait: {:?}", out.turnarounds);
+        assert!(
+            (out.turnarounds[1] - 149.0).abs() < 1e-9,
+            "B {:?}",
+            out.turnarounds
+        );
+        assert!(
+            out.turnarounds[2] > 500.0,
+            "C must wait: {:?}",
+            out.turnarounds
+        );
     }
 
     #[test]
@@ -379,7 +481,11 @@ mod tests {
         let jobs = vec![job(5.0, 1, 10.0, 20.0)];
         let out = execute(&jobs, 4, &resolved(1.0, 30.0, 0.0, 0.0));
         // Arrival at 5; first cycle boundary after 5 is 30.
-        assert!((out.makespan - 40.0).abs() < 1e-9, "makespan {}", out.makespan);
+        assert!(
+            (out.makespan - 40.0).abs() < 1e-9,
+            "makespan {}",
+            out.makespan
+        );
     }
 
     #[test]
@@ -387,7 +493,11 @@ mod tests {
         let jobs = vec![job(0.0, 1, 10.0, 20.0), job(0.0, 1, 10.0, 20.0)];
         let out = execute(&jobs, 4, &resolved(1.0, 1.0, 5.0, 0.0));
         // Both start at the first cycle (t=1), each pays 5s dispatch.
-        assert!((out.makespan - 16.0).abs() < 1e-9, "makespan {}", out.makespan);
+        assert!(
+            (out.makespan - 16.0).abs() < 1e-9,
+            "makespan {}",
+            out.makespan
+        );
     }
 
     #[test]
@@ -397,12 +507,19 @@ mod tests {
         let contended = execute(&base, 4, &resolved(1.0, 0.0, 0.0, 1.0));
         assert!((no_contention.makespan - 100.0).abs() < 1e-9);
         // Second job starts when utilization is 0.5 -> inflated by 1.5x.
-        assert!(contended.makespan > 125.0, "contended {}", contended.makespan);
+        assert!(
+            contended.makespan > 125.0,
+            "contended {}",
+            contended.makespan
+        );
     }
 
     #[test]
     fn faster_nodes_shorten_everything() {
-        let jobs = generate(&WorkloadSpec { num_jobs: 40, ..Default::default() });
+        let jobs = generate(&WorkloadSpec {
+            num_jobs: 40,
+            ..Default::default()
+        });
         let slow = execute(&jobs, 32, &resolved(0.5, 0.0, 0.0, 0.0));
         let fast = execute(&jobs, 32, &resolved(2.0, 0.0, 0.0, 0.0));
         assert!(fast.makespan < slow.makespan);
@@ -413,7 +530,11 @@ mod tests {
 
     #[test]
     fn all_jobs_complete_and_turnarounds_cover_runtimes() {
-        let jobs = generate(&WorkloadSpec { num_jobs: 200, seed: 9, ..Default::default() });
+        let jobs = generate(&WorkloadSpec {
+            num_jobs: 200,
+            seed: 9,
+            ..Default::default()
+        });
         let out = execute(&jobs, 64, &resolved(1.0, 30.0, 2.0, 0.5));
         assert_eq!(out.turnarounds.len(), 200);
         for (j, t) in jobs.iter().zip(&out.turnarounds) {
@@ -423,7 +544,11 @@ mod tests {
 
     #[test]
     fn simulator_api_is_deterministic() {
-        let jobs = generate(&WorkloadSpec { num_jobs: 60, seed: 2, ..Default::default() });
+        let jobs = generate(&WorkloadSpec {
+            num_jobs: 60,
+            seed: 2,
+            ..Default::default()
+        });
         let version = BatchVersion::highest_detail();
         let space = version.parameter_space();
         let calib = space.denormalize(&vec![0.5; space.dim()]);

@@ -52,12 +52,18 @@ impl BatchVersion {
 
     /// The highest level of detail (cycle + contention) — 4 parameters.
     pub fn highest_detail() -> BatchVersion {
-        BatchVersion { overhead: OverheadDetail::Cycle, runtime: RuntimeDetail::Contention }
+        BatchVersion {
+            overhead: OverheadDetail::Cycle,
+            runtime: RuntimeDetail::Contention,
+        }
     }
 
     /// The lowest level of detail (instant + proportional) — 1 parameter.
     pub fn lowest_detail() -> BatchVersion {
-        BatchVersion { overhead: OverheadDetail::Instant, runtime: RuntimeDetail::Proportional }
+        BatchVersion {
+            overhead: OverheadDetail::Instant,
+            runtime: RuntimeDetail::Proportional,
+        }
     }
 
     /// Short report label, e.g. `"cycle/contention"`.
@@ -78,13 +84,25 @@ impl BatchVersion {
         let mut space = ParameterSpace::new();
         // Node speed in work units per second, log-uniform over a broad
         // range around 1 (the workload's natural unit).
-        space.add("node_speed", ParamKind::Exponential { lo_exp: -5.0, hi_exp: 5.0 });
+        space.add(
+            "node_speed",
+            ParamKind::Exponential {
+                lo_exp: -5.0,
+                hi_exp: 5.0,
+            },
+        );
         if self.runtime == RuntimeDetail::Contention {
-            space.add("contention_coeff", ParamKind::Continuous { lo: 0.0, hi: 2.0 });
+            space.add(
+                "contention_coeff",
+                ParamKind::Continuous { lo: 0.0, hi: 2.0 },
+            );
         }
         if self.overhead == OverheadDetail::Cycle {
             space.add("sched_cycle", ParamKind::Continuous { lo: 0.0, hi: 120.0 });
-            space.add("dispatch_overhead", ParamKind::Continuous { lo: 0.0, hi: 30.0 });
+            space.add(
+                "dispatch_overhead",
+                ParamKind::Continuous { lo: 0.0, hi: 30.0 },
+            );
         }
         space
     }
@@ -113,7 +131,11 @@ mod tests {
     #[test]
     fn every_space_has_node_speed() {
         for v in BatchVersion::all() {
-            assert!(v.parameter_space().index_of("node_speed").is_some(), "{}", v.label());
+            assert!(
+                v.parameter_space().index_of("node_speed").is_some(),
+                "{}",
+                v.label()
+            );
         }
     }
 }

@@ -41,14 +41,23 @@ pub struct WorkloadSpec {
 
 impl Default for WorkloadSpec {
     fn default() -> Self {
-        Self { num_jobs: 100, mean_interarrival: 20.0, mean_work: 300.0, max_nodes_log2: 5, seed: 0 }
+        Self {
+            num_jobs: 100,
+            mean_interarrival: 20.0,
+            mean_work: 300.0,
+            max_nodes_log2: 5,
+            seed: 0,
+        }
     }
 }
 
 /// Generate a workload trace (sorted by submission time).
 pub fn generate(spec: &WorkloadSpec) -> Vec<Job> {
     assert!(spec.num_jobs > 0, "workload must contain jobs");
-    assert!(spec.mean_interarrival > 0.0 && spec.mean_work > 0.0, "means must be positive");
+    assert!(
+        spec.mean_interarrival > 0.0 && spec.mean_work > 0.0,
+        "means must be positive"
+    );
     let mut rng = rng_from_seed(spec.seed ^ 0xBA7C4);
     let mut t = 0.0;
     let sigma = 0.8; // lognormal runtime spread, PWA-like heavy tail
@@ -61,7 +70,12 @@ pub fn generate(spec: &WorkloadSpec) -> Vec<Job> {
             let work = lognormal(&mut rng, mu, sigma);
             // Users overestimate walltime by 1.5-10x (PWA stylized fact).
             let over = 1.5 + 8.5 * rng.gen::<f64>();
-            Job { submit_time: t, nodes, work, walltime_estimate: work * over }
+            Job {
+                submit_time: t,
+                nodes,
+                work,
+                walltime_estimate: work * over,
+            }
         })
         .collect()
 }
@@ -72,14 +86,22 @@ mod tests {
 
     #[test]
     fn generates_requested_count_sorted_by_submission() {
-        let jobs = generate(&WorkloadSpec { num_jobs: 50, ..Default::default() });
+        let jobs = generate(&WorkloadSpec {
+            num_jobs: 50,
+            ..Default::default()
+        });
         assert_eq!(jobs.len(), 50);
-        assert!(jobs.windows(2).all(|w| w[0].submit_time <= w[1].submit_time));
+        assert!(jobs
+            .windows(2)
+            .all(|w| w[0].submit_time <= w[1].submit_time));
     }
 
     #[test]
     fn node_requests_are_powers_of_two_in_range() {
-        let jobs = generate(&WorkloadSpec { max_nodes_log2: 4, ..Default::default() });
+        let jobs = generate(&WorkloadSpec {
+            max_nodes_log2: 4,
+            ..Default::default()
+        });
         for j in &jobs {
             assert!(j.nodes.is_power_of_two());
             assert!(j.nodes <= 16);
@@ -94,16 +116,29 @@ mod tests {
 
     #[test]
     fn mean_work_is_approximately_respected() {
-        let jobs = generate(&WorkloadSpec { num_jobs: 5000, mean_work: 100.0, ..Default::default() });
+        let jobs = generate(&WorkloadSpec {
+            num_jobs: 5000,
+            mean_work: 100.0,
+            ..Default::default()
+        });
         let mean = numeric::mean(&jobs.iter().map(|j| j.work).collect::<Vec<_>>());
         assert!((mean - 100.0).abs() < 15.0, "mean {mean}");
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate(&WorkloadSpec { seed: 3, ..Default::default() });
-        let b = generate(&WorkloadSpec { seed: 3, ..Default::default() });
-        let c = generate(&WorkloadSpec { seed: 4, ..Default::default() });
+        let a = generate(&WorkloadSpec {
+            seed: 3,
+            ..Default::default()
+        });
+        let b = generate(&WorkloadSpec {
+            seed: 3,
+            ..Default::default()
+        });
+        let c = generate(&WorkloadSpec {
+            seed: 4,
+            ..Default::default()
+        });
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -111,6 +146,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "must contain jobs")]
     fn zero_jobs_rejected() {
-        generate(&WorkloadSpec { num_jobs: 0, ..Default::default() });
+        generate(&WorkloadSpec {
+            num_jobs: 0,
+            ..Default::default()
+        });
     }
 }

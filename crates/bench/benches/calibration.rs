@@ -23,13 +23,17 @@ fn bench_surrogate_fit(c: &mut Criterion) {
     let mut group = c.benchmark_group("surrogate_fit_n100_d8");
     let (x, y) = training_data(100, 8);
     for kind in SurrogateKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut s = kind.build(1);
-                s.fit(&x, &y);
-                black_box(s.predict(&[0.5; 8]))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut s = kind.build(1);
+                    s.fit(&x, &y);
+                    black_box(s.predict(&[0.5; 8]))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -54,26 +58,39 @@ fn bench_algorithms_end_to_end(c: &mut Criterion) {
     for i in 0..6 {
         space.add(&format!("x{i}"), ParamKind::Continuous { lo: 0.0, hi: 1.0 });
     }
-    for kind in [AlgorithmKind::Random, AlgorithmKind::Grid, AlgorithmKind::Gradient, AlgorithmKind::BoGp] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let obj = FnObjective::new(
-                    ParameterSpace::new()
-                        .with("a", ParamKind::Continuous { lo: 0.0, hi: 1.0 })
-                        .with("b", ParamKind::Continuous { lo: 0.0, hi: 1.0 })
-                        .with("c", ParamKind::Continuous { lo: 0.0, hi: 1.0 })
-                        .with("d", ParamKind::Continuous { lo: 0.0, hi: 1.0 })
-                        .with("e", ParamKind::Continuous { lo: 0.0, hi: 1.0 })
-                        .with("f", ParamKind::Continuous { lo: 0.0, hi: 1.0 }),
-                    |calib: &Calibration| {
-                        calib.values.iter().map(|v| (v - 0.6) * (v - 0.6)).sum()
-                    },
-                );
-                let r = Calibrator { algorithm: kind, budget: Budget::Evaluations(100), seed: 3 }
+    for kind in [
+        AlgorithmKind::Random,
+        AlgorithmKind::Grid,
+        AlgorithmKind::Gradient,
+        AlgorithmKind::BoGp,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let obj = FnObjective::new(
+                        ParameterSpace::new()
+                            .with("a", ParamKind::Continuous { lo: 0.0, hi: 1.0 })
+                            .with("b", ParamKind::Continuous { lo: 0.0, hi: 1.0 })
+                            .with("c", ParamKind::Continuous { lo: 0.0, hi: 1.0 })
+                            .with("d", ParamKind::Continuous { lo: 0.0, hi: 1.0 })
+                            .with("e", ParamKind::Continuous { lo: 0.0, hi: 1.0 })
+                            .with("f", ParamKind::Continuous { lo: 0.0, hi: 1.0 }),
+                        |calib: &Calibration| {
+                            calib.values.iter().map(|v| (v - 0.6) * (v - 0.6)).sum()
+                        },
+                    );
+                    let r = Calibrator {
+                        algorithm: kind,
+                        budget: Budget::Evaluations(100),
+                        seed: 3,
+                    }
                     .calibrate(&obj);
-                black_box(r.loss)
-            })
-        });
+                    black_box(r.loss)
+                })
+            },
+        );
     }
     group.finish();
 }

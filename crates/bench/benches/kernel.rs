@@ -4,8 +4,78 @@
 //! more detailed network models).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dessim::{max_min_fair_share, ActivityKind, Engine, Platform};
+use dessim::{max_min_fair_share, ActivityKind, Engine, Platform, ReferenceEngine};
 use std::hint::black_box;
+
+/// A large mixed workload whose link contention decomposes into many small
+/// connected components: groups of 4 links (group count scaling with `n` so
+/// components stay ~128 flows), every flow routed inside one group, plus
+/// computes and timers. This is the regime the incremental engine targets —
+/// each completion re-solves one component instead of the whole platform,
+/// and picks the next event from a heap instead of a scan.
+fn clustered_workload(n: usize) -> (Platform, Vec<(ActivityKind, u64)>) {
+    const LINKS_PER_GROUP: usize = 4;
+    let groups = (n / 128).max(16);
+    let mut p = Platform::new();
+    let links: Vec<Vec<_>> = (0..groups)
+        .map(|g| {
+            (0..LINKS_PER_GROUP)
+                .map(|i| p.add_link(1e9 + ((g * LINKS_PER_GROUP + i) as f64) * 1e6, 0.0))
+                .collect()
+        })
+        .collect();
+    let batch = (0..n)
+        .map(|i| {
+            let kind = match i % 8 {
+                0 => ActivityKind::compute(1e9 + (i as f64) * 1e3, 1e9),
+                1 => ActivityKind::timer(0.5 + (i % 97) as f64 * 0.01),
+                _ => {
+                    let group = &links[i % groups];
+                    let a = group[i % LINKS_PER_GROUP];
+                    let b = group[(i / groups + 1) % LINKS_PER_GROUP];
+                    let route = if a == b { vec![a] } else { vec![a, b] };
+                    ActivityKind::flow(route, 1e6 + (i as f64) * 37.0)
+                }
+            };
+            (kind, i as u64)
+        })
+        .collect();
+    (p, batch)
+}
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling");
+    for &n in &[1_000usize, 10_000] {
+        let (p, batch) = clustered_workload(n);
+        group.bench_with_input(BenchmarkId::new("incremental", n), &(), |b, _| {
+            b.iter(|| {
+                let mut e = Engine::new(p.clone());
+                e.add_activities(batch.clone());
+                black_box(e.run_to_completion().len())
+            })
+        });
+        // The seed's full-recompute + linear-scan engine, kept as the
+        // baseline: O(activities) work per event.
+        group.bench_with_input(BenchmarkId::new("reference", n), &(), |b, _| {
+            b.iter(|| {
+                let mut e = ReferenceEngine::new(p.clone());
+                e.add_activities(batch.clone());
+                black_box(e.run_to_completion().len())
+            })
+        });
+    }
+    // Headroom point: the reference engine is quadratic and impractical
+    // here, so only the incremental engine runs at this size.
+    let (p, batch) = clustered_workload(50_000);
+    group.bench_with_input(BenchmarkId::new("incremental", 50_000), &(), |b, _| {
+        b.iter(|| {
+            let mut e = Engine::new(p.clone());
+            e.add_activities(batch.clone());
+            black_box(e.run_to_completion().len())
+        })
+    });
+    group.finish();
+}
 
 fn bench_max_min(c: &mut Criterion) {
     let mut group = c.benchmark_group("max_min_fair_share");
@@ -42,7 +112,10 @@ fn bench_engine_events(c: &mut Criterion) {
                 let l = p.add_link(1e9, 1e-4);
                 let mut e = Engine::new(p);
                 for i in 0..n {
-                    e.add_activity(ActivityKind::flow(vec![l], 1e6 + (i as f64) * 1e3), i as u64);
+                    e.add_activity(
+                        ActivityKind::flow(vec![l], 1e6 + (i as f64) * 1e3),
+                        i as u64,
+                    );
                 }
                 black_box(e.run_to_completion().len())
             })
@@ -56,6 +129,6 @@ criterion_group! {
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_max_min, bench_engine_events
+    targets = bench_max_min, bench_engine_events, bench_engine_scaling
 }
 criterion_main!(benches);

@@ -94,7 +94,13 @@ impl ExpArgs {
             Some(s) => Budget::WallClock(Duration::from_secs_f64(s)),
             None => Budget::Evaluations(budget_evals),
         };
-        ExpArgs { budget, seed, fast, tsv, uncalibrated }
+        ExpArgs {
+            budget,
+            seed,
+            fast,
+            tsv,
+            uncalibrated,
+        }
     }
 
     /// Write `table` to the TSV path if one was requested.

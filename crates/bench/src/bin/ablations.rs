@@ -23,15 +23,13 @@ use wfsim::prelude::*;
 
 /// Build the synthetic case-1 objective (highest-detail simulator, its own
 /// output at a known reference as ground truth) plus the reference.
-fn synthetic_objective(
-    fast: bool,
-    seed: u64,
-) -> (WorkflowSimulator, Vec<WfScenario>, Calibration) {
+fn synthetic_objective(fast: bool, seed: u64) -> (WorkflowSimulator, Vec<WfScenario>, Calibration) {
     let version = SimulatorVersion::highest_detail();
     let space = version.parameter_space();
     let sim = WorkflowSimulator::new(version);
-    let reference_unit: Vec<f64> =
-        (0..space.dim()).map(|i| if i % 2 == 0 { 0.35 } else { 0.65 }).collect();
+    let reference_unit: Vec<f64> = (0..space.dim())
+        .map(|i| if i % 2 == 0 { 0.35 } else { 0.65 })
+        .collect();
     let reference = space.denormalize(&reference_unit);
     let opts = DatasetOptions {
         repetitions: 1,
@@ -68,11 +66,18 @@ fn main() {
     let mut t1 = Table::new(&["algorithm", "final loss", "calibration error"]);
     for kind in AlgorithmKind::ALL {
         // Skip the three redundant BO rows here; ablation 2 covers them.
-        if matches!(kind, AlgorithmKind::BoRf | AlgorithmKind::BoEt | AlgorithmKind::BoGbrt) {
+        if matches!(
+            kind,
+            AlgorithmKind::BoRf | AlgorithmKind::BoEt | AlgorithmKind::BoGbrt
+        ) {
             continue;
         }
-        let r = Calibrator { algorithm: kind, budget: args.budget, seed: args.seed }
-            .calibrate(&obj);
+        let r = Calibrator {
+            algorithm: kind,
+            budget: args.budget,
+            seed: args.seed,
+        }
+        .calibrate(&obj);
         t1.row(vec![
             kind.name().to_string(),
             format!("{:.4}", r.loss),
@@ -85,11 +90,18 @@ fn main() {
     // --- Ablation 2: BO surrogates --------------------------------------
     println!("Ablation 2: BO surrogate regressors (paper: near-identical)\n");
     let mut t2 = Table::new(&["surrogate", "final loss", "calibration error"]);
-    for kind in
-        [AlgorithmKind::BoGp, AlgorithmKind::BoRf, AlgorithmKind::BoEt, AlgorithmKind::BoGbrt]
-    {
-        let r = Calibrator { algorithm: kind, budget: args.budget, seed: args.seed }
-            .calibrate(&obj);
+    for kind in [
+        AlgorithmKind::BoGp,
+        AlgorithmKind::BoRf,
+        AlgorithmKind::BoEt,
+        AlgorithmKind::BoGbrt,
+    ] {
+        let r = Calibrator {
+            algorithm: kind,
+            budget: args.budget,
+            seed: args.seed,
+        }
+        .calibrate(&obj);
         t2.row(vec![
             kind.name().to_string(),
             format!("{:.4}", r.loss),
@@ -104,7 +116,10 @@ fn main() {
     let mut t3 = Table::new(&["batch size", "final loss"]);
     for batch in [1usize, 4, 8, 16] {
         let evaluator = Evaluator::new(&obj, args.budget);
-        let bo = BayesianOpt { batch_size: batch, ..BayesianOpt::new(SurrogateKind::GaussianProcess) };
+        let bo = BayesianOpt {
+            batch_size: batch,
+            ..BayesianOpt::new(SurrogateKind::GaussianProcess)
+        };
         bo.search(&evaluator, args.seed);
         let (best, _, _) = evaluator.best().expect("budget admits evaluations");
         t3.row(vec![batch.to_string(), format!("{best:.4}")]);

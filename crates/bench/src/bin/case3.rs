@@ -37,7 +37,11 @@ fn main() {
     let (train_specs, test_specs) = grid.split_at(if args.fast { 2 } else { 4 });
     let train = dataset(train_specs, &cfg, if args.fast { 2 } else { 3 }, args.seed);
     let test = dataset(test_specs, &cfg, if args.fast { 2 } else { 3 }, args.seed);
-    eprintln!("{} training / {} testing workload traces", train.len(), test.len());
+    eprintln!(
+        "{} training / {} testing workload traces",
+        train.len(),
+        test.len()
+    );
 
     let loss = StructuredLoss::new(Agg::Avg, ElementMix::AddAvg, "L3");
     let mut table = Table::new(&[
@@ -98,11 +102,18 @@ fn main() {
         // Spec-style baseline: nominal node speed 1.0, no overheads.
         let version = BatchVersion::lowest_detail();
         let sim = BatchSimulator::new(version, cfg.total_nodes);
-        let spec = version.parameter_space().calibration_from_pairs(&[("node_speed", 1.0)]);
+        let spec = version
+            .parameter_space()
+            .calibration_from_pairs(&[("node_speed", 1.0)]);
         let errs = turnaround_errors(&sim, &spec);
         let (avg, min, max) = summarize(&errs);
         let mut t = Table::new(&["baseline", "avg err %", "min err %", "max err %"]);
-        t.row(vec!["nominal values, lowest detail".into(), pct(avg), pct(min), pct(max)]);
+        t.row(vec![
+            "nominal values, lowest detail".into(),
+            pct(avg),
+            pct(min),
+            pct(max),
+        ]);
         println!("uncalibrated baseline:\n\n{}", t.render());
     }
 

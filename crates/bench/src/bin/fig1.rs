@@ -21,7 +21,10 @@ fn main() {
 
     let records = dataset_for(AppKind::Epigenomics, &opts);
     let scenarios = WfScenario::from_records(&records);
-    eprintln!("calibrating against {} Epigenomics executions", scenarios.len());
+    eprintln!(
+        "calibrating against {} Epigenomics executions",
+        scenarios.len()
+    );
 
     let loss = StructuredLoss::paper_set()[0].clone(); // L1
     let result = calibrate_version(

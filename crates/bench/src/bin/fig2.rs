@@ -23,8 +23,11 @@ use wfsim::prelude::*;
 fn main() {
     let args = ExpArgs::parse(150);
     let opts = dataset_options(args.fast, args.seed);
-    let apps: Vec<AppKind> =
-        if args.fast { vec![AppKind::Genome1000, AppKind::Montage] } else { AppKind::REAL.to_vec() };
+    let apps: Vec<AppKind> = if args.fast {
+        vec![AppKind::Genome1000, AppKind::Montage]
+    } else {
+        AppKind::REAL.to_vec()
+    };
 
     // Per-application train/test splits (the paper's §5.4 scheme).
     let mut splits = Vec::new();
@@ -37,21 +40,28 @@ fn main() {
             train.len(),
             test.len()
         );
-        splits.push((app, WfScenario::from_records(&train), WfScenario::from_records(&test)));
+        splits.push((
+            app,
+            WfScenario::from_records(&train),
+            WfScenario::from_records(&test),
+        ));
     }
 
     let loss = StructuredLoss::paper_set()[0].clone(); // L1 (selected by Table 3)
-    let mut table =
-        Table::new(&["version (net/storage/compute)", "avg err %", "min err %", "max err %"]);
+    let mut table = Table::new(&[
+        "version (net/storage/compute)",
+        "avg err %",
+        "min err %",
+        "max err %",
+    ]);
 
     for version in SimulatorVersion::all() {
         // One calibration per application, then aggregate across apps —
         // the bars (avg) and error bars (min/max) of Figure 2.
         let mut per_app_errors = Vec::new();
         for (app, train, test) in &splits {
-            let result = calibrate_version_best_of(
-                version, train, loss.clone(), args.budget, args.seed, 3,
-            );
+            let result =
+                calibrate_version_best_of(version, train, loss.clone(), args.budget, args.seed, 3);
             let errs = makespan_errors(version, &result.calibration, test);
             per_app_errors.push(numeric::mean(&errs));
             eprintln!(
@@ -76,11 +86,20 @@ fn main() {
         for (app, _, test) in &splits {
             let errs = makespan_errors(version, &calib, test);
             per_app.push(numeric::mean(&errs));
-            eprintln!("  uncalibrated / {}: {:.0}%", app.name(), numeric::mean(&errs) * 100.0);
+            eprintln!(
+                "  uncalibrated / {}: {:.0}%",
+                app.name(),
+                numeric::mean(&errs) * 100.0
+            );
         }
         let (avg, min, max) = summarize(&per_app);
         let mut t = Table::new(&["baseline", "avg err %", "min err %", "max err %"]);
-        t.row(vec!["spec-based, lowest detail".into(), pct(avg), pct(min), pct(max)]);
+        t.row(vec![
+            "spec-based, lowest detail".into(),
+            pct(avg),
+            pct(min),
+            pct(max),
+        ]);
         println!("§5.4 uncalibrated baseline (hardware-spec values, no calibration):\n");
         println!("{}", t.render());
     }

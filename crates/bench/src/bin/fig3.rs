@@ -24,8 +24,11 @@ use wfsim::prelude::*;
 fn main() {
     let args = ExpArgs::parse(100);
     let opts = dataset_options(args.fast, args.seed);
-    let apps: Vec<AppKind> =
-        if args.fast { vec![AppKind::Forkjoin] } else { vec![AppKind::Genome1000, AppKind::Montage] };
+    let apps: Vec<AppKind> = if args.fast {
+        vec![AppKind::Forkjoin]
+    } else {
+        vec![AppKind::Genome1000, AppKind::Montage]
+    };
     let version = SimulatorVersion::highest_detail();
     let loss = StructuredLoss::paper_set()[0].clone(); // L1
 
@@ -86,7 +89,11 @@ fn main() {
                         m.to_string(),
                         fnum(cost),
                         format!("{test_loss:.4}"),
-                        if is_default { "*".into() } else { String::new() },
+                        if is_default {
+                            "*".into()
+                        } else {
+                            String::new()
+                        },
                     ]);
                     eprintln!(
                         "{} {scheme} n={n} m={m}: cost {:.0}, test loss {:.4}",

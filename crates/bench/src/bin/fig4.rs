@@ -18,7 +18,12 @@ fn main() {
     let cfg = emulator_config(args.fast);
     let base_nodes = node_counts(args.fast)[0];
 
-    let scenarios = dataset(&BenchmarkKind::CALIBRATION_SET, &[base_nodes], &cfg, args.seed);
+    let scenarios = dataset(
+        &BenchmarkKind::CALIBRATION_SET,
+        &[base_nodes],
+        &cfg,
+        args.seed,
+    );
     eprintln!(
         "calibrating against {} benchmarks at {base_nodes} nodes",
         scenarios.len()

@@ -29,14 +29,24 @@ fn main() {
     let cfg = emulator_config(args.fast);
     let base_nodes = node_counts(args.fast)[0];
 
-    let scenarios = dataset(&BenchmarkKind::CALIBRATION_SET, &[base_nodes], &cfg, args.seed);
+    let scenarios = dataset(
+        &BenchmarkKind::CALIBRATION_SET,
+        &[base_nodes],
+        &cfg,
+        args.seed,
+    );
     let loss = MatrixLoss::paper_set()[0].clone(); // L1 (selected by Table 5)
 
-    let mut table =
-        Table::new(&["version (topology/node/protocol)", "avg err %", "min err %", "max err %"]);
+    let mut table = Table::new(&[
+        "version (topology/node/protocol)",
+        "avg err %",
+        "min err %",
+        "max err %",
+    ]);
 
     for version in MpiSimulatorVersion::all() {
-        let result = calibrate_version_best_of(version, &scenarios, loss.clone(), args.budget, args.seed, 5);
+        let result =
+            calibrate_version_best_of(version, &scenarios, loss.clone(), args.budget, args.seed, 5);
         // Per-benchmark errors: bars (avg) and error bars (min/max).
         let errs = rate_errors(version, &result.calibration, &scenarios);
         let (avg, min, max) = summarize(&errs);
@@ -61,7 +71,12 @@ fn main() {
         let errs = rate_errors(version, &calib, &scenarios);
         let (avg, min, max) = summarize(&errs);
         let mut t = Table::new(&["baseline", "avg err %", "min err %", "max err %"]);
-        t.row(vec!["spec-based, lowest detail".into(), pct(avg), pct(min), pct(max)]);
+        t.row(vec![
+            "spec-based, lowest detail".into(),
+            pct(avg),
+            pct(min),
+            pct(max),
+        ]);
         println!("§6.4 uncalibrated baseline (Summit spec values, no calibration):\n");
         println!("{}", t.render());
     }

@@ -55,13 +55,23 @@ fn main() {
     let baseline = calibrate_and_test(&train_full);
     println!("§5.5 part 1: diversity of work and footprint in the training set\n");
     let mut t1 = Table::new(&["training set", "test loss", "vs diverse (x)"]);
-    t1.row(vec!["diverse (default §5.4 training set)".into(), format!("{baseline:.4}"), "1.0".into()]);
+    t1.row(vec![
+        "diverse (default §5.4 training set)".into(),
+        format!("{baseline:.4}"),
+        "1.0".into(),
+    ]);
 
     // Work/footprint values present in the emitted records.
-    let mut works: Vec<f64> = train_full.iter().map(|r| r.spec.work_per_task_secs).collect();
+    let mut works: Vec<f64> = train_full
+        .iter()
+        .map(|r| r.spec.work_per_task_secs)
+        .collect();
     works.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     works.dedup();
-    let mut fps: Vec<f64> = train_full.iter().map(|r| r.spec.data_footprint_bytes).collect();
+    let mut fps: Vec<f64> = train_full
+        .iter()
+        .map(|r| r.spec.data_footprint_bytes)
+        .collect();
     fps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     fps.dedup();
 
@@ -91,17 +101,17 @@ fn main() {
     }
     println!("{}", t1.render());
     if cases > 0 {
-        println!(
-            "restricted training degraded the test loss in {degraded}/{cases} cases\n"
-        );
+        println!("restricted training degraded the test loss in {degraded}/{cases} cases\n");
     }
 
     // --- Part 2: synthetic-benchmark-only training ----------------------
-    println!("§5.5 part 2: training on chain / forkjoin only, testing on {}\n", app.name());
+    println!(
+        "§5.5 part 2: training on chain / forkjoin only, testing on {}\n",
+        app.name()
+    );
     let chain = dataset_for(AppKind::Chain, &opts);
     let forkjoin = dataset_for(AppKind::Forkjoin, &opts);
-    let both: Vec<GroundTruthRecord> =
-        chain.iter().chain(forkjoin.iter()).cloned().collect();
+    let both: Vec<GroundTruthRecord> = chain.iter().chain(forkjoin.iter()).cloned().collect();
 
     let mut t2 = Table::new(&["training set", "test loss", "vs app-trained (x)"]);
     t2.row(vec![
@@ -109,9 +119,11 @@ fn main() {
         format!("{baseline:.4}"),
         "1.0".into(),
     ]);
-    for (name, train) in
-        [("chain only", &chain), ("forkjoin only", &forkjoin), ("chain+forkjoin", &both)]
-    {
+    for (name, train) in [
+        ("chain only", &chain),
+        ("forkjoin only", &forkjoin),
+        ("chain+forkjoin", &both),
+    ] {
         let l = calibrate_and_test(train);
         t2.row(vec![
             name.into(),

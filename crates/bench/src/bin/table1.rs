@@ -40,11 +40,31 @@ fn main() {
         }
         table.row(vec![
             row.app.name().to_string(),
-            row.sizes.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", "),
-            row.works_secs.iter().map(|w| fnum(*w)).collect::<Vec<_>>().join(", "),
-            row.footprints_mb.iter().map(|f| fnum(*f)).collect::<Vec<_>>().join(", "),
-            row.worker_counts.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(", "),
-            format!("{}..{}", depths.iter().min().unwrap(), depths.iter().max().unwrap()),
+            row.sizes
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            row.works_secs
+                .iter()
+                .map(|w| fnum(*w))
+                .collect::<Vec<_>>()
+                .join(", "),
+            row.footprints_mb
+                .iter()
+                .map(|f| fnum(*f))
+                .collect::<Vec<_>>()
+                .join(", "),
+            row.worker_counts
+                .iter()
+                .map(|w| w.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            format!(
+                "{}..{}",
+                depths.iter().min().unwrap(),
+                depths.iter().max().unwrap()
+            ),
         ]);
     }
 

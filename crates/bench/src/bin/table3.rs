@@ -36,10 +36,15 @@ fn main() {
         worker_counts: vec![1, 4],
         ..Default::default()
     };
-    let apps = if args.fast { vec![AppKind::Forkjoin] } else { vec![AppKind::Genome1000] };
+    let apps = if args.fast {
+        vec![AppKind::Forkjoin]
+    } else {
+        vec![AppKind::Genome1000]
+    };
     for &(even, odd) in &patterns {
-        let reference_unit: Vec<f64> =
-            (0..space.dim()).map(|i| if i % 2 == 0 { even } else { odd }).collect();
+        let reference_unit: Vec<f64> = (0..space.dim())
+            .map(|i| if i % 2 == 0 { even } else { odd })
+            .collect();
         let reference = space.denormalize(&reference_unit);
         let mut scenarios: Vec<WfScenario> = Vec::new();
         for record in wfsim::prelude::dataset(&apps, &opts) {
@@ -75,8 +80,12 @@ fn main() {
             let mut errs = Vec::new();
             for (reference, scenarios) in &refs {
                 let obj = objective(&sim, scenarios, loss.clone());
-                let result = Calibrator { algorithm: alg, budget: args.budget, seed: args.seed }
-                    .calibrate(&obj);
+                let result = Calibrator {
+                    algorithm: alg,
+                    budget: args.budget,
+                    seed: args.seed,
+                }
+                .calibrate(&obj);
                 errs.push(calibration_error(&space, &result.calibration, reference));
             }
             let err = numeric::mean(&errs);
@@ -84,7 +93,12 @@ fn main() {
                 best = Some((err, alg.name().to_string(), loss.name().to_string()));
             }
             cells.push(fnum(err));
-            eprintln!("  {} / {}: calibration error {:.2}", alg.name(), loss.name(), err);
+            eprintln!(
+                "  {} / {}: calibration error {:.2}",
+                alg.name(),
+                loss.name(),
+                err
+            );
         }
         table.row(cells);
     }
@@ -92,6 +106,9 @@ fn main() {
     println!("Table 3: calibration error vs. algorithm and loss function (lower is better)\n");
     println!("{}", table.render());
     let (err, alg, loss) = best.expect("at least one cell");
-    println!("best pair: {alg} with {loss} (calibration error {})", fnum(err));
+    println!(
+        "best pair: {alg} with {loss} (calibration error {})",
+        fnum(err)
+    );
     args.maybe_write_tsv(&table);
 }

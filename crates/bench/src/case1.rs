@@ -63,9 +63,19 @@ pub fn calibrate_version_best_of(
 ) -> CalibrationResult {
     (0..restarts.max(1))
         .map(|r| {
-            calibrate_version(version, train, loss.clone(), budget, seed ^ (r as u64) << 32)
+            calibrate_version(
+                version,
+                train,
+                loss.clone(),
+                budget,
+                seed ^ (r as u64) << 32,
+            )
         })
-        .min_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal))
+        .min_by(|a, b| {
+            a.loss
+                .partial_cmp(&b.loss)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .expect("at least one restart")
 }
 
@@ -93,8 +103,7 @@ pub fn fixed_loss(
     loss: &StructuredLoss,
 ) -> f64 {
     let sim = WorkflowSimulator::new(version);
-    let outs: Vec<ScenarioError> =
-        scenarios.iter().map(|s| sim.run(s, calibration)).collect();
+    let outs: Vec<ScenarioError> = scenarios.iter().map(|s| sim.run(s, calibration)).collect();
     loss.aggregate(&outs)
 }
 

@@ -16,7 +16,10 @@ pub fn node_counts(fast: bool) -> Vec<usize> {
 
 /// Ground-truth emulator configuration for the experiments.
 pub fn emulator_config(fast: bool) -> MpiEmulatorConfig {
-    MpiEmulatorConfig { repetitions: if fast { 3 } else { 5 }, ..Default::default() }
+    MpiEmulatorConfig {
+        repetitions: if fast { 3 } else { 5 },
+        ..Default::default()
+    }
 }
 
 /// Calibrate `version` against `train` under `loss`.
@@ -44,9 +47,19 @@ pub fn calibrate_version_best_of(
 ) -> CalibrationResult {
     (0..restarts.max(1))
         .map(|r| {
-            calibrate_version(version, train, loss.clone(), budget, seed ^ (r as u64) << 32)
+            calibrate_version(
+                version,
+                train,
+                loss.clone(),
+                budget,
+                seed ^ (r as u64) << 32,
+            )
         })
-        .min_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal))
+        .min_by(|a, b| {
+            a.loss
+                .partial_cmp(&b.loss)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .expect("at least one restart")
 }
 

@@ -19,7 +19,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header width).
@@ -143,7 +146,7 @@ mod tests {
     fn number_formatting() {
         assert_eq!(fnum(1234.56), "1235");
         assert_eq!(fnum(56.78), "56.8");
-        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(4.24159), "4.24");
         assert_eq!(pct(0.2), "20.0");
     }
 }

@@ -3,20 +3,45 @@
 //! The engine owns a [`Platform`] and a set of in-flight activities. Each
 //! call to [`Engine::step`] advances virtual time to the next activity
 //! completion and returns it; the simulator built on top reacts by adding
-//! new activities. Rates are recomputed (max-min fair sharing for flows,
-//! equal sharing with a concurrency cap for disks) whenever the activity
-//! set changes, which is the classic fluid-model event loop.
+//! new activities.
+//!
+//! Unlike the naive fluid-model loop (recompute every rate and scan every
+//! activity at every event — see [`crate::reference::ReferenceEngine`]),
+//! this engine is built for large concurrent activity counts:
+//!
+//! - **Indexed event selection.** Predicted completion times live in a
+//!   min-heap keyed by `(finish, id, generation)`. A rate change bumps the
+//!   activity's generation, lazily invalidating any queued entry; stale
+//!   entries are skipped on pop. Picking the next event is `O(log n)`
+//!   instead of an `O(n)` scan.
+//! - **Incremental rate recomputation.** An add or completion marks the
+//!   links/disks it touches; before the next event is selected, only the
+//!   connected component(s) of the flow–link sharing graph containing
+//!   touched links are re-solved (max-min fair sharing decomposes exactly
+//!   by connected component), reusing a [`Workspace`] so the hot loop is
+//!   allocation-free. Disks are independent sharing domains and are
+//!   re-shared individually.
+//! - **Lazy progress materialization.** An activity's `remaining` amount
+//!   is only brought up to date when its rate changes; unaffected
+//!   activities are never rewritten, so a completion costs work
+//!   proportional to its sharing component, not to the total activity
+//!   count.
+//!
+//! Rate recomputation is deferred and merged: any number of
+//! [`Engine::add_activity`] / [`Engine::add_activities`] calls between two
+//! events trigger a single incremental re-solve.
 
 use crate::platform::{DiskId, LinkId, Platform};
-use crate::sharing::max_min_fair_share;
-use std::collections::BTreeMap;
+use crate::sharing::Workspace;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-/// Relative tolerance under which a remaining amount counts as finished.
+/// Tolerance under which a remaining amount counts as finished.
 const EPS: f64 = 1e-9;
 
 /// Unique identifier of an activity within one [`Engine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ActivityId(u64);
+pub struct ActivityId(pub(crate) u64);
 
 /// What an activity does. Construct via the helper constructors.
 #[derive(Clone, Debug)]
@@ -50,6 +75,14 @@ pub enum ActivityKind {
         /// Delay in seconds from the moment the timer is added.
         delay: f64,
     },
+    /// Fires at an absolute virtual time (immediately if already past).
+    /// Unlike [`ActivityKind::Timer`], the deadline does not depend on
+    /// when the activity is added, so schedulers can pre-compute exact
+    /// event times.
+    TimerAt {
+        /// Absolute deadline in seconds of virtual time.
+        at: f64,
+    },
 }
 
 impl ActivityKind {
@@ -59,8 +92,14 @@ impl ActivityKind {
     /// Panics if `rate <= 0`, or if either argument is non-finite or
     /// `work < 0`.
     pub fn compute(rate: f64, work: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "compute rate must be positive");
-        assert!(work >= 0.0 && work.is_finite(), "compute work must be non-negative");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "compute rate must be positive"
+        );
+        assert!(
+            work >= 0.0 && work.is_finite(),
+            "compute work must be non-negative"
+        );
         ActivityKind::Compute { rate, work }
     }
 
@@ -69,7 +108,10 @@ impl ActivityKind {
     /// # Panics
     /// Panics if `bytes` is negative or non-finite.
     pub fn io(disk: DiskId, bytes: f64) -> Self {
-        assert!(bytes >= 0.0 && bytes.is_finite(), "io bytes must be non-negative");
+        assert!(
+            bytes >= 0.0 && bytes.is_finite(),
+            "io bytes must be non-negative"
+        );
         ActivityKind::Io { disk, bytes }
     }
 
@@ -78,7 +120,10 @@ impl ActivityKind {
     /// # Panics
     /// Panics if `bytes` is negative or non-finite.
     pub fn flow(route: Vec<LinkId>, bytes: f64) -> Self {
-        assert!(bytes >= 0.0 && bytes.is_finite(), "flow bytes must be non-negative");
+        assert!(
+            bytes >= 0.0 && bytes.is_finite(),
+            "flow bytes must be non-negative"
+        );
         ActivityKind::Flow { route, bytes }
     }
 
@@ -87,8 +132,24 @@ impl ActivityKind {
     /// # Panics
     /// Panics if `delay` is negative or non-finite.
     pub fn timer(delay: f64) -> Self {
-        assert!(delay >= 0.0 && delay.is_finite(), "timer delay must be non-negative");
+        assert!(
+            delay >= 0.0 && delay.is_finite(),
+            "timer delay must be non-negative"
+        );
         ActivityKind::Timer { delay }
+    }
+
+    /// A timer firing at absolute virtual time `at` (or immediately if
+    /// `at` is already in the past when added).
+    ///
+    /// # Panics
+    /// Panics if `at` is negative or non-finite.
+    pub fn timer_at(at: f64) -> Self {
+        assert!(
+            at >= 0.0 && at.is_finite(),
+            "timer deadline must be non-negative"
+        );
+        ActivityKind::TimerAt { at }
     }
 }
 
@@ -103,7 +164,7 @@ pub struct Completion {
     pub time: f64,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 enum Phase {
     /// Flow still paying its route latency (`remaining` is seconds).
     Latency,
@@ -112,33 +173,154 @@ enum Phase {
     Active,
 }
 
+/// `f64` ordered by `total_cmp` so predicted finish times can key a heap.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Heap entry: `(predicted finish, activity id, generation at insertion)`.
+/// Reversed into a min-heap; ties break toward the lowest id, matching the
+/// reference engine's scan order.
+type HeapEntry = Reverse<(OrdF64, usize, u32)>;
+
 #[derive(Clone, Debug)]
 struct Act {
     kind: ActivityKind,
     tag: u64,
     phase: Phase,
-    /// Remaining amount in the unit of the current phase.
+    /// Remaining amount in the unit of the current phase, valid as of
+    /// `materialized_at`.
     remaining: f64,
-    /// Current progress rate (recomputed on activity-set changes).
+    /// Current progress rate; `f64::INFINITY` for unconstrained
+    /// (empty-route) flows, which complete at the current instant.
     rate: f64,
+    /// Virtual time at which `remaining` was last brought up to date.
+    materialized_at: f64,
+    /// Bumped on every rate/phase change; heap entries carrying an older
+    /// generation are stale and skipped.
+    generation: u32,
+}
+
+/// Bring `remaining` up to date at `now` under the activity's current rate.
+fn materialize(a: &mut Act, now: f64) {
+    if now > a.materialized_at {
+        if a.rate.is_infinite() {
+            a.remaining = 0.0;
+        } else if a.rate > 0.0 {
+            a.remaining = (a.remaining - a.rate * (now - a.materialized_at)).max(0.0);
+        }
+    }
+    a.materialized_at = now;
+}
+
+/// Schedule `a`'s predicted completion, if one is determinable: finished or
+/// unconstrained activities complete now; rate-0 activities stay
+/// unscheduled until a rate change makes progress possible.
+fn push_finish(a: &Act, heap: &mut BinaryHeap<HeapEntry>, now: f64, id: usize) {
+    let finish = if a.remaining <= EPS || a.rate.is_infinite() {
+        now
+    } else if a.rate > 0.0 {
+        now + a.remaining / a.rate
+    } else {
+        return;
+    };
+    heap.push(Reverse((OrdF64(finish), id, a.generation)));
+}
+
+/// Change an activity's rate: materialize progress under the old rate,
+/// invalidate any queued prediction, and schedule the new one.
+fn set_rate(
+    acts: &mut [Option<Act>],
+    heap: &mut BinaryHeap<HeapEntry>,
+    now: f64,
+    id: usize,
+    rate: f64,
+) {
+    let a = acts[id]
+        .as_mut()
+        .expect("rate change targets a live activity");
+    if a.rate == rate {
+        return;
+    }
+    materialize(a, now);
+    a.rate = rate;
+    a.generation += 1;
+    push_finish(a, heap, now, id);
 }
 
 /// Flow-level discrete-event simulation engine.
 ///
-/// See the [crate-level docs](crate) for an example.
+/// See the [crate-level docs](crate) for an example and the
+/// [module docs](self) for the data structures behind `step`.
 #[derive(Clone, Debug)]
 pub struct Engine {
     platform: Platform,
     time: f64,
-    next_id: u64,
-    acts: BTreeMap<u64, Act>,
-    dirty: bool,
+    /// Slab of activities keyed by id; ids are sequential and never
+    /// reused, completed slots become `None`.
+    acts: Vec<Option<Act>>,
+    /// Number of `Some` slots in `acts`.
+    live: usize,
+    heap: BinaryHeap<HeapEntry>,
+    /// Ids of Active-phase flows registered on each link (latency-phase
+    /// flows consume no bandwidth and are not listed).
+    link_flows: Vec<Vec<usize>>,
+    /// Ids of pending I/O ops per disk, in FIFO (insertion) order.
+    disk_ops: Vec<Vec<usize>>,
+    /// Links/disks whose sharing changed since the last flush.
+    touched_links: Vec<usize>,
+    link_touched: Vec<bool>,
+    touched_disks: Vec<usize>,
+    disk_touched: Vec<bool>,
+    /// Reusable max-min solver buffers.
+    ws: Workspace,
+    // Scratch for the component walk; cleared incrementally after use.
+    comp_links: Vec<usize>,
+    comp_flows: Vec<usize>,
+    link_seen: Vec<bool>,
+    flow_seen: Vec<bool>,
+    link_local: Vec<usize>,
+    walk_stack: Vec<usize>,
 }
 
 impl Engine {
     /// Create an engine over `platform`, at virtual time 0.
     pub fn new(platform: Platform) -> Self {
-        Self { platform, time: 0.0, next_id: 0, acts: BTreeMap::new(), dirty: true }
+        let nl = platform.num_links();
+        let nd = platform.num_disks();
+        Self {
+            platform,
+            time: 0.0,
+            acts: Vec::new(),
+            live: 0,
+            heap: BinaryHeap::new(),
+            link_flows: vec![Vec::new(); nl],
+            disk_ops: vec![Vec::new(); nd],
+            touched_links: Vec::new(),
+            link_touched: vec![false; nl],
+            touched_disks: Vec::new(),
+            disk_touched: vec![false; nd],
+            ws: Workspace::new(),
+            comp_links: Vec::new(),
+            comp_flows: Vec::new(),
+            link_seen: vec![false; nl],
+            flow_seen: Vec::new(),
+            link_local: vec![0; nl],
+            walk_stack: Vec::new(),
+        }
     }
 
     /// Current virtual time in seconds.
@@ -153,85 +335,235 @@ impl Engine {
 
     /// Number of in-flight activities.
     pub fn active_count(&self) -> usize {
-        self.acts.len()
+        self.live
     }
 
     /// Add an activity; `tag` is echoed back in its [`Completion`].
+    ///
+    /// Rate recomputation is deferred until the next [`Engine::step`] /
+    /// [`Engine::peek_time`], so consecutive adds at one instant cost a
+    /// single incremental re-solve.
     pub fn add_activity(&mut self, kind: ActivityKind, tag: u64) -> ActivityId {
-        let id = self.next_id;
-        self.next_id += 1;
-        let (phase, remaining) = match &kind {
-            ActivityKind::Compute { work, .. } => (Phase::Active, *work),
-            ActivityKind::Io { bytes, .. } => (Phase::Active, *bytes),
+        let id = self.acts.len();
+        let now = self.time;
+        let (phase, remaining, rate) = match &kind {
+            ActivityKind::Compute { work, rate } => (Phase::Active, *work, *rate),
+            ActivityKind::Io { disk, bytes } => {
+                let d = disk.index();
+                self.disk_ops[d].push(id);
+                if !self.disk_touched[d] {
+                    self.disk_touched[d] = true;
+                    self.touched_disks.push(d);
+                }
+                (Phase::Active, *bytes, 0.0)
+            }
             ActivityKind::Flow { route, bytes } => {
                 let lat = self.platform.route_latency(route);
                 if lat > 0.0 {
-                    (Phase::Latency, lat)
+                    (Phase::Latency, lat, 1.0)
+                } else if route.is_empty() {
+                    // Unconstrained: completes at the current instant.
+                    (Phase::Active, *bytes, f64::INFINITY)
                 } else {
-                    (Phase::Active, *bytes)
+                    for lid in route {
+                        let l = lid.index();
+                        self.link_flows[l].push(id);
+                        if !self.link_touched[l] {
+                            self.link_touched[l] = true;
+                            self.touched_links.push(l);
+                        }
+                    }
+                    (Phase::Active, *bytes, 0.0)
                 }
             }
-            ActivityKind::Timer { delay } => (Phase::Active, *delay),
+            ActivityKind::Timer { delay } => (Phase::Active, *delay, 1.0),
+            ActivityKind::TimerAt { at } => (Phase::Active, (*at - now).max(0.0), 1.0),
         };
-        self.acts.insert(id, Act { kind, tag, phase, remaining, rate: 0.0 });
-        self.dirty = true;
-        ActivityId(id)
+        // An absolute timer fires at exactly `at`, not `now + (at - now)`
+        // (which differs in the last ulps).
+        let exact_deadline = match &kind {
+            ActivityKind::TimerAt { at } if *at > now => Some(*at),
+            _ => None,
+        };
+        let act = Act {
+            kind,
+            tag,
+            phase,
+            remaining,
+            rate,
+            materialized_at: now,
+            generation: 0,
+        };
+        match exact_deadline {
+            Some(at) => self.heap.push(Reverse((OrdF64(at), id, 0))),
+            None => push_finish(&act, &mut self.heap, now, id),
+        }
+        self.acts.push(Some(act));
+        self.flow_seen.push(false);
+        self.live += 1;
+        ActivityId(id as u64)
     }
 
-    /// Recompute every activity's progress rate from the current set.
-    fn recompute_rates(&mut self) {
-        // Flows in the Active phase share links max-min fair.
-        let flow_ids: Vec<u64> = self
-            .acts
-            .iter()
-            .filter(|(_, a)| {
-                matches!(a.kind, ActivityKind::Flow { .. }) && matches!(a.phase, Phase::Active)
-            })
-            .map(|(id, _)| *id)
-            .collect();
-        let caps: Vec<f64> = self.platform.links().map(|(_, l)| l.bandwidth).collect();
-        let routes: Vec<Vec<usize>> = flow_ids
-            .iter()
-            .map(|id| match &self.acts[id].kind {
-                ActivityKind::Flow { route, .. } => route.iter().map(|l| l.index()).collect(),
-                _ => unreachable!(),
-            })
-            .collect();
-        let flow_rates = max_min_fair_share(&caps, &routes);
-        for (id, rate) in flow_ids.iter().zip(flow_rates) {
-            // An empty route (intra-host transfer) gets "infinite" rate;
-            // completion is then immediate. Keep it finite for arithmetic.
-            self.acts.get_mut(id).unwrap().rate = if rate.is_finite() { rate } else { f64::MAX };
-        }
+    /// Add a batch of activities released at the same instant, e.g. a
+    /// scheduler dispatching many ready tasks at once. Equivalent to
+    /// calling [`Engine::add_activity`] in order — rates are recomputed
+    /// once, at the next event — but states the intent and returns all ids.
+    pub fn add_activities(
+        &mut self,
+        batch: impl IntoIterator<Item = (ActivityKind, u64)>,
+    ) -> Vec<ActivityId> {
+        batch
+            .into_iter()
+            .map(|(kind, tag)| self.add_activity(kind, tag))
+            .collect()
+    }
 
-        // Disk ops: oldest `max_concurrency` ops on each disk share its
-        // bandwidth equally; younger ops wait at rate 0.
-        for d in 0..self.platform.num_disks() {
-            let disk = self.platform.disk(DiskId(d));
-            let ops: Vec<u64> = self
-                .acts
-                .iter()
-                .filter(|(_, a)| matches!(a.kind, ActivityKind::Io { disk: did, .. } if did.index() == d))
-                .map(|(id, _)| *id)
-                .collect();
+    /// Re-share every touched disk and re-solve the connected component(s)
+    /// of the flow–link graph containing touched links.
+    fn flush_touched(&mut self) {
+        if self.touched_disks.is_empty() && self.touched_links.is_empty() {
+            return;
+        }
+        let now = self.time;
+        let Engine {
+            platform,
+            acts,
+            heap,
+            link_flows,
+            disk_ops,
+            touched_links,
+            link_touched,
+            touched_disks,
+            disk_touched,
+            ws,
+            comp_links,
+            comp_flows,
+            link_seen,
+            flow_seen,
+            link_local,
+            walk_stack,
+            ..
+        } = self;
+
+        // Disks: each disk is its own sharing domain. The oldest
+        // `max_concurrency` ops split the bandwidth; younger ops wait.
+        for &d in touched_disks.iter() {
+            disk_touched[d] = false;
+            let disk = platform.disk(DiskId(d));
+            let ops = &disk_ops[d];
             let served = ops.len().min(disk.max_concurrency as usize);
-            let share = if served > 0 { disk.bandwidth / served as f64 } else { 0.0 };
-            for (i, id) in ops.iter().enumerate() {
-                self.acts.get_mut(id).unwrap().rate = if i < served { share } else { 0.0 };
+            let share = if served > 0 {
+                disk.bandwidth / served as f64
+            } else {
+                0.0
+            };
+            for (i, &id) in ops.iter().enumerate() {
+                set_rate(acts, heap, now, id, if i < served { share } else { 0.0 });
             }
+        }
+        touched_disks.clear();
+
+        // Links: collect the union of connected components containing the
+        // touched links. Max-min fair sharing decomposes exactly by
+        // connected component, so solving these components with their full
+        // link capacities reproduces the global allocation; flows outside
+        // them keep their frozen rates.
+        comp_links.clear();
+        comp_flows.clear();
+        walk_stack.clear();
+        for &l in touched_links.iter() {
+            link_touched[l] = false;
+            if !link_seen[l] {
+                link_seen[l] = true;
+                comp_links.push(l);
+                walk_stack.push(l);
+            }
+        }
+        touched_links.clear();
+        while let Some(l) = walk_stack.pop() {
+            for &fid in &link_flows[l] {
+                if flow_seen[fid] {
+                    continue;
+                }
+                flow_seen[fid] = true;
+                comp_flows.push(fid);
+                let a = acts[fid].as_ref().expect("registered flow is live");
+                if let ActivityKind::Flow { route, .. } = &a.kind {
+                    for lid in route {
+                        let m = lid.index();
+                        if !link_seen[m] {
+                            link_seen[m] = true;
+                            comp_links.push(m);
+                            walk_stack.push(m);
+                        }
+                    }
+                }
+            }
+        }
+        if comp_links.is_empty() {
+            return;
         }
 
-        // Computations, timers, and latency-phase flows progress in their
-        // own unit at fixed rates.
-        for a in self.acts.values_mut() {
-            match (&a.kind, &a.phase) {
-                (ActivityKind::Compute { rate, .. }, _) => a.rate = *rate,
-                (ActivityKind::Timer { .. }, _) => a.rate = 1.0,
-                (ActivityKind::Flow { .. }, Phase::Latency) => a.rate = 1.0,
-                _ => {}
+        // Canonical order: the incremental solve must freeze flows in the
+        // same sequence a full solve would, so results match it exactly.
+        comp_links.sort_unstable();
+        comp_flows.sort_unstable();
+
+        ws.clear();
+        for &l in comp_links.iter() {
+            link_local[l] = ws.push_capacity(platform.link(LinkId(l)).bandwidth);
+        }
+        for &fid in comp_flows.iter() {
+            let a = acts[fid].as_ref().expect("component flow is live");
+            if let ActivityKind::Flow { route, .. } = &a.kind {
+                ws.push_route(route.iter().map(|lid| link_local[lid.index()]));
             }
         }
-        self.dirty = false;
+        let rates = ws.solve();
+        for (&fid, &rate) in comp_flows.iter().zip(rates) {
+            set_rate(acts, heap, now, fid, rate);
+        }
+
+        for &l in comp_links.iter() {
+            link_seen[l] = false;
+        }
+        for &fid in comp_flows.iter() {
+            flow_seen[fid] = false;
+        }
+    }
+
+    /// Pop heap entries until the next valid one; `None` means no activity
+    /// has a determinable completion (all rates are 0).
+    fn pop_next(&mut self) -> Option<(f64, usize)> {
+        while let Some(Reverse((OrdF64(finish), id, generation))) = self.heap.pop() {
+            if let Some(a) = &self.acts[id] {
+                if a.generation == generation {
+                    return Some((finish, id));
+                }
+            }
+        }
+        None
+    }
+
+    /// Virtual time of the next internal event (completion or phase
+    /// transition) without advancing to it. `None` when idle; may also be
+    /// `None` if every in-flight activity is stalled at rate 0.
+    pub fn peek_time(&mut self) -> Option<f64> {
+        if self.live == 0 {
+            return None;
+        }
+        self.flush_touched();
+        loop {
+            match self.heap.peek() {
+                Some(&Reverse((OrdF64(finish), id, generation))) => match &self.acts[id] {
+                    Some(a) if a.generation == generation => return Some(finish.max(self.time)),
+                    _ => {
+                        self.heap.pop();
+                    }
+                },
+                None => return None,
+            }
+        }
     }
 
     /// Advance to the next completion and return it, or `None` when no
@@ -239,66 +571,92 @@ impl Engine {
     /// latency and starting to consume bandwidth) are handled transparently.
     pub fn step(&mut self) -> Option<Completion> {
         loop {
-            if self.acts.is_empty() {
+            if self.live == 0 {
                 return None;
             }
-            if self.dirty {
-                self.recompute_rates();
-            }
+            self.flush_touched();
+            let Some((finish, id)) = self.pop_next() else {
+                panic!(
+                    "deadlock: every in-flight activity has rate 0 (time {})",
+                    self.time
+                )
+            };
+            self.time = self.time.max(finish);
+            let now = self.time;
 
-            // Earliest event: min over activities of remaining/rate.
-            let mut best: Option<(u64, f64)> = None;
-            for (&id, a) in &self.acts {
-                let dt = if a.remaining <= EPS {
-                    0.0
-                } else if a.rate > 0.0 {
-                    a.remaining / a.rate
-                } else {
-                    f64::INFINITY
+            if self.acts[id]
+                .as_ref()
+                .expect("popped activity is live")
+                .phase
+                == Phase::Latency
+            {
+                // Latency paid: start the transfer phase. The rate is
+                // assigned by the flush at the top of the next iteration.
+                let Engine {
+                    acts,
+                    heap,
+                    link_flows,
+                    touched_links,
+                    link_touched,
+                    ..
+                } = self;
+                let a = acts[id].as_mut().expect("latency flow is live");
+                let bytes = match &a.kind {
+                    ActivityKind::Flow { bytes, .. } => *bytes,
+                    _ => unreachable!("only flows have a latency phase"),
                 };
-                if best.is_none_or(|(_, b)| dt < b) {
-                    best = Some((id, dt));
-                }
-            }
-            let (event_id, dt) = best.expect("non-empty activity set");
-            assert!(
-                dt.is_finite(),
-                "deadlock: every in-flight activity has rate 0 (time {})",
-                self.time
-            );
-
-            // Advance all activities by dt.
-            if dt > 0.0 {
-                self.time += dt;
-                for a in self.acts.values_mut() {
-                    if a.rate > 0.0 {
-                        a.remaining = (a.remaining - a.rate * dt).max(0.0);
+                a.phase = Phase::Active;
+                a.remaining = bytes;
+                a.materialized_at = now;
+                a.rate = 0.0;
+                a.generation += 1;
+                push_finish(a, heap, now, id); // schedules only if bytes ~ 0
+                let a = acts[id].as_ref().expect("latency flow is live");
+                if let ActivityKind::Flow { route, .. } = &a.kind {
+                    for lid in route {
+                        let l = lid.index();
+                        link_flows[l].push(id);
+                        if !link_touched[l] {
+                            link_touched[l] = true;
+                            touched_links.push(l);
+                        }
                     }
                 }
+                continue;
             }
 
-            let act = self.acts.get_mut(&event_id).expect("event activity exists");
-            match act.phase {
-                Phase::Latency => {
-                    // Latency paid: start the transfer phase.
-                    let bytes = match &act.kind {
-                        ActivityKind::Flow { bytes, .. } => *bytes,
-                        _ => unreachable!("only flows have a latency phase"),
-                    };
-                    act.phase = Phase::Active;
-                    act.remaining = bytes;
-                    act.rate = 0.0;
-                    self.dirty = true;
-                    // Loop: the phase change alters sharing but completes
-                    // nothing caller-visible.
+            // A completion: unregister from sharing domains and report.
+            let act = self.acts[id].take().expect("completed activity was live");
+            self.live -= 1;
+            match &act.kind {
+                ActivityKind::Flow { route, .. } => {
+                    // Registered once per route occurrence; remove all.
+                    for lid in route {
+                        let l = lid.index();
+                        self.link_flows[l].retain(|&f| f != id);
+                        if !self.link_touched[l] {
+                            self.link_touched[l] = true;
+                            self.touched_links.push(l);
+                        }
+                    }
                 }
-                Phase::Active => {
-                    let tag = act.tag;
-                    self.acts.remove(&event_id);
-                    self.dirty = true;
-                    return Some(Completion { id: ActivityId(event_id), tag, time: self.time });
+                ActivityKind::Io { disk, .. } => {
+                    let d = disk.index();
+                    if let Some(pos) = self.disk_ops[d].iter().position(|&f| f == id) {
+                        self.disk_ops[d].remove(pos); // preserve FIFO order
+                    }
+                    if !self.disk_touched[d] {
+                        self.disk_touched[d] = true;
+                        self.touched_disks.push(d);
+                    }
                 }
+                _ => {}
             }
+            return Some(Completion {
+                id: ActivityId(id as u64),
+                tag: act.tag,
+                time: now,
+            });
         }
     }
 
@@ -389,6 +747,28 @@ mod tests {
     }
 
     #[test]
+    fn timer_at_fires_at_exact_absolute_time() {
+        let mut e = Engine::new(Platform::new());
+        e.add_activity(ActivityKind::timer(0.1), 1);
+        assert!(close(e.step().unwrap().time, 0.1));
+        // Relative arithmetic (0.1 + (0.3 - 0.1)) would land one ulp off;
+        // the absolute deadline must be hit exactly.
+        e.add_activity(ActivityKind::timer_at(0.3), 2);
+        assert_eq!(e.step().unwrap().time, 0.3);
+    }
+
+    #[test]
+    fn timer_at_in_the_past_fires_immediately() {
+        let mut e = Engine::new(Platform::new());
+        e.add_activity(ActivityKind::timer(2.0), 1);
+        assert!(close(e.step().unwrap().time, 2.0));
+        e.add_activity(ActivityKind::timer_at(1.0), 2);
+        let c = e.step().unwrap();
+        assert_eq!(c.tag, 2);
+        assert_eq!(c.time, 2.0);
+    }
+
+    #[test]
     fn disk_concurrency_limit_queues_ops() {
         let mut p = Platform::new();
         let d = p.add_disk(100.0, 1); // one op at a time
@@ -438,6 +818,25 @@ mod tests {
         e.add_activity(ActivityKind::flow(vec![], 1e9), 1);
         let c = e.step().unwrap();
         assert!(c.time < 1e-6);
+    }
+
+    #[test]
+    fn empty_route_flow_added_later_completes_at_current_instant() {
+        // Regression for the old `f64::MAX` rate sentinel: an unconstrained
+        // flow must complete at exactly the current virtual time, with no
+        // sentinel arithmetic skewing it (1e300 bytes / f64::MAX would have
+        // taken ~5.6e-9 simulated seconds) or perturbing other activities.
+        let mut e = Engine::new(Platform::new());
+        e.add_activity(ActivityKind::timer(1.0), 1);
+        assert_eq!(e.step().unwrap().time, 1.0);
+        e.add_activity(ActivityKind::flow(vec![], 1e300), 2);
+        e.add_activity(ActivityKind::timer(1.0), 3);
+        let c = e.step().unwrap();
+        assert_eq!(c.tag, 2);
+        assert_eq!(c.time, 1.0, "unconstrained flow completes at add time");
+        let c = e.step().unwrap();
+        assert_eq!(c.tag, 3);
+        assert_eq!(c.time, 2.0, "follow-up timer unperturbed");
     }
 
     #[test]
@@ -491,7 +890,11 @@ mod tests {
         assert!(close(c.time, 1.0), "B at full bandwidth: {}", c.time);
         let c = e.step().unwrap();
         assert_eq!(c.tag, 1);
-        assert!(close(c.time, 11.0), "A: 10 latency + 1 transfer: {}", c.time);
+        assert!(
+            close(c.time, 11.0),
+            "A: 10 latency + 1 transfer: {}",
+            c.time
+        );
     }
 
     #[test]
@@ -522,6 +925,71 @@ mod tests {
         while let Some(c) = e.step() {
             assert!(c.time >= last - 1e-12);
             last = c.time;
+        }
+    }
+
+    #[test]
+    fn add_activities_batches_one_release() {
+        let mut p = Platform::new();
+        let l = p.add_link(100.0, 0.0);
+        let mut e = Engine::new(p);
+        let ids = e.add_activities(vec![
+            (ActivityKind::flow(vec![l], 100.0), 1),
+            (ActivityKind::flow(vec![l], 100.0), 2),
+            (ActivityKind::timer(0.5), 3),
+        ]);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(e.active_count(), 3);
+        let order: Vec<(u64, f64)> = e
+            .run_to_completion()
+            .iter()
+            .map(|c| (c.tag, c.time))
+            .collect();
+        assert_eq!(order[0].0, 3);
+        assert!(close(order[0].1, 0.5));
+        // Both flows share the link throughout: each finishes at t=2.
+        assert!(close(order[1].1, 2.0) && close(order[2].1, 2.0));
+    }
+
+    #[test]
+    fn peek_time_previews_next_event_without_advancing() {
+        let mut e = Engine::new(Platform::new());
+        assert_eq!(e.peek_time(), None);
+        e.add_activity(ActivityKind::timer(2.0), 1);
+        e.add_activity(ActivityKind::timer(1.0), 2);
+        assert!(close(e.peek_time().unwrap(), 1.0));
+        assert_eq!(e.time(), 0.0, "peek must not advance time");
+        let c = e.step().unwrap();
+        assert_eq!(c.tag, 2);
+        assert!(close(e.peek_time().unwrap(), 2.0));
+        e.step();
+        assert_eq!(e.peek_time(), None);
+    }
+
+    #[test]
+    fn disjoint_components_do_not_disturb_each_other() {
+        // Two independent link pairs: completing a flow on one component
+        // must leave the other component's predicted times untouched.
+        let mut p = Platform::new();
+        let a = p.add_link(100.0, 0.0);
+        let b = p.add_link(100.0, 0.0);
+        let mut e = Engine::new(p);
+        e.add_activity(ActivityKind::flow(vec![a], 50.0), 1);
+        e.add_activity(ActivityKind::flow(vec![a], 150.0), 2);
+        e.add_activity(ActivityKind::flow(vec![b], 100.0), 3);
+        e.add_activity(ActivityKind::flow(vec![b], 100.0), 4);
+        let order: Vec<(u64, f64)> = e
+            .run_to_completion()
+            .iter()
+            .map(|c| (c.tag, c.time))
+            .collect();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0].0, 1);
+        assert!(close(order[0].1, 1.0));
+        // Flows 3 and 4 split link b 50/50 the whole way: t=2 each,
+        // unaffected by the re-solve of link a at t=1.
+        for &(tag, t) in &order[1..] {
+            assert!(close(t, 2.0), "tag {tag} at {t}");
         }
     }
 }

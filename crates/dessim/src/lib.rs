@@ -20,7 +20,11 @@
 //! The [`engine::Engine`] advances virtual time from one activity
 //! completion to the next; the simulator on top reacts to each
 //! [`engine::Completion`] by adding new activities, in the classic
-//! discrete-event style.
+//! discrete-event style. Event selection is heap-indexed and rate
+//! recomputation is incremental per sharing component (see the
+//! [`engine`] module docs); the original full-recompute loop survives as
+//! [`reference::ReferenceEngine`], the oracle the optimized engine is
+//! property-tested against and the baseline for the scaling benchmarks.
 //!
 //! ## Example
 //!
@@ -38,8 +42,10 @@
 
 pub mod engine;
 pub mod platform;
+pub mod reference;
 pub mod sharing;
 
 pub use engine::{ActivityId, ActivityKind, Completion, Engine};
 pub use platform::{Disk, DiskId, Host, HostId, Link, LinkId, Platform};
-pub use sharing::max_min_fair_share;
+pub use reference::ReferenceEngine;
+pub use sharing::{max_min_fair_share, Workspace};

@@ -91,8 +91,14 @@ impl Platform {
     /// Panics if `bandwidth` is not strictly positive or `latency` is
     /// negative/non-finite.
     pub fn add_link(&mut self, bandwidth: f64, latency: f64) -> LinkId {
-        assert!(bandwidth > 0.0 && bandwidth.is_finite(), "link bandwidth must be positive");
-        assert!(latency >= 0.0 && latency.is_finite(), "link latency must be non-negative");
+        assert!(
+            bandwidth > 0.0 && bandwidth.is_finite(),
+            "link bandwidth must be positive"
+        );
+        assert!(
+            latency >= 0.0 && latency.is_finite(),
+            "link latency must be non-negative"
+        );
         self.links.push(Link { bandwidth, latency });
         LinkId(self.links.len() - 1)
     }
@@ -103,7 +109,10 @@ impl Platform {
     /// Panics if `cores == 0` or `core_speed` is not strictly positive.
     pub fn add_host(&mut self, cores: u32, core_speed: f64) -> HostId {
         assert!(cores > 0, "host must have at least one core");
-        assert!(core_speed > 0.0 && core_speed.is_finite(), "core speed must be positive");
+        assert!(
+            core_speed > 0.0 && core_speed.is_finite(),
+            "core speed must be positive"
+        );
         self.hosts.push(Host { cores, core_speed });
         HostId(self.hosts.len() - 1)
     }
@@ -114,9 +123,18 @@ impl Platform {
     /// Panics if `bandwidth` is not strictly positive or
     /// `max_concurrency == 0`.
     pub fn add_disk(&mut self, bandwidth: f64, max_concurrency: u32) -> DiskId {
-        assert!(bandwidth > 0.0 && bandwidth.is_finite(), "disk bandwidth must be positive");
-        assert!(max_concurrency > 0, "disk must serve at least one operation");
-        self.disks.push(Disk { bandwidth, max_concurrency });
+        assert!(
+            bandwidth > 0.0 && bandwidth.is_finite(),
+            "disk bandwidth must be positive"
+        );
+        assert!(
+            max_concurrency > 0,
+            "disk must serve at least one operation"
+        );
+        self.disks.push(Disk {
+            bandwidth,
+            max_concurrency,
+        });
         DiskId(self.disks.len() - 1)
     }
 

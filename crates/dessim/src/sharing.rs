@@ -15,84 +15,187 @@
 /// unconstrained and gets `f64::INFINITY` — callers model such flows
 /// (e.g. intra-host transfers) with an explicit bound elsewhere.
 ///
+/// This is a convenience wrapper over [`Workspace`], which callers with a
+/// hot loop should hold on to so repeated solves reuse buffers instead of
+/// allocating.
+///
 /// # Panics
 /// Panics if any route references a link index out of bounds.
 pub fn max_min_fair_share(capacities: &[f64], flow_routes: &[Vec<usize>]) -> Vec<f64> {
-    let nf = flow_routes.len();
-    let nl = capacities.len();
-    let mut rates = vec![f64::INFINITY; nf];
-    if nf == 0 {
-        return rates;
+    let mut ws = Workspace::new();
+    ws.load(capacities, flow_routes);
+    ws.solve().to_vec()
+}
+
+/// Reusable buffers for progressive-filling solves.
+///
+/// A solve has three steps: [`Workspace::clear`], then a build phase
+/// ([`Workspace::push_capacity`] for every link, [`Workspace::push_route`]
+/// for every flow, in order), then [`Workspace::solve`]. Every buffer is
+/// retained across solves, so a warm workspace performs no allocation —
+/// this is what makes the engine's per-event rate updates allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    /// Link capacities for the current problem.
+    caps: Vec<f64>,
+    /// Deduplicated, sorted routes, flattened back to back.
+    route_flat: Vec<usize>,
+    /// Exclusive end offset of each flow's route in `route_flat`.
+    route_ends: Vec<usize>,
+    /// Scratch: capacity left on each link.
+    remaining: Vec<f64>,
+    /// Scratch: unfrozen flows crossing each link.
+    crossing: Vec<usize>,
+    /// Scratch: which flows have been frozen.
+    frozen: Vec<bool>,
+    /// Output rates, one per flow.
+    rates: Vec<f64>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    // Number of unfrozen flows crossing each link, and remaining capacity.
-    let mut remaining = capacities.to_vec();
-    let mut crossing = vec![0usize; nl];
-    // Deduplicated routes so a flow listed twice on a link counts once.
-    let deduped: Vec<Vec<usize>> = flow_routes
-        .iter()
-        .map(|route| {
-            let mut r = route.clone();
-            r.sort_unstable();
-            r.dedup();
-            for &l in &r {
-                assert!(l < nl, "route references link {l} but only {nl} links exist");
+    /// Drop the current problem, keeping all buffer capacity.
+    pub fn clear(&mut self) {
+        self.caps.clear();
+        self.route_flat.clear();
+        self.route_ends.clear();
+    }
+
+    /// Add a link with capacity `cap`; returns its index in this problem.
+    pub fn push_capacity(&mut self, cap: f64) -> usize {
+        self.caps.push(cap);
+        self.caps.len() - 1
+    }
+
+    /// Add a flow crossing `links` (workspace link indices; duplicates
+    /// count once); returns its index in this problem.
+    ///
+    /// # Panics
+    /// Panics if a link index is out of bounds for the pushed capacities.
+    pub fn push_route(&mut self, links: impl IntoIterator<Item = usize>) -> usize {
+        let start = self.route_flat.len();
+        self.route_flat.extend(links);
+        let nl = self.caps.len();
+        let segment = &mut self.route_flat[start..];
+        segment.sort_unstable();
+        for &l in segment.iter() {
+            assert!(
+                l < nl,
+                "route references link {l} but only {nl} links exist"
+            );
+        }
+        // In-place dedup of the just-added segment.
+        let mut w = start;
+        for r in start..self.route_flat.len() {
+            if w == start || self.route_flat[r] != self.route_flat[w - 1] {
+                self.route_flat[w] = self.route_flat[r];
+                w += 1;
             }
-            r
-        })
-        .collect();
-    for route in &deduped {
-        for &l in route {
-            crossing[l] += 1;
+        }
+        self.route_flat.truncate(w);
+        self.route_ends.push(w);
+        self.route_ends.len() - 1
+    }
+
+    /// Number of flows pushed since the last [`Workspace::clear`].
+    pub fn num_flows(&self) -> usize {
+        self.route_ends.len()
+    }
+
+    /// `clear` + build in one call, for slice-shaped inputs.
+    pub fn load(&mut self, capacities: &[f64], flow_routes: &[Vec<usize>]) {
+        self.clear();
+        for &cap in capacities {
+            self.push_capacity(cap);
+        }
+        for route in flow_routes {
+            self.push_route(route.iter().copied());
         }
     }
 
-    let mut frozen = vec![false; nf];
-    // Flows with empty routes are unconstrained; leave their rate infinite.
-    let mut unfrozen_constrained: usize = deduped
-        .iter()
-        .enumerate()
-        .filter(|(f, route)| {
-            if route.is_empty() {
-                frozen[*f] = true;
-                false
+    /// Run progressive filling on the current problem and return one rate
+    /// per flow (in push order). Flows with empty routes get
+    /// `f64::INFINITY`. The result stays valid until the next `clear`.
+    pub fn solve(&mut self) -> &[f64] {
+        let Self {
+            caps,
+            route_flat,
+            route_ends,
+            remaining,
+            crossing,
+            frozen,
+            rates,
+        } = self;
+        let nf = route_ends.len();
+        let nl = caps.len();
+        let route = |f: usize| {
+            let start = if f == 0 { 0 } else { route_ends[f - 1] };
+            &route_flat[start..route_ends[f]]
+        };
+
+        rates.clear();
+        rates.resize(nf, f64::INFINITY);
+        if nf == 0 {
+            return rates;
+        }
+
+        remaining.clear();
+        remaining.extend_from_slice(caps);
+        crossing.clear();
+        crossing.resize(nl, 0);
+        frozen.clear();
+        frozen.resize(nf, false);
+
+        // Flows with empty routes are unconstrained; leave their rate
+        // infinite. Count the rest.
+        let mut unfrozen_constrained = 0usize;
+        for (f, fz) in frozen.iter_mut().enumerate() {
+            if route(f).is_empty() {
+                *fz = true;
             } else {
-                true
-            }
-        })
-        .count();
-
-    // Progressive filling: at most one link saturates per round.
-    while unfrozen_constrained > 0 {
-        // Bottleneck link: minimal fair share among links with unfrozen flows.
-        let mut best: Option<(usize, f64)> = None;
-        for l in 0..nl {
-            if crossing[l] == 0 {
-                continue;
-            }
-            let share = remaining[l].max(0.0) / crossing[l] as f64;
-            if best.is_none_or(|(_, s)| share < s) {
-                best = Some((l, share));
+                unfrozen_constrained += 1;
+                for &l in route(f) {
+                    crossing[l] += 1;
+                }
             }
         }
-        let (bottleneck, share) = best.expect("unfrozen flows imply a crossed link");
 
-        // Freeze every unfrozen flow crossing the bottleneck at `share`,
-        // and release the capacity they consume on their other links.
-        for f in 0..nf {
-            if frozen[f] || !deduped[f].contains(&bottleneck) {
-                continue;
+        // Progressive filling: at most one link saturates per round.
+        while unfrozen_constrained > 0 {
+            // Bottleneck link: minimal fair share among crossed links.
+            let mut best: Option<(usize, f64)> = None;
+            for l in 0..nl {
+                if crossing[l] == 0 {
+                    continue;
+                }
+                let share = remaining[l].max(0.0) / crossing[l] as f64;
+                if best.is_none_or(|(_, s)| share < s) {
+                    best = Some((l, share));
+                }
             }
-            frozen[f] = true;
-            unfrozen_constrained -= 1;
-            rates[f] = share;
-            for &l in &deduped[f] {
-                remaining[l] -= share;
-                crossing[l] -= 1;
+            let (bottleneck, share) = best.expect("unfrozen flows imply a crossed link");
+
+            // Freeze every unfrozen flow crossing the bottleneck at
+            // `share`, and release the capacity they consume elsewhere.
+            for f in 0..nf {
+                if frozen[f] || !route(f).contains(&bottleneck) {
+                    continue;
+                }
+                frozen[f] = true;
+                unfrozen_constrained -= 1;
+                rates[f] = share;
+                for &l in route(f) {
+                    remaining[l] -= share;
+                    crossing[l] -= 1;
+                }
             }
         }
+        rates
     }
-    rates
 }
 
 #[cfg(test)]

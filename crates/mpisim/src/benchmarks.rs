@@ -43,8 +43,11 @@ impl BenchmarkKind {
 
     /// The three benchmarks used for calibration in §6.4 (Stencil is held
     /// out for the §6.5 generalization study).
-    pub const CALIBRATION_SET: [BenchmarkKind; 3] =
-        [BenchmarkKind::PingPing, BenchmarkKind::PingPong, BenchmarkKind::BiRandom];
+    pub const CALIBRATION_SET: [BenchmarkKind; 3] = [
+        BenchmarkKind::PingPing,
+        BenchmarkKind::PingPong,
+        BenchmarkKind::BiRandom,
+    ];
 
     /// Report name.
     pub fn name(self) -> &'static str {
@@ -210,7 +213,11 @@ mod tests {
         for &(s, _) in &flows {
             out[s] += 1;
         }
-        assert!(out.iter().all(|&d| d <= 4), "max out-degree {:?}", out.iter().max());
+        assert!(
+            out.iter().all(|&d| d <= 4),
+            "max out-degree {:?}",
+            out.iter().max()
+        );
     }
 
     #[test]

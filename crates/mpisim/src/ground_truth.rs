@@ -170,12 +170,18 @@ mod tests {
 
     #[test]
     fn samples_scatter_around_truth() {
-        let cfg = MpiEmulatorConfig { repetitions: 50, ..Default::default() };
+        let cfg = MpiEmulatorConfig {
+            repetitions: 50,
+            ..Default::default()
+        };
         let sizes = [1_048_576.0];
         let truth = cfg.true_rates(BenchmarkKind::PingPong, 16, &sizes)[0];
         let samples = &cfg.measure(BenchmarkKind::PingPong, 16, &sizes, 3)[0];
         let mean = numeric::mean(samples);
-        assert!((mean - truth).abs() / truth < 0.1, "mean {mean} vs truth {truth}");
+        assert!(
+            (mean - truth).abs() / truth < 0.1,
+            "mean {mean} vs truth {truth}"
+        );
         assert!(numeric::std_dev(samples) > 0.0);
     }
 
@@ -185,7 +191,10 @@ mod tests {
         // node count rises; verify the multiplier effect is present by
         // comparing against an exponent-free config.
         let with = MpiEmulatorConfig::default();
-        let without = MpiEmulatorConfig { scale_exponent: 0.0, ..with };
+        let without = MpiEmulatorConfig {
+            scale_exponent: 0.0,
+            ..with
+        };
         let sizes = [4_194_304.0];
         let r_with = with.true_rates(BenchmarkKind::PingPong, 256, &sizes)[0];
         let r_without = without.true_rates(BenchmarkKind::PingPong, 256, &sizes)[0];
@@ -198,7 +207,10 @@ mod tests {
 
     #[test]
     fn dataset_covers_benchmarks_and_scales() {
-        let cfg = MpiEmulatorConfig { repetitions: 2, ..Default::default() };
+        let cfg = MpiEmulatorConfig {
+            repetitions: 2,
+            ..Default::default()
+        };
         let recs = dataset(&BenchmarkKind::CALIBRATION_SET, &[16, 32], &cfg, 0);
         assert_eq!(recs.len(), 6);
         for r in &recs {

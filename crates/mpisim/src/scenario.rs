@@ -40,7 +40,12 @@ pub fn objective<'a>(
     scenarios: &'a [MpiScenario],
     loss: MatrixLoss,
 ) -> SimulationObjective<'a, MpiSimulator, MatrixLoss> {
-    SimulationObjective::new(simulator, scenarios, loss, simulator.version.parameter_space())
+    SimulationObjective::new(
+        simulator,
+        scenarios,
+        loss,
+        simulator.version.parameter_space(),
+    )
 }
 
 /// Percent relative error between simulated and mean measured transfer
@@ -75,18 +80,26 @@ mod tests {
     use simcal::prelude::{Agg, Budget, Calibrator, Objective};
 
     fn tiny_dataset() -> Vec<MpiScenario> {
-        let cfg = MpiEmulatorConfig { repetitions: 3, ..Default::default() };
-        dataset(&[BenchmarkKind::PingPong, BenchmarkKind::BiRandom], &[8], &cfg, 42)
+        let cfg = MpiEmulatorConfig {
+            repetitions: 3,
+            ..Default::default()
+        };
+        dataset(
+            &[BenchmarkKind::PingPong, BenchmarkKind::BiRandom],
+            &[8],
+            &cfg,
+            42,
+        )
     }
 
     #[test]
     fn run_returns_one_ev_per_message_size() {
         let scenarios = tiny_dataset();
         let sim = MpiSimulator::new(MpiSimulatorVersion::lowest_detail());
-        let calib = sim
-            .version
-            .parameter_space()
-            .denormalize(&vec![0.5; sim.version.parameter_space().dim()]);
+        let calib =
+            sim.version
+                .parameter_space()
+                .denormalize(&vec![0.5; sim.version.parameter_space().dim()]);
         let evs = sim.run(&scenarios[0], &calib);
         assert_eq!(evs.len(), 13);
         assert!(evs.iter().all(|&e| e > 0.0));
@@ -101,7 +114,11 @@ mod tests {
         let arbitrary = obj.loss(&sim.version.parameter_space().denormalize(&vec![0.3; dim]));
         assert!(arbitrary.is_finite());
         let result = Calibrator::bo_gp(Budget::Evaluations(60), 5).calibrate(&obj);
-        assert!(result.loss <= arbitrary, "calibrated {} vs arbitrary {arbitrary}", result.loss);
+        assert!(
+            result.loss <= arbitrary,
+            "calibrated {} vs arbitrary {arbitrary}",
+            result.loss
+        );
     }
 
     #[test]

@@ -13,8 +13,9 @@ use crate::benchmarks::{BenchmarkKind, RANKS_PER_NODE};
 use crate::versions::{
     MpiSimulatorVersion, NodeModel, ProtocolModel, TopologyModel, FIXED_CHANGEPOINTS_LOG2,
 };
-use dessim::max_min_fair_share;
+use dessim::Workspace;
 use simcal::prelude::Calibration;
+use std::cell::RefCell;
 
 /// Effective bandwidth for same-socket (shared-memory) exchanges, which no
 /// version calibrates: 20 GB/s.
@@ -56,13 +57,16 @@ pub(crate) fn resolve(version: MpiSimulatorVersion, calib: &Calibration) -> Reso
     let get = |name: &str| space.value(calib, name);
     let (bb_bw, bb_lat, link_bw, link_lat, down_bw, up_bw) = match version.topology {
         TopologyModel::Backbone => (get("bb_bw"), get("bb_lat"), 0.0, 0.0, 0.0, 0.0),
-        TopologyModel::BackboneLinks => {
-            (get("bb_bw"), get("bb_lat"), get("link_bw"), get("link_lat"), 0.0, 0.0)
-        }
+        TopologyModel::BackboneLinks => (
+            get("bb_bw"),
+            get("bb_lat"),
+            get("link_bw"),
+            get("link_lat"),
+            0.0,
+            0.0,
+        ),
         TopologyModel::Tree4 => (0.0, 0.0, get("link_bw"), get("link_lat"), 0.0, 0.0),
-        TopologyModel::FatTree => {
-            (0.0, 0.0, 0.0, get("link_lat"), get("down_bw"), get("up_bw"))
-        }
+        TopologyModel::FatTree => (0.0, 0.0, 0.0, get("link_lat"), get("down_bw"), get("up_bw")),
     };
     let (xbus_bw, pcie_bw) = match version.node {
         NodeModel::Complex => (get("xbus_bw"), get("pcie_bw")),
@@ -92,7 +96,11 @@ pub(crate) fn resolve(version: MpiSimulatorVersion, calib: &Calibration) -> Reso
         node: version.node,
         xbus_bw,
         pcie_bw,
-        factors: [get("factor_small"), get("factor_medium"), get("factor_large")],
+        factors: [
+            get("factor_small"),
+            get("factor_medium"),
+            get("factor_large"),
+        ],
         changepoints_log2,
         scale_exponent: 0.0,
     }
@@ -131,17 +139,32 @@ fn build_network(model: &ResolvedMpi, n_nodes: usize, flows: &[(usize, usize)]) 
 
     // Topology links and a node-to-node route function.
     enum Topo {
-        Backbone { bb: usize },
-        BackboneLinks { bb: usize, node_links: Vec<usize> },
-        Tree { parent_link: Vec<Option<usize>>, parent: Vec<Option<usize>>, leaf: Vec<usize> },
-        FatTree { down: Vec<usize>, up: Vec<usize> },
+        Backbone {
+            bb: usize,
+        },
+        BackboneLinks {
+            bb: usize,
+            node_links: Vec<usize>,
+        },
+        Tree {
+            parent_link: Vec<Option<usize>>,
+            parent: Vec<Option<usize>>,
+            leaf: Vec<usize>,
+        },
+        FatTree {
+            down: Vec<usize>,
+            up: Vec<usize>,
+        },
     }
     let topo = match model.topology {
-        TopologyModel::Backbone => Topo::Backbone { bb: add_link(model.bb_bw, model.bb_lat) },
+        TopologyModel::Backbone => Topo::Backbone {
+            bb: add_link(model.bb_bw, model.bb_lat),
+        },
         TopologyModel::BackboneLinks => {
             let bb = add_link(model.bb_bw, model.bb_lat);
-            let node_links =
-                (0..n_nodes).map(|_| add_link(model.link_bw, model.link_lat)).collect();
+            let node_links = (0..n_nodes)
+                .map(|_| add_link(model.link_bw, model.link_lat))
+                .collect();
             Topo::BackboneLinks { bb, node_links }
         }
         TopologyModel::Tree4 => {
@@ -179,12 +202,20 @@ fn build_network(model: &ResolvedMpi, n_nodes: usize, flows: &[(usize, usize)]) 
                 level_count = next_count;
                 level += 1;
             }
-            Topo::Tree { parent_link, parent, leaf }
+            Topo::Tree {
+                parent_link,
+                parent,
+                leaf,
+            }
         }
         TopologyModel::FatTree => {
-            let down = (0..n_nodes).map(|_| add_link(model.down_bw, model.link_lat)).collect();
+            let down = (0..n_nodes)
+                .map(|_| add_link(model.down_bw, model.link_lat))
+                .collect();
             let n_switches = n_nodes.div_ceil(18);
-            let up = (0..n_switches).map(|_| add_link(model.up_bw, model.link_lat)).collect();
+            let up = (0..n_switches)
+                .map(|_| add_link(model.up_bw, model.link_lat))
+                .collect();
             Topo::FatTree { down, up }
         }
     };
@@ -206,7 +237,11 @@ fn build_network(model: &ResolvedMpi, n_nodes: usize, flows: &[(usize, usize)]) 
         match &topo {
             Topo::Backbone { bb } => vec![*bb],
             Topo::BackboneLinks { bb, node_links } => vec![node_links[a], *bb, node_links[b]],
-            Topo::Tree { parent_link, parent, leaf } => {
+            Topo::Tree {
+                parent_link,
+                parent,
+                leaf,
+            } => {
                 // Walk both leaves up to the LCA, collecting edge links.
                 let mut pa = Vec::new();
                 let mut pb = Vec::new();
@@ -284,7 +319,11 @@ fn build_network(model: &ResolvedMpi, n_nodes: usize, flows: &[(usize, usize)]) 
         })
         .collect();
 
-    FlowNetwork { capacities, latencies, routes }
+    FlowNetwork {
+        capacities,
+        latencies,
+        routes,
+    }
 }
 
 /// Per-flow data transfer rates (bytes/s) for one benchmark at one message
@@ -295,29 +334,42 @@ pub(crate) fn transfer_rates_resolved(
     n_nodes: usize,
     sizes: &[f64],
 ) -> Vec<f64> {
+    thread_local! {
+        /// Reused max-min solver buffers: calibration evaluates this
+        /// function once per (version, scenario, size-grid) point in its
+        /// hot loop, so the fair-share solve runs allocation-free after
+        /// the first call on each thread.
+        static SHARING_WS: RefCell<Workspace> = RefCell::new(Workspace::new());
+    }
+
     let n_ranks = n_nodes * RANKS_PER_NODE;
     let flows = benchmark.flows(n_ranks, workload_seed(benchmark, n_nodes));
     let net = build_network(model, n_nodes, &flows);
-    let allocations = max_min_fair_share(&net.capacities, &net.routes);
     let scale_mult = (128.0 / n_nodes as f64).powf(model.scale_exponent);
 
-    sizes
-        .iter()
-        .map(|&size| {
-            let factor = model.protocol_factor(size);
-            let mut sum = 0.0;
-            for (alloc, route) in allocations.iter().zip(&net.routes) {
-                // Memory-copy speed is a universal ceiling on any single
-                // MPI transfer (and the rate of same-socket exchanges,
-                // whose route is empty).
-                let bw = alloc.min(INTRA_NODE_BW) * scale_mult;
-                let lat: f64 = route.iter().map(|&l| net.latencies[l]).sum();
-                let t = lat + size / (factor * bw.max(1.0));
-                sum += size / t;
-            }
-            sum / flows.len() as f64
-        })
-        .collect()
+    SHARING_WS.with(|cell| {
+        let mut ws = cell.borrow_mut();
+        ws.load(&net.capacities, &net.routes);
+        let allocations = ws.solve();
+
+        sizes
+            .iter()
+            .map(|&size| {
+                let factor = model.protocol_factor(size);
+                let mut sum = 0.0;
+                for (alloc, route) in allocations.iter().zip(&net.routes) {
+                    // Memory-copy speed is a universal ceiling on any single
+                    // MPI transfer (and the rate of same-socket exchanges,
+                    // whose route is empty).
+                    let bw = alloc.min(INTRA_NODE_BW) * scale_mult;
+                    let lat: f64 = route.iter().map(|&l| net.latencies[l]).sum();
+                    let t = lat + size / (factor * bw.max(1.0));
+                    sum += size / t;
+                }
+                sum / flows.len() as f64
+            })
+            .collect()
+    })
 }
 
 /// A calibratable MPI benchmark simulator at one level of detail.
@@ -422,13 +474,19 @@ mod tests {
         let sizes = [4_194_304.0];
         let r16 = sim.transfer_rates(BenchmarkKind::BiRandom, 16, &sizes, &c)[0];
         let r64 = sim.transfer_rates(BenchmarkKind::BiRandom, 64, &sizes, &c)[0];
-        assert!(r64 < r16, "shared backbone must slow down at scale: {r16} -> {r64}");
+        assert!(
+            r64 < r16,
+            "shared backbone must slow down at scale: {r16} -> {r64}"
+        );
     }
 
     #[test]
     fn fat_tree_scales_better_than_backbone() {
         let bb = MpiSimulatorVersion::lowest_detail();
-        let ft = MpiSimulatorVersion { topology: TopologyModel::FatTree, ..bb };
+        let ft = MpiSimulatorVersion {
+            topology: TopologyModel::FatTree,
+            ..bb
+        };
         let sizes = [4_194_304.0];
         let r_bb = MpiSimulator::new(bb).transfer_rates(
             BenchmarkKind::BiRandom,
@@ -474,7 +532,10 @@ mod tests {
     #[test]
     fn complex_node_pcie_contention_lowers_rates() {
         let simple = MpiSimulatorVersion::lowest_detail();
-        let complex = MpiSimulatorVersion { node: NodeModel::Complex, ..simple };
+        let complex = MpiSimulatorVersion {
+            node: NodeModel::Complex,
+            ..simple
+        };
         // Give the complex node a PCIe much slower than the network: the
         // six ranks of a node share it, so rates must drop.
         let space = complex.parameter_space();
@@ -512,8 +573,12 @@ mod tests {
         let version = MpiSimulatorVersion::highest_detail();
         let sim = MpiSimulator::new(version);
         let start = std::time::Instant::now();
-        let rates =
-            sim.transfer_rates(BenchmarkKind::BiRandom, 128, &message_sizes(), &calib_for(version));
+        let rates = sim.transfer_rates(
+            BenchmarkKind::BiRandom,
+            128,
+            &message_sizes(),
+            &calib_for(version),
+        );
         assert!(rates.iter().all(|&r| r > 0.0));
         assert!(
             start.elapsed().as_millis() < 2_000,

@@ -72,10 +72,15 @@ impl MpiSimulatorVersion {
                 TopologyModel::Tree4,
                 TopologyModel::FatTree,
             ] {
-                for protocol in
-                    [ProtocolModel::FixedChangepoints, ProtocolModel::ArbitraryChangepoints]
-                {
-                    v.push(MpiSimulatorVersion { topology, node, protocol });
+                for protocol in [
+                    ProtocolModel::FixedChangepoints,
+                    ProtocolModel::ArbitraryChangepoints,
+                ] {
+                    v.push(MpiSimulatorVersion {
+                        topology,
+                        node,
+                        protocol,
+                    });
                 }
             }
         }
@@ -125,7 +130,10 @@ impl MpiSimulatorVersion {
     pub fn parameter_space(&self) -> ParameterSpace {
         // Summit spec is ~12.5 GB/s per port (2^33.5); span well over an
         // order of magnitude on both sides.
-        let bw = ParamKind::Exponential { lo_exp: 25.0, hi_exp: 40.0 };
+        let bw = ParamKind::Exponential {
+            lo_exp: 25.0,
+            hi_exp: 40.0,
+        };
         let lat = ParamKind::Continuous { lo: 0.0, hi: 1e-3 };
         let factor = ParamKind::Continuous { lo: 0.05, hi: 1.5 };
         let mut space = ParameterSpace::new();
@@ -184,17 +192,34 @@ mod tests {
     #[test]
     fn dimension_extremes() {
         // Lowest: 2 (backbone) + 0 (simple) + 3 (factors) = 5.
-        assert_eq!(MpiSimulatorVersion::lowest_detail().parameter_space().dim(), 5);
+        assert_eq!(
+            MpiSimulatorVersion::lowest_detail().parameter_space().dim(),
+            5
+        );
         // Highest: 3 (fat tree) + 2 (complex) + 5 (arbitrary protocol) = 10.
-        assert_eq!(MpiSimulatorVersion::highest_detail().parameter_space().dim(), 10);
+        assert_eq!(
+            MpiSimulatorVersion::highest_detail()
+                .parameter_space()
+                .dim(),
+            10
+        );
     }
 
     #[test]
     fn arbitrary_protocol_adds_two_dimensions() {
         for v in MpiSimulatorVersion::all() {
-            let fixed = MpiSimulatorVersion { protocol: ProtocolModel::FixedChangepoints, ..v };
-            let arb = MpiSimulatorVersion { protocol: ProtocolModel::ArbitraryChangepoints, ..v };
-            assert_eq!(arb.parameter_space().dim(), fixed.parameter_space().dim() + 2);
+            let fixed = MpiSimulatorVersion {
+                protocol: ProtocolModel::FixedChangepoints,
+                ..v
+            };
+            let arb = MpiSimulatorVersion {
+                protocol: ProtocolModel::ArbitraryChangepoints,
+                ..v
+            };
+            assert_eq!(
+                arb.parameter_space().dim(),
+                fixed.parameter_space().dim() + 2
+            );
         }
     }
 

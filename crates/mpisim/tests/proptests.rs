@@ -85,7 +85,11 @@ proptest! {
     }
 
     /// More nodes never increases the per-flow rate on a fixed-capacity
-    /// shared backbone (contention is monotone).
+    /// shared backbone (contention is monotone). Uses PingPong, whose
+    /// deterministic pairing keeps every flow inter-node: BiRandom's seeded
+    /// matching includes a varying number of intra-node (memory-speed)
+    /// flows, so its *mean* rate is monotone only in expectation, not for
+    /// every draw.
     #[test]
     fn backbone_contention_monotone(steps in 1usize..4) {
         let version = MpiSimulatorVersion::lowest_detail();
@@ -102,7 +106,7 @@ proptest! {
         let mut last = f64::INFINITY;
         for k in 0..=steps {
             let nodes = 4 << k;
-            let r = sim.transfer_rates(BenchmarkKind::BiRandom, nodes, &sizes, &calib)[0];
+            let r = sim.transfer_rates(BenchmarkKind::PingPong, nodes, &sizes, &calib)[0];
             prop_assert!(r <= last * (1.0 + 1e-9), "nodes {nodes}: {r} > {last}");
             last = r;
         }

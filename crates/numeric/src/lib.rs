@@ -17,9 +17,9 @@ pub mod special;
 pub mod stats;
 
 pub use mat::{Cholesky, Matrix};
-pub use special::{erf, norm_cdf, norm_pdf};
 pub use rng::{lognormal, normal, rng_from_seed, truncated_normal};
+pub use special::{erf, norm_cdf, norm_pdf};
 pub use stats::{
-    argmax, argmin, explained_variance, l1_distance, l2_distance, max, mean, median, min,
-    quantile, relative_l1_distance, std_dev, variance,
+    argmax, argmin, explained_variance, l1_distance, l2_distance, max, mean, median, min, quantile,
+    relative_l1_distance, std_dev, variance,
 };

@@ -33,7 +33,11 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// A `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n x n` identity matrix.
@@ -205,8 +209,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for j in 0..i {
-                sum -= self.l[i * n + j] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                sum -= self.l[i * n + j] * yj;
             }
             y[i] = sum / self.l[i * n + i];
         }
@@ -220,8 +224,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for j in i + 1..n {
-                sum -= self.l[j * n + i] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l[j * n + i] * xj;
             }
             x[i] = sum / self.l[i * n + i];
         }
@@ -235,7 +239,10 @@ impl Cholesky {
 
     /// `log(det(A)) = 2 * sum(log(diag(L)))`.
     pub fn log_det(&self) -> f64 {
-        (0..self.n).map(|i| self.l[i * self.n + i].ln()).sum::<f64>() * 2.0
+        (0..self.n)
+            .map(|i| self.l[i * self.n + i].ln())
+            .sum::<f64>()
+            * 2.0
     }
 }
 

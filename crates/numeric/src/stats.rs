@@ -110,7 +110,11 @@ pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "l2_distance length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Relative L1 distance between a candidate calibration `a` and a reference

@@ -100,7 +100,11 @@ impl SearchAlgorithm for BayesianOpt {
             // largely axis-aligned: one parameter per simulated component).
             let n_local = (self.n_candidates as f64 * self.local_fraction) as usize;
             let n_coord = n_local; // same share for coordinate mutations
-            let scales = [self.local_sigma * 2.0, self.local_sigma, self.local_sigma * 0.25];
+            let scales = [
+                self.local_sigma * 2.0,
+                self.local_sigma,
+                self.local_sigma * 0.25,
+            ];
             let candidates: Vec<Vec<f64>> = (0..self.n_candidates)
                 .map(|i| {
                     if i < n_local {
@@ -130,8 +134,7 @@ impl SearchAlgorithm for BayesianOpt {
             // predicted mean (greedy exploitation). A pure-EI batch tends
             // to chase high-uncertainty corners of a 10-D cube forever; the
             // greedy half keeps refining the incumbent basin.
-            let preds: Vec<(f64, f64)> =
-                candidates.iter().map(|c| surrogate.predict(c)).collect();
+            let preds: Vec<(f64, f64)> = candidates.iter().map(|c| surrogate.predict(c)).collect();
             let mut by_ei: Vec<usize> = (0..candidates.len()).collect();
             by_ei.sort_by(|&a, &b| {
                 let ea = expected_improvement(preds[a].0, preds[a].1, best_y);
@@ -140,13 +143,20 @@ impl SearchAlgorithm for BayesianOpt {
             });
             let mut by_mean: Vec<usize> = (0..candidates.len()).collect();
             by_mean.sort_by(|&a, &b| {
-                preds[a].0.partial_cmp(&preds[b].0).unwrap_or(std::cmp::Ordering::Equal)
+                preds[a]
+                    .0
+                    .partial_cmp(&preds[b].0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             let mut chosen: Vec<usize> = Vec::with_capacity(self.batch_size);
             let mut ei_it = by_ei.into_iter();
             let mut mean_it = by_mean.into_iter();
             while chosen.len() < self.batch_size {
-                let next = if chosen.len().is_multiple_of(2) { ei_it.next() } else { mean_it.next() };
+                let next = if chosen.len().is_multiple_of(2) {
+                    ei_it.next()
+                } else {
+                    mean_it.next()
+                };
                 match next {
                     Some(i) if !chosen.contains(&i) => chosen.push(i),
                     Some(_) => continue,
@@ -199,7 +209,8 @@ mod tests {
     fn bo_gp_beats_random_on_smooth_function() {
         // Multi-modal-ish smooth landscape with global minimum near (0.7, 0.3).
         let f = |v: &[f64]| {
-            (v[0] - 0.7).powi(2) + (v[1] - 0.3).powi(2)
+            (v[0] - 0.7).powi(2)
+                + (v[1] - 0.3).powi(2)
                 + 0.05 * ((8.0 * v[0]).sin() * (8.0 * v[1]).cos())
                 + 0.05
         };
@@ -214,7 +225,10 @@ mod tests {
         crate::algorithms::RandomSearch::default().search(&ev_rand, 1);
         let rand = ev_rand.best().unwrap().0;
 
-        assert!(bo <= rand * 1.25 + 1e-9, "BO {bo} should not lose badly to RAND {rand}");
+        assert!(
+            bo <= rand * 1.25 + 1e-9,
+            "BO {bo} should not lose badly to RAND {rand}"
+        );
         assert!(bo < 0.06, "BO should approach the global optimum: {bo}");
     }
 

@@ -25,7 +25,12 @@ pub struct GradientDescent {
 
 impl Default for GradientDescent {
     fn default() -> Self {
-        Self { fd_step: 1e-3, initial_step: 0.1, min_step: 1e-4, max_iters_per_start: 60 }
+        Self {
+            fd_step: 1e-3,
+            initial_step: 0.1,
+            min_step: 1e-4,
+            max_iters_per_start: 60,
+        }
     }
 }
 

@@ -20,7 +20,10 @@ pub struct GridSearch {
 
 impl Default for GridSearch {
     fn default() -> Self {
-        Self { batch_size: 16, initial_resolution: 2 }
+        Self {
+            batch_size: 16,
+            initial_resolution: 2,
+        }
     }
 }
 
@@ -50,7 +53,12 @@ impl SearchAlgorithm for GridSearch {
             let mut counter = vec![0usize; dim];
             let mut batch: Vec<Vec<f64>> = Vec::with_capacity(self.batch_size);
             'grid: loop {
-                batch.push(counter.iter().map(|&l| Self::coord(l, resolution)).collect());
+                batch.push(
+                    counter
+                        .iter()
+                        .map(|&l| Self::coord(l, resolution))
+                        .collect(),
+                );
                 if batch.len() == self.batch_size {
                     if evaluator.eval_batch(&batch).is_none() {
                         return;
@@ -58,12 +66,12 @@ impl SearchAlgorithm for GridSearch {
                     batch.clear();
                 }
                 // Increment the mixed-radix counter.
-                for d in 0..dim {
-                    counter[d] += 1;
-                    if counter[d] < resolution {
+                for digit in counter.iter_mut() {
+                    *digit += 1;
+                    if *digit < resolution {
                         continue 'grid;
                     }
-                    counter[d] = 0;
+                    *digit = 0;
                 }
                 break;
             }
@@ -101,7 +109,11 @@ mod tests {
         GridSearch::default().search(&ev, 0);
         let (loss, _, calib) = ev.best().unwrap();
         assert!(loss < 1e-3, "loss {loss}");
-        assert!((calib.values[0] - 0.3).abs() < 0.05, "x {}", calib.values[0]);
+        assert!(
+            (calib.values[0] - 0.3).abs() < 0.05,
+            "x {}",
+            calib.values[0]
+        );
     }
 
     #[test]

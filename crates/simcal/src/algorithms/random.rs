@@ -48,9 +48,14 @@ mod tests {
     fn sphere(dim: usize) -> FnObjective<impl Fn(&Calibration) -> f64 + Sync> {
         let mut space = ParameterSpace::new();
         for i in 0..dim {
-            space.add(&format!("x{i}"), ParamKind::Continuous { lo: -1.0, hi: 1.0 });
+            space.add(
+                &format!("x{i}"),
+                ParamKind::Continuous { lo: -1.0, hi: 1.0 },
+            );
         }
-        FnObjective::new(space, |c: &Calibration| c.values.iter().map(|v| v * v).sum())
+        FnObjective::new(space, |c: &Calibration| {
+            c.values.iter().map(|v| v * v).sum()
+        })
     }
 
     #[test]
@@ -59,7 +64,10 @@ mod tests {
         let ev = Evaluator::new(&obj, Budget::Evaluations(400));
         RandomSearch::default().search(&ev, 1);
         let (loss, _, _) = ev.best().unwrap();
-        assert!(loss < 0.1, "random search should get close on 2-D sphere: {loss}");
+        assert!(
+            loss < 0.1,
+            "random search should get close on 2-D sphere: {loss}"
+        );
         assert_eq!(ev.evaluations(), 400);
     }
 

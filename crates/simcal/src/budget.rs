@@ -81,7 +81,11 @@ impl<'a> Evaluator<'a> {
             budget,
             start: Instant::now(),
             count: AtomicUsize::new(0),
-            best: Mutex::new(Best { loss: f64::INFINITY, unit_point: Vec::new(), trace: Vec::new() }),
+            best: Mutex::new(Best {
+                loss: f64::INFINITY,
+                unit_point: Vec::new(),
+                trace: Vec::new(),
+            }),
         }
     }
 
@@ -129,7 +133,11 @@ impl<'a> Evaluator<'a> {
             best.loss = loss;
             best.unit_point = unit_point.to_vec();
             let elapsed_secs = self.start.elapsed().as_secs_f64();
-            best.trace.push(TracePoint { evaluations, elapsed_secs, best_loss: loss });
+            best.trace.push(TracePoint {
+                evaluations,
+                elapsed_secs,
+                best_loss: loss,
+            });
         }
     }
 
@@ -146,26 +154,44 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluate a batch of points in parallel. The batch is truncated to
-    /// the remaining evaluation budget; returns `None` when nothing could
-    /// be evaluated. Results are in input order.
+    /// the remaining budget: the evaluation-count bound caps it up front,
+    /// and the wall-clock bound is re-checked between chunks, so a large
+    /// batch stops at the first chunk boundary past the deadline instead
+    /// of running to completion. Returns the losses for the evaluated
+    /// prefix, in input order, or `None` when nothing could be evaluated.
     pub fn eval_batch(&self, unit_points: &[Vec<f64>]) -> Option<Vec<f64>> {
-        let take = unit_points.len().min(self.remaining());
-        if take == 0 {
-            return None;
+        // Small enough that a wall-clock overrun is bounded by one chunk,
+        // large enough to keep rayon's workers saturated.
+        const CHUNK: usize = 32;
+        let mut losses = Vec::with_capacity(unit_points.len());
+        while losses.len() < unit_points.len() {
+            let take = (unit_points.len() - losses.len())
+                .min(CHUNK)
+                .min(self.remaining());
+            if take == 0 {
+                break;
+            }
+            let chunk = &unit_points[losses.len()..losses.len() + take];
+            let chunk_losses: Vec<f64> = chunk
+                .par_iter()
+                .map(|p| {
+                    let calib = self.objective.space().denormalize(p);
+                    self.objective.loss(&calib)
+                })
+                .collect();
+            // Record sequentially so the incumbent/trace update is
+            // deterministic (input order), independent of rayon's
+            // scheduling.
+            for (p, &l) in chunk.iter().zip(&chunk_losses) {
+                self.record(p, l);
+            }
+            losses.extend(chunk_losses);
         }
-        let losses: Vec<f64> = unit_points[..take]
-            .par_iter()
-            .map(|p| {
-                let calib = self.objective.space().denormalize(p);
-                self.objective.loss(&calib)
-            })
-            .collect();
-        // Record sequentially so the incumbent/trace update is deterministic
-        // (input order), independent of rayon's scheduling.
-        for (p, &l) in unit_points[..take].iter().zip(&losses) {
-            self.record(p, l);
+        if losses.is_empty() {
+            None
+        } else {
+            Some(losses)
         }
-        Some(losses)
     }
 
     /// The incumbent `(loss, unit_point, natural calibration)`, or `None`
@@ -201,7 +227,9 @@ mod tests {
         let space = ParameterSpace::new()
             .with("a", ParamKind::Continuous { lo: -1.0, hi: 1.0 })
             .with("b", ParamKind::Continuous { lo: -1.0, hi: 1.0 });
-        FnObjective::new(space, |c: &Calibration| c.values.iter().map(|v| v * v).sum())
+        FnObjective::new(space, |c: &Calibration| {
+            c.values.iter().map(|v| v * v).sum()
+        })
     }
 
     #[test]
@@ -239,7 +267,9 @@ mod tests {
         assert!(calib.values.iter().all(|v| v.abs() < 1e-12));
         let trace = ev.trace();
         assert!(trace.windows(2).all(|w| w[1].best_loss <= w[0].best_loss));
-        assert!(trace.windows(2).all(|w| w[1].evaluations > w[0].evaluations));
+        assert!(trace
+            .windows(2)
+            .all(|w| w[1].evaluations > w[0].evaluations));
     }
 
     #[test]
@@ -269,6 +299,30 @@ mod tests {
             let v = 2.0 * p[0] - 1.0;
             assert!((l - v * v).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn wallclock_budget_truncates_batches_between_chunks() {
+        let space = ParameterSpace::new().with("a", ParamKind::Continuous { lo: -1.0, hi: 1.0 });
+        let obj = FnObjective::new(space, |c: &Calibration| {
+            std::thread::sleep(Duration::from_millis(50));
+            c.values[0] * c.values[0]
+        });
+        // Each evaluation outlasts the whole deadline, so exactly one
+        // 32-point chunk runs before the between-chunk check stops the
+        // batch. The seed's behavior was to run all 64 points: remaining()
+        // is usize::MAX under a pure wall-clock budget, and the deadline
+        // was only consulted before the batch started.
+        let ev = Evaluator::new(&obj, Budget::WallClock(Duration::from_millis(25)));
+        let batch: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64 / 63.0]).collect();
+        let losses = ev.eval_batch(&batch).unwrap();
+        assert_eq!(losses.len(), 32, "one chunk, then the deadline check fires");
+        for (p, l) in batch.iter().zip(&losses) {
+            let v = 2.0 * p[0] - 1.0;
+            assert!((l - v * v).abs() < 1e-12, "prefix must stay in input order");
+        }
+        assert!(ev.exhausted());
+        assert!(ev.eval_batch(&batch).is_none());
     }
 
     #[test]

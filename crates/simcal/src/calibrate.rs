@@ -25,7 +25,11 @@ pub struct Calibrator {
 impl Calibrator {
     /// A calibrator with the paper's headline configuration (BO-GP).
     pub fn bo_gp(budget: Budget, seed: u64) -> Self {
-        Self { algorithm: AlgorithmKind::BoGp, budget, seed }
+        Self {
+            algorithm: AlgorithmKind::BoGp,
+            budget,
+            seed,
+        }
     }
 
     /// Run the calibration against `objective`.
@@ -100,7 +104,11 @@ mod tests {
     fn all_algorithms_produce_results_under_equal_budget() {
         let obj = bowl();
         for kind in AlgorithmKind::ALL {
-            let c = Calibrator { algorithm: kind, budget: Budget::Evaluations(64), seed: 7 };
+            let c = Calibrator {
+                algorithm: kind,
+                budget: Budget::Evaluations(64),
+                seed: 7,
+            };
             let r = c.calibrate(&obj);
             assert!(r.loss.is_finite(), "{}", kind.name());
             assert!(r.evaluations <= 64, "{}", kind.name());
@@ -111,10 +119,17 @@ mod tests {
     #[test]
     fn trace_is_monotone() {
         let obj = bowl();
-        let r = Calibrator { algorithm: AlgorithmKind::Random, budget: Budget::Evaluations(200), seed: 0 }
-            .calibrate(&obj);
+        let r = Calibrator {
+            algorithm: AlgorithmKind::Random,
+            budget: Budget::Evaluations(200),
+            seed: 0,
+        }
+        .calibrate(&obj);
         assert!(r.trace.windows(2).all(|w| w[1].best_loss < w[0].best_loss));
-        assert!(r.trace.windows(2).all(|w| w[1].evaluations > w[0].evaluations));
+        assert!(r
+            .trace
+            .windows(2)
+            .all(|w| w[1].evaluations > w[0].evaluations));
     }
 
     #[test]

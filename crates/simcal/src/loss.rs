@@ -82,7 +82,10 @@ pub struct ScenarioError {
 impl ScenarioError {
     /// A scenario error with no per-element component.
     pub fn scalar_only(scalar: f64) -> Self {
-        Self { scalar, elements: Vec::new() }
+        Self {
+            scalar,
+            elements: Vec::new(),
+        }
     }
 }
 
@@ -100,7 +103,11 @@ pub struct StructuredLoss {
 impl StructuredLoss {
     /// Build with an explicit report name.
     pub fn new(outer: Agg, mix: ElementMix, name: &str) -> Self {
-        Self { outer, mix, name: name.to_string() }
+        Self {
+            outer,
+            mix,
+            name: name.to_string(),
+        }
     }
 
     /// The paper's six workflow loss functions, in order L1..L6.
@@ -157,7 +164,11 @@ pub struct MatrixLoss {
 impl MatrixLoss {
     /// Build with an explicit report name.
     pub fn new(outer: Agg, inner: Agg, name: &str) -> Self {
-        Self { outer, inner, name: name.to_string() }
+        Self {
+            outer,
+            inner,
+            name: name.to_string(),
+        }
     }
 
     /// The paper's four MPI loss functions, in order L1..L4.
@@ -173,8 +184,11 @@ impl MatrixLoss {
 
 impl Loss<Vec<f64>> for MatrixLoss {
     fn aggregate(&self, per_scenario: &[Vec<f64>]) -> f64 {
-        self.outer
-            .apply(per_scenario.iter().map(|row| self.inner.apply(row.iter().copied())))
+        self.outer.apply(
+            per_scenario
+                .iter()
+                .map(|row| self.inner.apply(row.iter().copied())),
+        )
     }
 
     fn name(&self) -> &str {
@@ -192,7 +206,10 @@ mod tests {
     use super::*;
 
     fn s(scalar: f64, elements: &[f64]) -> ScenarioError {
-        ScenarioError { scalar, elements: elements.to_vec() }
+        ScenarioError {
+            scalar,
+            elements: elements.to_vec(),
+        }
     }
 
     #[test]

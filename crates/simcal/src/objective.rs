@@ -60,9 +60,19 @@ impl<'a, S: Simulator, L> SimulationObjective<'a, S, L> {
     /// # Panics
     /// Panics if the dataset is empty (a calibration against nothing is
     /// meaningless and would silently return zero loss).
-    pub fn new(simulator: &'a S, dataset: &'a [S::Scenario], loss: L, space: ParameterSpace) -> Self {
+    pub fn new(
+        simulator: &'a S,
+        dataset: &'a [S::Scenario],
+        loss: L,
+        space: ParameterSpace,
+    ) -> Self {
         assert!(!dataset.is_empty(), "calibration dataset must be non-empty");
-        Self { simulator, dataset, loss, space }
+        Self {
+            simulator,
+            dataset,
+            loss,
+            space,
+        }
     }
 
     /// Number of ground-truth data points (simulator invocations per loss
@@ -128,7 +138,10 @@ mod tests {
         type Scenario = f64;
         type Output = ScenarioError;
         fn run(&self, scenario: &f64, calibration: &Calibration) -> ScenarioError {
-            ScenarioError::scalar_only(crate::loss::relative_error(*scenario, calibration.values[0]))
+            ScenarioError::scalar_only(crate::loss::relative_error(
+                *scenario,
+                calibration.values[0],
+            ))
         }
     }
 

@@ -47,9 +47,7 @@ impl ParamKind {
         let u = u.clamp(0.0, 1.0);
         match *self {
             ParamKind::Continuous { lo, hi } => lo + u * (hi - lo),
-            ParamKind::Exponential { lo_exp, hi_exp } => {
-                (lo_exp + u * (hi_exp - lo_exp)).exp2()
-            }
+            ParamKind::Exponential { lo_exp, hi_exp } => (lo_exp + u * (hi_exp - lo_exp)).exp2(),
             ParamKind::Integer { lo, hi } => {
                 let span = (hi - lo) as f64;
                 (lo as f64 + (u * (span + 1.0)).floor().min(span)).round()
@@ -129,7 +127,10 @@ impl ParameterSpace {
         );
         match kind {
             ParamKind::Continuous { lo, hi } => {
-                assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range for {name:?}")
+                assert!(
+                    lo.is_finite() && hi.is_finite() && lo <= hi,
+                    "invalid range for {name:?}"
+                )
             }
             ParamKind::Exponential { lo_exp, hi_exp } => assert!(
                 lo_exp.is_finite() && hi_exp.is_finite() && lo_exp <= hi_exp,
@@ -137,7 +138,10 @@ impl ParameterSpace {
             ),
             ParamKind::Integer { lo, hi } => assert!(lo <= hi, "invalid range for {name:?}"),
         }
-        self.params.push(ParamDef { name: name.to_string(), kind });
+        self.params.push(ParamDef {
+            name: name.to_string(),
+            kind,
+        });
     }
 
     /// Number of parameters (the dimensionality of the search).
@@ -248,7 +252,13 @@ mod tests {
     fn space3() -> ParameterSpace {
         ParameterSpace::new()
             .with("lat", ParamKind::Continuous { lo: 0.0, hi: 0.01 })
-            .with("bw", ParamKind::Exponential { lo_exp: 20.0, hi_exp: 40.0 })
+            .with(
+                "bw",
+                ParamKind::Exponential {
+                    lo_exp: 20.0,
+                    hi_exp: 40.0,
+                },
+            )
             .with("conc", ParamKind::Integer { lo: 1, hi: 100 })
     }
 
@@ -262,7 +272,10 @@ mod tests {
 
     #[test]
     fn exponential_is_log_uniform() {
-        let k = ParamKind::Exponential { lo_exp: 10.0, hi_exp: 20.0 };
+        let k = ParamKind::Exponential {
+            lo_exp: 10.0,
+            hi_exp: 20.0,
+        };
         assert_eq!(k.denormalize(0.0), 1024.0);
         assert_eq!(k.denormalize(1.0), 1024.0 * 1024.0);
         assert_eq!(k.denormalize(0.5), 2f64.powi(15));
@@ -280,7 +293,8 @@ mod tests {
     #[test]
     fn normalize_roundtrips_through_denormalize() {
         let s = space3();
-        let calib = s.calibration_from_pairs(&[("lat", 0.004), ("bw", 2f64.powi(30)), ("conc", 42.0)]);
+        let calib =
+            s.calibration_from_pairs(&[("lat", 0.004), ("bw", 2f64.powi(30)), ("conc", 42.0)]);
         let unit = s.normalize(&calib);
         let back = s.denormalize(&unit);
         assert!((back.values[0] - 0.004).abs() < 1e-12);

@@ -123,7 +123,10 @@ mod tests {
 
     fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
         let x: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 79.0]).collect();
-        let y: Vec<f64> = x.iter().map(|p| if p[0] < 0.5 { 0.0 } else { 4.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|p| if p[0] < 0.5 { 0.0 } else { 4.0 })
+            .collect();
         (x, y)
     }
 

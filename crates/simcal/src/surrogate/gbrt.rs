@@ -44,12 +44,15 @@ impl QuantileEnsemble {
             }
             trees.push(tree);
         }
-        Self { base, trees, learning_rate }
+        Self {
+            base,
+            trees,
+            learning_rate,
+        }
     }
 
     fn predict(&self, x: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
     }
 }
 
@@ -90,7 +93,15 @@ impl Surrogate for GradientBoostingQuantile {
         let spread = (numeric::max(y) - numeric::min(y)).max(1e-12);
         let cfg = self.config;
         let fit_q = |q: f64, seed: u64| {
-            let mut e = QuantileEnsemble::fit(x, y, q, self.n_trees, self.learning_rate * spread, &cfg, seed);
+            let mut e = QuantileEnsemble::fit(
+                x,
+                y,
+                q,
+                self.n_trees,
+                self.learning_rate * spread,
+                &cfg,
+                seed,
+            );
             e.learning_rate = self.learning_rate * spread;
             e
         };
@@ -153,7 +164,10 @@ mod tests {
     #[test]
     fn learns_a_step_function() {
         let x: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 79.0]).collect();
-        let y: Vec<f64> = x.iter().map(|p| if p[0] < 0.5 { 0.0 } else { 10.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|p| if p[0] < 0.5 { 0.0 } else { 10.0 })
+            .collect();
         let mut g = GradientBoostingQuantile::default();
         g.fit(&x, &y);
         assert!(g.predict(&[0.1]).0 < 3.0);

@@ -73,9 +73,15 @@ impl GaussianProcess {
         )
     }
 
-    fn fit_at_scale(x: &[Vec<f64>], ys: &[f64], l: f64, noise: f64) -> Option<(numeric::Cholesky, Vec<f64>, f64)> {
+    fn fit_at_scale(
+        x: &[Vec<f64>],
+        ys: &[f64],
+        l: f64,
+        noise: f64,
+    ) -> Option<(numeric::Cholesky, Vec<f64>, f64)> {
         let n = x.len();
-        let mut k = Matrix::from_symmetric_fn(n, |i, j| (-sq_dist(&x[i], &x[j]) / (2.0 * l * l)).exp());
+        let mut k =
+            Matrix::from_symmetric_fn(n, |i, j| (-sq_dist(&x[i], &x[j]) / (2.0 * l * l)).exp());
         k.add_diagonal(noise + 1e-10);
         let chol = k.cholesky()?;
         let alpha = chol.solve(ys);
@@ -107,17 +113,23 @@ impl Surrogate for GaussianProcess {
         }
         let (_, chol, alpha, length_scale) =
             best.expect("at least one length scale must yield a PD kernel");
-        self.fitted = Some(Fitted { x, alpha, chol, length_scale, y_mean, y_std });
+        self.fitted = Some(Fitted {
+            x,
+            alpha,
+            chol,
+            length_scale,
+            y_mean,
+            y_std,
+        });
     }
 
     fn predict(&self, x: &[f64]) -> (f64, f64) {
         let f = self.fitted.as_ref().expect("predict before fit");
         let l = f.length_scale;
-        let kstar: Vec<f64> = f
-            .x
-            .iter()
-            .map(|xi| (-sq_dist(xi, x) / (2.0 * l * l)).exp())
-            .collect();
+        let kstar: Vec<f64> =
+            f.x.iter()
+                .map(|xi| (-sq_dist(xi, x) / (2.0 * l * l)).exp())
+                .collect();
         let mean_std = kstar.iter().zip(&f.alpha).map(|(a, b)| a * b).sum::<f64>();
         let v = f.chol.solve_lower(&kstar);
         let var = (1.0 + self.noise - v.iter().map(|x| x * x).sum::<f64>()).max(0.0);
@@ -165,7 +177,10 @@ mod tests {
 
     #[test]
     fn subsampling_keeps_best_points() {
-        let gp = GaussianProcess { max_points: 10, ..Default::default() };
+        let gp = GaussianProcess {
+            max_points: 10,
+            ..Default::default()
+        };
         let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 49.0]).collect();
         // Minimum at index 7.
         let y: Vec<f64> = (0..50).map(|i| ((i as f64) - 7.0).abs()).collect();

@@ -35,14 +35,26 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { max_depth: 8, min_leaf: 3, max_features: None, strategy: SplitStrategy::Exhaustive }
+        Self {
+            max_depth: 8,
+            min_leaf: 3,
+            max_features: None,
+            strategy: SplitStrategy::Exhaustive,
+        }
     }
 }
 
 #[derive(Clone, Debug)]
 enum Node {
-    Leaf { value: f64 },
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// A fitted regression tree.
@@ -72,8 +84,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -93,8 +114,7 @@ impl RegressionTree {
         config: &TreeConfig,
         rng: &mut StdRng,
     ) -> usize {
-        let node_mean =
-            indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
+        let node_mean = indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
         let make_leaf = |nodes: &mut Vec<Node>| {
             nodes.push(Node::Leaf { value: node_mean });
             nodes.len() - 1
@@ -124,8 +144,14 @@ impl RegressionTree {
                     vals.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
                 }
                 SplitStrategy::RandomThreshold => {
-                    let lo = indices.iter().map(|&i| x[i][f]).fold(f64::INFINITY, f64::min);
-                    let hi = indices.iter().map(|&i| x[i][f]).fold(f64::NEG_INFINITY, f64::max);
+                    let lo = indices
+                        .iter()
+                        .map(|&i| x[i][f])
+                        .fold(f64::INFINITY, f64::min);
+                    let hi = indices
+                        .iter()
+                        .map(|&i| x[i][f])
+                        .fold(f64::NEG_INFINITY, f64::max);
                     if hi > lo {
                         vec![lo + rng.gen::<f64>() * (hi - lo)]
                     } else {
@@ -151,8 +177,7 @@ impl RegressionTree {
                 if nl < config.min_leaf || nr < config.min_leaf {
                     continue;
                 }
-                let score =
-                    (ql - sl * sl / nl as f64) + (qr - sr * sr / nr as f64);
+                let score = (ql - sl * sl / nl as f64) + (qr - sr * sr / nr as f64);
                 if best.is_none_or(|(b, _, _)| score < b) {
                     best = Some((score, f, t));
                 }
@@ -170,7 +195,12 @@ impl RegressionTree {
         self.nodes.push(Node::Leaf { value: node_mean }); // placeholder
         let left = self.grow(x, y, left_idx, depth + 1, config, rng);
         let right = self.grow(x, y, right_idx, depth + 1, config, rng);
-        self.nodes[slot] = Node::Split { feature, threshold, left, right };
+        self.nodes[slot] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         slot
     }
 }
@@ -199,7 +229,10 @@ mod tests {
     fn respects_max_depth_zero() {
         let (x, y) = grid_xy(|v| v);
         let mut rng = rng_from_seed(0);
-        let cfg = TreeConfig { max_depth: 0, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
         let tree = RegressionTree::fit(&x, &y, &cfg, &mut rng);
         assert_eq!(tree.node_count(), 1);
         let mean = numeric::mean(&y);
@@ -210,7 +243,10 @@ mod tests {
     fn min_leaf_prevents_tiny_leaves() {
         let (x, y) = grid_xy(|v| v);
         let mut rng = rng_from_seed(0);
-        let cfg = TreeConfig { min_leaf: 32, ..Default::default() };
+        let cfg = TreeConfig {
+            min_leaf: 32,
+            ..Default::default()
+        };
         let tree = RegressionTree::fit(&x, &y, &cfg, &mut rng);
         // 64 points, min leaf 32: at most one split.
         assert!(tree.node_count() <= 3);
@@ -233,7 +269,10 @@ mod tests {
     fn random_threshold_strategy_still_reduces_error() {
         let (x, y) = grid_xy(|v| if v < 0.3 { 0.0 } else { 10.0 });
         let mut rng = rng_from_seed(3);
-        let cfg = TreeConfig { strategy: SplitStrategy::RandomThreshold, ..Default::default() };
+        let cfg = TreeConfig {
+            strategy: SplitStrategy::RandomThreshold,
+            ..Default::default()
+        };
         let tree = RegressionTree::fit(&x, &y, &cfg, &mut rng);
         assert!(tree.predict(&[0.05]) < 3.0);
         assert!(tree.predict(&[0.95]) > 7.0);

@@ -78,13 +78,11 @@ pub fn synthetic_benchmark<O: Objective>(
 
 /// Pick the `(algorithm, loss)` pair with the lowest calibration error.
 pub fn best_pair(cells: &[SyntheticCell]) -> Option<&SyntheticCell> {
-    cells
-        .iter()
-        .min_by(|a, b| {
-            a.calibration_error
-                .partial_cmp(&b.calibration_error)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+    cells.iter().min_by(|a, b| {
+        a.calibration_error
+            .partial_cmp(&b.calibration_error)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
 }
 
 /// Reference-calibration helper: the midpoint of every parameter's range
@@ -124,7 +122,13 @@ mod tests {
         // An exponential parameter off by one binade contributes the same
         // as a linear parameter off by 1/20 of its range.
         let s = ParameterSpace::new()
-            .with("bw", ParamKind::Exponential { lo_exp: 20.0, hi_exp: 40.0 })
+            .with(
+                "bw",
+                ParamKind::Exponential {
+                    lo_exp: 20.0,
+                    hi_exp: 40.0,
+                },
+            )
             .with("lat", ParamKind::Continuous { lo: 0.0, hi: 20.0 });
         let reference = s.calibration_from_pairs(&[("bw", 2f64.powi(30)), ("lat", 10.0)]);
         let off_bw = s.calibration_from_pairs(&[("bw", 2f64.powi(31)), ("lat", 10.0)]);
@@ -141,23 +145,39 @@ mod tests {
         // Synthetic objective: distance to the reference (the simulator
         // "generated" ground truth at the reference, so loss is 0 there).
         let objective = FnObjective::new(space(), move |c: &Calibration| {
-            c.values.iter().zip(&r.values).map(|(a, b)| (a - b).abs()).sum()
+            c.values
+                .iter()
+                .zip(&r.values)
+                .map(|(a, b)| (a - b).abs())
+                .sum()
         });
         let calibrators = vec![
             (
                 "BO-GP".to_string(),
-                Calibrator { algorithm: AlgorithmKind::BoGp, budget: Budget::Evaluations(120), seed: 3 },
+                Calibrator {
+                    algorithm: AlgorithmKind::BoGp,
+                    budget: Budget::Evaluations(120),
+                    seed: 3,
+                },
             ),
             (
                 "RAND".to_string(),
-                Calibrator { algorithm: AlgorithmKind::Random, budget: Budget::Evaluations(120), seed: 3 },
+                Calibrator {
+                    algorithm: AlgorithmKind::Random,
+                    budget: Budget::Evaluations(120),
+                    seed: 3,
+                },
             ),
         ];
         let objectives = vec![("L1".to_string(), objective)];
         let cells = synthetic_benchmark(&calibrators, &objectives, &reference);
         assert_eq!(cells.len(), 2);
         let best = best_pair(&cells).unwrap();
-        assert!(best.calibration_error < 30.0, "error {}", best.calibration_error);
+        assert!(
+            best.calibration_error < 30.0,
+            "error {}",
+            best.calibration_error
+        );
         // Every cell carries a consistent result.
         for c in &cells {
             assert!(c.result.loss.is_finite());

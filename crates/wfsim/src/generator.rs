@@ -160,7 +160,8 @@ pub fn generate(spec: &WorkflowSpec) -> Workflow {
         spec.app.min_tasks(),
         spec.num_tasks
     );
-    let mut rng = rng_from_seed(spec.seed ^ (spec.num_tasks as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut rng =
+        rng_from_seed(spec.seed ^ (spec.num_tasks as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let widths = level_widths(spec.app, spec.num_tasks);
     let name = format!(
         "{}-{}t-{}s-{}b",
@@ -182,7 +183,11 @@ pub fn generate(spec: &WorkflowSpec) -> Workflow {
     for (l, &width) in widths.iter().enumerate() {
         let mut level = Vec::with_capacity(width);
         for i in 0..width {
-            let work = if mean_ops == 0.0 { 0.0 } else { lognormal(&mut rng, mu, sigma) };
+            let work = if mean_ops == 0.0 {
+                0.0
+            } else {
+                lognormal(&mut rng, mu, sigma)
+            };
             level.push(w.add_task(&format!("{}-l{}-{}", spec.app.name(), l, i), work));
         }
         levels.push(level);

@@ -59,8 +59,8 @@ pub struct EmulatorConfig {
 impl Default for EmulatorConfig {
     fn default() -> Self {
         Self {
-            net_bw: 2f64.powi(30),        // ~1.07 GB/s per branch
-            net_lat: 2e-4,                // 0.2 ms
+            net_bw: 2f64.powi(30),         // ~1.07 GB/s per branch
+            net_lat: 2e-4,                 // 0.2 ms
             submit_disk_bw: 2f64.powi(29), // ~537 MB/s
             worker_disk_bw: 2f64.powi(28), // ~268 MB/s
             disk_concurrency: 8,
@@ -111,7 +111,12 @@ impl EmulatorConfig {
         n_workers: usize,
         noise_seed: u64,
     ) -> SimOutput {
-        execute(workflow, n_workers, self.cores_per_worker, &self.resolved(noise_seed))
+        execute(
+            workflow,
+            n_workers,
+            self.cores_per_worker,
+            &self.resolved(noise_seed),
+        )
     }
 }
 
@@ -174,12 +179,22 @@ fn pick<T: Clone>(all: &[T], indices: &[usize]) -> Vec<T> {
     if indices.is_empty() {
         all.to_vec()
     } else {
-        indices.iter().filter_map(|&i| all.get(i).cloned()).collect()
+        indices
+            .iter()
+            .filter_map(|&i| all.get(i).cloned())
+            .collect()
     }
 }
 
 /// Deterministic per-record seed.
-fn record_seed(base: u64, app: AppKind, size: usize, work_i: usize, fp_i: usize, workers: usize) -> u64 {
+fn record_seed(
+    base: u64,
+    app: AppKind,
+    size: usize,
+    work_i: usize,
+    fp_i: usize,
+    workers: usize,
+) -> u64 {
     let mut h = base ^ 0x9E3779B97F4A7C15;
     for v in [app as usize, size, work_i, fp_i, workers] {
         h = (h ^ v as u64).wrapping_mul(0x100000001B3);
@@ -224,8 +239,8 @@ pub fn dataset_for(app: AppKind, opts: &DatasetOptions) -> Vec<GroundTruthRecord
                     let mut makespans = Vec::with_capacity(opts.repetitions);
                     let mut task_sums = vec![0.0; workflow.num_tasks()];
                     for rep in 0..opts.repetitions {
-                        let noise_seed =
-                            record_seed(opts.seed, app, size, wi, fi, n_workers) ^ (rep as u64) << 48;
+                        let noise_seed = record_seed(opts.seed, app, size, wi, fi, n_workers)
+                            ^ (rep as u64) << 48;
                         let out = opts.config.emulate(&workflow, n_workers, noise_seed);
                         makespans.push(out.makespan);
                         for (s, t) in task_sums.iter_mut().zip(&out.task_times) {
@@ -272,9 +287,16 @@ pub fn split_train_test(
     let min_size = sizes[0];
     let max_workers = *workers.last().expect("non-empty records");
     let min_workers = workers[0];
-    let second_size = if sizes.len() >= 2 { sizes[sizes.len() - 2] } else { max_size };
-    let second_workers =
-        if workers.len() >= 2 { workers[workers.len() - 2] } else { max_workers };
+    let second_size = if sizes.len() >= 2 {
+        sizes[sizes.len() - 2]
+    } else {
+        max_size
+    };
+    let second_workers = if workers.len() >= 2 {
+        workers[workers.len() - 2]
+    } else {
+        max_workers
+    };
 
     let test: Vec<GroundTruthRecord> = records
         .iter()
@@ -313,7 +335,9 @@ mod tests {
         // 1 size x 1 work x 1 footprint x 2 worker counts.
         assert_eq!(recs.len(), 2);
         assert!(recs.iter().all(|r| r.spec.num_tasks == 10));
-        assert!(recs.iter().all(|r| (r.spec.data_footprint_bytes - 150e6).abs() < 1.0));
+        assert!(recs
+            .iter()
+            .all(|r| (r.spec.data_footprint_bytes - 150e6).abs() < 1.0));
     }
 
     #[test]
@@ -362,7 +386,11 @@ mod tests {
             seed: 2,
         });
         let out = cfg.emulate(&wf, 2, 1);
-        assert!(out.makespan > 9.0, "cycles+overheads should dominate: {}", out.makespan);
+        assert!(
+            out.makespan > 9.0,
+            "cycles+overheads should dominate: {}",
+            out.makespan
+        );
     }
 
     #[test]
@@ -426,7 +454,10 @@ mod tests {
             worker_counts: vec![2],
             ..Default::default()
         };
-        let opts_large = DatasetOptions { footprint_indices: vec![3], ..opts_small.clone() };
+        let opts_large = DatasetOptions {
+            footprint_indices: vec![3],
+            ..opts_small.clone()
+        };
         let small = dataset_for(AppKind::Montage, &opts_small);
         let large = dataset_for(AppKind::Montage, &opts_large);
         assert!(

@@ -45,7 +45,9 @@ pub mod workflow;
 
 /// One-stop imports for case-study-1 users.
 pub mod prelude {
-    pub use crate::generator::{generate, table1, AppKind, Table1Row, WorkflowSpec, OPS_PER_REF_SECOND};
+    pub use crate::generator::{
+        generate, table1, AppKind, Table1Row, WorkflowSpec, OPS_PER_REF_SECOND,
+    };
     pub use crate::ground_truth::{
         dataset, dataset_for, split_train_test, DatasetOptions, EmulatorConfig, GroundTruthRecord,
     };

@@ -7,8 +7,8 @@ use crate::simulator::WorkflowSimulator;
 use crate::versions::SimulatorVersion;
 use crate::workflow::Workflow;
 use simcal::prelude::{
-    relative_error, Calibration, ParameterSpace, ScenarioError, SimulationObjective,
-    Simulator, StructuredLoss,
+    relative_error, Calibration, ParameterSpace, ScenarioError, SimulationObjective, Simulator,
+    StructuredLoss,
 };
 
 /// One calibration scenario: a concrete workflow, its worker count, and
@@ -69,7 +69,12 @@ pub fn objective<'a>(
     scenarios: &'a [WfScenario],
     loss: StructuredLoss,
 ) -> SimulationObjective<'a, WorkflowSimulator, StructuredLoss> {
-    SimulationObjective::new(simulator, scenarios, loss, simulator.version.parameter_space())
+    SimulationObjective::new(
+        simulator,
+        scenarios,
+        loss,
+        simulator.version.parameter_space(),
+    )
 }
 
 /// The parameter space of a version (re-exported for ergonomic access).
@@ -113,8 +118,15 @@ mod tests {
         let records = tiny_dataset();
         let scenarios = WfScenario::from_records(&records);
         let sim = WorkflowSimulator::new(SimulatorVersion::lowest_detail());
-        let obj = objective(&sim, &scenarios, StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"));
-        let calib = sim.version.parameter_space().denormalize(&vec![0.5; obj.space().dim()]);
+        let obj = objective(
+            &sim,
+            &scenarios,
+            StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
+        );
+        let calib = sim
+            .version
+            .parameter_space()
+            .denormalize(&vec![0.5; obj.space().dim()]);
         let loss = obj.loss(&calib);
         assert!(loss.is_finite() && loss > 0.0, "loss {loss}");
     }
@@ -124,9 +136,21 @@ mod tests {
         let records = tiny_dataset();
         let scenarios = WfScenario::from_records(&records);
         let sim = WorkflowSimulator::new(SimulatorVersion::lowest_detail());
-        let obj = objective(&sim, &scenarios, StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"));
-        let start = obj.loss(&sim.version.parameter_space().denormalize(&vec![0.25; obj.space().dim()]));
+        let obj = objective(
+            &sim,
+            &scenarios,
+            StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
+        );
+        let start = obj.loss(
+            &sim.version
+                .parameter_space()
+                .denormalize(&vec![0.25; obj.space().dim()]),
+        );
         let result = Calibrator::bo_gp(Budget::Evaluations(40), 1).calibrate(&obj);
-        assert!(result.loss <= start, "calibrated {} vs arbitrary {start}", result.loss);
+        assert!(
+            result.loss <= start,
+            "calibrated {} vs arbitrary {start}",
+            result.loss
+        );
     }
 }

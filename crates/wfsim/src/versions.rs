@@ -63,11 +63,17 @@ impl SimulatorVersion {
     pub fn all() -> Vec<SimulatorVersion> {
         let mut v = Vec::with_capacity(12);
         for compute in [ComputeModel::Direct, ComputeModel::HtCondor] {
-            for network in
-                [NetworkModel::OneLink, NetworkModel::Star, NetworkModel::SharedDedicated]
-            {
+            for network in [
+                NetworkModel::OneLink,
+                NetworkModel::Star,
+                NetworkModel::SharedDedicated,
+            ] {
                 for storage in [StorageModel::SubmitOnly, StorageModel::AllNodes] {
-                    v.push(SimulatorVersion { network, storage, compute });
+                    v.push(SimulatorVersion {
+                        network,
+                        storage,
+                        compute,
+                    });
                 }
             }
         }
@@ -114,7 +120,10 @@ impl SimulatorVersion {
 
     /// The calibration parameter space this version exposes.
     pub fn parameter_space(&self) -> ParameterSpace {
-        let bw = ParamKind::Exponential { lo_exp: 20.0, hi_exp: 40.0 };
+        let bw = ParamKind::Exponential {
+            lo_exp: 20.0,
+            hi_exp: 40.0,
+        };
         let lat = ParamKind::Continuous { lo: 0.0, hi: 0.010 };
         let overhead = ParamKind::Continuous { lo: 0.0, hi: 20.0 };
         let mut space = ParameterSpace::new();
@@ -172,7 +181,10 @@ mod tests {
 
     #[test]
     fn highest_detail_has_ten_parameters() {
-        assert_eq!(SimulatorVersion::highest_detail().parameter_space().dim(), 10);
+        assert_eq!(
+            SimulatorVersion::highest_detail().parameter_space().dim(),
+            10
+        );
     }
 
     #[test]
@@ -183,8 +195,10 @@ mod tests {
     #[test]
     fn parameter_counts_per_component() {
         // Network: 2 / 2 / 4; storage: 2 / 3; compute: 1 / 3.
-        let dims: Vec<usize> =
-            SimulatorVersion::all().iter().map(|v| v.parameter_space().dim()).collect();
+        let dims: Vec<usize> = SimulatorVersion::all()
+            .iter()
+            .map(|v| v.parameter_space().dim())
+            .collect();
         assert_eq!(*dims.iter().min().unwrap(), 5);
         assert_eq!(*dims.iter().max().unwrap(), 10);
     }
@@ -199,7 +213,11 @@ mod tests {
     #[test]
     fn every_space_has_core_speed() {
         for v in SimulatorVersion::all() {
-            assert!(v.parameter_space().index_of("core_speed").is_some(), "{}", v.label());
+            assert!(
+                v.parameter_space().index_of("core_speed").is_some(),
+                "{}",
+                v.label()
+            );
         }
     }
 }

@@ -56,14 +56,25 @@ pub fn to_json(workflow: &Workflow) -> String {
                 .map(|t| TaskDoc {
                     name: t.name.clone(),
                     work: t.work,
-                    input_files: t.inputs.iter().map(|&f| workflow.files[f].name.clone()).collect(),
-                    output_files: t.outputs.iter().map(|&f| workflow.files[f].name.clone()).collect(),
+                    input_files: t
+                        .inputs
+                        .iter()
+                        .map(|&f| workflow.files[f].name.clone())
+                        .collect(),
+                    output_files: t
+                        .outputs
+                        .iter()
+                        .map(|&f| workflow.files[f].name.clone())
+                        .collect(),
                 })
                 .collect(),
             files: workflow
                 .files
                 .iter()
-                .map(|f| FileDoc { name: f.name.clone(), size_in_bytes: f.size })
+                .map(|f| FileDoc {
+                    name: f.name.clone(),
+                    size_in_bytes: f.size,
+                })
                 .collect(),
         },
     };
@@ -80,7 +91,10 @@ pub fn from_json(json: &str) -> Result<Workflow, String> {
     let mut file_ids = HashMap::new();
     for f in &doc.workflow.files {
         if f.size_in_bytes < 0.0 || !f.size_in_bytes.is_finite() {
-            return Err(format!("file {:?} has invalid size {}", f.name, f.size_in_bytes));
+            return Err(format!(
+                "file {:?} has invalid size {}",
+                f.name, f.size_in_bytes
+            ));
         }
         let id = w.add_file(&f.name, f.size_in_bytes);
         if file_ids.insert(f.name.clone(), id).is_some() {

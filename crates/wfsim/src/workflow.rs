@@ -50,20 +50,38 @@ pub struct Workflow {
 impl Workflow {
     /// An empty workflow with the given name.
     pub fn new(name: &str) -> Self {
-        Self { name: name.to_string(), tasks: Vec::new(), files: Vec::new() }
+        Self {
+            name: name.to_string(),
+            tasks: Vec::new(),
+            files: Vec::new(),
+        }
     }
 
     /// Add a task; returns its id.
     pub fn add_task(&mut self, name: &str, work: f64) -> TaskId {
-        assert!(work >= 0.0 && work.is_finite(), "task work must be non-negative");
-        self.tasks.push(Task { name: name.to_string(), work, inputs: Vec::new(), outputs: Vec::new() });
+        assert!(
+            work >= 0.0 && work.is_finite(),
+            "task work must be non-negative"
+        );
+        self.tasks.push(Task {
+            name: name.to_string(),
+            work,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        });
         self.tasks.len() - 1
     }
 
     /// Add a data file; returns its id.
     pub fn add_file(&mut self, name: &str, size: f64) -> FileId {
-        assert!(size >= 0.0 && size.is_finite(), "file size must be non-negative");
-        self.files.push(DataFile { name: name.to_string(), size });
+        assert!(
+            size >= 0.0 && size.is_finite(),
+            "file size must be non-negative"
+        );
+        self.files.push(DataFile {
+            name: name.to_string(),
+            size,
+        });
         self.files.len() - 1
     }
 
@@ -161,6 +179,18 @@ impl Workflow {
         self.tasks.iter().map(|t| t.work).sum()
     }
 
+    /// Work along the heaviest dependency chain: a lower bound on the
+    /// compute content of any execution, regardless of worker count.
+    pub fn critical_path_work(&self) -> f64 {
+        let preds = self.predecessors();
+        let mut finish = vec![0.0f64; self.tasks.len()];
+        for t in self.topological_order() {
+            let ready = preds[t].iter().map(|&p| finish[p]).fold(0.0f64, f64::max);
+            finish[t] = ready + self.tasks[t].work;
+        }
+        finish.into_iter().fold(0.0, f64::max)
+    }
+
     /// Tasks in a deterministic topological order.
     ///
     /// # Panics
@@ -189,7 +219,12 @@ impl Workflow {
                 }
             }
         }
-        assert_eq!(order.len(), self.tasks.len(), "workflow {} has a dependency cycle", self.name);
+        assert_eq!(
+            order.len(),
+            self.tasks.len(),
+            "workflow {} has a dependency cycle",
+            self.name
+        );
         order
     }
 
@@ -215,7 +250,10 @@ impl Workflow {
         let mut names = HashMap::new();
         for (i, t) in self.tasks.iter().enumerate() {
             if let Some(prev) = names.insert(&t.name, i) {
-                return Err(format!("duplicate task name {:?} (tasks {prev} and {i})", t.name));
+                return Err(format!(
+                    "duplicate task name {:?} (tasks {prev} and {i})",
+                    t.name
+                ));
             }
             for &f in t.inputs.iter().chain(&t.outputs) {
                 if f >= self.files.len() {
@@ -226,15 +264,22 @@ impl Workflow {
         let mut fnames = HashMap::new();
         for (i, f) in self.files.iter().enumerate() {
             if let Some(prev) = fnames.insert(&f.name, i) {
-                return Err(format!("duplicate file name {:?} (files {prev} and {i})", f.name));
+                return Err(format!(
+                    "duplicate file name {:?} (files {prev} and {i})",
+                    f.name
+                ));
             }
         }
         // Cycle check via Kahn (reuse topological_order but non-panicking).
         let preds = self.predecessors();
         let succ = self.successors();
         let mut indegree: Vec<usize> = preds.iter().map(|p| p.len()).collect();
-        let mut frontier: Vec<TaskId> =
-            indegree.iter().enumerate().filter(|(_, &d)| d == 0).map(|(t, _)| t).collect();
+        let mut frontier: Vec<TaskId> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(t, _)| t)
+            .collect();
         let mut seen = 0;
         while let Some(t) = frontier.pop() {
             seen += 1;
@@ -281,6 +326,8 @@ mod tests {
         assert_eq!(w.depth(), 3);
         assert_eq!(w.data_footprint(), 100.0);
         assert_eq!(w.total_work(), 10.0);
+        // Heaviest chain is a -> c -> d.
+        assert_eq!(w.critical_path_work(), 8.0);
     }
 
     #[test]

@@ -32,7 +32,11 @@ fn main() {
     }
     let train = dataset(&grid[..4], &cfg, 3, 20250706);
     let test = dataset(&grid[4..], &cfg, 3, 20250706);
-    println!("{} training traces, {} held-out traces", train.len(), test.len());
+    println!(
+        "{} training traces, {} held-out traces",
+        train.len(),
+        test.len()
+    );
 
     let loss = StructuredLoss::new(Agg::Avg, ElementMix::AddAvg, "L3");
     for version in [
@@ -42,7 +46,9 @@ fn main() {
         let sim = BatchSimulator::new(version, cfg.total_nodes);
         let obj = objective(&sim, &train, loss.clone());
         let result = (0..3u64)
-            .map(|r| Calibrator::bo_gp(Budget::Evaluations(150), 20250706 ^ r << 32).calibrate(&obj))
+            .map(|r| {
+                Calibrator::bo_gp(Budget::Evaluations(150), 20250706 ^ r << 32).calibrate(&obj)
+            })
             .min_by(|a, b| a.loss.partial_cmp(&b.loss).expect("finite losses"))
             .expect("non-empty restarts");
 

@@ -55,7 +55,13 @@ fn main() {
 
     // Broad, user-specified ranges — the paper's first methodology step.
     let space = ParameterSpace::new()
-        .with("service_rate", ParamKind::Continuous { lo: 1.0, hi: 1000.0 })
+        .with(
+            "service_rate",
+            ParamKind::Continuous {
+                lo: 1.0,
+                hi: 1000.0,
+            },
+        )
         .with("rtt", ParamKind::Continuous { lo: 0.0, hi: 0.1 });
 
     let objective = SimulationObjective::new(
@@ -66,7 +72,10 @@ fn main() {
     );
     let result = Calibrator::bo_gp(Budget::Evaluations(300), 11).calibrate(&objective);
 
-    println!("calibrated in {} evaluations, loss {:.4}", result.evaluations, result.loss);
+    println!(
+        "calibrated in {} evaluations, loss {:.4}",
+        result.evaluations, result.loss
+    );
     println!(
         "service_rate = {:.1} req/s   (truth: 120)",
         result.calibration.values[0]

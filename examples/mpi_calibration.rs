@@ -12,7 +12,10 @@ use lodcal::simcal::prelude::*;
 fn main() {
     // Emulated "Summit" ground truth: noisy transfer-rate samples for
     // PingPing/PingPong/BiRandom at 32 nodes.
-    let cfg = MpiEmulatorConfig { repetitions: 3, ..Default::default() };
+    let cfg = MpiEmulatorConfig {
+        repetitions: 3,
+        ..Default::default()
+    };
     let train = dataset(&BenchmarkKind::CALIBRATION_SET, &[32], &cfg, 99);
 
     let version = MpiSimulatorVersion {
@@ -21,14 +24,27 @@ fn main() {
         protocol: ProtocolModel::FixedChangepoints,
     };
     let simulator = MpiSimulator::new(version);
-    let obj = objective(&simulator, &train, MatrixLoss::new(Agg::Avg, Agg::Avg, "L1"));
+    let obj = objective(
+        &simulator,
+        &train,
+        MatrixLoss::new(Agg::Avg, Agg::Avg, "L1"),
+    );
     let result = Calibrator::bo_gp(Budget::Evaluations(150), 5).calibrate(&obj);
-    println!("calibrated {} — training loss {:.3}", version.label(), result.loss);
+    println!(
+        "calibrated {} — training loss {:.3}",
+        version.label(),
+        result.loss
+    );
 
     // In-sample accuracy (the metric of the paper's Figure 5).
     for s in &train {
         let err = mean_relative_rate_error(&simulator, s, &result.calibration);
-        println!("  {:<9} @ {:>3} nodes: {:.1}% transfer-rate error", s.benchmark.name(), s.n_nodes, err * 100.0);
+        println!(
+            "  {:<9} @ {:>3} nodes: {:.1}% transfer-rate error",
+            s.benchmark.name(),
+            s.n_nodes,
+            err * 100.0
+        );
     }
 
     // Generalization to a larger scale (the paper's §6.5 negative result:

@@ -21,7 +21,11 @@ fn main() {
     };
     let records = dataset_for(AppKind::Forkjoin, &opts);
     let (train, test) = split_train_test(&records);
-    println!("ground truth: {} training / {} testing executions", train.len(), test.len());
+    println!(
+        "ground truth: {} training / {} testing executions",
+        train.len(),
+        test.len()
+    );
 
     // 2. Pick a simulator version (a level-of-detail choice) and calibrate
     //    it against the training executions under a fixed budget.

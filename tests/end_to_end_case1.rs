@@ -24,7 +24,10 @@ fn makespan_errors(
     scenarios
         .iter()
         .map(|s| {
-            relative_error(s.gt_makespan, sim.simulate(&s.workflow, s.n_workers, calib).makespan)
+            relative_error(
+                s.gt_makespan,
+                sim.simulate(&s.workflow, s.n_workers, calib).makespan,
+            )
         })
         .collect()
 }
@@ -43,15 +46,22 @@ fn calibrated_condor_version_beats_spec_baseline() {
         compute: ComputeModel::HtCondor,
     };
     let sim = WorkflowSimulator::new(version);
-    let obj = objective(&sim, &train_s, StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"));
+    let obj = objective(
+        &sim,
+        &train_s,
+        StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
+    );
     let result = Calibrator::bo_gp(Budget::Evaluations(120), 3).calibrate(&obj);
 
     let calibrated = numeric::mean(&makespan_errors(&sim, &result.calibration, &test_s));
 
     let base_version = SimulatorVersion::lowest_detail();
     let base_sim = WorkflowSimulator::new(base_version);
-    let baseline =
-        numeric::mean(&makespan_errors(&base_sim, &spec_calibration(base_version), &test_s));
+    let baseline = numeric::mean(&makespan_errors(
+        &base_sim,
+        &spec_calibration(base_version),
+        &test_s,
+    ));
 
     assert!(
         calibrated < baseline * 0.7,
@@ -65,8 +75,11 @@ fn whole_pipeline_is_deterministic() {
         let records = dataset_for(AppKind::Chain, &small_options());
         let scenarios = WfScenario::from_records(&records);
         let sim = WorkflowSimulator::new(SimulatorVersion::lowest_detail());
-        let obj =
-            objective(&sim, &scenarios, StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"));
+        let obj = objective(
+            &sim,
+            &scenarios,
+            StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
+        );
         let r = Calibrator::bo_gp(Budget::Evaluations(40), 9).calibrate(&obj);
         (r.loss, r.calibration)
     };
@@ -85,8 +98,11 @@ fn every_version_calibrates_without_panic_and_improves() {
         let sim = WorkflowSimulator::new(version);
         let obj = objective(&sim, &scenarios, loss.clone());
         // Arbitrary starting point for comparison.
-        let start = obj
-            .loss(&version.parameter_space().denormalize(&vec![0.25; obj.space().dim()]));
+        let start = obj.loss(
+            &version
+                .parameter_space()
+                .denormalize(&vec![0.25; obj.space().dim()]),
+        );
         let result = Calibrator::bo_gp(Budget::Evaluations(50), 1).calibrate(&obj);
         assert!(result.loss.is_finite(), "{}", version.label());
         assert!(
@@ -132,9 +148,17 @@ fn synthetic_benchmarking_identifies_a_decent_calibration() {
             gt_task_times: out.task_times,
         });
     }
-    let obj = objective(&sim, &scenarios, StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"));
+    let obj = objective(
+        &sim,
+        &scenarios,
+        StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
+    );
     let result = Calibrator::bo_gp(Budget::Evaluations(150), 2).calibrate(&obj);
     // Loss at the reference is exactly 0 by construction; the calibration
     // must reach a small loss.
-    assert!(result.loss < 0.05, "synthetic loss should approach 0, got {}", result.loss);
+    assert!(
+        result.loss < 0.05,
+        "synthetic loss should approach 0, got {}",
+        result.loss
+    );
 }

@@ -6,7 +6,10 @@ use lodcal::mpisim::prelude::*;
 use lodcal::simcal::prelude::*;
 
 fn cfg() -> MpiEmulatorConfig {
-    MpiEmulatorConfig { repetitions: 3, ..Default::default() }
+    MpiEmulatorConfig {
+        repetitions: 3,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -22,8 +25,10 @@ fn calibration_beats_spec_baseline_on_rate_error() {
         .map(|s| mean_relative_rate_error(&sim, s, &result.calibration))
         .collect();
     let spec = spec_calibration(version);
-    let baseline: Vec<f64> =
-        train.iter().map(|s| mean_relative_rate_error(&sim, s, &spec)).collect();
+    let baseline: Vec<f64> = train
+        .iter()
+        .map(|s| mean_relative_rate_error(&sim, s, &spec))
+        .collect();
     assert!(
         numeric::mean(&calibrated) < numeric::mean(&baseline) * 0.5,
         "calibrated {:.3} vs spec {:.3}",
@@ -81,7 +86,10 @@ fn ground_truth_workload_is_shared_between_emulator_and_candidates() {
     // of the workload. With equal parameters, a candidate fat-tree/complex
     // simulator at the emulator's own hidden values reproduces the
     // noise-free truth exactly at base scale.
-    let emu = MpiEmulatorConfig { scale_exponent: 0.0, ..MpiEmulatorConfig::default() };
+    let emu = MpiEmulatorConfig {
+        scale_exponent: 0.0,
+        ..MpiEmulatorConfig::default()
+    };
     let version = MpiSimulatorVersion {
         topology: TopologyModel::FatTree,
         node: NodeModel::Complex,
@@ -100,7 +108,8 @@ fn ground_truth_workload_is_shared_between_emulator_and_candidates() {
     ]);
     let sizes = message_sizes();
     let truth = emu.true_rates(BenchmarkKind::BiRandom, 32, &sizes);
-    let sim = MpiSimulator::new(version).transfer_rates(BenchmarkKind::BiRandom, 32, &sizes, &calib);
+    let sim =
+        MpiSimulator::new(version).transfer_rates(BenchmarkKind::BiRandom, 32, &sizes, &calib);
     for (t, s) in truth.iter().zip(&sim) {
         assert!((t - s).abs() / t < 1e-9, "{t} vs {s}");
     }
@@ -112,7 +121,10 @@ fn explained_variance_loss_is_minimized_near_truth() {
     // close to its theoretical floor (1.0 for unbiased noise). The hidden
     // scale exponent is disabled: it is inexpressible by construction and
     // would otherwise shift even the oracle at off-base scales.
-    let emu = MpiEmulatorConfig { scale_exponent: 0.0, ..cfg() };
+    let emu = MpiEmulatorConfig {
+        scale_exponent: 0.0,
+        ..cfg()
+    };
     let scenarios = dataset(&[BenchmarkKind::PingPong], &[16], &emu, 11);
     let version = MpiSimulatorVersion {
         topology: TopologyModel::FatTree,
@@ -133,7 +145,10 @@ fn explained_variance_loss_is_minimized_near_truth() {
     ]);
     let obj = objective(&sim, &scenarios, MatrixLoss::new(Agg::Avg, Agg::Avg, "L1"));
     let at_oracle = obj.loss(&oracle);
-    assert!(at_oracle < 3.0, "oracle loss should be near the noise floor: {at_oracle}");
+    assert!(
+        at_oracle < 3.0,
+        "oracle loss should be near the noise floor: {at_oracle}"
+    );
     // A far-off point must be much worse.
     let far = space.denormalize(&vec![0.05; space.dim()]);
     assert!(obj.loss(&far) > at_oracle * 3.0);

@@ -14,7 +14,11 @@ fn batch_calibration_beats_nominal_values() {
 
     let version = BatchVersion::highest_detail();
     let sim = BatchSimulator::new(version, cfg.total_nodes);
-    let obj = objective(&sim, &train, StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"));
+    let obj = objective(
+        &sim,
+        &train,
+        StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
+    );
     let result = Calibrator::bo_gp(Budget::Evaluations(150), 5).calibrate(&obj);
 
     let err = |calib: &Calibration| -> f64 {
@@ -79,7 +83,10 @@ fn workflow_ground_truth_records_roundtrip_through_json() {
 #[test]
 fn mpi_ground_truth_records_roundtrip_through_json() {
     use lodcal::mpisim::prelude::*;
-    let cfg = MpiEmulatorConfig { repetitions: 2, ..Default::default() };
+    let cfg = MpiEmulatorConfig {
+        repetitions: 2,
+        ..Default::default()
+    };
     let records = dataset(&[BenchmarkKind::PingPong], &[8], &cfg, 4);
     let json = serde_json::to_string(&records).expect("serialize");
     let back: Vec<MpiGroundTruthRecord> = serde_json::from_str(&json).expect("deserialize");
@@ -98,5 +105,8 @@ fn calibrations_and_spaces_roundtrip_through_json() {
     assert_eq!(space, space2);
     assert_eq!(calib, calib2);
     // The deserialized pair still works together.
-    assert_eq!(space2.value(&calib2, "node_speed"), space.value(&calib, "node_speed"));
+    assert_eq!(
+        space2.value(&calib2, "node_speed"),
+        space.value(&calib, "node_speed")
+    );
 }

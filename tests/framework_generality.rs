@@ -32,7 +32,10 @@ fn space2() -> ParameterSpace {
 fn observations() -> Vec<Obs> {
     [1.0, 5.0, 10.0, 50.0, 100.0]
         .into_iter()
-        .map(|input_size| Obs { input_size, observed: 2.5 * input_size + 40.0 })
+        .map(|input_size| Obs {
+            input_size,
+            observed: 2.5 * input_size + 40.0,
+        })
         .collect()
 }
 
@@ -47,8 +50,16 @@ fn custom_simulator_parameters_are_recovered() {
     );
     let result = Calibrator::bo_gp(Budget::Evaluations(400), 21).calibrate(&obj);
     assert!(result.loss < 0.05, "loss {}", result.loss);
-    assert!((result.calibration.values[0] - 2.5).abs() < 0.5, "slope {}", result.calibration.values[0]);
-    assert!((result.calibration.values[1] - 40.0).abs() < 10.0, "intercept {}", result.calibration.values[1]);
+    assert!(
+        (result.calibration.values[0] - 2.5).abs() < 0.5,
+        "slope {}",
+        result.calibration.values[0]
+    );
+    assert!(
+        (result.calibration.values[1] - 40.0).abs() < 10.0,
+        "intercept {}",
+        result.calibration.values[1]
+    );
 }
 
 #[test]
@@ -61,9 +72,18 @@ fn equal_budgets_are_enforced_across_algorithms() {
         space2(),
     );
     for kind in AlgorithmKind::ALL {
-        let r = Calibrator { algorithm: kind, budget: Budget::Evaluations(64), seed: 5 }
-            .calibrate(&obj);
-        assert_eq!(r.evaluations, 64, "{} must consume the exact budget", kind.name());
+        let r = Calibrator {
+            algorithm: kind,
+            budget: Budget::Evaluations(64),
+            seed: 5,
+        }
+        .calibrate(&obj);
+        assert_eq!(
+            r.evaluations,
+            64,
+            "{} must consume the exact budget",
+            kind.name()
+        );
     }
 }
 
@@ -75,32 +95,43 @@ fn synthetic_benchmark_driver_picks_a_pair() {
     // Synthetic ground truth from the model itself at the reference.
     let data: Vec<Obs> = [1.0, 10.0, 100.0]
         .into_iter()
-        .map(|input_size| Obs { input_size, observed: slope * input_size + intercept })
+        .map(|input_size| Obs {
+            input_size,
+            observed: slope * input_size + intercept,
+        })
         .collect();
 
     let calibrators = vec![
-        ("RAND".to_string(), Calibrator {
-            algorithm: AlgorithmKind::Random,
-            budget: Budget::Evaluations(150),
-            seed: 2,
-        }),
-        ("BO-GP".to_string(), Calibrator::bo_gp(Budget::Evaluations(150), 2)),
-    ];
-    let objectives = vec![
         (
-            "L1".to_string(),
-            SimulationObjective::new(
-                &LinearModel,
-                &data,
-                StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
-                space2(),
-            ),
+            "RAND".to_string(),
+            Calibrator {
+                algorithm: AlgorithmKind::Random,
+                budget: Budget::Evaluations(150),
+                seed: 2,
+            },
+        ),
+        (
+            "BO-GP".to_string(),
+            Calibrator::bo_gp(Budget::Evaluations(150), 2),
         ),
     ];
+    let objectives = vec![(
+        "L1".to_string(),
+        SimulationObjective::new(
+            &LinearModel,
+            &data,
+            StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
+            space2(),
+        ),
+    )];
     let cells = synthetic_benchmark(&calibrators, &objectives, &reference);
     assert_eq!(cells.len(), 2);
     let best = best_pair(&cells).expect("cells present");
-    assert!(best.calibration_error < 120.0, "best error {}", best.calibration_error);
+    assert!(
+        best.calibration_error < 120.0,
+        "best error {}",
+        best.calibration_error
+    );
 }
 
 #[test]
@@ -117,7 +148,10 @@ fn trace_is_consistent_with_final_result() {
     assert_eq!(last.best_loss, r.loss);
     assert!(last.evaluations <= r.evaluations);
     assert!(r.trace.windows(2).all(|w| w[1].best_loss < w[0].best_loss));
-    assert!(r.trace.windows(2).all(|w| w[1].elapsed_secs >= w[0].elapsed_secs));
+    assert!(r
+        .trace
+        .windows(2)
+        .all(|w| w[1].elapsed_secs >= w[0].elapsed_secs));
 }
 
 #[test]

@@ -1,0 +1,264 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! Covers the group/`bench_with_input`/`BenchmarkId` surface the workspace's
+//! benches use. Like upstream, a bench binary run by `cargo test` (no
+//! `--bench` flag on the command line) executes every routine exactly once
+//! as a smoke test; under `cargo bench` (cargo passes `--bench`) it warms
+//! up, measures for the configured wall-clock window, and prints a
+//! mean-time-per-iteration line per benchmark.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver and configuration.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    full_run: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+            full_run: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for upstream compatibility; sampling here is time-driven.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmark a single routine outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the driver's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; this driver sizes samples by
+    /// measurement time alone.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a routine with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion, &label, &mut f);
+        self
+    }
+
+    /// End the group (upstream writes reports here; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Identify the benchmark by its parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    full_run: bool,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.full_run {
+            // Smoke-test mode (`cargo test`): one iteration, no timing.
+            black_box(routine());
+            self.result = Some((Duration::ZERO, 1));
+            return;
+        }
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        let elapsed = loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement {
+                break elapsed;
+            }
+        };
+        self.result = Some((elapsed, iters));
+    }
+}
+
+fn run_one(criterion: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        warm_up: criterion.warm_up,
+        measurement: criterion.measurement,
+        full_run: criterion.full_run,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((elapsed, iters)) if criterion.full_run => {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            println!("{label}: {} /iter ({iters} iterations)", humanize(per_iter));
+        }
+        Some(_) => println!("{label}: ok (smoke test)"),
+        None => println!("{label}: no measurement recorded"),
+    }
+}
+
+fn humanize(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Group benchmark functions under a single entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(1),
+            full_run: false,
+        };
+        let mut count = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(7), &3u32, |b, &x| {
+            b.iter(|| {
+                count += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn full_mode_measures() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(2),
+            measurement: Duration::from_millis(5),
+            full_run: true,
+        };
+        let mut count = 0u64;
+        c.bench_function("spin", |b| b.iter(|| count += 1));
+        assert!(count > 1);
+    }
+}

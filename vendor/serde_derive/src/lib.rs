@@ -1,0 +1,360 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! Generates the `to_value` / `from_value` conversions of the local `serde`
+//! crate's [`Serialize`]/[`Deserialize`] traits. The parser is hand-rolled
+//! (no `syn`): it only needs item names, field names, variant shapes, and
+//! `#[serde(rename = "...")]` attributes — field *types* never appear in the
+//! generated code, which relies on inference through `from_value`.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields
+//! - enums whose variants are unit or struct-like (externally tagged:
+//!   a unit variant serializes to its name as a string, a struct variant
+//!   to a single-key object `{"Variant": {...fields}}`)
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// One named field: its Rust name and its serialized key.
+struct Field {
+    name: String,
+    key: String,
+}
+
+/// `None` fields = unit variant; `Some(fields)` = struct variant.
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut kind: Option<&'static str> = None;
+    let mut name: Option<String> = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` plus the bracketed attribute group
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match (kind, word.as_str()) {
+                    (None, "struct") => {
+                        kind = Some("struct");
+                        i += 1;
+                    }
+                    (None, "enum") => {
+                        kind = Some("enum");
+                        i += 1;
+                    }
+                    (Some(_), _) if name.is_none() => {
+                        name = Some(word);
+                        i += 1;
+                    }
+                    _ => i += 1, // `pub`, etc.
+                }
+            }
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace && kind.is_some() && name.is_some() =>
+            {
+                let name = name.expect("item name parsed");
+                return match kind {
+                    Some("struct") => Item::Struct {
+                        name,
+                        fields: parse_fields(g.stream()),
+                    },
+                    _ => Item::Enum {
+                        name,
+                        variants: parse_variants(g.stream()),
+                    },
+                };
+            }
+            _ => i += 1,
+        }
+    }
+    panic!("derive(Serialize/Deserialize): unsupported item shape (need a braced struct or enum)");
+}
+
+/// Parse `[attrs] [vis] name : Type ,` sequences inside a brace group.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut rename: Option<String> = None;
+        // Attributes (doc comments arrive as `#[doc = ...]` too).
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            if let TokenTree::Group(g) = &tokens[i + 1] {
+                if let Some(r) = parse_rename(g.stream()) {
+                    rename = Some(r);
+                }
+            }
+            i += 2;
+        }
+        // Visibility: `pub` optionally followed by `(crate)` etc.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive: expected field name, found `{other}`"),
+        };
+        i += 2; // field name and the `:` after it
+                // Skip the type: scan to the next comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let key = rename.unwrap_or_else(|| name.clone());
+        fields.push(Field { name, key });
+    }
+    fields
+}
+
+/// Parse `[attrs] Name [{ fields }] ,` sequences inside an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let mut fields = None;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                match g.delimiter() {
+                    Delimiter::Brace => {
+                        fields = Some(parse_fields(g.stream()));
+                        i += 1;
+                    }
+                    Delimiter::Parenthesis => {
+                        panic!("derive: tuple variant `{name}` is not supported")
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if i < tokens.len() && matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Extract `rename = "..."` from the inside of a `#[serde(...)]` attribute.
+fn parse_rename(attr: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return None,
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    let mut i = 0;
+    while i + 2 < inner.len() + 1 {
+        if let (TokenTree::Ident(id), Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+            (&inner[i], inner.get(i + 1), inner.get(i + 2))
+        {
+            if id.to_string() == "rename" && eq.as_char() == '=' {
+                let raw = lit.to_string();
+                return Some(raw.trim_matches('"').to_string());
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut entries = String::new();
+    for f in fields {
+        let _ = write!(
+            entries,
+            "({:?}.to_string(), serde::Serialize::to_value(&self.{})),",
+            f.key, f.name
+        );
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let _ = write!(
+            inits,
+            "{field}: serde::Deserialize::from_value(\
+                 __value.get({key:?}).unwrap_or(&serde::Value::Null))\
+                 .map_err(|e| serde::DeError(format!(\"field `{key}`: {{e}}\")))?,",
+            field = f.name,
+            key = f.key,
+        );
+    }
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                 match __value {{\n\
+                     serde::Value::Object(_) => Ok(Self {{ {inits} }}),\n\
+                     other => Err(serde::DeError::expected(\"object\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match &v.fields {
+            None => {
+                let _ = write!(
+                    arms,
+                    "{name}::{v} => serde::Value::Str({v:?}.to_string()),",
+                    v = v.name
+                );
+            }
+            Some(fields) => {
+                let pattern: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut entries = String::new();
+                for f in fields {
+                    let _ = write!(
+                        entries,
+                        "({:?}.to_string(), serde::Serialize::to_value({})),",
+                        f.key, f.name
+                    );
+                }
+                let _ = write!(
+                    arms,
+                    "{name}::{v} {{ {pat} }} => serde::Value::Object(vec![\
+                         ({v:?}.to_string(), serde::Value::Object(vec![{entries}]))]),",
+                    v = v.name,
+                    pat = pattern.join(", "),
+                );
+            }
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut struct_arms = String::new();
+    for v in variants {
+        match &v.fields {
+            None => {
+                let _ = write!(unit_arms, "{:?} => Ok({name}::{}),", v.name, v.name);
+            }
+            Some(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    let _ = write!(
+                        inits,
+                        "{field}: serde::Deserialize::from_value(\
+                             __inner.get({key:?}).unwrap_or(&serde::Value::Null))\
+                             .map_err(|e| serde::DeError(format!(\"field `{key}`: {{e}}\")))?,",
+                        field = f.name,
+                        key = f.key,
+                    );
+                }
+                let _ = write!(
+                    struct_arms,
+                    "{:?} => Ok({name}::{} {{ {inits} }}),",
+                    v.name, v.name
+                );
+            }
+        }
+    }
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                 match __value {{\n\
+                     serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(serde::DeError(format!(\n\
+                             \"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__fields[0];\n\
+                         match __tag.as_str() {{\n\
+                             {struct_arms}\n\
+                             other => Err(serde::DeError(format!(\n\
+                                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(serde::DeError::expected(\n\
+                         \"variant name or single-key object\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
