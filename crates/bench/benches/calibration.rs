@@ -1,11 +1,15 @@
 //! Criterion benches for the calibration framework itself: surrogate
 //! fit/predict cost and end-to-end optimizer throughput on an analytic
-//! objective. These bound the *overhead* of the calibration process on
-//! top of the simulator invocations (which dominate in real use).
+//! objective (bounding the *overhead* of the calibration process on top
+//! of the simulator invocations), plus `calibration_throughput`, which
+//! measures evaluation throughput on the real workflow objective and is
+//! the headline number for the two-level parallel evaluation pipeline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayon::ThreadPool;
 use simcal::prelude::*;
 use std::hint::black_box;
+use wfsim::prelude as wf;
 
 fn training_data(n: usize, dim: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut rng = numeric::rng_from_seed(7);
@@ -95,12 +99,116 @@ fn bench_algorithms_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// Seed-pipeline shape, kept as the throughput baseline: parallel across
+/// candidate points only, each point's scenario sweep sequential. Wrapping
+/// the real objective and inheriting the trait's *default*
+/// `par_loss_batch` reproduces that shape exactly — a BO batch of 4 can
+/// never occupy more than 4 workers, and one slow high-LoD point
+/// serializes its whole scenario sweep.
+struct PointLevelOnly<'a, O: ?Sized>(&'a O);
+
+impl<O: Objective + ?Sized> Objective for PointLevelOnly<'_, O> {
+    fn space(&self) -> &ParameterSpace {
+        self.0.space()
+    }
+    fn loss(&self, calibration: &Calibration) -> f64 {
+        self.0.loss(calibration)
+    }
+}
+
+/// Thread counts to sweep: 1, 4, and the machine width, deduplicated.
+fn thread_sweep() -> Vec<usize> {
+    let n = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut ts = vec![1, 4, n];
+    ts.sort_unstable();
+    ts.dedup();
+    ts
+}
+
+/// Evaluation throughput (points/sec = 1 / (time-per-iter / 4)) on the
+/// real workflow objective: a fixed BO-style batch of 4 candidate points
+/// over a 64-scenario Table-1 sub-grid, comparing the point-level-only
+/// baseline against the two-level (point x scenario) fan-out at 1, 4, and
+/// N threads, plus end-to-end RAND and BO-GP runs at the same widths.
+fn bench_calibration_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration_throughput");
+    group.sample_size(10);
+    let records = wf::dataset_for(
+        wf::AppKind::Forkjoin,
+        &wf::DatasetOptions {
+            repetitions: 2,
+            size_indices: vec![0, 1],
+            work_indices: vec![0, 1, 2, 3],
+            footprint_indices: vec![0, 2],
+            worker_counts: vec![1, 2, 4, 6],
+            ..Default::default()
+        },
+    );
+    let scenarios = wf::WfScenario::from_records(&records);
+    assert!(
+        scenarios.len() >= 64,
+        "throughput bench needs a >= 64-scenario dataset, got {}",
+        scenarios.len()
+    );
+    let sim = wf::WorkflowSimulator::new(wf::SimulatorVersion::lowest_detail());
+    let obj = wf::objective(
+        &sim,
+        &scenarios,
+        StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
+    );
+
+    // Fixed BO-style proposal batch of 4 points.
+    let mut rng = numeric::rng_from_seed(11);
+    let dim = obj.space().dim();
+    let batch: Vec<Calibration> = (0..4)
+        .map(|_| {
+            let unit: Vec<f64> = (0..dim).map(|_| rand::Rng::gen::<f64>(&mut rng)).collect();
+            obj.space().denormalize(&unit)
+        })
+        .collect();
+
+    for t in thread_sweep() {
+        let pool = ThreadPool::new(t);
+        let baseline = PointLevelOnly(&obj);
+        group.bench_with_input(
+            BenchmarkId::new("batch4_seq_scenario", t),
+            &batch,
+            |b, batch| b.iter(|| pool.install(|| black_box(baseline.par_loss_batch(batch)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch4_two_level", t),
+            &batch,
+            |b, batch| b.iter(|| pool.install(|| black_box(obj.par_loss_batch(batch)))),
+        );
+        for (label, algorithm) in [
+            ("rand_32evals", AlgorithmKind::Random),
+            ("bo_gp_32evals", AlgorithmKind::BoGp),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, t), &algorithm, |b, &algorithm| {
+                b.iter(|| {
+                    let r = pool.install(|| {
+                        Calibrator {
+                            algorithm,
+                            budget: Budget::Evaluations(32),
+                            seed: 5,
+                        }
+                        .calibrate(&obj)
+                    });
+                    black_box(r.loss)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_surrogate_fit, bench_surrogate_predict, bench_algorithms_end_to_end
+    targets = bench_surrogate_fit, bench_surrogate_predict, bench_algorithms_end_to_end,
+        bench_calibration_throughput
 }
 criterion_main!(benches);

@@ -11,6 +11,7 @@ use crate::budget::Evaluator;
 use crate::surrogate::SurrogateKind;
 use numeric::{norm_cdf, norm_pdf, rng_from_seed};
 use rand::Rng;
+use rayon::prelude::*;
 
 /// Bayesian optimization with a pluggable surrogate.
 #[derive(Clone, Debug)]
@@ -134,7 +135,14 @@ impl SearchAlgorithm for BayesianOpt {
             // predicted mean (greedy exploitation). A pure-EI batch tends
             // to chase high-uncertainty corners of a 10-D cube forever; the
             // greedy half keeps refining the incumbent basin.
-            let preds: Vec<(f64, f64)> = candidates.iter().map(|c| surrogate.predict(c)).collect();
+            // Scoring 512 candidates against a GP over a growing history
+            // is the one surrogate-side hot spot; predictions are
+            // independent, so fan them into the pool (collection stays in
+            // candidate order, keeping the acquisition sort deterministic).
+            let preds: Vec<(f64, f64)> = candidates
+                .par_iter()
+                .map(|c| surrogate.predict(c))
+                .collect();
             let mut by_ei: Vec<usize> = (0..candidates.len()).collect();
             by_ei.sort_by(|&a, &b| {
                 let ea = expected_improvement(preds[a].0, preds[a].1, best_y);

@@ -4,6 +4,12 @@
 //!
 //! Like GRID, the paper omits GRAD from its result tables for poor
 //! preliminary performance; it is here for completeness and ablations.
+//!
+//! GRAD routes every probe through [`Evaluator::eval`]/`eval_batch` and
+//! therefore benefits doubly from the evaluator's memoization: line-search
+//! probes that revisit the current iterate (a step that changes nothing
+//! after discrete snapping) and finite-difference probes pinned to the
+//! unit-cube boundary resolve from the cache without consuming budget.
 
 use super::SearchAlgorithm;
 use crate::budget::Evaluator;

@@ -19,9 +19,14 @@ pub struct GridSearch {
 }
 
 impl Default for GridSearch {
+    /// Batch size scales with the thread pool so wide machines stay
+    /// saturated. This cannot change the search trajectory under an
+    /// evaluation-count budget: the grid is enumerated in a fixed order
+    /// and the evaluated points are always a prefix of that enumeration,
+    /// regardless of how they are batched.
     fn default() -> Self {
         Self {
-            batch_size: 16,
+            batch_size: 16.max(2 * rayon::current_num_threads()),
             initial_resolution: 2,
         }
     }

@@ -14,8 +14,14 @@ pub struct RandomSearch {
 }
 
 impl Default for RandomSearch {
+    /// Batch size scales with the thread pool so wide machines stay
+    /// saturated. This cannot change the search trajectory under an
+    /// evaluation-count budget: the evaluated points are always a prefix
+    /// of the seeded rng stream, regardless of how they are batched.
     fn default() -> Self {
-        Self { batch_size: 16 }
+        Self {
+            batch_size: 16.max(2 * rayon::current_num_threads()),
+        }
     }
 }
 

@@ -9,8 +9,8 @@
 
 use crate::objective::Objective;
 use crate::param::Calibration;
-use parking_lot::Mutex;
-use rayon::prelude::*;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -62,15 +62,31 @@ struct Best {
 
 /// Budget-enforcing, trace-recording gateway between search algorithms and
 /// the objective. Algorithms request evaluations of unit-hypercube points;
-/// the evaluator denormalizes, invokes the objective (in parallel for
-/// batches), counts evaluations, tracks the incumbent, and reports budget
+/// the evaluator denormalizes, invokes the objective (in parallel, fanning
+/// the whole point × scenario product into the thread pool for batches),
+/// counts evaluations, tracks the incumbent, and reports budget
 /// exhaustion.
+///
+/// # Memoization
+///
+/// [`Objective::loss`] is required to be deterministic, so the evaluator
+/// caches losses keyed by the *canonicalized* point — the bit pattern of
+/// the denormalized natural-unit calibration. Two unit points that snap to
+/// the same calibration (common for integer/discrete parameters, grid
+/// re-sweeps, and BO local refinement re-proposals) share one cache entry.
+/// A cache hit returns the stored loss **without consuming a budget
+/// evaluation** and without re-recording the incumbent (it was recorded
+/// when first computed). [`Evaluator::cache_hits`] /
+/// [`Evaluator::cache_misses`] expose the counters.
 pub struct Evaluator<'a> {
     objective: &'a dyn Objective,
     budget: Budget,
     start: Instant,
     count: AtomicUsize,
     best: Mutex<Best>,
+    cache: RwLock<HashMap<Vec<u64>, f64>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
 }
 
 impl<'a> Evaluator<'a> {
@@ -86,6 +102,9 @@ impl<'a> Evaluator<'a> {
                 unit_point: Vec::new(),
                 trace: Vec::new(),
             }),
+            cache: RwLock::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
         }
     }
 
@@ -141,57 +160,127 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Canonical cache key of a unit point: the bit pattern of its
+    /// denormalized (natural-unit) calibration, so unit points that snap
+    /// to the same calibration share an entry.
+    fn cache_key(calib: &Calibration) -> Vec<u64> {
+        calib.values.iter().map(|v| v.to_bits()).collect()
+    }
+
     /// Evaluate one unit-hypercube point. Returns `None` (without
-    /// evaluating) when the budget is exhausted.
+    /// evaluating) when the budget is exhausted. Routes through the same
+    /// memoization and recording path as [`Evaluator::eval_batch`]: a
+    /// cached point returns its loss without consuming a budget
+    /// evaluation, and an uncached point fans its per-scenario simulator
+    /// invocations into the thread pool via [`Objective::par_loss`].
     pub fn eval(&self, unit_point: &[f64]) -> Option<f64> {
         if self.exhausted() {
             return None;
         }
         let calib = self.objective.space().denormalize(unit_point);
-        let loss = self.objective.loss(&calib);
+        let key = Self::cache_key(&calib);
+        if let Some(&loss) = self.cache.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(loss);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let loss = self.objective.par_loss(&calib);
         self.record(unit_point, loss);
+        self.cache.write().insert(key, loss);
         Some(loss)
     }
 
     /// Evaluate a batch of points in parallel. The batch is truncated to
-    /// the remaining budget: the evaluation-count bound caps it up front,
-    /// and the wall-clock bound is re-checked between chunks, so a large
-    /// batch stops at the first chunk boundary past the deadline instead
-    /// of running to completion. Returns the losses for the evaluated
-    /// prefix, in input order, or `None` when nothing could be evaluated.
+    /// the remaining budget: the evaluation-count bound caps the number of
+    /// *uncached* points up front, and the wall-clock bound is re-checked
+    /// between chunks, so a large batch stops at the first chunk boundary
+    /// past the deadline instead of running to completion. Returns the
+    /// losses for the resolved prefix, in input order, or `None` when
+    /// nothing could be resolved.
+    ///
+    /// Cached points are served for free (no budget evaluation); each
+    /// chunk of uncached points — deduplicated within the chunk — is
+    /// evaluated as one flattened (point × scenario) fan-out via
+    /// [`Objective::par_loss_batch`], and recorded sequentially in input
+    /// order so the incumbent/trace update is deterministic, independent
+    /// of pool scheduling.
     pub fn eval_batch(&self, unit_points: &[Vec<f64>]) -> Option<Vec<f64>> {
         // Small enough that a wall-clock overrun is bounded by one chunk,
-        // large enough to keep rayon's workers saturated.
+        // large enough to keep the pool's workers saturated (each point
+        // further fans out into one item per ground-truth scenario).
         const CHUNK: usize = 32;
-        let mut losses = Vec::with_capacity(unit_points.len());
-        while losses.len() < unit_points.len() {
-            let take = (unit_points.len() - losses.len())
-                .min(CHUNK)
-                .min(self.remaining());
+        if self.exhausted() {
+            return None;
+        }
+        let mut losses: Vec<f64> = Vec::with_capacity(unit_points.len());
+        let mut idx = 0;
+        while idx < unit_points.len() {
+            let take = CHUNK.min(self.remaining());
             if take == 0 {
                 break;
             }
-            let chunk = &unit_points[losses.len()..losses.len() + take];
-            let chunk_losses: Vec<f64> = chunk
-                .par_iter()
-                .map(|p| {
-                    let calib = self.objective.space().denormalize(p);
-                    self.objective.loss(&calib)
-                })
-                .collect();
-            // Record sequentially so the incumbent/trace update is
-            // deterministic (input order), independent of rayon's
-            // scheduling.
-            for (p, &l) in chunk.iter().zip(&chunk_losses) {
-                self.record(p, l);
+            // Build the next window: cache hits resolve immediately;
+            // uncached points accumulate (deduplicated) until the chunk
+            // budget is full. `window` maps each input to Ok(cached loss)
+            // or Err(index into the pending chunk).
+            let mut window: Vec<Result<f64, usize>> = Vec::new();
+            let mut pending_keys: Vec<Vec<u64>> = Vec::new();
+            let mut pending_calibs: Vec<Calibration> = Vec::new();
+            let mut pending_inputs: Vec<usize> = Vec::new();
+            let mut j = idx;
+            while j < unit_points.len() && pending_inputs.len() < take {
+                let calib = self.objective.space().denormalize(&unit_points[j]);
+                let key = Self::cache_key(&calib);
+                if let Some(&l) = self.cache.read().get(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    window.push(Ok(l));
+                } else if let Some(dup) = pending_keys.iter().position(|k| *k == key) {
+                    // Same canonical point already pending in this chunk:
+                    // evaluate once, serve both slots.
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    window.push(Err(dup));
+                } else {
+                    window.push(Err(pending_inputs.len()));
+                    pending_keys.push(key);
+                    pending_calibs.push(calib);
+                    pending_inputs.push(j);
+                }
+                j += 1;
             }
-            losses.extend(chunk_losses);
+            self.misses
+                .fetch_add(pending_calibs.len(), Ordering::Relaxed);
+            let chunk_losses = if pending_calibs.is_empty() {
+                Vec::new()
+            } else {
+                self.objective.par_loss_batch(&pending_calibs)
+            };
+            for ((&input, key), &l) in pending_inputs.iter().zip(&pending_keys).zip(&chunk_losses) {
+                self.record(&unit_points[input], l);
+                self.cache.write().insert(key.clone(), l);
+            }
+            losses.extend(window.into_iter().map(|w| match w {
+                Ok(l) => l,
+                Err(k) => chunk_losses[k],
+            }));
+            idx = j;
         }
         if losses.is_empty() {
             None
         } else {
             Some(losses)
         }
+    }
+
+    /// Memoization hits: evaluations served from the cache without
+    /// consuming budget.
+    pub fn cache_hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Memoization misses: evaluations that actually invoked the
+    /// objective (always equals [`Evaluator::evaluations`]).
+    pub fn cache_misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// The incumbent `(loss, unit_point, natural calibration)`, or `None`
@@ -332,5 +421,67 @@ mod tests {
         assert_eq!(ev.remaining(), 5);
         ev.eval(&[0.5, 0.5]);
         assert_eq!(ev.remaining(), 4);
+    }
+
+    #[test]
+    fn memoized_hits_do_not_consume_budget() {
+        let obj = sphere();
+        let ev = Evaluator::new(&obj, Budget::Evaluations(3));
+        let first = ev.eval(&[0.25, 0.75]).unwrap();
+        // Re-proposing the same point is served from the cache: the loss
+        // is identical, no budget evaluation is consumed, and the trace
+        // is not re-recorded.
+        for _ in 0..10 {
+            assert_eq!(ev.eval(&[0.25, 0.75]), Some(first));
+        }
+        assert_eq!(ev.evaluations(), 1);
+        assert_eq!(ev.remaining(), 2);
+        assert_eq!(ev.cache_hits(), 10);
+        assert_eq!(ev.cache_misses(), 1);
+        assert_eq!(ev.trace().len(), 1);
+    }
+
+    #[test]
+    fn batch_serves_cached_and_duplicate_points_for_free() {
+        let obj = sphere();
+        let ev = Evaluator::new(&obj, Budget::Evaluations(4));
+        let a = ev.eval(&[0.5, 0.5]).unwrap();
+        // Batch mixes a cached point, a fresh point, and an in-batch
+        // duplicate of that fresh point: only the fresh one burns budget.
+        let batch = vec![vec![0.5, 0.5], vec![0.9, 0.1], vec![0.9, 0.1]];
+        let losses = ev.eval_batch(&batch).unwrap();
+        assert_eq!(losses.len(), 3);
+        assert_eq!(losses[0], a);
+        assert_eq!(losses[1], losses[2]);
+        assert_eq!(ev.evaluations(), 2);
+        assert_eq!(ev.cache_misses(), 2);
+        assert_eq!(ev.cache_hits(), 2);
+    }
+
+    #[test]
+    fn snapped_unit_points_share_cache_entries() {
+        // Two distinct unit coordinates that denormalize to the same
+        // discrete calibration must share one cache entry: the key is the
+        // canonical (denormalized) point, not the raw proposal.
+        let space = ParameterSpace::new().with("lod", ParamKind::Integer { lo: 1, hi: 2 });
+        let obj = FnObjective::new(space, |c: &Calibration| c.values[0]);
+        let ev = Evaluator::new(&obj, Budget::Evaluations(10));
+        ev.eval(&[0.1]).unwrap();
+        ev.eval(&[0.3]).unwrap(); // snaps to the same level as 0.1
+        assert_eq!(ev.cache_misses(), 1);
+        assert_eq!(ev.cache_hits(), 1);
+        assert_eq!(ev.evaluations(), 1);
+    }
+
+    #[test]
+    fn eval_and_eval_batch_share_the_cache() {
+        let obj = sphere();
+        let ev = Evaluator::new(&obj, Budget::Evaluations(10));
+        let batch = vec![vec![0.2, 0.2], vec![0.8, 0.8]];
+        let losses = ev.eval_batch(&batch).unwrap();
+        assert_eq!(ev.eval(&[0.2, 0.2]), Some(losses[0]));
+        assert_eq!(ev.eval(&[0.8, 0.8]), Some(losses[1]));
+        assert_eq!(ev.evaluations(), 2);
+        assert_eq!(ev.cache_hits(), 2);
     }
 }

@@ -48,6 +48,7 @@ impl Calibrator {
             calibration,
             loss,
             evaluations: evaluator.evaluations(),
+            cache_hits: evaluator.cache_hits(),
             elapsed_secs: evaluator.elapsed_secs(),
             trace: evaluator.trace(),
             algorithm: self.algorithm,
@@ -62,8 +63,12 @@ pub struct CalibrationResult {
     pub calibration: Calibration,
     /// Its loss on the training dataset.
     pub loss: f64,
-    /// Loss evaluations performed.
+    /// Loss evaluations performed (memoization misses).
     pub evaluations: usize,
+    /// Proposals served from the evaluator's memoization cache without
+    /// consuming a budget evaluation (common for grid search and for
+    /// algorithms that re-probe snapped discrete points).
+    pub cache_hits: usize,
     /// Wall-clock seconds spent.
     pub elapsed_secs: f64,
     /// Convergence trace: one point per incumbent improvement.

@@ -10,12 +10,13 @@
 
 use crate::loss::Loss;
 use crate::param::{Calibration, ParameterSpace};
+use rayon::prelude::*;
 
 /// A black-box function of a [`Calibration`] that the calibrator minimizes.
 ///
 /// Implementations must be `Sync`: the calibrator evaluates batches of
 /// points in parallel (the paper's framework parallelizes over cores with
-/// `multiprocessing`; here it is rayon).
+/// `multiprocessing`; here it is a persistent work-stealing pool).
 pub trait Objective: Sync {
     /// The domain of the calibration problem.
     fn space(&self) -> &ParameterSpace;
@@ -23,6 +24,30 @@ pub trait Objective: Sync {
     /// The loss at `calibration` (lower is better). Must be deterministic
     /// for a given calibration.
     fn loss(&self, calibration: &Calibration) -> f64;
+
+    /// The loss at `calibration`, free to use the thread pool internally.
+    ///
+    /// Must return **bit-for-bit** the same value as [`Objective::loss`]:
+    /// implementations may parallelize independent sub-evaluations but
+    /// must reduce them in a fixed order. The default is the sequential
+    /// loss; [`SimulationObjective`] overrides it to fan individual
+    /// simulator invocations into the pool.
+    fn par_loss(&self, calibration: &Calibration) -> f64 {
+        self.loss(calibration)
+    }
+
+    /// Losses of a batch of calibrations, in input order, free to use the
+    /// thread pool internally. Each returned value must equal the
+    /// corresponding [`Objective::loss`] bit-for-bit.
+    ///
+    /// The default parallelizes across calibrations only (one sequential
+    /// loss per pool item — the seed pipeline's shape);
+    /// [`SimulationObjective`] overrides it to flatten the whole
+    /// (calibration × scenario) product into one fan-out, so even a small
+    /// batch over a large ground-truth dataset saturates the pool.
+    fn par_loss_batch(&self, calibrations: &[Calibration]) -> Vec<f64> {
+        calibrations.par_iter().map(|c| self.loss(c)).collect()
+    }
 }
 
 /// A use-case-specific simulator: invoked once per ground-truth scenario,
@@ -98,6 +123,39 @@ where
             .map(|scenario| self.simulator.run(scenario, calibration))
             .collect();
         self.loss.aggregate(&outputs)
+    }
+
+    /// Scenario-level fan-out: every `Simulator::run` invocation becomes
+    /// one pool item; outputs are collected in dataset order, so the
+    /// aggregation sees exactly the sequence the sequential path builds.
+    fn par_loss(&self, calibration: &Calibration) -> f64 {
+        let outputs: Vec<S::Output> = self
+            .dataset
+            .par_iter()
+            .map(|scenario| self.simulator.run(scenario, calibration))
+            .collect();
+        self.loss.aggregate(&outputs)
+    }
+
+    /// Two-level flattening: the whole (calibration × scenario) product
+    /// is one fan-out of individual `Simulator::run` calls, so a batch of
+    /// 4 proposals over a 100-scenario dataset schedules 400 independent
+    /// pool items instead of 4. Outputs are regrouped per calibration in
+    /// input order and aggregated sequentially, preserving bit-for-bit
+    /// equality with [`Objective::loss`].
+    fn par_loss_batch(&self, calibrations: &[Calibration]) -> Vec<f64> {
+        let n_scenarios = self.dataset.len();
+        let product: Vec<(usize, usize)> = (0..calibrations.len())
+            .flat_map(|c| (0..n_scenarios).map(move |s| (c, s)))
+            .collect();
+        let outputs: Vec<S::Output> = product
+            .par_iter()
+            .map(|&(c, s)| self.simulator.run(&self.dataset[s], &calibrations[c]))
+            .collect();
+        outputs
+            .chunks(n_scenarios)
+            .map(|per_point| self.loss.aggregate(per_point))
+            .collect()
     }
 }
 

@@ -18,7 +18,7 @@ pub use gp::GaussianProcess;
 pub use tree::RegressionTree;
 
 /// A regressor usable as a Bayesian-optimization surrogate.
-pub trait Surrogate: Send {
+pub trait Surrogate: Send + Sync {
     /// Fit to `(x, y)` observations; `x` points are unit-hypercube
     /// coordinates. May be called repeatedly with growing data.
     ///

@@ -1,0 +1,165 @@
+//! Determinism tests for the two-level parallel evaluation pipeline.
+//!
+//! `Objective::par_loss` and `par_loss_batch` fan individual simulator
+//! invocations into the work-stealing pool but must reduce in input order,
+//! so their results are required to equal the sequential `loss`
+//! **bit-for-bit** — on both case-study objectives, under a 1-thread and a
+//! 4-thread pool. A second group checks that the evaluator's memoization
+//! serves repeated proposals without consuming budget evaluations.
+
+use lodcal::simcal::prelude::*;
+use proptest::prelude::*;
+use rayon::ThreadPool;
+use std::sync::OnceLock;
+
+/// Shared pools (spawning workers once per binary, not once per case).
+fn pool(n: usize) -> &'static ThreadPool {
+    static POOL1: OnceLock<ThreadPool> = OnceLock::new();
+    static POOL4: OnceLock<ThreadPool> = OnceLock::new();
+    match n {
+        1 => POOL1.get_or_init(|| ThreadPool::new(1)),
+        4 => POOL4.get_or_init(|| ThreadPool::new(4)),
+        _ => unreachable!("tests only use 1- and 4-thread pools"),
+    }
+}
+
+/// Cycle a raw random vector into a unit point of the space's dimension.
+fn unit_point(raw: &[f64], dim: usize) -> Vec<f64> {
+    (0..dim).map(|i| raw[i % raw.len()]).collect()
+}
+
+/// Assert the parallel paths reproduce the sequential losses bit-for-bit
+/// when installed on an `n_threads`-wide pool.
+fn check_par_matches_seq(obj: &dyn Objective, raws: &[Vec<f64>], n_threads: usize) {
+    let dim = obj.space().dim();
+    let calibs: Vec<Calibration> = raws
+        .iter()
+        .map(|r| obj.space().denormalize(&unit_point(r, dim)))
+        .collect();
+    let seq: Vec<f64> = calibs.iter().map(|c| obj.loss(c)).collect();
+    pool(n_threads).install(|| {
+        for (c, s) in calibs.iter().zip(&seq) {
+            let p = obj.par_loss(c);
+            assert_eq!(
+                p.to_bits(),
+                s.to_bits(),
+                "par_loss {p} != loss {s} at {n_threads} threads"
+            );
+        }
+        let batch = obj.par_loss_batch(&calibs);
+        assert_eq!(batch.len(), seq.len());
+        for (p, s) in batch.iter().zip(&seq) {
+            assert_eq!(
+                p.to_bits(),
+                s.to_bits(),
+                "par_loss_batch {p} != loss {s} at {n_threads} threads"
+            );
+        }
+    });
+}
+
+/// Case study #1: workflow objective over a small fork-join dataset.
+fn check_workflow(raws: &[Vec<f64>], n_threads: usize) {
+    use lodcal::wfsim::prelude::*;
+    let records = dataset_for(
+        AppKind::Forkjoin,
+        &DatasetOptions {
+            repetitions: 1,
+            size_indices: vec![0],
+            work_indices: vec![0],
+            footprint_indices: vec![0],
+            worker_counts: vec![1, 2],
+            ..Default::default()
+        },
+    );
+    let scenarios = WfScenario::from_records(&records);
+    let sim = WorkflowSimulator::new(SimulatorVersion::lowest_detail());
+    let obj = objective(
+        &sim,
+        &scenarios,
+        StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
+    );
+    check_par_matches_seq(&obj, raws, n_threads);
+}
+
+/// Case study #2: MPI objective over a small Summit-style dataset.
+fn check_mpi(raws: &[Vec<f64>], n_threads: usize) {
+    use lodcal::mpisim::prelude::*;
+    let cfg = MpiEmulatorConfig {
+        repetitions: 1,
+        ..Default::default()
+    };
+    let train = dataset(
+        &[BenchmarkKind::PingPong, BenchmarkKind::BiRandom],
+        &[8],
+        &cfg,
+        42,
+    );
+    let sim = MpiSimulator::new(MpiSimulatorVersion::lowest_detail());
+    let obj = objective(&sim, &train, MatrixLoss::new(Agg::Avg, Agg::Avg, "L1"));
+    check_par_matches_seq(&obj, raws, n_threads);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn workflow_par_loss_matches_sequential_bit_for_bit(
+        raws in proptest::collection::vec(proptest::collection::vec(0.0..=1.0f64, 16), 1..5usize),
+    ) {
+        check_workflow(&raws, 1);
+        check_workflow(&raws, 4);
+    }
+
+    #[test]
+    fn mpi_par_loss_matches_sequential_bit_for_bit(
+        raws in proptest::collection::vec(proptest::collection::vec(0.0..=1.0f64, 16), 1..5usize),
+    ) {
+        check_mpi(&raws, 1);
+        check_mpi(&raws, 4);
+    }
+}
+
+/// Memoized hits are served for free: re-proposing an already-evaluated
+/// point (directly or via a batch) returns the identical loss without
+/// consuming a budget evaluation, on a real simulation objective under a
+/// multi-threaded pool.
+#[test]
+fn memoized_hits_do_not_consume_budget_on_simulation_objective() {
+    use lodcal::wfsim::prelude::*;
+    let records = dataset_for(
+        AppKind::Chain,
+        &DatasetOptions {
+            repetitions: 1,
+            size_indices: vec![0],
+            work_indices: vec![0],
+            footprint_indices: vec![0],
+            worker_counts: vec![1, 2],
+            ..Default::default()
+        },
+    );
+    let scenarios = WfScenario::from_records(&records);
+    let sim = WorkflowSimulator::new(SimulatorVersion::lowest_detail());
+    let obj = objective(
+        &sim,
+        &scenarios,
+        StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
+    );
+    pool(4).install(|| {
+        let dim = obj.space().dim();
+        let ev = Evaluator::new(&obj, Budget::Evaluations(8));
+        let a = vec![0.3; dim];
+        let b = vec![0.7; dim];
+        let first = ev.eval(&a).unwrap();
+        // Same point again: identical loss, no budget consumed.
+        assert_eq!(ev.eval(&a), Some(first));
+        assert_eq!(ev.evaluations(), 1);
+        // Batch mixing the cached point with a fresh one: only the fresh
+        // point burns budget, and the cached slot matches exactly.
+        let losses = ev.eval_batch(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(losses[0].to_bits(), first.to_bits());
+        assert_eq!(ev.evaluations(), 2);
+        assert_eq!(ev.cache_hits(), 2);
+        assert_eq!(ev.cache_misses(), 2);
+    });
+}

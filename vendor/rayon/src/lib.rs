@@ -1,23 +1,547 @@
-//! Workspace-local stand-in for `rayon`: the `par_iter().map().collect()`
-//! pipeline over slices, executed on scoped OS threads.
+//! Workspace-local stand-in for `rayon`: a persistent work-stealing thread
+//! pool behind the `par_iter().map().collect()` pipeline and a `join`
+//! primitive.
 //!
-//! Work is split into contiguous chunks, one per available core, and the
-//! results are reassembled in input order, so `collect` preserves element
-//! order exactly like rayon's indexed parallel iterators do.
+//! # Architecture
+//!
+//! The seed implementation spawned fresh scoped OS threads with static
+//! per-core chunking on every `par_iter` call, so each parallel map paid
+//! thread-creation cost and one slow item serialized its whole chunk. This
+//! version keeps a **persistent pool**:
+//!
+//! - Worker threads are created **once** (lazily, on first use). The global
+//!   pool's size comes from the `CALIB_THREADS` environment variable,
+//!   defaulting to `std::thread::available_parallelism()`. A pool of size
+//!   `n` spawns `n - 1` workers; the calling thread is the `n`-th
+//!   participant, so a 1-thread pool spawns nothing and runs everything
+//!   inline.
+//! - Each worker owns a **deque**: it pops its own deque LIFO (back) and
+//!   **steals** from other workers' deques and the shared injector FIFO
+//!   (front). External threads submit through the injector or directly into
+//!   worker deques.
+//! - Parallel maps use **per-item scheduling**: participants claim item
+//!   indices from a shared atomic counter, so a single expensive item
+//!   occupies exactly one participant while the rest drain the remaining
+//!   items. Results are written into pre-allocated slots, preserving input
+//!   order exactly like rayon's indexed parallel iterators.
+//! - [`join`] runs one closure inline and schedules the other on the pool,
+//!   reclaiming it LIFO if it has not been stolen by the time the first
+//!   closure finishes.
+//! - Threads that wait (for a map or a join) **help**: they execute other
+//!   pool jobs while waiting, which both keeps cores busy and makes nested
+//!   parallelism deadlock-free.
+//!
+//! Runs of fewer than 2 items, and every run on a 1-thread pool, execute
+//! inline on the caller with zero cross-thread traffic.
+//!
+//! The deques are `Mutex<VecDeque>`s rather than lock-free Chase-Lev
+//! deques: jobs here are coarse (a simulator invocation each), so queue
+//! contention is negligible against job cost, and the locked variant is
+//! easy to verify.
 
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 pub mod prelude {
     //! Import to get `.par_iter()` on slices and `Vec`s.
     pub use crate::IntoParallelRefIterator;
 }
 
-/// Number of worker threads used for parallel maps.
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+// ---------------------------------------------------------------------------
+// Pool state and worker threads
+// ---------------------------------------------------------------------------
+
+/// An erased pointer to a job living on some waiting caller's stack. The
+/// caller guarantees the pointee outlives execution by blocking until every
+/// copy of the job has run (see `MapJob` / `StackJob`).
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
 }
+
+// SAFETY: a JobRef is only ever executed while the stack frame that owns
+// the pointee is blocked waiting for it; the pointee types are themselves
+// built from Sync ingredients.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// # Safety
+    /// The pointee must still be alive (the owning frame is waiting on it).
+    unsafe fn execute(self) {
+        (self.exec)(self.data)
+    }
+}
+
+struct PoolState {
+    /// Per-worker deques; workers pop their own from the back and steal
+    /// from others' fronts.
+    queues: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Shared FIFO for jobs submitted by threads outside the pool.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Jobs queued but not yet picked up (sleep/wake accounting).
+    pending: AtomicUsize,
+    /// Round-robin cursor for distributing map-runner jobs.
+    cursor: AtomicUsize,
+    /// Sleep support: workers and waiters park here.
+    sleep: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Total participants: spawned workers + the calling thread.
+    n_threads: usize,
+}
+
+impl PoolState {
+    /// Push a job onto worker queue `idx` (or the injector if `None`).
+    fn push(&self, idx: Option<usize>, job: JobRef) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        match idx {
+            Some(i) => self.queues[i].lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        // Taking the sleep lock orders this push against any worker that
+        // just failed to find work and is about to wait: either it sees
+        // `pending > 0` before sleeping, or it is already waiting and the
+        // notification wakes it.
+        let _guard = self.sleep.lock().unwrap();
+        self.wake.notify_all();
+    }
+
+    /// Pop or steal one job. `me` is the caller's own queue index when the
+    /// caller is a worker of this pool.
+    fn find_work(&self, me: Option<usize>) -> Option<JobRef> {
+        if let Some(i) = me {
+            if let Some(job) = self.queues[i].lock().unwrap().pop_back() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        let n = self.queues.len();
+        if n == 0 {
+            return None;
+        }
+        // Rotate the steal origin so victims are spread across thieves.
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        for off in 0..n {
+            let v = (start + off) % n;
+            if Some(v) == me {
+                continue;
+            }
+            if let Some(job) = self.queues[v].lock().unwrap().pop_front() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Try to reclaim a previously pushed job (identified by its data
+    /// pointer) before anyone steals it. Searches from the back, where a
+    /// `join` just pushed.
+    fn try_unqueue(&self, idx: Option<usize>, data: *const ()) -> bool {
+        let mut queue = match idx {
+            Some(i) => self.queues[i].lock().unwrap(),
+            None => self.injector.lock().unwrap(),
+        };
+        if let Some(pos) = queue.iter().rposition(|j| std::ptr::eq(j.data, data)) {
+            queue.remove(pos);
+            drop(queue);
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Wait until `done()` holds, executing other pool jobs while waiting
+    /// (helping keeps cores busy and makes nested parallelism live).
+    fn wait_while_helping(&self, me: Option<usize>, done: &dyn Fn() -> bool) {
+        while !done() {
+            if let Some(job) = self.find_work(me) {
+                // SAFETY: queued jobs are kept alive by their waiting
+                // owners until every copy has executed.
+                unsafe { job.execute() };
+                continue;
+            }
+            let guard = self.sleep.lock().unwrap();
+            if !done() && self.pending.load(Ordering::SeqCst) == 0 {
+                // The timeout is a belt-and-braces liveness guard; normal
+                // wakeups come from `push` and `notify_done`.
+                let _ = self
+                    .wake
+                    .wait_timeout(guard, Duration::from_millis(5))
+                    .unwrap();
+            }
+        }
+    }
+
+    /// Wake every sleeper (a latch was set or a counter reached zero).
+    fn notify_done(&self) {
+        let _guard = self.sleep.lock().unwrap();
+        self.wake.notify_all();
+    }
+}
+
+thread_local! {
+    /// Set on pool worker threads: (their pool, their queue index).
+    static WORKER: RefCell<Option<(Arc<PoolState>, usize)>> = const { RefCell::new(None) };
+    /// Stack of pools entered via [`ThreadPool::install`] on non-worker
+    /// threads.
+    static INSTALLED: RefCell<Vec<Arc<PoolState>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn worker_main(state: Arc<PoolState>, index: usize) {
+    WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&state), index)));
+    loop {
+        if let Some(job) = state.find_work(Some(index)) {
+            // SAFETY: see `wait_while_helping`.
+            unsafe { job.execute() };
+            continue;
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let guard = state.sleep.lock().unwrap();
+        if state.pending.load(Ordering::SeqCst) == 0 && !state.shutdown.load(Ordering::SeqCst) {
+            let _ = state
+                .wake
+                .wait_timeout(guard, Duration::from_millis(5))
+                .unwrap();
+        }
+    }
+}
+
+/// The pool the current thread should schedule onto: its own pool when it
+/// is a worker thread, the innermost [`ThreadPool::install`] otherwise,
+/// else the global pool.
+fn current_pool() -> Arc<PoolState> {
+    if let Some(pool) = WORKER.with(|w| w.borrow().as_ref().map(|(p, _)| Arc::clone(p))) {
+        return pool;
+    }
+    if let Some(pool) = INSTALLED.with(|s| s.borrow().last().cloned()) {
+        return pool;
+    }
+    Arc::clone(&global_pool().state)
+}
+
+/// The current thread's queue index within `pool`, if it is one of the
+/// pool's workers.
+fn my_index_in(pool: &Arc<PoolState>) -> Option<usize> {
+    WORKER.with(|w| match w.borrow().as_ref() {
+        Some((p, i)) if Arc::ptr_eq(p, pool) => Some(*i),
+        _ => None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Public pool handle
+// ---------------------------------------------------------------------------
+
+/// A handle to a persistent work-stealing pool.
+///
+/// A pool of `n` threads spawns `n - 1` workers; the thread calling
+/// [`ThreadPool::install`] (or blocking inside a parallel map) is the
+/// `n`-th participant. Dropping the handle shuts the workers down.
+pub struct ThreadPool {
+    state: Arc<PoolState>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Create a pool with `n` total threads (clamped to at least 1).
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        let state = Arc::new(PoolState {
+            queues: (0..n - 1).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            cursor: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            n_threads: n,
+        });
+        let workers = (0..n - 1)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("calib-worker-{i}"))
+                    .spawn(move || worker_main(state, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { state, workers }
+    }
+
+    /// Number of threads (including the calling thread).
+    pub fn current_num_threads(&self) -> usize {
+        self.state.n_threads
+    }
+
+    /// Run `f` on the calling thread with this pool as the scheduling
+    /// target for every `par_iter`/`join` reached dynamically within.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED.with(|s| s.borrow_mut().push(Arc::clone(&self.state)));
+        struct PopOnDrop;
+        impl Drop for PopOnDrop {
+            fn drop(&mut self) {
+                INSTALLED.with(|s| {
+                    s.borrow_mut().pop();
+                });
+            }
+        }
+        let _pop = PopOnDrop;
+        f()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.notify_done();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Pool size from a `CALIB_THREADS`-style setting (positive integer), or
+/// the machine's available parallelism.
+fn thread_count_from(setting: Option<&str>) -> usize {
+    setting
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        ThreadPool::new(thread_count_from(
+            std::env::var("CALIB_THREADS").ok().as_deref(),
+        ))
+    })
+}
+
+/// Number of worker threads the current scope's pool uses.
+pub fn current_num_threads() -> usize {
+    current_pool().n_threads
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// A `join`'s second closure, parked on the caller's stack while queued.
+struct StackJob<F, R> {
+    f: Mutex<Option<F>>,
+    result: Mutex<Option<std::thread::Result<R>>>,
+    done: AtomicBool,
+    pool: *const PoolState,
+}
+
+impl<F: FnOnce() -> R + Send, R: Send> StackJob<F, R> {
+    fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            exec: Self::exec,
+        }
+    }
+
+    /// # Safety
+    /// `data` points to a live `StackJob<F, R>`.
+    unsafe fn exec(data: *const ()) {
+        let job = &*(data as *const Self);
+        let f = job.f.lock().unwrap().take().expect("job executed twice");
+        let result = catch_unwind(AssertUnwindSafe(f));
+        *job.result.lock().unwrap() = Some(result);
+        job.done.store(true, Ordering::SeqCst);
+        (*job.pool).notify_done();
+    }
+}
+
+/// Run `oper_a` and `oper_b`, potentially in parallel, and return both
+/// results. `oper_a` runs on the calling thread; `oper_b` is offered to
+/// the pool and reclaimed (run inline) if nobody stole it. Panics in
+/// either closure propagate to the caller.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = current_pool();
+    if pool.n_threads <= 1 {
+        // Small/serial fast path: no cross-thread traffic at all.
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    let me = my_index_in(&pool);
+    let job_b = StackJob {
+        f: Mutex::new(Some(oper_b)),
+        result: Mutex::new(None),
+        done: AtomicBool::new(false),
+        pool: &*pool as *const PoolState,
+    };
+    let bref = job_b.as_job_ref();
+    pool.push(me, bref);
+
+    let ra = catch_unwind(AssertUnwindSafe(oper_a));
+
+    if pool.try_unqueue(me, bref.data) {
+        // Not stolen: run it inline, LIFO, like rayon does.
+        // SAFETY: job_b is alive on this frame.
+        unsafe { bref.execute() };
+    } else {
+        pool.wait_while_helping(me, &|| job_b.done.load(Ordering::SeqCst));
+    }
+
+    let rb = job_b
+        .result
+        .lock()
+        .unwrap()
+        .take()
+        .expect("join closure finished without a result");
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(panic), _) | (_, Err(panic)) => resume_unwind(panic),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel map with per-item scheduling
+// ---------------------------------------------------------------------------
+
+/// Shared state of one in-flight parallel map. Lives on the initiating
+/// caller's stack; the caller blocks until `outstanding` reaches zero, so
+/// every raw pointer below stays valid for the map's whole lifetime.
+struct MapJob<'f, 'a, T, R, F> {
+    items: &'a [T],
+    f: &'f F,
+    out: *mut Option<R>,
+    /// Next unclaimed item index.
+    next: AtomicUsize,
+    /// Unfinished items + unretired runner tokens; the caller may return
+    /// only once this is zero (ensuring no queued `JobRef` outlives us).
+    outstanding: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    pool: *const PoolState,
+}
+
+impl<'f, 'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> MapJob<'f, 'a, T, R, F> {
+    fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            exec: Self::exec_runner,
+        }
+    }
+
+    /// Entry point of a queued runner: drain items, then retire the
+    /// runner's own token.
+    ///
+    /// # Safety
+    /// `data` points to a live `MapJob<T, R, F>`.
+    unsafe fn exec_runner(data: *const ()) {
+        let job = &*(data as *const Self);
+        job.run_items();
+        job.finish_one();
+    }
+
+    /// Claim and execute items until the counter runs dry. Per-item
+    /// scheduling: one expensive item holds up one participant only.
+    fn run_items(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.items.len() {
+                return;
+            }
+            let item = &self.items[i];
+            match catch_unwind(AssertUnwindSafe(|| (self.f)(item))) {
+                // SAFETY: distinct indices go to distinct slots, and the
+                // caller keeps `out` alive until outstanding == 0.
+                Ok(value) => unsafe { *self.out.add(i) = Some(value) },
+                Err(payload) => {
+                    let mut slot = self.panic.lock().unwrap();
+                    slot.get_or_insert(payload);
+                }
+            }
+            self.finish_one();
+        }
+    }
+
+    fn finish_one(&self) {
+        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // SAFETY: the pool outlives the map (the caller holds an Arc).
+            unsafe { (*self.pool).notify_done() };
+        }
+    }
+}
+
+fn run_map<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(items: &'a [T], f: &F) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let pool = current_pool();
+    if n < 2 || pool.n_threads <= 1 {
+        // Small-input fast path: run inline on the caller, zero
+        // cross-thread traffic, zero allocation beyond the output.
+        return items.iter().map(f).collect();
+    }
+
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    // One runner job per participant beyond the caller. Runner jobs are
+    // tiny: each pops once and then claims items from the shared counter.
+    let runners = pool.n_threads.min(n) - 1;
+    let job: MapJob<'_, 'a, T, R, F> = MapJob {
+        items,
+        f,
+        out: out.as_mut_ptr(),
+        next: AtomicUsize::new(0),
+        outstanding: AtomicUsize::new(n + runners),
+        panic: Mutex::new(None),
+        pool: &*pool as *const PoolState,
+    };
+    let me = my_index_in(&pool);
+    let workers = pool.queues.len();
+    let base = pool.cursor.fetch_add(1, Ordering::Relaxed);
+    for k in 0..runners {
+        // Round-robin across worker deques (waking each in turn); idle
+        // workers may also steal these from each other.
+        pool.push(Some((base + k) % workers), job.as_job_ref());
+    }
+
+    // The caller is a participant too.
+    job.run_items();
+    pool.wait_while_helping(me, &|| job.outstanding.load(Ordering::SeqCst) == 0);
+
+    if let Some(payload) = job.panic.lock().unwrap().take() {
+        resume_unwind(payload);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("map participant filled every slot"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// par_iter surface (unchanged from the seed)
+// ---------------------------------------------------------------------------
 
 /// Conversion to a borrowing parallel iterator (rayon's trait of the same
 /// name, reduced to the slice case).
@@ -68,7 +592,7 @@ pub struct ParMap<'a, T, F> {
 }
 
 impl<'a, T: Sync, F> ParMap<'a, T, F> {
-    /// Run the map on scoped threads and collect results in input order.
+    /// Run the map on the pool and collect results in input order.
     pub fn collect<R, C>(self) -> C
     where
         F: Fn(&'a T) -> R + Sync,
@@ -79,34 +603,10 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
     }
 }
 
-fn run_map<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(items: &'a [T], f: &F) -> Vec<R> {
-    let n = items.len();
-    let threads = current_num_threads().min(n.max(1));
-    if n == 0 {
-        return Vec::new();
-    }
-    if threads <= 1 || n == 1 {
-        return items.iter().map(f).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("worker filled every slot"))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -116,9 +616,165 @@ mod tests {
     }
 
     #[test]
+    fn map_collect_preserves_order_on_multithread_pool() {
+        let pool = ThreadPool::new(4);
+        let xs: Vec<u64> = (0..10_000).collect();
+        let ys: Vec<u64> = pool.install(|| xs.par_iter().map(|x| x * 3 + 1).collect());
+        assert_eq!(ys, (0..10_000).map(|x| x * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn empty_input_collects_empty() {
         let xs: Vec<u64> = Vec::new();
         let ys: Vec<u64> = xs.par_iter().map(|x| x + 1).collect();
         assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn tiny_input_runs_inline_on_caller() {
+        let pool = ThreadPool::new(4);
+        let caller = std::thread::current().id();
+        let xs = vec![7u64];
+        let tids: Vec<std::thread::ThreadId> =
+            pool.install(|| xs.par_iter().map(|_| std::thread::current().id()).collect());
+        assert_eq!(tids, vec![caller], "single item must not cross threads");
+    }
+
+    #[test]
+    fn one_thread_pool_runs_inline_on_caller() {
+        let pool = ThreadPool::new(1);
+        let caller = std::thread::current().id();
+        let xs: Vec<u64> = (0..64).collect();
+        let tids: Vec<std::thread::ThreadId> =
+            pool.install(|| xs.par_iter().map(|_| std::thread::current().id()).collect());
+        assert!(tids.iter().all(|&t| t == caller));
+        assert_eq!(pool.current_num_threads(), 1);
+    }
+
+    #[test]
+    fn install_scopes_the_pool() {
+        let p1 = ThreadPool::new(1);
+        let p4 = ThreadPool::new(4);
+        p4.install(|| {
+            assert_eq!(current_num_threads(), 4);
+            p1.install(|| assert_eq!(current_num_threads(), 1));
+            assert_eq!(current_num_threads(), 4);
+        });
+    }
+
+    #[test]
+    fn nested_maps_complete() {
+        let pool = ThreadPool::new(4);
+        let outer: Vec<u64> = (0..16).collect();
+        let total: u64 = pool.install(|| {
+            let sums: Vec<u64> = outer
+                .par_iter()
+                .map(|&o| {
+                    let inner: Vec<u64> = (0..50).collect();
+                    let s: Vec<u64> = inner.par_iter().map(|&i| i + o).collect();
+                    s.iter().sum()
+                })
+                .collect();
+            sums.iter().sum()
+        });
+        let expected: u64 = (0..16u64)
+            .map(|o| (0..50u64).map(|i| i + o).sum::<u64>())
+            .sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPool::new(4);
+        let (a, b) = pool.install(|| join(|| 2 + 2, || "ok".to_string()));
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_joins_compute_fibonacci() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.install(|| fib(16)), 987);
+    }
+
+    #[test]
+    fn map_panic_propagates() {
+        let pool = ThreadPool::new(4);
+        let xs: Vec<u64> = (0..100).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _: Vec<u64> = pool.install(|| {
+                xs.par_iter()
+                    .map(|&x| {
+                        if x == 63 {
+                            panic!("boom at 63");
+                        }
+                        x
+                    })
+                    .collect()
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn join_panic_in_b_propagates() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| join(|| 1, || -> u32 { panic!("b panicked") }))
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn slow_item_does_not_serialize_the_rest() {
+        // With per-item scheduling, one 40 ms item plus 30 trivial items
+        // must finish in far less than 31 * 40 ms even on few cores; the
+        // trivial items drain while one participant holds the slow one.
+        let pool = ThreadPool::new(4);
+        let xs: Vec<u64> = (0..31).collect();
+        let start = std::time::Instant::now();
+        let ys: Vec<u64> = pool.install(|| {
+            xs.par_iter()
+                .map(|&x| {
+                    if x == 0 {
+                        std::thread::sleep(Duration::from_millis(40));
+                    }
+                    x
+                })
+                .collect()
+        });
+        assert_eq!(ys, xs);
+        assert!(
+            start.elapsed() < Duration::from_millis(600),
+            "took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn thread_count_setting_parses() {
+        assert_eq!(thread_count_from(Some("3")), 3);
+        assert_eq!(thread_count_from(Some(" 8 ")), 8);
+        // Invalid or zero values fall back to the machine default (>= 1).
+        assert!(thread_count_from(Some("0")) >= 1);
+        assert!(thread_count_from(Some("banana")) >= 1);
+        assert!(thread_count_from(None) >= 1);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_small_maps() {
+        let pool = ThreadPool::new(3);
+        for round in 0..200u64 {
+            let xs: Vec<u64> = (0..8).collect();
+            let ys: Vec<u64> = pool.install(|| xs.par_iter().map(|x| x + round).collect());
+            assert_eq!(ys, (0..8).map(|x| x + round).collect::<Vec<_>>());
+        }
     }
 }
