@@ -23,6 +23,9 @@ pub struct BatchOutput {
     pub makespan: f64,
     /// Per-job turnaround times: completion minus submission (s).
     pub turnarounds: Vec<f64>,
+    /// Discrete events the kernel processed: a deterministic measure of
+    /// how much this level of detail costs to simulate.
+    pub sim_events: u64,
 }
 
 /// Fully-resolved model (one value per knob).
@@ -123,6 +126,7 @@ pub(crate) fn execute(jobs: &[Job], total_nodes: u32, model: &ResolvedBatch) -> 
         return BatchOutput {
             makespan: 0.0,
             turnarounds: Vec::new(),
+            sim_events: 0,
         };
     }
 
@@ -172,6 +176,7 @@ pub(crate) fn execute(jobs: &[Job], total_nodes: u32, model: &ResolvedBatch) -> 
     BatchOutput {
         makespan: sim.makespan,
         turnarounds,
+        sim_events: sim.engine.events_processed(),
     }
 }
 

@@ -9,8 +9,12 @@
 //! - `--seed S`          — master seed;
 //! - `--fast`            — shrink the experiment grid for a quick smoke run;
 //! - `--tsv PATH`        — also write the result rows as TSV;
-//! - `--uncalibrated`    — where applicable, add the spec-based baseline.
+//! - `--uncalibrated`    — where applicable, add the spec-based baseline;
+//! - `--ledger PATH`     — for sweep-driven binaries: checkpoint completed
+//!   work to (and resume it from) a lodsel run ledger;
+//! - `--epsilon F`       — recommendation tolerance for those binaries.
 
+use lodsel::ledger::Ledger;
 use simcal::prelude::Budget;
 use std::time::Duration;
 
@@ -27,6 +31,10 @@ pub struct ExpArgs {
     pub tsv: Option<String>,
     /// Include the uncalibrated spec-based baseline.
     pub uncalibrated: bool,
+    /// Optional lodsel run-ledger path (sweep-driven binaries only).
+    pub ledger: Option<String>,
+    /// Recommendation tolerance (sweep-driven binaries only).
+    pub epsilon: f64,
 }
 
 impl ExpArgs {
@@ -40,6 +48,8 @@ impl ExpArgs {
         let mut fast = false;
         let mut tsv = None;
         let mut uncalibrated = false;
+        let mut ledger = None;
+        let mut epsilon = 0.1;
 
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -75,10 +85,17 @@ impl ExpArgs {
                 "--fast" => fast = true,
                 "--tsv" => tsv = Some(take_value(&mut i)),
                 "--uncalibrated" => uncalibrated = true,
+                "--ledger" => ledger = Some(take_value(&mut i)),
+                "--epsilon" => {
+                    epsilon = take_value(&mut i).parse().unwrap_or_else(|e| {
+                        eprintln!("invalid --epsilon: {e}");
+                        std::process::exit(2);
+                    })
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --budget-evals N | --budget-secs S | --seed S | --fast | \
-                         --tsv PATH | --uncalibrated"
+                         --tsv PATH | --uncalibrated | --ledger PATH | --epsilon F"
                     );
                     std::process::exit(0);
                 }
@@ -100,7 +117,21 @@ impl ExpArgs {
             fast,
             tsv,
             uncalibrated,
+            ledger,
+            epsilon,
         }
+    }
+
+    /// Open the run ledger if `--ledger` was given; exits on I/O errors
+    /// (a requested-but-unusable ledger should never silently degrade to
+    /// a non-resumable sweep).
+    pub fn open_ledger(&self) -> Option<Ledger> {
+        self.ledger.as_ref().map(|path| {
+            Ledger::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open ledger {path}: {e}");
+                std::process::exit(2);
+            })
+        })
     }
 
     /// Write `table` to the TSV path if one was requested.

@@ -2,9 +2,14 @@
 //! names as future work ("batch-scheduling using Alea or Batsim and data
 //! from the Parallel Workload Archive"). The experiment mirrors Figure 2:
 //! calibrate all 4 level-of-detail versions under the same budget, report
-//! held-out makespan error per version plus the uncalibrated baseline,
+//! held-out turnaround error per version plus the uncalibrated baseline,
 //! and check whether the other case studies' conclusion ("model the
 //! middleware's batching behaviour") generalizes to this domain.
+//!
+//! The (version × restart) grid is driven by the lodsel sweep subsystem:
+//! runs fan onto the work-stealing pool, `--ledger PATH` makes the sweep
+//! resumable (bit-for-bit), and the accuracy-versus-cost recommendation
+//! is reported on stderr alongside the table.
 //!
 //! ```text
 //! cargo run --release -p lodcal-bench --bin case3 [-- --fast]
@@ -14,36 +19,31 @@ use batchsim::prelude::*;
 use lodcal_bench::args::ExpArgs;
 use lodcal_bench::case1::summarize;
 use lodcal_bench::report::{pct, Table};
-use simcal::prelude::*;
+use lodsel::prelude::*;
 
 fn main() {
     let args = ExpArgs::parse(150);
-    let cfg = BatchEmulatorConfig::default();
-    // Short-to-medium jobs under varied arrival pressure: per-job waits
-    // (where the hidden 30s scheduling cycle lives) are a visible share
-    // of the turnaround, as in case study #1's short-task workflows.
-    let mut grid = Vec::new();
-    for (i, &interarrival) in [8.0, 20.0, 45.0].iter().enumerate() {
-        for (j, &work) in [60.0, 240.0].iter().enumerate() {
-            grid.push(WorkloadSpec {
-                num_jobs: 80,
-                mean_interarrival: interarrival,
-                mean_work: work,
-                max_nodes_log2: 5,
-                seed: args.seed ^ ((i * 2 + j) as u64) << 8,
-            });
-        }
-    }
-    let (train_specs, test_specs) = grid.split_at(if args.fast { 2 } else { 4 });
-    let train = dataset(train_specs, &cfg, if args.fast { 2 } else { 3 }, args.seed);
-    let test = dataset(test_specs, &cfg, if args.fast { 2 } else { 3 }, args.seed);
+    let family = BatchFamily::paper(args.fast, args.seed);
     eprintln!(
         "{} training / {} testing workload traces",
-        train.len(),
-        test.len()
+        family.train().len(),
+        family.test().len()
     );
 
-    let loss = StructuredLoss::new(Agg::Avg, ElementMix::AddAvg, "L3");
+    // Best of three restarts by training loss, as in Figures 2/5. The
+    // per-trace metric is the mean relative per-job *turnaround* error.
+    let config = SweepConfig {
+        budget: BudgetPolicy::PerRun {
+            budget: args.budget,
+        },
+        restarts: 3,
+        seed: args.seed,
+        epsilon: args.epsilon,
+        max_units: None,
+    };
+    let ledger = args.open_ledger();
+    let outcome = run_sweep(&family, &config, ledger.as_ref());
+
     let mut table = Table::new(&[
         "version (overhead/runtime)",
         "params",
@@ -51,44 +51,11 @@ fn main() {
         "min err %",
         "max err %",
     ]);
-
-    // Per-trace metric: mean relative per-job *turnaround* error. Job
-    // waits are where scheduler behaviour lives; trace makespans are
-    // dominated by total work and hide it.
-    let turnaround_errors = |sim: &BatchSimulator, calib: &Calibration| -> Vec<f64> {
-        test.iter()
-            .map(|s| {
-                let out = sim.simulate(&s.jobs, calib);
-                let errs: Vec<f64> = s
-                    .turnarounds
-                    .iter()
-                    .zip(&out.turnarounds)
-                    .map(|(&gt, &m)| relative_error(gt, m))
-                    .collect();
-                numeric::mean(&errs)
-            })
-            .collect()
-    };
-
-    for version in BatchVersion::all() {
-        let sim = BatchSimulator::new(version, cfg.total_nodes);
-        let obj = objective(&sim, &train, loss.clone());
-        // Best of three restarts by training loss, as in Figures 2/5.
-        let result = (0..3u64)
-            .map(|r| Calibrator::bo_gp(args.budget, args.seed ^ r << 32).calibrate(&obj))
-            .min_by(|a, b| a.loss.partial_cmp(&b.loss).expect("finite losses"))
-            .expect("non-empty restarts");
-        let errs = turnaround_errors(&sim, &result.calibration);
-        let (avg, min, max) = summarize(&errs);
-        eprintln!(
-            "{}: train loss {:.3}, held-out err {:.1}%",
-            version.label(),
-            result.loss,
-            avg * 100.0
-        );
+    for v in &outcome.versions {
+        let (avg, min, max) = summarize(&v.samples);
         table.row(vec![
-            version.label(),
-            obj.space().dim().to_string(),
+            v.label.clone(),
+            v.dim.to_string(),
             pct(avg),
             pct(min),
             pct(max),
@@ -101,11 +68,10 @@ fn main() {
     if args.uncalibrated {
         // Spec-style baseline: nominal node speed 1.0, no overheads.
         let version = BatchVersion::lowest_detail();
-        let sim = BatchSimulator::new(version, cfg.total_nodes);
         let spec = version
             .parameter_space()
             .calibration_from_pairs(&[("node_speed", 1.0)]);
-        let errs = turnaround_errors(&sim, &spec);
+        let errs = family.turnaround_errors(version, &spec);
         let (avg, min, max) = summarize(&errs);
         let mut t = Table::new(&["baseline", "avg err %", "min err %", "max err %"]);
         t.row(vec![
@@ -122,5 +88,8 @@ fn main() {
          scheduling behaviour — should beat the instant/* versions, mirroring the\n\
          'simulating HTCondor is crucial' finding of case study #1)"
     );
+    if let Some(rec) = &outcome.recommendation {
+        eprint!("{}", render_recommendation(rec));
+    }
     args.maybe_write_tsv(&table);
 }

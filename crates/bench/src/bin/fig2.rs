@@ -4,6 +4,12 @@
 //! `--uncalibrated`, also reports the §5.4 baseline: the lowest-detail
 //! simulator with hardware-spec parameter values.
 //!
+//! The (version × application × restart) grid is driven by the lodsel
+//! sweep subsystem: runs fan onto the work-stealing pool, `--ledger PATH`
+//! makes the sweep resumable (an interrupted run picks up from its
+//! checkpoints, bit-for-bit), and the accuracy-versus-cost recommendation
+//! is reported on stderr alongside the figure's table.
+//!
 //! Paper shapes to reproduce:
 //! - simulating HTCondor is crucial (top half of the figure much worse);
 //! - one-link ≈ star; shared+dedicated does worse (extra dimensionality);
@@ -15,65 +21,48 @@
 //! ```
 
 use lodcal_bench::args::ExpArgs;
-use lodcal_bench::case1::{calibrate_version_best_of, dataset_options, makespan_errors, summarize};
+use lodcal_bench::case1::{makespan_errors, summarize};
 use lodcal_bench::report::{pct, Table};
-use simcal::prelude::*;
+use lodsel::prelude::*;
 use wfsim::prelude::*;
 
 fn main() {
     let args = ExpArgs::parse(150);
-    let opts = dataset_options(args.fast, args.seed);
-    let apps: Vec<AppKind> = if args.fast {
-        vec![AppKind::Genome1000, AppKind::Montage]
-    } else {
-        AppKind::REAL.to_vec()
-    };
-
-    // Per-application train/test splits (the paper's §5.4 scheme).
-    let mut splits = Vec::new();
-    for &app in &apps {
-        let records = dataset_for(app, &opts);
-        let (train, test) = split_train_test(&records);
+    // The paper's §5.4 per-application train/test splits.
+    let family = WfFamily::paper(args.fast, args.seed);
+    for s in family.splits() {
         eprintln!(
             "{}: {} train / {} test records",
-            app.name(),
-            train.len(),
-            test.len()
+            s.app,
+            s.train.len(),
+            s.test.len()
         );
-        splits.push((
-            app,
-            WfScenario::from_records(&train),
-            WfScenario::from_records(&test),
-        ));
     }
 
-    let loss = StructuredLoss::paper_set()[0].clone(); // L1 (selected by Table 3)
+    // One calibration per (version, application), best of 3 restarts by
+    // training loss, then aggregate across apps — the bars (avg) and
+    // error bars (min/max) of Figure 2.
+    let config = SweepConfig {
+        budget: BudgetPolicy::PerRun {
+            budget: args.budget,
+        },
+        restarts: 3,
+        seed: args.seed,
+        epsilon: args.epsilon,
+        max_units: None,
+    };
+    let ledger = args.open_ledger();
+    let outcome = run_sweep(&family, &config, ledger.as_ref());
+
     let mut table = Table::new(&[
         "version (net/storage/compute)",
         "avg err %",
         "min err %",
         "max err %",
     ]);
-
-    for version in SimulatorVersion::all() {
-        // One calibration per application, then aggregate across apps —
-        // the bars (avg) and error bars (min/max) of Figure 2.
-        let mut per_app_errors = Vec::new();
-        for (app, train, test) in &splits {
-            let result =
-                calibrate_version_best_of(version, train, loss.clone(), args.budget, args.seed, 3);
-            let errs = makespan_errors(version, &result.calibration, test);
-            per_app_errors.push(numeric::mean(&errs));
-            eprintln!(
-                "  {} / {}: train loss {:.3}, test err {:.1}%",
-                version.label(),
-                app.name(),
-                result.loss,
-                numeric::mean(&errs) * 100.0
-            );
-        }
-        let (avg, min, max) = summarize(&per_app_errors);
-        table.row(vec![version.label(), pct(avg), pct(min), pct(max)]);
+    for v in &outcome.versions {
+        let (avg, min, max) = summarize(&v.samples);
+        table.row(vec![v.label.clone(), pct(avg), pct(min), pct(max)]);
     }
 
     println!("Figure 2: percent relative makespan error, all 12 calibrated versions\n");
@@ -83,12 +72,12 @@ fn main() {
         let version = SimulatorVersion::lowest_detail();
         let calib = spec_calibration(version);
         let mut per_app = Vec::new();
-        for (app, _, test) in &splits {
-            let errs = makespan_errors(version, &calib, test);
+        for s in family.splits() {
+            let errs = makespan_errors(version, &calib, &s.test);
             per_app.push(numeric::mean(&errs));
             eprintln!(
                 "  uncalibrated / {}: {:.0}%",
-                app.name(),
+                s.app,
                 numeric::mean(&errs) * 100.0
             );
         }
@@ -102,6 +91,10 @@ fn main() {
         ]);
         println!("§5.4 uncalibrated baseline (hardware-spec values, no calibration):\n");
         println!("{}", t.render());
+    }
+
+    if let Some(rec) = &outcome.recommendation {
+        eprint!("{}", render_recommendation(rec));
     }
     args.maybe_write_tsv(&table);
 }

@@ -5,6 +5,11 @@
 //! overfitting; generalization is studied by `sec6_5`). With
 //! `--uncalibrated`, also reports the §6.4 spec-based baseline.
 //!
+//! The (version × restart) grid is driven by the lodsel sweep subsystem:
+//! runs fan onto the work-stealing pool, `--ledger PATH` makes the sweep
+//! resumable (bit-for-bit), and the accuracy-versus-cost recommendation
+//! is reported on stderr alongside the figure's table.
+//!
 //! Paper shapes to reproduce:
 //! - all versions land in a similar error band (average 13-24%);
 //! - complex nodes slightly better in most cases;
@@ -19,23 +24,28 @@
 
 use lodcal_bench::args::ExpArgs;
 use lodcal_bench::case1::summarize;
-use lodcal_bench::case2::{calibrate_version_best_of, emulator_config, node_counts, rate_errors};
+use lodcal_bench::case2::{node_counts, rate_errors};
 use lodcal_bench::report::{pct, Table};
+use lodsel::prelude::*;
 use mpisim::prelude::*;
-use simcal::prelude::*;
 
 fn main() {
     let args = ExpArgs::parse(500);
-    let cfg = emulator_config(args.fast);
     let base_nodes = node_counts(args.fast)[0];
+    let family = MpiFamily::paper(args.fast, args.seed);
 
-    let scenarios = dataset(
-        &BenchmarkKind::CALIBRATION_SET,
-        &[base_nodes],
-        &cfg,
-        args.seed,
-    );
-    let loss = MatrixLoss::paper_set()[0].clone(); // L1 (selected by Table 5)
+    // Best of 5 restarts per version by training loss, as in the paper.
+    let config = SweepConfig {
+        budget: BudgetPolicy::PerRun {
+            budget: args.budget,
+        },
+        restarts: 5,
+        seed: args.seed,
+        epsilon: args.epsilon,
+        max_units: None,
+    };
+    let ledger = args.open_ledger();
+    let outcome = run_sweep(&family, &config, ledger.as_ref());
 
     let mut table = Table::new(&[
         "version (topology/node/protocol)",
@@ -43,20 +53,10 @@ fn main() {
         "min err %",
         "max err %",
     ]);
-
-    for version in MpiSimulatorVersion::all() {
-        let result =
-            calibrate_version_best_of(version, &scenarios, loss.clone(), args.budget, args.seed, 5);
+    for v in &outcome.versions {
         // Per-benchmark errors: bars (avg) and error bars (min/max).
-        let errs = rate_errors(version, &result.calibration, &scenarios);
-        let (avg, min, max) = summarize(&errs);
-        eprintln!(
-            "{}: loss {:.3}, err avg {:.1}%",
-            version.label(),
-            result.loss,
-            avg * 100.0
-        );
-        table.row(vec![version.label(), pct(avg), pct(min), pct(max)]);
+        let (avg, min, max) = summarize(&v.samples);
+        table.row(vec![v.label.clone(), pct(avg), pct(min), pct(max)]);
     }
 
     println!(
@@ -68,7 +68,7 @@ fn main() {
     if args.uncalibrated {
         let version = MpiSimulatorVersion::lowest_detail();
         let calib = spec_calibration(version);
-        let errs = rate_errors(version, &calib, &scenarios);
+        let errs = rate_errors(version, &calib, family.scenarios());
         let (avg, min, max) = summarize(&errs);
         let mut t = Table::new(&["baseline", "avg err %", "min err %", "max err %"]);
         t.row(vec![
@@ -79,6 +79,10 @@ fn main() {
         ]);
         println!("§6.4 uncalibrated baseline (Summit spec values, no calibration):\n");
         println!("{}", t.render());
+    }
+
+    if let Some(rec) = &outcome.recommendation {
+        eprint!("{}", render_recommendation(rec));
     }
     args.maybe_write_tsv(&table);
 }

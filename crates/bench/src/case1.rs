@@ -9,33 +9,9 @@
 use simcal::prelude::*;
 use wfsim::prelude::*;
 
-/// The Table 1 sub-grid the experiments use by default: the two smallest
-/// workflow sizes (the split still yields large-vs-small test structure),
-/// one short and one long per-task work, a zero and a mid data footprint,
-/// and all four worker counts.
-pub fn dataset_options(fast: bool, seed: u64) -> DatasetOptions {
-    if fast {
-        DatasetOptions {
-            repetitions: 2,
-            seed,
-            size_indices: vec![0, 1],
-            work_indices: vec![1],
-            footprint_indices: vec![1],
-            worker_counts: vec![1, 2, 4, 6],
-            ..Default::default()
-        }
-    } else {
-        DatasetOptions {
-            repetitions: 3,
-            seed,
-            size_indices: vec![0, 1, 2],
-            work_indices: vec![0, 3],
-            footprint_indices: vec![0, 2],
-            worker_counts: vec![1, 2, 4, 6],
-            ..Default::default()
-        }
-    }
-}
+// The experiment grid lives with the sweepable family definition now; the
+// old path keeps working for the single-version binaries.
+pub use lodsel::families::wf::dataset_options;
 
 /// Calibrate `version` against `train` under `loss`, returning the result.
 pub fn calibrate_version(
@@ -48,35 +24,6 @@ pub fn calibrate_version(
     let sim = WorkflowSimulator::new(version);
     let obj = objective(&sim, train, loss);
     Calibrator::bo_gp(budget, seed).calibrate(&obj)
-}
-
-/// Calibrate with `restarts` independent seeds, keeping the calibration
-/// with the lowest *training* loss (what a practitioner does with a
-/// multi-start optimizer; no test data is consulted).
-pub fn calibrate_version_best_of(
-    version: SimulatorVersion,
-    train: &[WfScenario],
-    loss: StructuredLoss,
-    budget: Budget,
-    seed: u64,
-    restarts: usize,
-) -> CalibrationResult {
-    (0..restarts.max(1))
-        .map(|r| {
-            calibrate_version(
-                version,
-                train,
-                loss.clone(),
-                budget,
-                seed ^ (r as u64) << 32,
-            )
-        })
-        .min_by(|a, b| {
-            a.loss
-                .partial_cmp(&b.loss)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .expect("at least one restart")
 }
 
 /// Percent relative makespan error of `calibration` on each scenario.

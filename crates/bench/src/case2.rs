@@ -3,24 +3,9 @@
 use mpisim::prelude::*;
 use simcal::prelude::*;
 
-/// Node counts used by the experiments. The paper runs 128/256/512; the
-/// `--fast` grid shrinks the base scale (contention structure is
-//  preserved) so smoke runs finish in seconds.
-pub fn node_counts(fast: bool) -> Vec<usize> {
-    if fast {
-        vec![32, 64, 128]
-    } else {
-        NODE_COUNTS.to_vec()
-    }
-}
-
-/// Ground-truth emulator configuration for the experiments.
-pub fn emulator_config(fast: bool) -> MpiEmulatorConfig {
-    MpiEmulatorConfig {
-        repetitions: if fast { 3 } else { 5 },
-        ..Default::default()
-    }
-}
+// The experiment grid lives with the sweepable family definition now; the
+// old paths keep working for the single-version binaries.
+pub use lodsel::families::mpi::{emulator_config, node_counts};
 
 /// Calibrate `version` against `train` under `loss`.
 pub fn calibrate_version(
@@ -36,7 +21,9 @@ pub fn calibrate_version(
 }
 
 /// Calibrate with `restarts` independent seeds, keeping the calibration
-/// with the lowest *training* loss.
+/// with the lowest *training* loss. Thin wrapper over the shared
+/// multi-start helper (same seed derivation and tie-breaking as every
+/// other case study).
 pub fn calibrate_version_best_of(
     version: MpiSimulatorVersion,
     train: &[MpiScenario],
@@ -45,22 +32,9 @@ pub fn calibrate_version_best_of(
     seed: u64,
     restarts: usize,
 ) -> CalibrationResult {
-    (0..restarts.max(1))
-        .map(|r| {
-            calibrate_version(
-                version,
-                train,
-                loss.clone(),
-                budget,
-                seed ^ (r as u64) << 32,
-            )
-        })
-        .min_by(|a, b| {
-            a.loss
-                .partial_cmp(&b.loss)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .expect("at least one restart")
+    let sim = MpiSimulator::new(version);
+    let obj = objective(&sim, train, loss);
+    lodsel::multistart::calibrate_best_of(&obj, budget, seed, restarts)
 }
 
 /// Percent relative transfer-rate error (averaged over message sizes) of

@@ -269,6 +269,11 @@ fn set_rate(
 pub struct Engine {
     platform: Platform,
     time: f64,
+    /// Completions delivered by [`Engine::step`] since construction — a
+    /// deterministic measure of how much simulation work this engine
+    /// performed, independent of host speed (used by `lodsel` as the
+    /// simulation-cost axis of its accuracy×cost trade-off).
+    events: u64,
     /// Slab of activities keyed by id; ids are sequential and never
     /// reused, completed slots become `None`.
     acts: Vec<Option<Act>>,
@@ -304,6 +309,7 @@ impl Engine {
         Self {
             platform,
             time: 0.0,
+            events: 0,
             acts: Vec::new(),
             live: 0,
             heap: BinaryHeap::new(),
@@ -326,6 +332,12 @@ impl Engine {
     /// Current virtual time in seconds.
     pub fn time(&self) -> f64 {
         self.time
+    }
+
+    /// Completions delivered by [`Engine::step`] so far: a deterministic,
+    /// host-independent count of the simulation work performed.
+    pub fn events_processed(&self) -> u64 {
+        self.events
     }
 
     /// The platform this engine simulates.
@@ -652,6 +664,7 @@ impl Engine {
                 }
                 _ => {}
             }
+            self.events += 1;
             return Some(Completion {
                 id: ActivityId(id as u64),
                 tag: act.tag,
@@ -873,6 +886,20 @@ mod tests {
         }
         assert_eq!(e.run_to_completion().len(), 10);
         assert_eq!(e.active_count(), 0);
+        assert_eq!(e.events_processed(), 10);
+    }
+
+    #[test]
+    fn events_processed_counts_completions_not_phase_transitions() {
+        // A flow with latency goes through an internal latency→transfer
+        // transition; only the final completion counts as an event.
+        let mut p = Platform::new();
+        let l = p.add_link(100.0, 0.5);
+        let mut e = Engine::new(p);
+        assert_eq!(e.events_processed(), 0);
+        e.add_activity(ActivityKind::flow(vec![l], 100.0), 1);
+        e.step().unwrap();
+        assert_eq!(e.events_processed(), 1);
     }
 
     #[test]

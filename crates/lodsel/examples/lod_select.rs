@@ -1,0 +1,81 @@
+//! Minimal end-to-end tour of the lodsel subsystem.
+//!
+//! Builds a small batch-scheduling family, sweeps it with a checkpointing
+//! ledger, prints the ranked recommendation, and then re-runs the same
+//! sweep against the same ledger to show that every run is served from
+//! checkpoints (zero pending work) with a bit-for-bit identical outcome.
+//!
+//! Run with: `cargo run --release --example lod_select`
+
+use batchsim::prelude::{dataset, BatchEmulatorConfig, BatchVersion, WorkloadSpec};
+use lodsel::prelude::*;
+use simcal::prelude::{Agg, Budget, ElementMix, StructuredLoss};
+
+fn main() {
+    // A deliberately tiny dataset: two short workloads, one for training
+    // and one held out. Real experiments use `BatchFamily::paper`.
+    let cfg = BatchEmulatorConfig::default();
+    let specs = [
+        WorkloadSpec {
+            num_jobs: 20,
+            mean_interarrival: 10.0,
+            mean_work: 60.0,
+            max_nodes_log2: 4,
+            seed: 7,
+        },
+        WorkloadSpec {
+            num_jobs: 20,
+            mean_interarrival: 25.0,
+            mean_work: 120.0,
+            max_nodes_log2: 4,
+            seed: 8,
+        },
+    ];
+    let train = dataset(&specs[..1], &cfg, 1, 7);
+    let test = dataset(&specs[1..], &cfg, 1, 7);
+    let family = BatchFamily::new(
+        BatchVersion::all(),
+        cfg.total_nodes,
+        train,
+        test,
+        StructuredLoss::new(Agg::Avg, ElementMix::AddAvg, "L3"),
+        "L3",
+    );
+
+    let config = SweepConfig::per_run(Budget::Evaluations(12), 2, 42);
+    let path = std::env::temp_dir().join(format!("lod_select-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // First pass: everything runs fresh and is checkpointed to the ledger.
+    let ledger = Ledger::open(&path).expect("open ledger");
+    let first = run_sweep(&family, &config, Some(&ledger));
+    let rec = first.recommendation.as_ref().expect("complete sweep");
+    println!("{}", render_recommendation(rec));
+
+    // Second pass against the same ledger: all (unit x restart) runs and
+    // all unit evaluations are served from checkpoints.
+    let reopened = Ledger::open(&path).expect("reopen ledger");
+    let second = run_sweep(&family, &config, Some(&reopened));
+    let pending = reopened
+        .events()
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            LedgerEvent::SweepStarted { pending_runs, .. } => Some(*pending_runs),
+            _ => None,
+        })
+        .expect("resumed sweep logged a start event");
+    println!("resume: {pending} pending runs (all served from the ledger)");
+    println!(
+        "resume digest matches fresh digest: {}",
+        second.digest() == first.digest()
+    );
+    assert_eq!(pending, 0, "resume must not redo completed work");
+    assert_eq!(
+        second.digest(),
+        first.digest(),
+        "resume must be bit-for-bit"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,221 @@
+//! Standalone level-of-detail selection driver.
+//!
+//! Sweeps one of the three simulator families — calibrating every version
+//! with multi-start, scoring held-out accuracy against deterministic
+//! simulation cost — and prints the per-version table plus the ranked
+//! ε-recommendation. With `--ledger`, completed work is checkpointed so an
+//! interrupted sweep resumes (bit-for-bit) instead of starting over;
+//! `--status` summarizes a ledger without running anything.
+
+use lodsel::prelude::*;
+use simcal::prelude::Budget;
+use std::process::exit;
+
+const USAGE: &str = "\
+usage: lodsel [options]
+  --family <wf|mpi|batch>  family to sweep (default: batch)
+  --fast                   shrunken experiment grid for smoke runs
+  --budget-evals <n>       per-run evaluation budget (default: 60)
+  --total-evals <n>        instead: one shared budget divided fairly
+  --restarts <n>           calibration restarts per unit (default: 2)
+  --seed <n>               master seed (default: 42)
+  --epsilon <f>            recommendation tolerance (default: 0.1)
+  --ledger <path>          JSONL run ledger to checkpoint to / resume from
+  --status                 summarize the ledger (requires --ledger) and exit
+  --help                   print this help";
+
+struct Opts {
+    family: String,
+    fast: bool,
+    budget_evals: usize,
+    total_evals: Option<usize>,
+    restarts: usize,
+    seed: u64,
+    epsilon: f64,
+    ledger: Option<String>,
+    status: bool,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("lodsel: {msg}\n{USAGE}");
+    exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        family: "batch".into(),
+        fast: false,
+        budget_evals: 60,
+        total_evals: None,
+        restarts: 2,
+        seed: 42,
+        epsilon: 0.1,
+        ledger: None,
+        status: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--family" => opts.family = value("--family"),
+            "--fast" => opts.fast = true,
+            "--budget-evals" => {
+                opts.budget_evals = value("--budget-evals")
+                    .parse()
+                    .unwrap_or_else(|_| die("--budget-evals must be an integer"));
+            }
+            "--total-evals" => {
+                opts.total_evals = Some(
+                    value("--total-evals")
+                        .parse()
+                        .unwrap_or_else(|_| die("--total-evals must be an integer")),
+                );
+            }
+            "--restarts" => {
+                opts.restarts = value("--restarts")
+                    .parse()
+                    .unwrap_or_else(|_| die("--restarts must be an integer"));
+            }
+            "--seed" => {
+                opts.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed must be an integer"));
+            }
+            "--epsilon" => {
+                opts.epsilon = value("--epsilon")
+                    .parse()
+                    .unwrap_or_else(|_| die("--epsilon must be a number"));
+            }
+            "--ledger" => opts.ledger = Some(value("--ledger")),
+            "--status" => opts.status = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+    opts
+}
+
+fn print_status(path: &str) {
+    let events = match Ledger::read(path) {
+        Ok(events) => events,
+        Err(e) => die(&format!("cannot read ledger {path}: {e}")),
+    };
+    let mut starts = 0usize;
+    let mut runs = 0usize;
+    let mut unit_evals = 0usize;
+    let mut last_start: Option<(String, usize, usize)> = None;
+    let mut last_done: Option<(String, String, String)> = None;
+    for event in &events {
+        match event {
+            LedgerEvent::SweepStarted {
+                family,
+                units,
+                pending_runs,
+                ..
+            } => {
+                starts += 1;
+                last_start = Some((family.clone(), *units, *pending_runs));
+            }
+            LedgerEvent::RunCompleted { .. } => runs += 1,
+            LedgerEvent::UnitCompleted { .. } => unit_evals += 1,
+            LedgerEvent::SweepCompleted {
+                family,
+                digest,
+                chosen,
+            } => last_done = Some((family.clone(), digest.clone(), chosen.clone())),
+        }
+    }
+    println!("ledger {path}: {} events", events.len());
+    println!("  sweeps started:        {starts}");
+    println!("  calibration runs done: {runs}");
+    println!("  unit evaluations done: {unit_evals}");
+    if let Some((family, units, pending)) = last_start {
+        println!("  last sweep: family={family} units={units} pending_runs={pending}");
+    }
+    match last_done {
+        Some((family, digest, chosen)) => {
+            println!("  completed: family={family} chosen={chosen} digest={digest}");
+        }
+        None => println!("  completed: no (resume by re-running with the same --ledger)"),
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    if opts.status {
+        match &opts.ledger {
+            Some(path) => print_status(path),
+            None => die("--status requires --ledger"),
+        }
+        return;
+    }
+
+    let family: Box<dyn VersionFamily> = match opts.family.as_str() {
+        "wf" => Box::new(WfFamily::paper(opts.fast, opts.seed)),
+        "mpi" => Box::new(MpiFamily::paper(opts.fast, opts.seed)),
+        "batch" => Box::new(BatchFamily::paper(opts.fast, opts.seed)),
+        other => die(&format!("unknown family {other} (want wf, mpi, or batch)")),
+    };
+    let budget = match opts.total_evals {
+        Some(total) => BudgetPolicy::TotalEvaluations { total },
+        None => BudgetPolicy::PerRun {
+            budget: Budget::Evaluations(opts.budget_evals),
+        },
+    };
+    let config = SweepConfig {
+        budget,
+        restarts: opts.restarts,
+        seed: opts.seed,
+        epsilon: opts.epsilon,
+        max_units: None,
+    };
+    let ledger = opts.ledger.as_ref().map(|path| {
+        Ledger::open(path).unwrap_or_else(|e| die(&format!("cannot open ledger {path}: {e}")))
+    });
+
+    eprintln!(
+        "lodsel: sweeping family {} ({} units, {} restarts)",
+        family.name(),
+        family.units().len(),
+        config.restarts,
+    );
+    let outcome = run_sweep(family.as_ref(), &config, ledger.as_ref());
+
+    let front = front_flags(&outcome.versions);
+    let chosen = outcome
+        .recommendation
+        .as_ref()
+        .map(|r| r.chosen.clone())
+        .unwrap_or_default();
+    let mut table = Table::new(&[
+        "version",
+        "params",
+        "test err (%)",
+        "sim work",
+        "wall (s)",
+        "pareto",
+        "pick",
+    ]);
+    for (v, on_front) in outcome.versions.iter().zip(&front) {
+        table.row(vec![
+            v.label.clone(),
+            v.dim.to_string(),
+            pct(v.test_error),
+            v.work_units.to_string(),
+            format!("{:.2}", v.wall_secs),
+            if *on_front { "*" } else { "" }.to_string(),
+            if v.label == chosen { "<==" } else { "" }.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    match &outcome.recommendation {
+        Some(rec) => print!("{}", render_recommendation(rec)),
+        None => println!("sweep incomplete: no recommendation"),
+    }
+}

@@ -1,0 +1,21 @@
+//! [`crate::family::VersionFamily`] implementations for the three case
+//! studies, plus the experiment-grid helpers the standalone binaries
+//! share with them.
+
+pub mod batch;
+pub mod mpi;
+pub mod wf;
+
+use crate::ledger::fnv1a;
+
+/// Fingerprint helper: hash a canonical textual description of a family's
+/// datasets. Float observations contribute their exact bit patterns, so
+/// two fingerprints agree only when the data is identical.
+pub(crate) fn fingerprint_of(parts: impl IntoIterator<Item = String>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for part in parts {
+        h ^= fnv1a(part.as_bytes());
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

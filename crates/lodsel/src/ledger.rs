@@ -1,0 +1,376 @@
+//! The run ledger: an append-only JSONL event log that makes sweeps
+//! durable, resumable, and observable.
+//!
+//! Every line is one externally-tagged [`LedgerEvent`]. Completed
+//! calibration runs and completed unit evaluations are appended (and
+//! flushed) as they finish, so a sweep killed at any point loses at most
+//! the work in flight. Checkpoint records are keyed by an FNV-1a content
+//! hash over a canonical description of what produced them — family name,
+//! dataset fingerprint, unit label, restart, seed, and budget — so a
+//! resume can only ever replay a checkpoint against the exact
+//! configuration that wrote it.
+//!
+//! Reads are lenient: a torn final line (the usual signature of a kill
+//! mid-write) or any other unparseable line is skipped, not fatal —
+//! the corresponding work simply re-runs.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use simcal::prelude::{Budget, CalibrationResult};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// 64-bit FNV-1a hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Checkpoint key of one calibration run.
+pub fn run_key(
+    family: &str,
+    fingerprint: u64,
+    unit: &str,
+    restart: usize,
+    seed: u64,
+    budget: &Budget,
+) -> u64 {
+    let budget_json = serde_json::to_string(budget).expect("budget serializes");
+    fnv1a(
+        format!(
+            "run|family={family}|fp={fingerprint:016x}|unit={unit}|restart={restart}|\
+             seed={seed}|budget={budget_json}"
+        )
+        .as_bytes(),
+    )
+}
+
+/// Checkpoint key of one unit's held-out evaluation (covers the full
+/// multi-start configuration the evaluated calibration was selected from).
+pub fn unit_key(
+    family: &str,
+    fingerprint: u64,
+    unit: &str,
+    restarts: usize,
+    seed: u64,
+    budget_policy_json: &str,
+) -> u64 {
+    fnv1a(
+        format!(
+            "unit|family={family}|fp={fingerprint:016x}|unit={unit}|restarts={restarts}|\
+             seed={seed}|policy={budget_policy_json}"
+        )
+        .as_bytes(),
+    )
+}
+
+/// Checkpoint of one completed calibration run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Content-hash key ([`run_key`]).
+    pub key: u64,
+    /// Unit label.
+    pub unit: String,
+    /// Restart index within the unit's multi-start.
+    pub restart: usize,
+    /// The derived seed this run calibrated with.
+    pub seed: u64,
+    /// The full calibration result (round-trips bit-for-bit).
+    pub result: CalibrationResult,
+}
+
+/// Checkpoint of one completed unit evaluation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UnitRecord {
+    /// Content-hash key ([`unit_key`]).
+    pub key: u64,
+    /// Unit label.
+    pub unit: String,
+    /// Which restart won the multi-start (lowest training loss).
+    pub best_restart: usize,
+    /// Held-out test errors (see [`crate::family::UnitEval::samples`]).
+    pub samples: Vec<f64>,
+    /// Deterministic simulation work spent on the test set.
+    pub work_units: u64,
+    /// Measured wall-clock seconds of the evaluation. Observability only:
+    /// never part of digests or recommendations, so resumed sweeps stay
+    /// bit-for-bit equal to fresh ones.
+    pub wall_secs: f64,
+}
+
+/// One line of the ledger.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LedgerEvent {
+    /// A sweep (fresh or resumed) started against this ledger.
+    SweepStarted {
+        /// Family identifier.
+        family: String,
+        /// Family dataset fingerprint.
+        fingerprint: u64,
+        /// Master seed.
+        seed: u64,
+        /// Restarts per unit.
+        restarts: usize,
+        /// Units in the full sweep plan.
+        units: usize,
+        /// Calibration runs actually pending (not served from checkpoints).
+        pending_runs: usize,
+    },
+    /// A calibration run finished.
+    RunCompleted {
+        /// The checkpoint payload.
+        record: RunRecord,
+    },
+    /// A unit's held-out evaluation finished.
+    UnitCompleted {
+        /// The checkpoint payload.
+        record: UnitRecord,
+    },
+    /// The sweep covered every unit and produced a recommendation.
+    SweepCompleted {
+        /// Family identifier.
+        family: String,
+        /// Digest of the deterministic outcome
+        /// ([`crate::sweep::SweepOutcome::digest`]).
+        digest: String,
+        /// The recommended version label.
+        chosen: String,
+    },
+}
+
+struct Inner {
+    file: File,
+    events: Vec<LedgerEvent>,
+}
+
+/// An open ledger file: loaded history plus an append handle.
+pub struct Ledger {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl Ledger {
+    /// Open (creating if absent) the ledger at `path`, loading all
+    /// parseable events already in it.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Ledger> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+        // Heal a torn tail (a kill mid-write leaves no trailing newline):
+        // start the next append on a fresh line so it parses on its own.
+        if !text.is_empty() && !text.ends_with('\n') {
+            file.write_all(b"\n")?;
+            file.flush()?;
+        }
+        let events = parse_events(&text);
+        Ok(Ledger {
+            path,
+            inner: Mutex::new(Inner { file, events }),
+        })
+    }
+
+    /// The ledger's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one event as a JSONL line and flush it to disk.
+    pub fn append(&self, event: &LedgerEvent) -> io::Result<()> {
+        let line = serde_json::to_string(event).expect("ledger events serialize");
+        let mut inner = self.inner.lock();
+        inner.file.write_all(line.as_bytes())?;
+        inner.file.write_all(b"\n")?;
+        inner.file.flush()?;
+        inner.events.push(event.clone());
+        Ok(())
+    }
+
+    /// Snapshot of all events seen so far (loaded plus appended).
+    pub fn events(&self) -> Vec<LedgerEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// The run and unit checkpoints currently in the ledger, keyed by
+    /// their content hashes. Later records win on duplicate keys (a
+    /// re-run of identical work writes an identical record anyway).
+    pub fn checkpoints(&self) -> (HashMap<u64, RunRecord>, HashMap<u64, UnitRecord>) {
+        let mut runs = HashMap::new();
+        let mut units = HashMap::new();
+        for event in self.inner.lock().events.iter() {
+            match event {
+                LedgerEvent::RunCompleted { record } => {
+                    runs.insert(record.key, record.clone());
+                }
+                LedgerEvent::UnitCompleted { record } => {
+                    units.insert(record.key, record.clone());
+                }
+                _ => {}
+            }
+        }
+        (runs, units)
+    }
+
+    /// Read the events of a ledger file without opening it for appends.
+    /// A missing file reads as empty.
+    pub fn read(path: impl AsRef<Path>) -> io::Result<Vec<LedgerEvent>> {
+        match std::fs::read_to_string(path.as_ref()) {
+            Ok(text) => Ok(parse_events(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Parse JSONL leniently: skip blank and unparseable lines.
+fn parse_events(text: &str) -> Vec<LedgerEvent> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde_json::from_str::<LedgerEvent>(l).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcal::prelude::{
+        Budget, Calibration, Calibrator, FnObjective, ParamKind, ParameterSpace,
+    };
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "lodsel-ledger-test-{tag}-{}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn sample_result() -> CalibrationResult {
+        let space = ParameterSpace::new().with("x", ParamKind::Continuous { lo: 0.0, hi: 1.0 });
+        let obj = FnObjective::new(space, |c: &Calibration| (c.values[0] - 0.3).powi(2));
+        Calibrator::bo_gp(Budget::Evaluations(5), 1).calibrate(&obj)
+    }
+
+    #[test]
+    fn keys_are_stable_and_configuration_sensitive() {
+        let b = Budget::Evaluations(100);
+        let k = run_key("wf", 7, "v1/app", 2, 42, &b);
+        assert_eq!(k, run_key("wf", 7, "v1/app", 2, 42, &b));
+        assert_ne!(k, run_key("wf", 7, "v1/app", 3, 42, &b));
+        assert_ne!(k, run_key("wf", 8, "v1/app", 2, 42, &b));
+        assert_ne!(k, run_key("wf", 7, "v1/app", 2, 43, &b));
+        assert_ne!(
+            k,
+            run_key("wf", 7, "v1/app", 2, 42, &Budget::Evaluations(101))
+        );
+        assert_ne!(k, run_key("mpi", 7, "v1/app", 2, 42, &b));
+    }
+
+    #[test]
+    fn append_read_roundtrip_and_checkpoints() {
+        let path = tmp_path("roundtrip");
+        let ledger = Ledger::open(&path).unwrap();
+        let run = RunRecord {
+            key: 11,
+            unit: "u".into(),
+            restart: 0,
+            seed: 5,
+            result: sample_result(),
+        };
+        let unit = UnitRecord {
+            key: 22,
+            unit: "u".into(),
+            best_restart: 0,
+            samples: vec![0.25, 0.5],
+            work_units: 99,
+            wall_secs: 0.001,
+        };
+        ledger
+            .append(&LedgerEvent::RunCompleted {
+                record: run.clone(),
+            })
+            .unwrap();
+        ledger
+            .append(&LedgerEvent::UnitCompleted {
+                record: unit.clone(),
+            })
+            .unwrap();
+
+        // Same-instance checkpoints see the appended records.
+        let (runs, units) = ledger.checkpoints();
+        assert_eq!(runs.get(&11), Some(&run));
+        assert_eq!(units.get(&22), Some(&unit));
+
+        // Reopening reloads them bit-for-bit from disk.
+        drop(ledger);
+        let reopened = Ledger::open(&path).unwrap();
+        let (runs, units) = reopened.checkpoints();
+        assert_eq!(runs.get(&11), Some(&run));
+        assert_eq!(units.get(&22), Some(&unit));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reads_are_lenient_to_torn_and_garbage_lines() {
+        let path = tmp_path("lenient");
+        {
+            let ledger = Ledger::open(&path).unwrap();
+            ledger
+                .append(&LedgerEvent::SweepStarted {
+                    family: "toy".into(),
+                    fingerprint: 1,
+                    seed: 2,
+                    restarts: 3,
+                    units: 4,
+                    pending_runs: 5,
+                })
+                .unwrap();
+        }
+        // Simulate a kill mid-write: a torn line, then garbage.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"RunCompleted\":{\"record\":{\"key\":1,\"un");
+        std::fs::write(&path, &text).unwrap();
+        let events = Ledger::read(&path).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], LedgerEvent::SweepStarted { .. }));
+
+        // Reopening heals the torn tail: the next append starts on a
+        // fresh line and parses on its own.
+        let reopened = Ledger::open(&path).unwrap();
+        reopened
+            .append(&LedgerEvent::SweepCompleted {
+                family: "toy".into(),
+                digest: "d".into(),
+                chosen: "v".into(),
+            })
+            .unwrap();
+        drop(reopened);
+        let events = Ledger::read(&path).unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[1], LedgerEvent::SweepCompleted { .. }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_reads_as_empty() {
+        let events = Ledger::read(tmp_path("missing")).unwrap();
+        assert!(events.is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! The decision layer: accuracy-versus-cost Pareto front and the ranked
+//! ε-recommendation.
+//!
+//! Accuracy is the version's held-out test error; cost is its
+//! deterministic simulation work (see
+//! [`crate::family::UnitEval::work_units`]). The recommendation answers
+//! the practitioner's question directly: among versions whose error is
+//! within a factor `1 + ε` of the best version's error, which is cheapest
+//! to simulate?
+
+use serde::{Deserialize, Serialize};
+
+/// Pareto-front membership on (error, work): `true` where no other point
+/// is at least as good on both axes and strictly better on one.
+pub fn pareto_front(points: &[(f64, u64)]) -> Vec<bool> {
+    points
+        .iter()
+        .map(|&(err_i, work_i)| {
+            !points.iter().any(|&(err_j, work_j)| {
+                err_j <= err_i && work_j <= work_i && (err_j < err_i || work_j < work_i)
+            })
+        })
+        .collect()
+}
+
+/// One version's entry in a [`Recommendation`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VersionScore {
+    /// Version label.
+    pub label: String,
+    /// Held-out test error (mean over the version's samples).
+    pub test_error: f64,
+    /// Deterministic simulation work of evaluating the test set.
+    pub work_units: u64,
+    /// Error within `best_error * (1 + epsilon)`.
+    pub eligible: bool,
+    /// On the accuracy-versus-cost Pareto front.
+    pub on_front: bool,
+}
+
+/// The ranked level-of-detail recommendation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Relative accuracy tolerance used for eligibility.
+    pub epsilon: f64,
+    /// The lowest test error of any version.
+    pub best_error: f64,
+    /// The recommended version: cheapest eligible (ties: lower error,
+    /// then earlier sweep order).
+    pub chosen: String,
+    /// All versions, ranked: eligible by ascending work, then ineligible
+    /// by ascending error.
+    pub scores: Vec<VersionScore>,
+}
+
+/// Rank versions and pick the cheapest one within ε of the best accuracy.
+///
+/// # Panics
+/// Panics if the slices are empty or of unequal length.
+pub fn recommend(labels: &[String], errors: &[f64], works: &[u64], epsilon: f64) -> Recommendation {
+    assert!(!labels.is_empty(), "no versions to recommend from");
+    assert!(
+        labels.len() == errors.len() && labels.len() == works.len(),
+        "mismatched version data"
+    );
+    let best_error = errors.iter().copied().fold(f64::INFINITY, f64::min);
+    let threshold = best_error * (1.0 + epsilon);
+    let front = pareto_front(
+        &errors
+            .iter()
+            .zip(works)
+            .map(|(&e, &w)| (e, w))
+            .collect::<Vec<_>>(),
+    );
+
+    let mut order: Vec<usize> = (0..labels.len()).collect();
+    let eligible = |i: usize| errors[i] <= threshold;
+    order.sort_by(|&a, &b| {
+        match (eligible(a), eligible(b)) {
+            (true, false) => return std::cmp::Ordering::Less,
+            (false, true) => return std::cmp::Ordering::Greater,
+            _ => {}
+        }
+        let key = |i: usize| {
+            if eligible(i) {
+                // Cheapest first; break work ties by accuracy.
+                (works[i] as i64, errors[i])
+            } else {
+                // Closest to eligibility first.
+                (0, errors[i])
+            }
+        };
+        let (ka, kb) = (key(a), key(b));
+        ka.0.cmp(&kb.0).then(ka.1.total_cmp(&kb.1)).then(a.cmp(&b))
+    });
+
+    let scores: Vec<VersionScore> = order
+        .iter()
+        .map(|&i| VersionScore {
+            label: labels[i].clone(),
+            test_error: errors[i],
+            work_units: works[i],
+            eligible: eligible(i),
+            on_front: front[i],
+        })
+        .collect();
+    Recommendation {
+        epsilon,
+        best_error,
+        chosen: scores[0].label.clone(),
+        scores,
+    }
+}
+
+/// Multi-line human-readable rendering of a recommendation.
+pub fn render_recommendation(rec: &Recommendation) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "recommendation (epsilon = {:.0}%): {}",
+        rec.epsilon * 100.0,
+        rec.chosen
+    );
+    let _ = writeln!(
+        out,
+        "  cheapest version within {:.0}% of the best test error ({:.2}%)",
+        rec.epsilon * 100.0,
+        rec.best_error * 100.0
+    );
+    for (rank, s) in rec.scores.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:>2}. {:<40} err {:>7.2}%  work {:>12}  {}{}",
+            rank + 1,
+            s.label,
+            s.test_error * 100.0,
+            s.work_units,
+            if s.eligible { "eligible" } else { "        " },
+            if s.on_front { " [pareto]" } else { "" },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("v{i}")).collect()
+    }
+
+    #[test]
+    fn front_keeps_non_dominated_points_only() {
+        // (error, work): v3 is dominated by v0 (worse error, more work).
+        let pts = [(0.30, 1), (0.10, 100), (0.105, 10), (0.35, 5)];
+        assert_eq!(pareto_front(&pts), vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn duplicate_points_stay_on_the_front() {
+        let pts = [(0.2, 10), (0.2, 10)];
+        assert_eq!(pareto_front(&pts), vec![true, true]);
+    }
+
+    #[test]
+    fn recommends_cheapest_within_epsilon() {
+        let errs = [0.30, 0.10, 0.105, 0.35];
+        let works = [1, 100, 10, 5];
+        let rec = recommend(&labels(4), &errs, &works, 0.1);
+        assert_eq!(rec.chosen, "v2"); // within 10% of 0.10, much cheaper
+        assert_eq!(rec.best_error, 0.10);
+        let ranked: Vec<&str> = rec.scores.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(ranked, vec!["v2", "v1", "v0", "v3"]);
+        assert_eq!(
+            rec.scores.iter().map(|s| s.eligible).collect::<Vec<_>>(),
+            vec![true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn zero_epsilon_picks_the_most_accurate_breaking_ties_by_work() {
+        let errs = [0.2, 0.1, 0.1];
+        let works = [1, 50, 20];
+        let rec = recommend(&labels(3), &errs, &works, 0.0);
+        assert_eq!(rec.chosen, "v2"); // both v1/v2 hit best error; v2 cheaper
+    }
+
+    #[test]
+    fn single_version_is_trivially_chosen() {
+        let rec = recommend(&labels(1), &[0.5], &[7], 0.1);
+        assert_eq!(rec.chosen, "v0");
+        assert!(rec.scores[0].eligible && rec.scores[0].on_front);
+    }
+
+    #[test]
+    fn rendering_mentions_the_choice_and_every_version() {
+        let rec = recommend(&labels(2), &[0.2, 0.1], &[1, 10], 0.1);
+        let text = render_recommendation(&rec);
+        assert!(text.contains(&rec.chosen));
+        assert!(text.contains("v0") && text.contains("v1"));
+        assert!(text.contains("[pareto]"));
+    }
+}

@@ -1,0 +1,479 @@
+//! The sweep orchestrator: plan the full (unit × restart) grid, divide the
+//! budget fairly, replay ledger checkpoints, fan the remaining runs onto
+//! the work-stealing pool, and reduce everything to per-version outcomes
+//! plus the Pareto recommendation.
+//!
+//! Determinism contract: with [`simcal::prelude::Budget::Evaluations`]
+//! budgets, a sweep's deterministic outcome — everything covered by
+//! [`SweepOutcome::digest`] — is identical across thread counts, across
+//! fresh/interrupted/resumed executions, and across machines. Wall-clock
+//! measurements are carried alongside for observability but never feed
+//! the digest or the recommendation.
+
+use crate::family::{SweepUnit, VersionFamily};
+use crate::ledger::{run_key, unit_key, Ledger, LedgerEvent, RunRecord, UnitRecord};
+use crate::multistart::{pick_best, restart_seed};
+use crate::pareto::{pareto_front, recommend, Recommendation};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use simcal::prelude::{Budget, CalibrationResult};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// How the sweep's evaluation budget is distributed over calibration runs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum BudgetPolicy {
+    /// Every run gets the same fixed budget (what the paper's per-figure
+    /// experiments do).
+    PerRun {
+        /// The per-run budget.
+        budget: Budget,
+    },
+    /// A shared evaluation budget divided fairly across the full
+    /// (unit × restart) plan: every run gets `total / runs`, and the
+    /// remainder goes to the earliest runs in plan order. The division is
+    /// computed over the *full* plan even when execution is truncated by
+    /// [`SweepConfig::max_units`], so an interrupted sweep and its resume
+    /// assign identical budgets to every run.
+    TotalEvaluations {
+        /// Total loss evaluations available to the whole sweep.
+        total: usize,
+    },
+}
+
+/// Configuration of one sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Budget distribution.
+    pub budget: BudgetPolicy,
+    /// Restarts per unit (clamped to at least one).
+    pub restarts: usize,
+    /// Master seed; restart seeds derive from it exactly as the
+    /// standalone experiment binaries always have.
+    pub seed: u64,
+    /// Relative accuracy tolerance of the recommendation.
+    pub epsilon: f64,
+    /// Stop after this many units (test hook for interruption; `None`
+    /// sweeps everything). Budgets and checkpoint keys are unaffected.
+    pub max_units: Option<usize>,
+}
+
+impl SweepConfig {
+    /// A per-run-budget sweep configuration with the default ε of 10%.
+    pub fn per_run(budget: Budget, restarts: usize, seed: u64) -> Self {
+        Self {
+            budget: BudgetPolicy::PerRun { budget },
+            restarts,
+            seed,
+            epsilon: 0.1,
+            max_units: None,
+        }
+    }
+}
+
+/// Outcome of one unit: its winning calibration and held-out evaluation.
+#[derive(Clone, Debug)]
+pub struct UnitOutcome {
+    /// Unit label.
+    pub label: String,
+    /// Index of the unit's version.
+    pub version: usize,
+    /// Which restart won (lowest training loss, first-wins on ties).
+    pub best_restart: usize,
+    /// The winning calibration result.
+    pub best: CalibrationResult,
+    /// Held-out test errors.
+    pub samples: Vec<f64>,
+    /// Deterministic simulation work of the held-out evaluation.
+    pub work_units: u64,
+    /// Measured evaluation wall-clock seconds (observability only).
+    pub wall_secs: f64,
+    /// Whether the evaluation was served from a ledger checkpoint.
+    pub cached: bool,
+}
+
+/// Aggregated outcome of one version (all of its units).
+#[derive(Clone, Debug)]
+pub struct VersionOutcome {
+    /// Version label.
+    pub label: String,
+    /// Dimensionality of the version's parameter space.
+    pub dim: usize,
+    /// Per-unit outcomes, in unit order.
+    pub units: Vec<UnitOutcome>,
+    /// Concatenated unit samples (the Figure-2/5-style summary inputs).
+    pub samples: Vec<f64>,
+    /// Mean of `samples`: the version's held-out test error.
+    pub test_error: f64,
+    /// Total deterministic simulation work across units.
+    pub work_units: u64,
+    /// Total measured wall seconds across units (calibration excluded;
+    /// observability only).
+    pub wall_secs: f64,
+}
+
+/// Outcome of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// Family identifier.
+    pub family: String,
+    /// Whether every unit of the family was covered (false only under
+    /// [`SweepConfig::max_units`] truncation).
+    pub complete: bool,
+    /// Completed versions, in family order. Under truncation a version
+    /// with only some units done is omitted entirely.
+    pub versions: Vec<VersionOutcome>,
+    /// The recommendation; present only for complete sweeps.
+    pub recommendation: Option<Recommendation>,
+}
+
+/// The digest's serialized shape: every deterministic field of the
+/// outcome, and nothing wall-clock-dependent.
+#[derive(Serialize)]
+struct DigestUnit {
+    label: String,
+    best_restart: usize,
+    loss: f64,
+    calibration: Vec<f64>,
+    evaluations: usize,
+    samples: Vec<f64>,
+    work_units: u64,
+}
+
+#[derive(Serialize)]
+struct DigestDoc {
+    family: String,
+    complete: bool,
+    versions: Vec<(String, Vec<DigestUnit>)>,
+    recommendation: Option<Recommendation>,
+}
+
+impl SweepOutcome {
+    /// Hex digest of the outcome's deterministic content. Fresh,
+    /// interrupted-then-resumed, serial, and parallel executions of the
+    /// same sweep all digest identically; wall-clock fields are excluded.
+    pub fn digest(&self) -> String {
+        let doc = DigestDoc {
+            family: self.family.clone(),
+            complete: self.complete,
+            versions: self
+                .versions
+                .iter()
+                .map(|v| {
+                    (
+                        v.label.clone(),
+                        v.units
+                            .iter()
+                            .map(|u| DigestUnit {
+                                label: u.label.clone(),
+                                best_restart: u.best_restart,
+                                loss: u.best.loss,
+                                calibration: u.best.calibration.values.clone(),
+                                evaluations: u.best.evaluations,
+                                samples: u.samples.clone(),
+                                work_units: u.work_units,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+            recommendation: self.recommendation.clone(),
+        };
+        let json = serde_json::to_string(&doc).expect("digest serializes");
+        format!("{:016x}", crate::ledger::fnv1a(json.as_bytes()))
+    }
+}
+
+/// Per-run budgets for a plan of `runs` runs under `policy`.
+///
+/// # Panics
+/// With [`BudgetPolicy::TotalEvaluations`], panics unless every run gets
+/// at least one evaluation.
+fn run_budgets(policy: &BudgetPolicy, runs: usize) -> Vec<Budget> {
+    match *policy {
+        BudgetPolicy::PerRun { budget } => vec![budget; runs],
+        BudgetPolicy::TotalEvaluations { total } => {
+            assert!(
+                total >= runs,
+                "total budget of {total} evaluations cannot cover {runs} runs"
+            );
+            let base = total / runs;
+            let extra = total % runs;
+            (0..runs)
+                .map(|i| Budget::Evaluations(base + usize::from(i < extra)))
+                .collect()
+        }
+    }
+}
+
+struct RunPlan {
+    unit_idx: usize,
+    restart: usize,
+    seed: u64,
+    budget: Budget,
+    key: u64,
+}
+
+/// Execute (or resume) a sweep of `family` under `config`.
+///
+/// With a ledger, completed runs and unit evaluations found in it are
+/// served as checkpoints — no budget is re-consumed — and newly completed
+/// work is appended as it finishes, so a kill at any point loses at most
+/// the work in flight.
+pub fn run_sweep(
+    family: &dyn VersionFamily,
+    config: &SweepConfig,
+    ledger: Option<&Ledger>,
+) -> SweepOutcome {
+    let labels = family.version_labels();
+    let units = family.units();
+    assert!(!units.is_empty(), "family has no units to sweep");
+    let restarts = config.restarts.max(1);
+    let name = family.name().to_string();
+    let fingerprint = family.fingerprint();
+    let policy_json = serde_json::to_string(&config.budget).expect("policy serializes");
+
+    // Plan the FULL grid — budgets and keys must not depend on where an
+    // interruption lands.
+    let budgets = run_budgets(&config.budget, units.len() * restarts);
+    let plans: Vec<RunPlan> = units
+        .iter()
+        .enumerate()
+        .flat_map(|(ui, unit)| {
+            let budgets = &budgets;
+            let name = &name;
+            (0..restarts).map(move |r| {
+                let seed = restart_seed(config.seed, r);
+                let budget = budgets[ui * restarts + r];
+                RunPlan {
+                    unit_idx: ui,
+                    restart: r,
+                    seed,
+                    budget,
+                    key: run_key(name, fingerprint, &unit.label, r, seed, &budget),
+                }
+            })
+        })
+        .collect();
+
+    let active_units = config.max_units.unwrap_or(units.len()).min(units.len());
+    let (cached_runs, cached_units) = match ledger {
+        Some(l) => l.checkpoints(),
+        None => (HashMap::new(), HashMap::new()),
+    };
+
+    // Phase 1: calibration runs, fanned onto the pool. Each simulation
+    // objective additionally parallelizes over scenarios internally; the
+    // pool's help-while-waiting scheduling nests the two levels.
+    let pending: Vec<&RunPlan> = plans
+        .iter()
+        .take(active_units * restarts)
+        .filter(|p| !cached_runs.contains_key(&p.key))
+        .collect();
+    if let Some(l) = ledger {
+        log_io(l.append(&LedgerEvent::SweepStarted {
+            family: name.clone(),
+            fingerprint,
+            seed: config.seed,
+            restarts,
+            units: units.len(),
+            pending_runs: pending.len(),
+        }));
+    }
+    let fresh: Vec<RunRecord> = pending
+        .par_iter()
+        .map(|p| {
+            let result = family.calibrate(&units[p.unit_idx], p.budget, p.seed);
+            let record = RunRecord {
+                key: p.key,
+                unit: units[p.unit_idx].label.clone(),
+                restart: p.restart,
+                seed: p.seed,
+                result,
+            };
+            if let Some(l) = ledger {
+                log_io(l.append(&LedgerEvent::RunCompleted {
+                    record: record.clone(),
+                }));
+            }
+            record
+        })
+        .collect();
+
+    let mut results: HashMap<u64, CalibrationResult> = HashMap::new();
+    for (key, record) in cached_runs {
+        results.insert(key, record.result);
+    }
+    for record in fresh {
+        results.insert(record.key, record.result);
+    }
+
+    // Phase 2: per-unit winner selection + held-out evaluation, also in
+    // parallel (each evaluation simulates the full test set once).
+    let eval_inputs: Vec<(usize, &SweepUnit)> =
+        units.iter().enumerate().take(active_units).collect();
+    let unit_outcomes: Vec<UnitOutcome> = eval_inputs
+        .par_iter()
+        .map(|&(ui, unit)| {
+            let per_restart: Vec<CalibrationResult> = (0..restarts)
+                .map(|r| {
+                    results
+                        .get(&plans[ui * restarts + r].key)
+                        .expect("every active run completed or was cached")
+                        .clone()
+                })
+                .collect();
+            let best_restart = pick_best(&per_restart);
+            let best = per_restart[best_restart].clone();
+
+            let ukey = unit_key(
+                &name,
+                fingerprint,
+                &unit.label,
+                restarts,
+                config.seed,
+                &policy_json,
+            );
+            if let Some(rec) = cached_units.get(&ukey) {
+                return UnitOutcome {
+                    label: unit.label.clone(),
+                    version: unit.version,
+                    best_restart: rec.best_restart,
+                    best,
+                    samples: rec.samples.clone(),
+                    work_units: rec.work_units,
+                    wall_secs: rec.wall_secs,
+                    cached: true,
+                };
+            }
+            let t0 = Instant::now();
+            let eval = family.evaluate(unit, &best.calibration);
+            let wall_secs = t0.elapsed().as_secs_f64();
+            let record = UnitRecord {
+                key: ukey,
+                unit: unit.label.clone(),
+                best_restart,
+                samples: eval.samples.clone(),
+                work_units: eval.work_units,
+                wall_secs,
+            };
+            if let Some(l) = ledger {
+                log_io(l.append(&LedgerEvent::UnitCompleted { record }));
+            }
+            UnitOutcome {
+                label: unit.label.clone(),
+                version: unit.version,
+                best_restart,
+                best,
+                samples: eval.samples,
+                work_units: eval.work_units,
+                wall_secs,
+                cached: false,
+            }
+        })
+        .collect();
+
+    // Reduce to versions; under truncation keep only fully-covered ones.
+    let mut versions = Vec::new();
+    for (vi, label) in labels.iter().enumerate() {
+        let mine: Vec<UnitOutcome> = unit_outcomes
+            .iter()
+            .filter(|u| u.version == vi)
+            .cloned()
+            .collect();
+        let expected = units.iter().filter(|u| u.version == vi).count();
+        if mine.is_empty() || mine.len() < expected {
+            continue;
+        }
+        let samples: Vec<f64> = mine.iter().flat_map(|u| u.samples.clone()).collect();
+        versions.push(VersionOutcome {
+            label: label.clone(),
+            dim: family.dim(vi),
+            test_error: numeric::mean(&samples),
+            samples,
+            work_units: mine.iter().map(|u| u.work_units).sum(),
+            wall_secs: mine.iter().map(|u| u.wall_secs).sum(),
+            units: mine,
+        });
+    }
+
+    let complete = active_units == units.len();
+    let recommendation = complete.then(|| {
+        recommend(
+            &versions.iter().map(|v| v.label.clone()).collect::<Vec<_>>(),
+            &versions.iter().map(|v| v.test_error).collect::<Vec<_>>(),
+            &versions.iter().map(|v| v.work_units).collect::<Vec<_>>(),
+            config.epsilon,
+        )
+    });
+    let outcome = SweepOutcome {
+        family: name.clone(),
+        complete,
+        versions,
+        recommendation,
+    };
+    if complete {
+        if let (Some(l), Some(rec)) = (ledger, &outcome.recommendation) {
+            log_io(l.append(&LedgerEvent::SweepCompleted {
+                family: name,
+                digest: outcome.digest(),
+                chosen: rec.chosen.clone(),
+            }));
+        }
+    }
+    outcome
+}
+
+/// A ledger write failure must not abort a sweep mid-flight (the result is
+/// still computed; only resumability degrades) — report it and carry on.
+fn log_io(result: std::io::Result<()>) {
+    if let Err(e) = result {
+        eprintln!("lodsel: ledger append failed: {e}");
+    }
+}
+
+/// Mark versions on the accuracy-versus-cost Pareto front of an outcome.
+pub fn front_flags(versions: &[VersionOutcome]) -> Vec<bool> {
+    pareto_front(
+        &versions
+            .iter()
+            .map(|v| (v.test_error, v.work_units))
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_budget_divides_fairly_with_remainder_to_earliest() {
+        let b = run_budgets(&BudgetPolicy::TotalEvaluations { total: 100 }, 8);
+        let evals: Vec<usize> = b
+            .iter()
+            .map(|b| match b {
+                Budget::Evaluations(n) => *n,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(evals, vec![13, 13, 13, 13, 12, 12, 12, 12]);
+        assert_eq!(evals.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn per_run_budget_is_replicated() {
+        let b = run_budgets(
+            &BudgetPolicy::PerRun {
+                budget: Budget::Evaluations(7),
+            },
+            3,
+        );
+        assert_eq!(b, vec![Budget::Evaluations(7); 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn starving_a_run_is_rejected() {
+        run_budgets(&BudgetPolicy::TotalEvaluations { total: 3 }, 5);
+    }
+}

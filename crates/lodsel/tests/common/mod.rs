@@ -1,0 +1,93 @@
+//! Shared toy [`VersionFamily`] for the golden and resume tests: four
+//! one-parameter versions whose calibration is a real (cheap, fully
+//! deterministic) BO run, and whose held-out "evaluation" is synthetic so
+//! the expected Pareto geometry is known exactly.
+#![allow(dead_code)]
+
+use lodsel::prelude::*;
+use simcal::prelude::{
+    Budget, Calibration, CalibrationResult, Calibrator, FnObjective, ParamKind, ParameterSpace,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-version held-out errors: v1 is best, v2 is within 10% of it.
+pub const TOY_ERRORS: [f64; 4] = [0.30, 0.10, 0.105, 0.35];
+/// Per-version simulation work: v2 is 10x cheaper than v1.
+pub const TOY_WORKS: [u64; 4] = [1, 100, 10, 5];
+
+pub struct ToyFamily {
+    /// Counts real calibration runs, so tests can prove a resumed sweep
+    /// never re-consumes budget.
+    pub calibrations: AtomicUsize,
+    /// When set, evaluation samples depend on the winning calibration's
+    /// parameter value — any drift in calibration or winner selection
+    /// between fresh and resumed sweeps then changes the digest.
+    pub calibration_dependent: bool,
+}
+
+impl ToyFamily {
+    pub fn new(calibration_dependent: bool) -> Self {
+        Self {
+            calibrations: AtomicUsize::new(0),
+            calibration_dependent,
+        }
+    }
+
+    pub fn calibration_runs(&self) -> usize {
+        self.calibrations.load(Ordering::SeqCst)
+    }
+}
+
+impl VersionFamily for ToyFamily {
+    fn name(&self) -> &str {
+        "toy"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        0x70f0_70f0_70f0_70f0
+    }
+
+    fn version_labels(&self) -> Vec<String> {
+        (0..4).map(|i| format!("v{i}")).collect()
+    }
+
+    fn dim(&self, _version: usize) -> usize {
+        1
+    }
+
+    fn units(&self) -> Vec<SweepUnit> {
+        (0..4)
+            .map(|v| SweepUnit {
+                version: v,
+                slot: 0,
+                label: format!("v{v}"),
+            })
+            .collect()
+    }
+
+    fn calibrate(&self, unit: &SweepUnit, budget: Budget, seed: u64) -> CalibrationResult {
+        self.calibrations.fetch_add(1, Ordering::SeqCst);
+        let target = 0.2 * (unit.version as f64 + 1.0);
+        let space = ParameterSpace::new().with("x", ParamKind::Continuous { lo: 0.0, hi: 1.0 });
+        let obj = FnObjective::new(space, move |c: &Calibration| (c.values[0] - target).powi(2));
+        Calibrator::bo_gp(budget, seed).calibrate(&obj)
+    }
+
+    fn evaluate(&self, unit: &SweepUnit, calibration: &Calibration) -> UnitEval {
+        let mut sample = TOY_ERRORS[unit.version];
+        if self.calibration_dependent {
+            sample += calibration.values[0] * 1e-6;
+        }
+        UnitEval {
+            samples: vec![sample],
+            work_units: TOY_WORKS[unit.version],
+        }
+    }
+}
+
+/// A collision-free temp ledger path (tests run concurrently).
+pub fn tmp_ledger(tag: &str) -> std::path::PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("lodsel-it-{tag}-{}-{n}.jsonl", std::process::id()))
+}

@@ -397,6 +397,31 @@ impl MpiSimulator {
         let model = resolve(self.version, calibration);
         transfer_rates_resolved(&model, benchmark, n_nodes, sizes)
     }
+
+    /// Deterministic simulation-work estimate for one scenario: how much
+    /// this level of detail costs to evaluate.
+    ///
+    /// The model is analytic (one fair-share solve, no event loop), so the
+    /// natural analogue of an event count is the size of the solved
+    /// problem: links in the modelled network, plus route hops across all
+    /// flows, plus one rate computation per flow per message size. More
+    /// detailed topologies/node models build strictly larger networks, so
+    /// the measure orders versions by modelling cost — `lodsel` uses it as
+    /// the cost axis of its accuracy-versus-cost Pareto front.
+    pub fn simulation_work(
+        &self,
+        benchmark: BenchmarkKind,
+        n_nodes: usize,
+        sizes: &[f64],
+        calibration: &Calibration,
+    ) -> u64 {
+        let model = resolve(self.version, calibration);
+        let n_ranks = n_nodes * RANKS_PER_NODE;
+        let flows = benchmark.flows(n_ranks, workload_seed(benchmark, n_nodes));
+        let net = build_network(&model, n_nodes, &flows);
+        let hops: usize = net.routes.iter().map(Vec::len).sum();
+        (net.capacities.len() + hops + flows.len() * sizes.len()) as u64
+    }
 }
 
 #[cfg(test)]
@@ -566,6 +591,33 @@ mod tests {
         let a = sim.transfer_rates(BenchmarkKind::BiRandom, 32, &sizes, &c);
         let b = sim.transfer_rates(BenchmarkKind::BiRandom, 32, &sizes, &c);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simulation_work_is_deterministic_and_orders_detail() {
+        let lo = MpiSimulatorVersion::lowest_detail();
+        let hi = MpiSimulatorVersion::highest_detail();
+        let sizes = message_sizes();
+        let w_lo = MpiSimulator::new(lo).simulation_work(
+            BenchmarkKind::BiRandom,
+            16,
+            &sizes,
+            &calib_for(lo),
+        );
+        let w_hi = MpiSimulator::new(hi).simulation_work(
+            BenchmarkKind::BiRandom,
+            16,
+            &sizes,
+            &calib_for(hi),
+        );
+        assert!(w_hi > w_lo, "detail must cost work: {w_lo} vs {w_hi}");
+        let again = MpiSimulator::new(lo).simulation_work(
+            BenchmarkKind::BiRandom,
+            16,
+            &sizes,
+            &calib_for(lo),
+        );
+        assert_eq!(w_lo, again);
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub use random::RandomSearch;
 
 use crate::budget::Evaluator;
 use crate::surrogate::SurrogateKind;
+use serde::{Deserialize, Serialize};
 
 /// A calibration search algorithm.
 pub trait SearchAlgorithm: Sync {
@@ -31,7 +32,7 @@ pub trait SearchAlgorithm: Sync {
 }
 
 /// The paper's algorithm menu, as a plain enum for sweeps and CLI flags.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AlgorithmKind {
     /// Exhaustive discretized grid, resolution doubled per iteration.
     Grid,

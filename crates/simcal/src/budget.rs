@@ -10,6 +10,7 @@
 use crate::objective::Objective;
 use crate::param::Calibration;
 use parking_lot::{Mutex, RwLock};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -43,8 +44,68 @@ impl Budget {
     }
 }
 
+// Serde: hand-written because the workspace's derive stand-in only handles
+// unit and struct enum variants, and `Budget` uses tuple variants. Durations
+// serialize as exact `{secs, nanos}` integer pairs so budgets round-trip
+// bit-for-bit through checkpoint records.
+
+fn duration_to_value(d: &Duration) -> Value {
+    Value::Object(vec![
+        ("secs".to_string(), d.as_secs().to_value()),
+        ("nanos".to_string(), d.subsec_nanos().to_value()),
+    ])
+}
+
+fn duration_from_value(value: &Value) -> Result<Duration, DeError> {
+    let secs = u64::from_value(value.get("secs").unwrap_or(&Value::Null))
+        .map_err(|e| DeError(format!("duration field `secs`: {e}")))?;
+    let nanos = u32::from_value(value.get("nanos").unwrap_or(&Value::Null))
+        .map_err(|e| DeError(format!("duration field `nanos`: {e}")))?;
+    Ok(Duration::new(secs, nanos))
+}
+
+impl Serialize for Budget {
+    fn to_value(&self) -> Value {
+        match self {
+            Budget::Evaluations(n) => {
+                Value::Object(vec![("Evaluations".to_string(), n.to_value())])
+            }
+            Budget::WallClock(d) => {
+                Value::Object(vec![("WallClock".to_string(), duration_to_value(d))])
+            }
+            Budget::Either(n, d) => Value::Object(vec![(
+                "Either".to_string(),
+                Value::Array(vec![n.to_value(), duration_to_value(d)]),
+            )]),
+        }
+    }
+}
+
+impl Deserialize for Budget {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let Value::Object(fields) = value else {
+            return Err(DeError::expected("single-key Budget object", value));
+        };
+        let [(tag, inner)] = fields.as_slice() else {
+            return Err(DeError::expected("single-key Budget object", value));
+        };
+        match tag.as_str() {
+            "Evaluations" => usize::from_value(inner).map(Budget::Evaluations),
+            "WallClock" => duration_from_value(inner).map(Budget::WallClock),
+            "Either" => match inner {
+                Value::Array(items) if items.len() == 2 => Ok(Budget::Either(
+                    usize::from_value(&items[0])?,
+                    duration_from_value(&items[1])?,
+                )),
+                other => Err(DeError::expected("[evaluations, duration] pair", other)),
+            },
+            other => Err(DeError(format!("unknown variant `{other}` for Budget"))),
+        }
+    }
+}
+
 /// One point of the loss-vs-effort convergence trace (Figures 1 and 4).
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct TracePoint {
     /// Number of loss evaluations completed when this best was found.
     pub evaluations: usize,
@@ -471,6 +532,29 @@ mod tests {
         assert_eq!(ev.cache_misses(), 1);
         assert_eq!(ev.cache_hits(), 1);
         assert_eq!(ev.evaluations(), 1);
+    }
+
+    #[test]
+    fn budget_and_trace_points_roundtrip_through_json() {
+        for budget in [
+            Budget::Evaluations(150),
+            Budget::WallClock(Duration::new(3, 141_592_653)),
+            Budget::Either(usize::MAX, Duration::from_nanos(1)),
+        ] {
+            let json = serde_json::to_string(&budget).expect("serialize");
+            let back: Budget = serde_json::from_str(&json).expect("parse");
+            assert_eq!(back, budget, "{json}");
+        }
+        assert!(serde_json::from_str::<Budget>("{\"Hours\": 1}").is_err());
+        let tp = TracePoint {
+            evaluations: 17,
+            elapsed_secs: 0.1 + 0.2, // not exactly representable: exercises float_roundtrip
+            best_loss: 1.0 / 3.0,
+        };
+        let json = serde_json::to_string(&tp).expect("serialize");
+        let back: TracePoint = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, tp);
+        assert_eq!(back.elapsed_secs.to_bits(), tp.elapsed_secs.to_bits());
     }
 
     #[test]

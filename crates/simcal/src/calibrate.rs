@@ -9,6 +9,7 @@ use crate::algorithms::AlgorithmKind;
 use crate::budget::{Budget, Evaluator, TracePoint};
 use crate::objective::Objective;
 use crate::param::Calibration;
+use serde::{Deserialize, Serialize};
 
 /// Configuration of one calibration run.
 #[derive(Clone, Copy, Debug)]
@@ -49,6 +50,7 @@ impl Calibrator {
             loss,
             evaluations: evaluator.evaluations(),
             cache_hits: evaluator.cache_hits(),
+            cache_misses: evaluator.cache_misses(),
             elapsed_secs: evaluator.elapsed_secs(),
             trace: evaluator.trace(),
             algorithm: self.algorithm,
@@ -57,7 +59,11 @@ impl Calibrator {
 }
 
 /// Outcome of a calibration run.
-#[derive(Clone, Debug)]
+///
+/// Serializes losslessly: every float survives a JSON round-trip bit-for-bit
+/// (shortest-roundtrip printing), which is what lets `lodsel` checkpoint
+/// results in its run ledger and resume sweeps without re-running them.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CalibrationResult {
     /// Best calibration found (natural units).
     pub calibration: Calibration,
@@ -69,6 +75,10 @@ pub struct CalibrationResult {
     /// consuming a budget evaluation (common for grid search and for
     /// algorithms that re-probe snapped discrete points).
     pub cache_hits: usize,
+    /// Proposals that actually invoked the objective (always equals
+    /// `evaluations`; recorded separately so ledger consumers can audit
+    /// the evaluator's accounting without re-deriving it).
+    pub cache_misses: usize,
     /// Wall-clock seconds spent.
     pub elapsed_secs: f64,
     /// Convergence trace: one point per incumbent improvement.
@@ -135,6 +145,26 @@ mod tests {
             .trace
             .windows(2)
             .all(|w| w[1].evaluations > w[0].evaluations));
+    }
+
+    #[test]
+    fn result_roundtrips_through_json_bit_for_bit() {
+        let obj = bowl();
+        let result = Calibrator::bo_gp(Budget::Evaluations(50), 11).calibrate(&obj);
+        assert_eq!(result.cache_misses, result.evaluations);
+        let json = serde_json::to_string(&result).expect("serialize");
+        let back: CalibrationResult = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, result);
+        // PartialEq on f64 conflates -0.0 with 0.0; pin the raw bits too.
+        for (a, b) in back
+            .calibration
+            .values
+            .iter()
+            .zip(&result.calibration.values)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back.loss.to_bits(), result.loss.to_bits());
     }
 
     #[test]

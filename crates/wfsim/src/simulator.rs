@@ -28,6 +28,9 @@ pub struct SimOutput {
     /// Per-task execution times, indexed by [`TaskId`]: from assignment to
     /// a worker core until all outputs are stored and overheads paid.
     pub task_times: Vec<f64>,
+    /// Discrete events the kernel processed: a deterministic measure of
+    /// how much this level of detail costs to simulate.
+    pub sim_events: u64,
 }
 
 /// Task-start overhead model.
@@ -237,6 +240,7 @@ pub(crate) fn execute(
         return SimOutput {
             makespan: 0.0,
             task_times: Vec::new(),
+            sim_events: 0,
         };
     }
 
@@ -380,6 +384,7 @@ impl<'a> Exec<'a> {
         SimOutput {
             makespan,
             task_times: self.task_times.clone(),
+            sim_events: self.engine.events_processed(),
         }
     }
 
