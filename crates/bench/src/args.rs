@@ -12,10 +12,17 @@
 //! - `--uncalibrated`    — where applicable, add the spec-based baseline;
 //! - `--ledger PATH`     — for sweep-driven binaries: checkpoint completed
 //!   work to (and resume it from) a lodsel run ledger;
-//! - `--epsilon F`       — recommendation tolerance for those binaries.
+//! - `--epsilon F`       — recommendation tolerance for those binaries;
+//! - `--trace PATH`      — record an `obs` JSONL trace of the run
+//!   (summarize it later with `lodsel --trace-report PATH`).
+//!
+//! Output convention: result tables go to stdout, diagnostics go to
+//! stderr via [`obs::diag!`] (prefixed with the binary name), and
+//! machine-readable artifacts go to `--tsv`/`--ledger`/`--trace` files.
 
 use lodsel::ledger::Ledger;
 use simcal::prelude::Budget;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Parsed common arguments.
@@ -35,6 +42,8 @@ pub struct ExpArgs {
     pub ledger: Option<String>,
     /// Recommendation tolerance (sweep-driven binaries only).
     pub epsilon: f64,
+    /// Optional JSONL trace output path.
+    pub trace: Option<String>,
 }
 
 impl ExpArgs {
@@ -50,6 +59,12 @@ impl ExpArgs {
         let mut uncalibrated = false;
         let mut ledger = None;
         let mut epsilon = 0.1;
+        let mut trace = None;
+
+        fn bad(what: &str, err: impl std::fmt::Display) -> ! {
+            obs::diag!("invalid {what}: {err}");
+            std::process::exit(2);
+        }
 
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -58,49 +73,49 @@ impl ExpArgs {
                 *i += 1;
                 args.get(*i)
                     .unwrap_or_else(|| {
-                        eprintln!("missing value for {}", args[*i - 1]);
+                        obs::diag!("missing value for {}", args[*i - 1]);
                         std::process::exit(2);
                     })
                     .clone()
             };
             match args[i].as_str() {
                 "--budget-evals" => {
-                    budget_evals = take_value(&mut i).parse().unwrap_or_else(|e| {
-                        eprintln!("invalid --budget-evals: {e}");
-                        std::process::exit(2);
-                    })
+                    budget_evals = take_value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|e| bad("--budget-evals", e))
                 }
                 "--budget-secs" => {
-                    budget_secs = Some(take_value(&mut i).parse().unwrap_or_else(|e| {
-                        eprintln!("invalid --budget-secs: {e}");
-                        std::process::exit(2);
-                    }))
+                    budget_secs = Some(
+                        take_value(&mut i)
+                            .parse()
+                            .unwrap_or_else(|e| bad("--budget-secs", e)),
+                    )
                 }
                 "--seed" => {
-                    seed = take_value(&mut i).parse().unwrap_or_else(|e| {
-                        eprintln!("invalid --seed: {e}");
-                        std::process::exit(2);
-                    })
+                    seed = take_value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|e| bad("--seed", e))
                 }
                 "--fast" => fast = true,
                 "--tsv" => tsv = Some(take_value(&mut i)),
                 "--uncalibrated" => uncalibrated = true,
                 "--ledger" => ledger = Some(take_value(&mut i)),
                 "--epsilon" => {
-                    epsilon = take_value(&mut i).parse().unwrap_or_else(|e| {
-                        eprintln!("invalid --epsilon: {e}");
-                        std::process::exit(2);
-                    })
+                    epsilon = take_value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|e| bad("--epsilon", e))
                 }
+                "--trace" => trace = Some(take_value(&mut i)),
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --budget-evals N | --budget-secs S | --seed S | --fast | \
-                         --tsv PATH | --uncalibrated | --ledger PATH | --epsilon F"
+                         --tsv PATH | --uncalibrated | --ledger PATH | --epsilon F | \
+                         --trace PATH"
                     );
                     std::process::exit(0);
                 }
                 other => {
-                    eprintln!("unknown flag {other}; see --help");
+                    obs::diag!("unknown flag {other}; see --help");
                     std::process::exit(2);
                 }
             }
@@ -119,6 +134,7 @@ impl ExpArgs {
             uncalibrated,
             ledger,
             epsilon,
+            trace,
         }
     }
 
@@ -128,19 +144,44 @@ impl ExpArgs {
     pub fn open_ledger(&self) -> Option<Ledger> {
         self.ledger.as_ref().map(|path| {
             Ledger::open(path).unwrap_or_else(|e| {
-                eprintln!("cannot open ledger {path}: {e}");
+                obs::diag!("cannot open ledger {path}: {e}");
                 std::process::exit(2);
             })
         })
+    }
+
+    /// If `--trace` was given, install a fresh global [`obs::TraceRecorder`]
+    /// (enabling all instrumentation) and return it. Call
+    /// [`ExpArgs::write_trace`] after the measured work to serialize it.
+    pub fn install_trace(&self) -> Option<Arc<obs::TraceRecorder>> {
+        self.trace.as_ref().map(|_| {
+            let rec = Arc::new(obs::TraceRecorder::new());
+            obs::install(rec.clone());
+            rec
+        })
+    }
+
+    /// Uninstall the recorder from [`ExpArgs::install_trace`] and write
+    /// the trace to the `--trace` path. A write failure is diagnosed but
+    /// not fatal (the run's results are already on stdout).
+    pub fn write_trace(&self, recorder: Option<Arc<obs::TraceRecorder>>) {
+        let (Some(path), Some(rec)) = (&self.trace, recorder) else {
+            return;
+        };
+        obs::uninstall();
+        match rec.write_jsonl(std::path::Path::new(path)) {
+            Ok(()) => obs::diag!("wrote trace {path}"),
+            Err(e) => obs::diag!("failed to write trace {path}: {e}"),
+        }
     }
 
     /// Write `table` to the TSV path if one was requested.
     pub fn maybe_write_tsv(&self, table: &crate::report::Table) {
         if let Some(path) = &self.tsv {
             if let Err(e) = table.write_tsv(std::path::Path::new(path)) {
-                eprintln!("failed to write {path}: {e}");
+                obs::diag!("failed to write {path}: {e}");
             } else {
-                eprintln!("wrote {path}");
+                obs::diag!("wrote {path}");
             }
         }
     }

@@ -24,7 +24,7 @@ use lodsel::prelude::*;
 fn main() {
     let args = ExpArgs::parse(150);
     let family = BatchFamily::paper(args.fast, args.seed);
-    eprintln!(
+    obs::diag!(
         "{} training / {} testing workload traces",
         family.train().len(),
         family.test().len()
@@ -42,7 +42,9 @@ fn main() {
         max_units: None,
     };
     let ledger = args.open_ledger();
+    let recorder = args.install_trace();
     let outcome = run_sweep(&family, &config, ledger.as_ref());
+    args.write_trace(recorder);
 
     let mut table = Table::new(&[
         "version (overhead/runtime)",

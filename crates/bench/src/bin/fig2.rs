@@ -31,7 +31,7 @@ fn main() {
     // The paper's §5.4 per-application train/test splits.
     let family = WfFamily::paper(args.fast, args.seed);
     for s in family.splits() {
-        eprintln!(
+        obs::diag!(
             "{}: {} train / {} test records",
             s.app,
             s.train.len(),
@@ -52,7 +52,9 @@ fn main() {
         max_units: None,
     };
     let ledger = args.open_ledger();
+    let recorder = args.install_trace();
     let outcome = run_sweep(&family, &config, ledger.as_ref());
+    args.write_trace(recorder);
 
     let mut table = Table::new(&[
         "version (net/storage/compute)",
@@ -75,8 +77,8 @@ fn main() {
         for s in family.splits() {
             let errs = makespan_errors(version, &calib, &s.test);
             per_app.push(numeric::mean(&errs));
-            eprintln!(
-                "  uncalibrated / {}: {:.0}%",
+            obs::diag!(
+                "uncalibrated / {}: {:.0}%",
                 s.app,
                 numeric::mean(&errs) * 100.0
             );

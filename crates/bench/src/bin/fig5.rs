@@ -45,7 +45,9 @@ fn main() {
         max_units: None,
     };
     let ledger = args.open_ledger();
+    let recorder = args.install_trace();
     let outcome = run_sweep(&family, &config, ledger.as_ref());
+    args.write_trace(recorder);
 
     let mut table = Table::new(&[
         "version (topology/node/protocol)",

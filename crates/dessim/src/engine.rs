@@ -229,7 +229,13 @@ fn materialize(a: &mut Act, now: f64) {
 /// Schedule `a`'s predicted completion, if one is determinable: finished or
 /// unconstrained activities complete now; rate-0 activities stay
 /// unscheduled until a rate change makes progress possible.
-fn push_finish(a: &Act, heap: &mut BinaryHeap<HeapEntry>, now: f64, id: usize) {
+fn push_finish(
+    a: &Act,
+    heap: &mut BinaryHeap<HeapEntry>,
+    now: f64,
+    id: usize,
+    reinserts: &mut u64,
+) {
     let finish = if a.remaining <= EPS || a.rate.is_infinite() {
         now
     } else if a.rate > 0.0 {
@@ -238,6 +244,11 @@ fn push_finish(a: &Act, heap: &mut BinaryHeap<HeapEntry>, now: f64, id: usize) {
         return;
     };
     heap.push(Reverse((OrdF64(finish), id, a.generation)));
+    // Generation 0 is an activity's very first prediction; any later
+    // generation means a stale entry was left behind for lazy skipping.
+    if a.generation > 0 {
+        *reinserts += 1;
+    }
 }
 
 /// Change an activity's rate: materialize progress under the old rate,
@@ -248,6 +259,7 @@ fn set_rate(
     now: f64,
     id: usize,
     rate: f64,
+    reinserts: &mut u64,
 ) {
     let a = acts[id]
         .as_mut()
@@ -258,7 +270,39 @@ fn set_rate(
     materialize(a, now);
     a.rate = rate;
     a.generation += 1;
-    push_finish(a, heap, now, id);
+    push_finish(a, heap, now, id, reinserts);
+}
+
+/// Deterministic kernel work counters, read via [`Engine::counters`].
+///
+/// All three are host-independent measures of simulation effort:
+/// identical platforms and workloads produce identical counts on any
+/// machine and thread count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Completions delivered by [`Engine::step`].
+    pub events: u64,
+    /// Predicted-completion heap pushes beyond each activity's first:
+    /// every rate change or phase transition leaves a stale heap entry
+    /// behind and re-inserts a fresh prediction.
+    pub heap_reinserts: u64,
+    /// Incremental max-min re-solves: one per touched disk re-share
+    /// plus one per connected-component link solve.
+    pub sharing_resolves: u64,
+}
+
+impl Drop for Engine {
+    /// Flushes this engine's [`KernelCounters`] to the global [`obs`]
+    /// recorder (a no-op when none is installed). Clones flush
+    /// independently, so counts accumulated before a clone appear once
+    /// per surviving copy.
+    fn drop(&mut self) {
+        if obs::enabled() {
+            obs::counter(obs::Counter::KernelEvents, self.events);
+            obs::counter(obs::Counter::KernelHeapReinserts, self.heap_reinserts);
+            obs::counter(obs::Counter::KernelSharingResolves, self.sharing_resolves);
+        }
+    }
 }
 
 /// Flow-level discrete-event simulation engine.
@@ -274,6 +318,12 @@ pub struct Engine {
     /// performed, independent of host speed (used by `lodsel` as the
     /// simulation-cost axis of its accuracy×cost trade-off).
     events: u64,
+    /// Heap pushes past each activity's first prediction (see
+    /// [`KernelCounters::heap_reinserts`]).
+    heap_reinserts: u64,
+    /// Incremental sharing re-solves (see
+    /// [`KernelCounters::sharing_resolves`]).
+    sharing_resolves: u64,
     /// Slab of activities keyed by id; ids are sequential and never
     /// reused, completed slots become `None`.
     acts: Vec<Option<Act>>,
@@ -310,6 +360,8 @@ impl Engine {
             platform,
             time: 0.0,
             events: 0,
+            heap_reinserts: 0,
+            sharing_resolves: 0,
             acts: Vec::new(),
             live: 0,
             heap: BinaryHeap::new(),
@@ -338,6 +390,19 @@ impl Engine {
     /// host-independent count of the simulation work performed.
     pub fn events_processed(&self) -> u64 {
         self.events
+    }
+
+    /// Deterministic kernel work counters accumulated since
+    /// construction. These are plain field increments on the hot path
+    /// (no atomics); they are additionally flushed to the global
+    /// [`obs`] recorder — when one is installed — when the engine
+    /// drops.
+    pub fn counters(&self) -> KernelCounters {
+        KernelCounters {
+            events: self.events,
+            heap_reinserts: self.heap_reinserts,
+            sharing_resolves: self.sharing_resolves,
+        }
     }
 
     /// The platform this engine simulates.
@@ -408,7 +473,7 @@ impl Engine {
         };
         match exact_deadline {
             Some(at) => self.heap.push(Reverse((OrdF64(at), id, 0))),
-            None => push_finish(&act, &mut self.heap, now, id),
+            None => push_finish(&act, &mut self.heap, now, id, &mut self.heap_reinserts),
         }
         self.acts.push(Some(act));
         self.flow_seen.push(false);
@@ -441,6 +506,8 @@ impl Engine {
             platform,
             acts,
             heap,
+            heap_reinserts,
+            sharing_resolves,
             link_flows,
             disk_ops,
             touched_links,
@@ -470,8 +537,16 @@ impl Engine {
                 0.0
             };
             for (i, &id) in ops.iter().enumerate() {
-                set_rate(acts, heap, now, id, if i < served { share } else { 0.0 });
+                set_rate(
+                    acts,
+                    heap,
+                    now,
+                    id,
+                    if i < served { share } else { 0.0 },
+                    heap_reinserts,
+                );
             }
+            *sharing_resolves += 1;
         }
         touched_disks.clear();
 
@@ -532,8 +607,9 @@ impl Engine {
             }
         }
         let rates = ws.solve();
+        *sharing_resolves += 1;
         for (&fid, &rate) in comp_flows.iter().zip(rates) {
-            set_rate(acts, heap, now, fid, rate);
+            set_rate(acts, heap, now, fid, rate, heap_reinserts);
         }
 
         for &l in comp_links.iter() {
@@ -607,6 +683,7 @@ impl Engine {
                 let Engine {
                     acts,
                     heap,
+                    heap_reinserts,
                     link_flows,
                     touched_links,
                     link_touched,
@@ -622,7 +699,7 @@ impl Engine {
                 a.materialized_at = now;
                 a.rate = 0.0;
                 a.generation += 1;
-                push_finish(a, heap, now, id); // schedules only if bytes ~ 0
+                push_finish(a, heap, now, id, heap_reinserts); // schedules only if bytes ~ 0
                 let a = acts[id].as_ref().expect("latency flow is live");
                 if let ActivityKind::Flow { route, .. } = &a.kind {
                     for lid in route {
@@ -900,6 +977,37 @@ mod tests {
         e.add_activity(ActivityKind::flow(vec![l], 100.0), 1);
         e.step().unwrap();
         assert_eq!(e.events_processed(), 1);
+    }
+
+    #[test]
+    fn counters_track_reinserts_and_sharing_resolves() {
+        // Two flows sharing one link: the second arrival re-shares the
+        // link (component re-solve) and re-inserts the first flow's
+        // prediction; each completion re-shares again.
+        let mut p = Platform::new();
+        let l = p.add_link(100.0, 0.0);
+        let mut e = Engine::new(p);
+        e.add_activity(ActivityKind::flow(vec![l], 100.0), 1);
+        e.add_activity(ActivityKind::flow(vec![l], 100.0), 2);
+        e.run_to_completion();
+        let c = e.counters();
+        assert_eq!(c.events, 2);
+        assert!(c.heap_reinserts >= 1, "counters: {c:?}");
+        assert!(c.sharing_resolves >= 2, "counters: {c:?}");
+
+        // A lone timer needs neither re-inserts nor sharing.
+        let mut e = Engine::new(Platform::new());
+        e.add_activity(ActivityKind::timer(1.0), 1);
+        e.run_to_completion();
+        let c = e.counters();
+        assert_eq!(
+            c,
+            KernelCounters {
+                events: 1,
+                heap_reinserts: 0,
+                sharing_resolves: 0
+            }
+        );
     }
 
     #[test]

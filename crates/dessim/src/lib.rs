@@ -45,7 +45,7 @@ pub mod platform;
 pub mod reference;
 pub mod sharing;
 
-pub use engine::{ActivityId, ActivityKind, Completion, Engine};
+pub use engine::{ActivityId, ActivityKind, Completion, Engine, KernelCounters};
 pub use platform::{Disk, DiskId, Host, HostId, Link, LinkId, Platform};
 pub use reference::ReferenceEngine;
 pub use sharing::{max_min_fair_share, Workspace};

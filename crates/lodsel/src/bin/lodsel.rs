@@ -5,11 +5,19 @@
 //! simulation cost — and prints the per-version table plus the ranked
 //! ε-recommendation. With `--ledger`, completed work is checkpointed so an
 //! interrupted sweep resumes (bit-for-bit) instead of starting over;
-//! `--status` summarizes a ledger without running anything.
+//! `--status` summarizes a ledger without running anything. With
+//! `--trace`, the sweep records a JSONL trace (spans, counters,
+//! histograms); `--trace-report` summarizes such a file into a per-phase
+//! time table without running anything.
+//!
+//! Output convention: result tables go to stdout, diagnostics go to
+//! stderr (prefixed with the program name), machine-readable data goes
+//! to `--ledger`/`--trace` files.
 
 use lodsel::prelude::*;
 use simcal::prelude::Budget;
 use std::process::exit;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 usage: lodsel [options]
@@ -22,6 +30,8 @@ usage: lodsel [options]
   --epsilon <f>            recommendation tolerance (default: 0.1)
   --ledger <path>          JSONL run ledger to checkpoint to / resume from
   --status                 summarize the ledger (requires --ledger) and exit
+  --trace <path>           record a JSONL trace of the sweep to <path>
+  --trace-report <path>    summarize a recorded trace and exit
   --help                   print this help";
 
 struct Opts {
@@ -34,10 +44,13 @@ struct Opts {
     epsilon: f64,
     ledger: Option<String>,
     status: bool,
+    trace: Option<String>,
+    trace_report: Option<String>,
 }
 
 fn die(msg: &str) -> ! {
-    eprintln!("lodsel: {msg}\n{USAGE}");
+    obs::diag!("{msg}");
+    eprintln!("{USAGE}");
     exit(2);
 }
 
@@ -52,6 +65,8 @@ fn parse_opts() -> Opts {
         epsilon: 0.1,
         ledger: None,
         status: false,
+        trace: None,
+        trace_report: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -91,6 +106,8 @@ fn parse_opts() -> Opts {
             }
             "--ledger" => opts.ledger = Some(value("--ledger")),
             "--status" => opts.status = true,
+            "--trace" => opts.trace = Some(value("--trace")),
+            "--trace-report" => opts.trace_report = Some(value("--trace-report")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -146,8 +163,20 @@ fn print_status(path: &str) {
     }
 }
 
+fn print_trace_report(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read trace {path}: {e}")));
+    let trace =
+        parse_trace(&text).unwrap_or_else(|e| die(&format!("cannot parse trace {path}: {e}")));
+    print!("{}", render_report(&trace));
+}
+
 fn main() {
     let opts = parse_opts();
+    if let Some(path) = &opts.trace_report {
+        print_trace_report(path);
+        return;
+    }
     if opts.status {
         match &opts.ledger {
             Some(path) => print_status(path),
@@ -178,14 +207,27 @@ fn main() {
     let ledger = opts.ledger.as_ref().map(|path| {
         Ledger::open(path).unwrap_or_else(|e| die(&format!("cannot open ledger {path}: {e}")))
     });
+    let recorder = opts.trace.as_ref().map(|_| {
+        let rec = Arc::new(obs::TraceRecorder::new());
+        obs::install(rec.clone());
+        rec
+    });
 
-    eprintln!(
-        "lodsel: sweeping family {} ({} units, {} restarts)",
+    obs::diag!(
+        "sweeping family {} ({} units, {} restarts)",
         family.name(),
         family.units().len(),
         config.restarts,
     );
     let outcome = run_sweep(family.as_ref(), &config, ledger.as_ref());
+
+    if let (Some(path), Some(rec)) = (&opts.trace, &recorder) {
+        obs::uninstall();
+        match rec.write_jsonl(std::path::Path::new(path)) {
+            Ok(()) => obs::diag!("wrote trace {path}"),
+            Err(e) => obs::diag!("failed to write trace {path}: {e}"),
+        }
+    }
 
     let front = front_flags(&outcome.versions);
     let chosen = outcome

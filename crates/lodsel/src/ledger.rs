@@ -150,6 +150,39 @@ struct Inner {
 }
 
 /// An open ledger file: loaded history plus an append handle.
+///
+/// # Example: resuming a sweep
+///
+/// Running the same sweep twice against the same ledger serves the second
+/// run entirely from checkpoints: no calibration re-runs, and the outcome
+/// digest is bit-for-bit identical.
+///
+/// ```
+/// use lodsel::prelude::*;
+/// use simcal::prelude::Budget;
+///
+/// let path = std::env::temp_dir().join(format!("lodsel-doc-{}.jsonl", std::process::id()));
+/// let family = BatchFamily::paper(true, 7);
+/// let config = SweepConfig {
+///     budget: BudgetPolicy::PerRun { budget: Budget::Evaluations(2) },
+///     restarts: 1,
+///     seed: 7,
+///     epsilon: 0.1,
+///     max_units: None,
+/// };
+///
+/// let ledger = Ledger::open(&path).unwrap();
+/// let first = run_sweep(&family, &config, Some(&ledger));
+///
+/// // "Interrupted and restarted": a fresh process opens the same file.
+/// let resumed = Ledger::open(&path).unwrap();
+/// let runs_before = resumed.checkpoints().0.len();
+/// let second = run_sweep(&family, &config, Some(&resumed));
+///
+/// assert_eq!(first.digest(), second.digest());
+/// assert_eq!(resumed.checkpoints().0.len(), runs_before); // nothing re-ran
+/// # std::fs::remove_file(&path).ok();
+/// ```
 pub struct Ledger {
     path: PathBuf,
     inner: Mutex<Inner>,

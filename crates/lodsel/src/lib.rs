@@ -34,7 +34,11 @@
 //! - [`families`] — [`family::VersionFamily`] implementations for the
 //!   three case studies;
 //! - [`report`] — plain-text table rendering (shared with the experiment
-//!   binaries).
+//!   binaries);
+//! - [`trace`] — `--trace` JSONL parsing and the `--trace-report`
+//!   per-phase summary.
+
+#![warn(missing_docs)]
 
 pub mod families;
 pub mod family;
@@ -43,6 +47,7 @@ pub mod multistart;
 pub mod pareto;
 pub mod report;
 pub mod sweep;
+pub mod trace;
 
 /// One-stop imports for sweep drivers.
 pub mod prelude {
@@ -60,4 +65,5 @@ pub mod prelude {
         front_flags, run_sweep, BudgetPolicy, SweepConfig, SweepOutcome, UnitOutcome,
         VersionOutcome,
     };
+    pub use crate::trace::{parse_trace, render_report, TraceFile};
 }

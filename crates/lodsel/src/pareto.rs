@@ -12,6 +12,15 @@ use serde::{Deserialize, Serialize};
 
 /// Pareto-front membership on (error, work): `true` where no other point
 /// is at least as good on both axes and strictly better on one.
+///
+/// ```
+/// use lodsel::pareto::pareto_front;
+///
+/// // (test error, simulation work): the last point is dominated by the
+/// // first — it has both a worse error and a higher cost.
+/// let points = [(0.10, 50), (0.25, 10), (0.12, 80)];
+/// assert_eq!(pareto_front(&points), vec![true, true, false]);
+/// ```
 pub fn pareto_front(points: &[(f64, u64)]) -> Vec<bool> {
     points
         .iter()
@@ -54,6 +63,17 @@ pub struct Recommendation {
 }
 
 /// Rank versions and pick the cheapest one within ε of the best accuracy.
+///
+/// ```
+/// use lodsel::pareto::recommend;
+///
+/// let labels: Vec<String> = ["high", "mid", "low"].iter().map(|s| s.to_string()).collect();
+/// // "mid" is within 10% of the best error at a tenth of the cost.
+/// let rec = recommend(&labels, &[0.100, 0.105, 0.300], &[1000, 100, 10], 0.1);
+/// assert_eq!(rec.chosen, "mid");
+/// assert_eq!(rec.best_error, 0.100);
+/// assert!(rec.scores[0].eligible);
+/// ```
 ///
 /// # Panics
 /// Panics if the slices are empty or of unequal length.

@@ -233,6 +233,18 @@ pub fn run_sweep(
     let fingerprint = family.fingerprint();
     let policy_json = serde_json::to_string(&config.budget).expect("policy serializes");
 
+    // Root span plus one sequential child span per phase, all on the
+    // calling thread, so a trace report's per-phase totals add up to
+    // the sweep's wall time. Per-run/per-unit spans opened on pool
+    // workers attach to the phase spans via explicit parenting.
+    let _sweep_span = obs::span!(
+        "sweep",
+        family = name,
+        units = units.len(),
+        restarts = restarts
+    );
+    let plan_span = obs::span!("plan");
+
     // Plan the FULL grid — budgets and keys must not depend on where an
     // interruption lands.
     let budgets = run_budgets(&config.budget, units.len() * restarts);
@@ -280,9 +292,21 @@ pub fn run_sweep(
             pending_runs: pending.len(),
         }));
     }
+    drop(plan_span);
+    let calibrate_span = obs::span!("calibrate", pending = pending.len());
+    let calibrate_id = calibrate_span.id();
     let fresh: Vec<RunRecord> = pending
         .par_iter()
         .map(|p| {
+            let attrs = if obs::enabled() {
+                vec![
+                    ("unit", units[p.unit_idx].label.clone()),
+                    ("restart", p.restart.to_string()),
+                ]
+            } else {
+                Vec::new()
+            };
+            let _run = obs::SpanGuard::enter_under("run", calibrate_id, attrs);
             let result = family.calibrate(&units[p.unit_idx], p.budget, p.seed);
             let record = RunRecord {
                 key: p.key,
@@ -307,14 +331,23 @@ pub fn run_sweep(
     for record in fresh {
         results.insert(record.key, record.result);
     }
+    drop(calibrate_span);
 
     // Phase 2: per-unit winner selection + held-out evaluation, also in
     // parallel (each evaluation simulates the full test set once).
     let eval_inputs: Vec<(usize, &SweepUnit)> =
         units.iter().enumerate().take(active_units).collect();
+    let evaluate_span = obs::span!("evaluate", units = eval_inputs.len());
+    let evaluate_id = evaluate_span.id();
     let unit_outcomes: Vec<UnitOutcome> = eval_inputs
         .par_iter()
         .map(|&(ui, unit)| {
+            let attrs = if obs::enabled() {
+                vec![("unit", unit.label.clone())]
+            } else {
+                Vec::new()
+            };
+            let _unit_span = obs::SpanGuard::enter_under("unit", evaluate_id, attrs);
             let per_restart: Vec<CalibrationResult> = (0..restarts)
                 .map(|r| {
                     results
@@ -372,8 +405,10 @@ pub fn run_sweep(
             }
         })
         .collect();
+    drop(evaluate_span);
 
     // Reduce to versions; under truncation keep only fully-covered ones.
+    let _reduce_span = obs::span!("reduce");
     let mut versions = Vec::new();
     for (vi, label) in labels.iter().enumerate() {
         let mine: Vec<UnitOutcome> = unit_outcomes
@@ -428,7 +463,7 @@ pub fn run_sweep(
 /// still computed; only resumability degrades) — report it and carry on.
 fn log_io(result: std::io::Result<()>) {
     if let Err(e) = result {
-        eprintln!("lodsel: ledger append failed: {e}");
+        obs::diag!("ledger append failed: {e}");
     }
 }
 

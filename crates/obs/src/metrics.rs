@@ -1,0 +1,181 @@
+//! Typed metric names and the fixed-bucket histogram layout.
+
+/// Every counter the workspace records, as a closed enum so trace
+/// consumers can rely on the name set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Discrete events processed by `dessim::Engine::step`.
+    KernelEvents,
+    /// Predicted-completion heap pushes beyond each activity's first
+    /// (rate changes and phase transitions re-insert stale entries).
+    KernelHeapReinserts,
+    /// Incremental max-min re-solves: one per touched link component
+    /// or disk re-share in `dessim`'s sharing workspace.
+    KernelSharingResolves,
+    /// Evaluator memoization hits (loss served without simulating).
+    EvalCacheHits,
+    /// Evaluator memoization misses (full simulation performed).
+    EvalCacheMisses,
+    /// Successful steals from another worker's deque in the
+    /// work-stealing pool.
+    PoolSteals,
+    /// Times a pool worker parked (timed wait) because no work was
+    /// available anywhere.
+    PoolParks,
+}
+
+impl Counter {
+    /// All counters, in trace-emission order.
+    pub const ALL: [Counter; 7] = [
+        Counter::KernelEvents,
+        Counter::KernelHeapReinserts,
+        Counter::KernelSharingResolves,
+        Counter::EvalCacheHits,
+        Counter::EvalCacheMisses,
+        Counter::PoolSteals,
+        Counter::PoolParks,
+    ];
+
+    /// Stable snake_case name used in the JSONL trace.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::KernelEvents => "kernel_events",
+            Counter::KernelHeapReinserts => "kernel_heap_reinserts",
+            Counter::KernelSharingResolves => "kernel_sharing_resolves",
+            Counter::EvalCacheHits => "eval_cache_hits",
+            Counter::EvalCacheMisses => "eval_cache_misses",
+            Counter::PoolSteals => "pool_steals",
+            Counter::PoolParks => "pool_parks",
+        }
+    }
+
+    /// Index into per-recorder counter storage.
+    pub(crate) fn index(self) -> usize {
+        Counter::ALL.iter().position(|&c| c == self).unwrap()
+    }
+}
+
+/// Every histogram the workspace records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Hist {
+    /// Wall-clock seconds per objective evaluation (one calibration
+    /// point simulated across all its scenarios).
+    EvalLatency,
+}
+
+impl Hist {
+    /// All histograms, in trace-emission order.
+    pub const ALL: [Hist; 1] = [Hist::EvalLatency];
+
+    /// Stable snake_case name used in the JSONL trace.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::EvalLatency => "eval_latency_secs",
+        }
+    }
+
+    /// Index into per-recorder histogram storage.
+    pub(crate) fn index(self) -> usize {
+        Hist::ALL.iter().position(|&h| h == self).unwrap()
+    }
+}
+
+/// Number of finite histogram buckets. Bucket `i` counts observations
+/// in `(bound(i-1), bound(i)]` seconds where `bound(i) = 1 µs · 2^i`,
+/// so the finite range spans 1 µs to ~537 s; one extra overflow
+/// bucket counts everything larger.
+pub const BUCKET_COUNT: usize = 30;
+
+/// Upper bound (inclusive, in seconds) of finite bucket `i`.
+pub fn bucket_bound(i: usize) -> f64 {
+    debug_assert!(i < BUCKET_COUNT);
+    1e-6 * (1u64 << i) as f64
+}
+
+/// Index of the bucket an observation of `seconds` falls into
+/// (`BUCKET_COUNT` = the overflow bucket).
+pub(crate) fn bucket_index(seconds: f64) -> usize {
+    // NaN and negative observations land in the first bucket rather
+    // than poisoning the histogram.
+    (0..BUCKET_COUNT)
+        .find(|&i| seconds <= bucket_bound(i))
+        .unwrap_or(if seconds.is_nan() { 0 } else { BUCKET_COUNT })
+}
+
+/// Point-in-time copy of one histogram, read back from a
+/// [`crate::TraceRecorder`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts; `counts[BUCKET_COUNT]` is the
+    /// overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values, in seconds.
+    pub sum_secs: f64,
+}
+
+impl HistogramSnapshot {
+    /// Observations in finite buckets whose upper bound is at most
+    /// `seconds` — a coarse CDF read-back for tests and reports.
+    pub fn count_at_or_below(&self, seconds: f64) -> u64 {
+        (0..BUCKET_COUNT)
+            .filter(|&i| bucket_bound(i) <= seconds)
+            .map(|i| self.counts[i])
+            .sum()
+    }
+
+    /// Mean observation in seconds, or `None` with no observations.
+    pub fn mean_secs(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_secs / self.count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_log_spaced_from_one_microsecond() {
+        assert_eq!(bucket_bound(0), 1e-6);
+        for i in 1..BUCKET_COUNT {
+            assert!((bucket_bound(i) / bucket_bound(i - 1) - 2.0).abs() < 1e-12);
+        }
+        // The finite range covers roughly nine decades: 1 µs .. ~537 s.
+        assert!(bucket_bound(BUCKET_COUNT - 1) > 500.0);
+    }
+
+    #[test]
+    fn boundary_observations_land_in_the_lower_bucket() {
+        // Upper bounds are inclusive: exactly 1 µs is bucket 0,
+        // the next representable value above it is bucket 1.
+        assert_eq!(bucket_index(1e-6), 0);
+        assert_eq!(bucket_index(1e-6_f64.next_up()), 1);
+        assert_eq!(bucket_index(2e-6), 1);
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+    }
+
+    #[test]
+    fn oversized_observations_overflow() {
+        assert_eq!(
+            bucket_index(bucket_bound(BUCKET_COUNT - 1)),
+            BUCKET_COUNT - 1
+        );
+        assert_eq!(bucket_index(1e9), BUCKET_COUNT);
+        assert_eq!(bucket_index(f64::INFINITY), BUCKET_COUNT);
+    }
+
+    #[test]
+    fn counter_and_hist_names_are_unique_and_indexed() {
+        let names: std::collections::HashSet<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), Counter::ALL.len());
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i);
+        }
+    }
+}

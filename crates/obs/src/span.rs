@@ -1,0 +1,100 @@
+//! RAII span guards with per-thread nesting.
+
+use crate::SpanId;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Innermost-last stack of spans opened on this thread via
+    /// [`SpanGuard::enter`]; the top is the implicit parent of the
+    /// next same-thread span.
+    static STACK: RefCell<Vec<SpanId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; dropping it closes the span on the installed
+/// recorder. Created by the [`crate::span!`] macro or, for explicit
+/// cross-thread parenting, by [`SpanGuard::enter_under`].
+#[must_use = "a span measures the scope it is alive for; bind it to a variable"]
+pub struct SpanGuard {
+    /// `None` when no recorder was installed at entry (the guard is
+    /// then fully inert, including on drop).
+    id: Option<SpanId>,
+    /// Whether this guard pushed onto the thread-local parent stack.
+    on_stack: bool,
+}
+
+impl SpanGuard {
+    /// Open a span nested under the innermost span currently open on
+    /// this thread (or a root span if none is).
+    pub fn enter(name: &'static str, attrs: Vec<(&'static str, String)>) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard {
+                id: None,
+                on_stack: false,
+            };
+        }
+        let parent = STACK.with(|s| s.borrow().last().copied());
+        let id = crate::__start_span(name, parent, &attrs);
+        if let Some(id) = id {
+            STACK.with(|s| s.borrow_mut().push(id));
+        }
+        SpanGuard {
+            id,
+            on_stack: id.is_some(),
+        }
+    }
+
+    /// Open a span under an explicit parent, ignoring this thread's
+    /// span stack. This is how work fanned out on the pool stays
+    /// attached to the phase span opened on the driving thread:
+    /// capture `phase.id()` before the parallel closure and pass it
+    /// here. The new span still becomes the implicit parent for
+    /// further same-thread nesting.
+    pub fn enter_under(
+        name: &'static str,
+        parent: Option<SpanId>,
+        attrs: Vec<(&'static str, String)>,
+    ) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard {
+                id: None,
+                on_stack: false,
+            };
+        }
+        let id = crate::__start_span(name, parent, &attrs);
+        if let Some(id) = id {
+            STACK.with(|s| s.borrow_mut().push(id));
+        }
+        SpanGuard {
+            id,
+            on_stack: id.is_some(),
+        }
+    }
+
+    /// The recorded span id, or `None` when tracing was disabled at
+    /// entry. Pass this to [`SpanGuard::enter_under`] on other
+    /// threads to parent their spans here.
+    pub fn id(&self) -> Option<SpanId> {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            if self.on_stack {
+                STACK.with(|s| {
+                    let mut stack = s.borrow_mut();
+                    // Guards drop in reverse entry order in correct
+                    // code; tolerate out-of-order drops by removing
+                    // this id wherever it sits.
+                    if stack.last() == Some(&id) {
+                        stack.pop();
+                    } else if let Some(pos) = stack.iter().position(|&x| x == id) {
+                        stack.remove(pos);
+                    }
+                });
+            }
+            crate::__end_span(id);
+        }
+    }
+}

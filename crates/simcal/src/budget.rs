@@ -242,10 +242,18 @@ impl<'a> Evaluator<'a> {
         let key = Self::cache_key(&calib);
         if let Some(&loss) = self.cache.read().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::counter(obs::Counter::EvalCacheHits, 1);
             return Some(loss);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::counter(obs::Counter::EvalCacheMisses, 1);
+        // The clock read is gated so the disabled path stays one
+        // relaxed atomic load.
+        let t0 = obs::enabled().then(Instant::now);
         let loss = self.objective.par_loss(&calib);
+        if let Some(t0) = t0 {
+            obs::observe(obs::Hist::EvalLatency, t0.elapsed().as_secs_f64());
+        }
         self.record(unit_point, loss);
         self.cache.write().insert(key, loss);
         Some(loss)
@@ -310,11 +318,25 @@ impl<'a> Evaluator<'a> {
             }
             self.misses
                 .fetch_add(pending_calibs.len(), Ordering::Relaxed);
+            obs::counter(
+                obs::Counter::EvalCacheHits,
+                (window.len() - pending_calibs.len()) as u64,
+            );
+            obs::counter(obs::Counter::EvalCacheMisses, pending_calibs.len() as u64);
+            let t0 = obs::enabled().then(Instant::now);
             let chunk_losses = if pending_calibs.is_empty() {
                 Vec::new()
             } else {
                 self.objective.par_loss_batch(&pending_calibs)
             };
+            if let Some(t0) = t0.filter(|_| !pending_calibs.is_empty()) {
+                // The chunk runs as one fan-out; attribute its wall time
+                // evenly across the points it evaluated.
+                let per_point = t0.elapsed().as_secs_f64() / pending_calibs.len() as f64;
+                for _ in 0..pending_calibs.len() {
+                    obs::observe(obs::Hist::EvalLatency, per_point);
+                }
+            }
             for ((&input, key), &l) in pending_inputs.iter().zip(&pending_keys).zip(&chunk_losses) {
                 self.record(&unit_points[input], l);
                 self.cache.write().insert(key.clone(), l);

@@ -40,6 +40,11 @@ impl Calibrator {
     /// zero-duration wall-clock budget), since there would be no
     /// calibration to return.
     pub fn calibrate(&self, objective: &dyn Objective) -> CalibrationResult {
+        let _span = obs::span!(
+            "calibrate",
+            algorithm = self.algorithm.name(),
+            seed = self.seed
+        );
         let evaluator = Evaluator::new(objective, self.budget);
         self.algorithm.build().search(&evaluator, self.seed);
         let (loss, _, calibration) = evaluator

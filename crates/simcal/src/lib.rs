@@ -52,6 +52,8 @@
 //! assert!((result.calibration.values[0] - 42.0).abs() < 5.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod algorithms;
 pub mod budget;
 pub mod calibrate;

@@ -139,6 +139,7 @@ impl PoolState {
             }
             if let Some(job) = self.queues[v].lock().unwrap().pop_front() {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
+                obs::counter(obs::Counter::PoolSteals, 1);
                 return Some(job);
             }
         }
@@ -177,6 +178,7 @@ impl PoolState {
             if !done() && self.pending.load(Ordering::SeqCst) == 0 {
                 // The timeout is a belt-and-braces liveness guard; normal
                 // wakeups come from `push` and `notify_done`.
+                obs::counter(obs::Counter::PoolParks, 1);
                 let _ = self
                     .wake
                     .wait_timeout(guard, Duration::from_millis(5))
@@ -213,6 +215,7 @@ fn worker_main(state: Arc<PoolState>, index: usize) {
         }
         let guard = state.sleep.lock().unwrap();
         if state.pending.load(Ordering::SeqCst) == 0 && !state.shutdown.load(Ordering::SeqCst) {
+            obs::counter(obs::Counter::PoolParks, 1);
             let _ = state
                 .wake
                 .wait_timeout(guard, Duration::from_millis(5))

@@ -52,6 +52,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
 }
 
 /// Deserialization failure.

@@ -1,5 +1,5 @@
 //! Workspace-local stand-in for `serde_json`: a JSON printer and parser for
-//! the local `serde` crate's [`Value`](serde::Value) data model.
+//! the local `serde` crate's [`serde::Value`] data model.
 //!
 //! Float printing uses Rust's shortest-roundtrip `Display`, so values
 //! survive a `to_string` → `from_str` cycle exactly (the `float_roundtrip`
