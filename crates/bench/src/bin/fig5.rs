@@ -43,6 +43,7 @@ fn main() {
         seed: args.seed,
         epsilon: args.epsilon,
         max_units: None,
+        max_fault_retries: 2,
     };
     let ledger = args.open_ledger();
     let recorder = args.install_trace();

@@ -28,6 +28,7 @@ usage: lodsel [options]
   --restarts <n>           calibration restarts per unit (default: 2)
   --seed <n>               master seed (default: 42)
   --epsilon <f>            recommendation tolerance (default: 0.1)
+  --max-fault-retries <n>  resume retries for failed runs (default: 2)
   --ledger <path>          JSONL run ledger to checkpoint to / resume from
   --status                 summarize the ledger (requires --ledger) and exit
   --trace <path>           record a JSONL trace of the sweep to <path>
@@ -42,6 +43,7 @@ struct Opts {
     restarts: usize,
     seed: u64,
     epsilon: f64,
+    max_fault_retries: usize,
     ledger: Option<String>,
     status: bool,
     trace: Option<String>,
@@ -63,6 +65,7 @@ fn parse_opts() -> Opts {
         restarts: 2,
         seed: 42,
         epsilon: 0.1,
+        max_fault_retries: 2,
         ledger: None,
         status: false,
         trace: None,
@@ -104,6 +107,11 @@ fn parse_opts() -> Opts {
                     .parse()
                     .unwrap_or_else(|_| die("--epsilon must be a number"));
             }
+            "--max-fault-retries" => {
+                opts.max_fault_retries = value("--max-fault-retries")
+                    .parse()
+                    .unwrap_or_else(|_| die("--max-fault-retries must be an integer"));
+            }
             "--ledger" => opts.ledger = Some(value("--ledger")),
             "--status" => opts.status = true,
             "--trace" => opts.trace = Some(value("--trace")),
@@ -126,8 +134,10 @@ fn print_status(path: &str) {
     let mut starts = 0usize;
     let mut runs = 0usize;
     let mut unit_evals = 0usize;
+    let mut failed = 0usize;
     let mut last_start: Option<(String, usize, usize)> = None;
     let mut last_done: Option<(String, String, String)> = None;
+    let mut last_failure: Option<(String, String, String)> = None;
     for event in &events {
         match event {
             LedgerEvent::SweepStarted {
@@ -141,6 +151,15 @@ fn print_status(path: &str) {
             }
             LedgerEvent::RunCompleted { .. } => runs += 1,
             LedgerEvent::UnitCompleted { .. } => unit_evals += 1,
+            LedgerEvent::RunFailed {
+                unit,
+                stage,
+                reason,
+                ..
+            } => {
+                failed += 1;
+                last_failure = Some((unit.clone(), stage.clone(), reason.clone()));
+            }
             LedgerEvent::SweepCompleted {
                 family,
                 digest,
@@ -152,6 +171,12 @@ fn print_status(path: &str) {
     println!("  sweeps started:        {starts}");
     println!("  calibration runs done: {runs}");
     println!("  unit evaluations done: {unit_evals}");
+    if failed > 0 {
+        println!("  failed attempts:       {failed}");
+        if let Some((unit, stage, reason)) = last_failure {
+            println!("  last failure: unit={unit} stage={stage} reason={reason}");
+        }
+    }
     if let Some((family, units, pending)) = last_start {
         println!("  last sweep: family={family} units={units} pending_runs={pending}");
     }
@@ -203,6 +228,7 @@ fn main() {
         seed: opts.seed,
         epsilon: opts.epsilon,
         max_units: None,
+        max_fault_retries: opts.max_fault_retries,
     };
     let ledger = opts.ledger.as_ref().map(|path| {
         Ledger::open(path).unwrap_or_else(|e| die(&format!("cannot open ledger {path}: {e}")))
@@ -256,8 +282,26 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    // Only degraded sweeps print the failure table, so fault-free stdout
+    // stays byte-identical to what it was before failures existed.
+    if !outcome.failures.is_empty() {
+        let mut failed = Table::new(&["version", "unit", "restart", "stage", "attempt", "reason"]);
+        for f in &outcome.failures {
+            failed.row(vec![
+                f.version.clone(),
+                f.unit.clone(),
+                f.restart.to_string(),
+                f.stage.clone(),
+                format!("{}{}", f.attempt, if f.retriable { "" } else { " (final)" }),
+                f.reason.clone(),
+            ]);
+        }
+        println!("failed runs ({}):", outcome.failures.len());
+        println!("{}", failed.render());
+    }
     match &outcome.recommendation {
         Some(rec) => print!("{}", render_recommendation(rec)),
-        None => println!("sweep incomplete: no recommendation"),
+        None if !outcome.complete => println!("sweep incomplete: no recommendation"),
+        None => println!("every version failed: no recommendation"),
     }
 }

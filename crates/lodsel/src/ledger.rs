@@ -132,6 +132,29 @@ pub enum LedgerEvent {
         /// The checkpoint payload.
         record: UnitRecord,
     },
+    /// A calibration run or unit evaluation failed (panicked, or produced
+    /// only non-finite values). The sweep continues in degraded mode; a
+    /// resume retries the keyed work until its recorded attempts reach
+    /// `1 + max_fault_retries` (see [`crate::sweep::SweepConfig`]).
+    RunFailed {
+        /// Checkpoint key of the failed work ([`run_key`] for calibrate
+        /// failures, [`unit_key`] for evaluate failures).
+        key: u64,
+        /// Unit label.
+        unit: String,
+        /// Restart index (for evaluate failures, the winning restart
+        /// whose calibration was being evaluated).
+        restart: usize,
+        /// Seed of the failed calibration run (the sweep's master seed
+        /// for evaluate failures).
+        seed: u64,
+        /// 1-based attempt number across sweep executions.
+        attempt: usize,
+        /// Which stage failed: `"calibrate"` or `"evaluate"`.
+        stage: String,
+        /// Readable failure reason (panic message or a summary).
+        reason: String,
+    },
     /// The sweep covered every unit and produced a recommendation.
     SweepCompleted {
         /// Family identifier.
@@ -142,6 +165,18 @@ pub enum LedgerEvent {
         /// The recommended version label.
         chosen: String,
     },
+}
+
+/// Replayed failure history of one checkpoint key: how many attempts
+/// have failed so far and what the latest one reported.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailureHistory {
+    /// Failed attempts recorded for this key.
+    pub attempts: usize,
+    /// Stage of the most recent failure (`"calibrate"` or `"evaluate"`).
+    pub stage: String,
+    /// Reason of the most recent failure.
+    pub last_reason: String,
 }
 
 struct Inner {
@@ -169,6 +204,7 @@ struct Inner {
 ///     seed: 7,
 ///     epsilon: 0.1,
 ///     max_units: None,
+///     max_fault_retries: 2,
 /// };
 ///
 /// let ledger = Ledger::open(&path).unwrap();
@@ -191,25 +227,39 @@ pub struct Ledger {
 impl Ledger {
     /// Open (creating if absent) the ledger at `path`, loading all
     /// parseable events already in it.
+    ///
+    /// Errors carry the offending path, so "lodsel --ledger some/dir"
+    /// fails with a message a user can act on rather than a bare
+    /// "Is a directory".
     pub fn open(path: impl AsRef<Path>) -> io::Result<Ledger> {
         let path = path.as_ref().to_path_buf();
+        let at = |e: io::Error| {
+            io::Error::new(
+                e.kind(),
+                format!("cannot open ledger {}: {e}", path.display()),
+            )
+        };
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
+                std::fs::create_dir_all(dir).map_err(at)?;
             }
         }
         let mut file = OpenOptions::new()
             .create(true)
             .read(true)
             .append(true)
-            .open(&path)?;
+            .open(&path)
+            .map_err(at)?;
         let mut text = String::new();
-        file.read_to_string(&mut text)?;
+        file.read_to_string(&mut text).map_err(at)?;
         // Heal a torn tail (a kill mid-write leaves no trailing newline):
         // start the next append on a fresh line so it parses on its own.
         if !text.is_empty() && !text.ends_with('\n') {
-            file.write_all(b"\n")?;
-            file.flush()?;
+            retry_transient(|| {
+                file.write_all(b"\n")?;
+                file.flush()
+            })
+            .map_err(at)?;
         }
         let events = parse_events(&text);
         Ok(Ledger {
@@ -224,12 +274,40 @@ impl Ledger {
     }
 
     /// Append one event as a JSONL line and flush it to disk.
+    ///
+    /// Transient write errors (interrupted / would-block / timed out) are
+    /// retried a bounded number of times with a short backoff; anything
+    /// else — including an event that fails to serialize — is returned as
+    /// an error rather than panicking, because a ledger hiccup must never
+    /// take down a sweep that is otherwise making progress.
     pub fn append(&self, event: &LedgerEvent) -> io::Result<()> {
-        let line = serde_json::to_string(event).expect("ledger events serialize");
+        let line = serde_json::to_string(event).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("ledger event does not serialize: {e}"),
+            )
+        })?;
         let mut inner = self.inner.lock();
-        inner.file.write_all(line.as_bytes())?;
-        inner.file.write_all(b"\n")?;
-        inner.file.flush()?;
+        let file = &mut inner.file;
+        // A failed attempt may have emitted a partial line; retries open a
+        // fresh line first so the eventual complete record parses on its
+        // own (the partial fragment is skipped by the lenient reader).
+        let mut dirty = false;
+        retry_transient(|| {
+            if dirty {
+                file.write_all(b"\n")?;
+            }
+            dirty = true;
+            file.write_all(line.as_bytes())?;
+            file.write_all(b"\n")?;
+            file.flush()
+        })
+        .map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("cannot append to ledger {}: {e}", self.path.display()),
+            )
+        })?;
         inner.events.push(event.clone());
         Ok(())
     }
@@ -259,6 +337,31 @@ impl Ledger {
         (runs, units)
     }
 
+    /// Per-key failure history replayed from the ledger: how many
+    /// attempts of each keyed run/unit have failed, and what the most
+    /// recent failure reported. A later successful checkpoint does not
+    /// erase the history, but resume logic never consults the history of
+    /// a key that has a checkpoint — checkpoints win.
+    pub fn failure_history(&self) -> HashMap<u64, FailureHistory> {
+        let mut failures: HashMap<u64, FailureHistory> = HashMap::new();
+        for event in self.inner.lock().events.iter() {
+            if let LedgerEvent::RunFailed {
+                key, stage, reason, ..
+            } = event
+            {
+                let entry = failures.entry(*key).or_insert_with(|| FailureHistory {
+                    attempts: 0,
+                    stage: String::new(),
+                    last_reason: String::new(),
+                });
+                entry.attempts += 1;
+                entry.stage = stage.clone();
+                entry.last_reason = reason.clone();
+            }
+        }
+        failures
+    }
+
     /// Read the events of a ledger file without opening it for appends.
     /// A missing file reads as empty.
     pub fn read(path: impl AsRef<Path>) -> io::Result<Vec<LedgerEvent>> {
@@ -266,6 +369,35 @@ impl Ledger {
             Ok(text) => Ok(parse_events(&text)),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
             Err(e) => Err(e),
+        }
+    }
+}
+
+/// Whether an I/O error kind is worth retrying: the write may succeed if
+/// simply re-attempted a moment later.
+fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Run `op`, retrying transient I/O errors with a short backoff (at most
+/// three retries). Each retry bumps [`obs::Counter::LedgerRetries`].
+/// Permanent errors — and transient ones that outlast the backoff
+/// schedule — are returned to the caller.
+pub(crate) fn retry_transient<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    const RETRY_BACKOFF_MS: [u64; 3] = [1, 5, 20];
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(e) if attempt < RETRY_BACKOFF_MS.len() && is_transient(e.kind()) => {
+                obs::counter(obs::Counter::LedgerRetries, 1);
+                std::thread::sleep(std::time::Duration::from_millis(RETRY_BACKOFF_MS[attempt]));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
         }
     }
 }
@@ -405,5 +537,94 @@ mod tests {
     fn missing_file_reads_as_empty() {
         let events = Ledger::read(tmp_path("missing")).unwrap();
         assert!(events.is_empty());
+    }
+
+    #[test]
+    fn opening_a_directory_as_a_ledger_reports_the_path() {
+        // Regression: `lodsel --ledger some/dir` used to surface a bare
+        // OS error with no hint of which path was at fault.
+        let dir = std::env::temp_dir().join(format!("lodsel-ledger-dir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = match Ledger::open(&dir) {
+            Err(e) => e,
+            Ok(_) => panic!("opening a directory as a ledger must fail"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("cannot open ledger"), "{msg}");
+        assert!(msg.contains(&dir.display().to_string()), "{msg}");
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn retry_transient_retries_interrupted_writes_and_counts_them() {
+        use std::io::ErrorKind;
+        let recorder = std::sync::Arc::new(obs::TraceRecorder::new());
+        obs::install(recorder.clone());
+        let mut attempts = 0;
+        let out = retry_transient(|| {
+            attempts += 1;
+            if attempts < 3 {
+                Err(io::Error::new(ErrorKind::Interrupted, "interrupted"))
+            } else {
+                Ok(attempts)
+            }
+        });
+        obs::uninstall();
+        assert_eq!(out.unwrap(), 3);
+        assert_eq!(recorder.counter_value(obs::Counter::LedgerRetries), 2);
+    }
+
+    #[test]
+    fn retry_transient_gives_up_on_permanent_errors_immediately() {
+        use std::io::ErrorKind;
+        let mut attempts = 0;
+        let out: io::Result<()> = retry_transient(|| {
+            attempts += 1;
+            Err(io::Error::new(ErrorKind::PermissionDenied, "nope"))
+        });
+        assert_eq!(out.unwrap_err().kind(), ErrorKind::PermissionDenied);
+        assert_eq!(attempts, 1, "permanent errors must not be retried");
+    }
+
+    #[test]
+    fn retry_transient_is_bounded_for_persistent_transient_errors() {
+        use std::io::ErrorKind;
+        let mut attempts = 0;
+        let out: io::Result<()> = retry_transient(|| {
+            attempts += 1;
+            Err(io::Error::new(ErrorKind::Interrupted, "still interrupted"))
+        });
+        assert_eq!(out.unwrap_err().kind(), ErrorKind::Interrupted);
+        assert_eq!(attempts, 4, "one initial attempt plus three retries");
+    }
+
+    #[test]
+    fn failure_history_counts_attempts_and_keeps_the_latest_reason() {
+        let path = tmp_path("failures");
+        let ledger = Ledger::open(&path).unwrap();
+        for (attempt, reason) in [(1, "first crash"), (2, "second crash")] {
+            ledger
+                .append(&LedgerEvent::RunFailed {
+                    key: 77,
+                    unit: "v1/app".into(),
+                    restart: 0,
+                    seed: 42,
+                    attempt,
+                    stage: "calibrate".into(),
+                    reason: reason.into(),
+                })
+                .unwrap();
+        }
+        let history = ledger.failure_history();
+        let h = history.get(&77).unwrap();
+        assert_eq!(h.attempts, 2);
+        assert_eq!(h.stage, "calibrate");
+        assert_eq!(h.last_reason, "second crash");
+
+        // The history replays identically from disk.
+        drop(ledger);
+        let reopened = Ledger::open(&path).unwrap();
+        assert_eq!(reopened.failure_history().get(&77), Some(h));
+        let _ = std::fs::remove_file(&path);
     }
 }

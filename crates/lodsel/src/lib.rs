@@ -55,14 +55,14 @@ pub mod prelude {
     pub use crate::families::mpi::MpiFamily;
     pub use crate::families::wf::WfFamily;
     pub use crate::family::{SweepUnit, UnitEval, VersionFamily};
-    pub use crate::ledger::{Ledger, LedgerEvent, RunRecord, UnitRecord};
+    pub use crate::ledger::{FailureHistory, Ledger, LedgerEvent, RunRecord, UnitRecord};
     pub use crate::multistart::{best_result, calibrate_best_of, pick_best, restart_seed};
     pub use crate::pareto::{
         pareto_front, recommend, render_recommendation, Recommendation, VersionScore,
     };
     pub use crate::report::{fnum, pct, Table};
     pub use crate::sweep::{
-        front_flags, run_sweep, BudgetPolicy, SweepConfig, SweepOutcome, UnitOutcome,
+        front_flags, run_sweep, BudgetPolicy, RunFailure, SweepConfig, SweepOutcome, UnitOutcome,
         VersionOutcome,
     };
     pub use crate::trace::{parse_trace, render_report, TraceFile};

@@ -9,9 +9,22 @@
 //! fresh/interrupted/resumed executions, and across machines. Wall-clock
 //! measurements are carried alongside for observability but never feed
 //! the digest or the recommendation.
+//!
+//! Failure model: a simulator version that panics or yields only
+//! non-finite values must not take the whole sweep down. Every
+//! `family.calibrate` / `family.evaluate` call runs under
+//! [`simcal::fault::guard`]; a crash becomes a
+//! [`LedgerEvent::RunFailed`] event and a [`RunFailure`] row in the
+//! outcome, the affected version drops out of the recommendation, and a
+//! resume retries the failed work up to
+//! [`SweepConfig::max_fault_retries`] additional times before reporting
+//! it as permanently failed. Fault-free sweeps digest bit-for-bit as
+//! they always have; failures extend the digest only when present.
 
 use crate::family::{SweepUnit, VersionFamily};
-use crate::ledger::{run_key, unit_key, Ledger, LedgerEvent, RunRecord, UnitRecord};
+use crate::ledger::{
+    run_key, unit_key, FailureHistory, Ledger, LedgerEvent, RunRecord, UnitRecord,
+};
 use crate::multistart::{pick_best, restart_seed};
 use crate::pareto::{pareto_front, recommend, Recommendation};
 use rayon::prelude::*;
@@ -56,10 +69,19 @@ pub struct SweepConfig {
     /// Stop after this many units (test hook for interruption; `None`
     /// sweeps everything). Budgets and checkpoint keys are unaffected.
     pub max_units: Option<usize>,
+    /// How many times a resume may retry a run (or unit evaluation) that
+    /// failed in an earlier execution. Within one execution each pending
+    /// item is attempted once; across executions a keyed item is
+    /// attempted at most `1 + max_fault_retries` times, after which it is
+    /// reported as permanently failed straight from the ledger without
+    /// re-running. Without a ledger there is nothing to count attempts
+    /// against, so the value is inert.
+    pub max_fault_retries: usize,
 }
 
 impl SweepConfig {
-    /// A per-run-budget sweep configuration with the default ε of 10%.
+    /// A per-run-budget sweep configuration with the default ε of 10%
+    /// and two fault retries.
     pub fn per_run(budget: Budget, restarts: usize, seed: u64) -> Self {
         Self {
             budget: BudgetPolicy::PerRun { budget },
@@ -67,6 +89,7 @@ impl SweepConfig {
             seed,
             epsilon: 0.1,
             max_units: None,
+            max_fault_retries: 2,
         }
     }
 }
@@ -112,6 +135,27 @@ pub struct VersionOutcome {
     pub wall_secs: f64,
 }
 
+/// One failed (version, unit, restart) item of a degraded sweep.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct RunFailure {
+    /// Version label the failed unit belongs to.
+    pub version: String,
+    /// Unit label.
+    pub unit: String,
+    /// Restart index of the failed calibration run; for evaluate-stage
+    /// failures, the winning restart whose calibration was evaluated.
+    pub restart: usize,
+    /// Which stage failed: `"calibrate"` or `"evaluate"`.
+    pub stage: String,
+    /// Attempts made so far across executions (1-based).
+    pub attempt: usize,
+    /// Whether a resume against the same ledger will retry this item
+    /// (false once attempts reach `1 + max_fault_retries`).
+    pub retriable: bool,
+    /// Readable failure reason (panic message or a summary).
+    pub reason: String,
+}
+
 /// Outcome of a sweep.
 #[derive(Clone, Debug)]
 pub struct SweepOutcome {
@@ -121,9 +165,15 @@ pub struct SweepOutcome {
     /// [`SweepConfig::max_units`] truncation).
     pub complete: bool,
     /// Completed versions, in family order. Under truncation a version
-    /// with only some units done is omitted entirely.
+    /// with only some units done is omitted entirely, as is a version
+    /// none of whose runs survived its faults.
     pub versions: Vec<VersionOutcome>,
-    /// The recommendation; present only for complete sweeps.
+    /// Runs and unit evaluations that failed (panicked or produced only
+    /// non-finite values), in deterministic plan order. Empty for a
+    /// healthy sweep.
+    pub failures: Vec<RunFailure>,
+    /// The recommendation; present only for complete sweeps that left at
+    /// least one version with usable results.
     pub recommendation: Option<Recommendation>,
 }
 
@@ -180,7 +230,16 @@ impl SweepOutcome {
             recommendation: self.recommendation.clone(),
         };
         let json = serde_json::to_string(&doc).expect("digest serializes");
-        format!("{:016x}", crate::ledger::fnv1a(json.as_bytes()))
+        let mut bytes = json.into_bytes();
+        // Failures extend the digest input only when present, so the
+        // digest of a fault-free sweep is bit-for-bit what it was before
+        // failures existed (pinned by the golden tests), while degraded
+        // sweeps with different failure sets digest differently.
+        if !self.failures.is_empty() {
+            let failures = serde_json::to_string(&self.failures).expect("digest serializes");
+            bytes.extend_from_slice(failures.as_bytes());
+        }
+        format!("{:016x}", crate::ledger::fnv1a(&bytes))
     }
 }
 
@@ -212,6 +271,22 @@ struct RunPlan {
     seed: u64,
     budget: Budget,
     key: u64,
+}
+
+/// What happened to one pending calibration run.
+enum RunStatus {
+    Done(Box<RunRecord>),
+    Failed { attempt: usize, reason: String },
+}
+
+/// What happened to one unit's winner selection + held-out evaluation.
+enum UnitStatus {
+    Done(Box<UnitOutcome>),
+    /// The evaluation itself failed (its runs were fine).
+    Failed(RunFailure),
+    /// Every calibration run of the unit failed; those failures are
+    /// already reported individually, so the unit adds nothing.
+    Skipped,
 }
 
 /// Execute (or resume) a sweep of `family` under `config`.
@@ -273,14 +348,24 @@ pub fn run_sweep(
         Some(l) => l.checkpoints(),
         None => (HashMap::new(), HashMap::new()),
     };
+    let failure_history: HashMap<u64, FailureHistory> = match ledger {
+        Some(l) => l.failure_history(),
+        None => HashMap::new(),
+    };
+    let max_attempts = 1 + config.max_fault_retries;
+    let attempts_of = |key: u64| failure_history.get(&key).map_or(0, |h| h.attempts);
 
     // Phase 1: calibration runs, fanned onto the pool. Each simulation
     // objective additionally parallelizes over scenarios internally; the
     // pool's help-while-waiting scheduling nests the two levels.
-    let pending: Vec<&RunPlan> = plans
+    // A run is pending unless it has a checkpoint or its recorded failed
+    // attempts already exhausted the retry allowance (then it is reported
+    // from the ledger without re-running).
+    let active_plans: Vec<&RunPlan> = plans.iter().take(active_units * restarts).collect();
+    let pending: Vec<&RunPlan> = active_plans
         .iter()
-        .take(active_units * restarts)
-        .filter(|p| !cached_runs.contains_key(&p.key))
+        .filter(|p| !cached_runs.contains_key(&p.key) && attempts_of(p.key) < max_attempts)
+        .copied()
         .collect();
     if let Some(l) = ledger {
         log_io(l.append(&LedgerEvent::SweepStarted {
@@ -295,7 +380,7 @@ pub fn run_sweep(
     drop(plan_span);
     let calibrate_span = obs::span!("calibrate", pending = pending.len());
     let calibrate_id = calibrate_span.id();
-    let fresh: Vec<RunRecord> = pending
+    let fresh: Vec<RunStatus> = pending
         .par_iter()
         .map(|p| {
             let attrs = if obs::enabled() {
@@ -307,30 +392,109 @@ pub fn run_sweep(
                 Vec::new()
             };
             let _run = obs::SpanGuard::enter_under("run", calibrate_id, attrs);
-            let result = family.calibrate(&units[p.unit_idx], p.budget, p.seed);
-            let record = RunRecord {
-                key: p.key,
-                unit: units[p.unit_idx].label.clone(),
-                restart: p.restart,
-                seed: p.seed,
-                result,
-            };
-            if let Some(l) = ledger {
-                log_io(l.append(&LedgerEvent::RunCompleted {
-                    record: record.clone(),
-                }));
+            // The guard isolates a panicking simulator version: its runs
+            // become RunFailed events and the sweep degrades instead of
+            // unwinding. (Individual evaluation panics are already
+            // quarantined inside simcal; what reaches here is a version
+            // whose calibration found no usable incumbent at all, or a
+            // family whose calibrate itself crashed.)
+            let attempt = attempts_of(p.key) + 1;
+            let unit_label = units[p.unit_idx].label.clone();
+            match simcal::fault::guard(|| family.calibrate(&units[p.unit_idx], p.budget, p.seed)) {
+                Ok(result) if result.loss.is_finite() => {
+                    let record = RunRecord {
+                        key: p.key,
+                        unit: unit_label,
+                        restart: p.restart,
+                        seed: p.seed,
+                        result,
+                    };
+                    if let Some(l) = ledger {
+                        log_io(l.append(&LedgerEvent::RunCompleted {
+                            record: record.clone(),
+                        }));
+                    }
+                    RunStatus::Done(Box::new(record))
+                }
+                outcome => {
+                    let reason = match outcome {
+                        Ok(result) => {
+                            format!("calibration returned non-finite loss {}", result.loss)
+                        }
+                        Err(message) => message,
+                    };
+                    if let Some(l) = ledger {
+                        log_io(l.append(&LedgerEvent::RunFailed {
+                            key: p.key,
+                            unit: unit_label,
+                            restart: p.restart,
+                            seed: p.seed,
+                            attempt,
+                            stage: "calibrate".into(),
+                            reason: reason.clone(),
+                        }));
+                    }
+                    RunStatus::Failed { attempt, reason }
+                }
             }
-            record
         })
         .collect();
 
     let mut results: HashMap<u64, CalibrationResult> = HashMap::new();
+    let mut failed_runs: HashMap<u64, RunFailure> = HashMap::new();
+    // Runs whose retries were already exhausted: reported from the
+    // ledger's history, never re-run.
+    for p in &active_plans {
+        if cached_runs.contains_key(&p.key) {
+            continue;
+        }
+        if let Some(h) = failure_history.get(&p.key) {
+            if h.attempts >= max_attempts {
+                failed_runs.insert(
+                    p.key,
+                    RunFailure {
+                        version: labels[units[p.unit_idx].version].clone(),
+                        unit: units[p.unit_idx].label.clone(),
+                        restart: p.restart,
+                        stage: h.stage.clone(),
+                        attempt: h.attempts,
+                        retriable: false,
+                        reason: h.last_reason.clone(),
+                    },
+                );
+            }
+        }
+    }
     for (key, record) in cached_runs {
         results.insert(key, record.result);
     }
-    for record in fresh {
-        results.insert(record.key, record.result);
+    for (p, status) in pending.iter().zip(fresh) {
+        match status {
+            RunStatus::Done(record) => {
+                results.insert(record.key, record.result);
+            }
+            RunStatus::Failed { attempt, reason } => {
+                failed_runs.insert(
+                    p.key,
+                    RunFailure {
+                        version: labels[units[p.unit_idx].version].clone(),
+                        unit: units[p.unit_idx].label.clone(),
+                        restart: p.restart,
+                        stage: "calibrate".into(),
+                        attempt,
+                        retriable: attempt < max_attempts,
+                        reason,
+                    },
+                );
+            }
+        }
     }
+    // Deterministic report order: plan order, regardless of which pool
+    // worker observed the failure.
+    let mut failures: Vec<RunFailure> = active_plans
+        .iter()
+        .filter_map(|p| failed_runs.get(&p.key).cloned())
+        .collect();
     drop(calibrate_span);
 
     // Phase 2: per-unit winner selection + held-out evaluation, also in
@@ -339,7 +503,7 @@ pub fn run_sweep(
         units.iter().enumerate().take(active_units).collect();
     let evaluate_span = obs::span!("evaluate", units = eval_inputs.len());
     let evaluate_id = evaluate_span.id();
-    let unit_outcomes: Vec<UnitOutcome> = eval_inputs
+    let unit_statuses: Vec<UnitStatus> = eval_inputs
         .par_iter()
         .map(|&(ui, unit)| {
             let attrs = if obs::enabled() {
@@ -348,16 +512,24 @@ pub fn run_sweep(
                 Vec::new()
             };
             let _unit_span = obs::SpanGuard::enter_under("unit", evaluate_id, attrs);
-            let per_restart: Vec<CalibrationResult> = (0..restarts)
-                .map(|r| {
+            // Winner selection over the restarts that survived phase 1,
+            // keeping each survivor's original restart index.
+            let per_restart: Vec<(usize, CalibrationResult)> = (0..restarts)
+                .filter_map(|r| {
                     results
                         .get(&plans[ui * restarts + r].key)
-                        .expect("every active run completed or was cached")
-                        .clone()
+                        .map(|res| (r, res.clone()))
                 })
                 .collect();
-            let best_restart = pick_best(&per_restart);
-            let best = per_restart[best_restart].clone();
+            if per_restart.is_empty() {
+                return UnitStatus::Skipped;
+            }
+            let survivors: Vec<CalibrationResult> =
+                per_restart.iter().map(|(_, r)| r.clone()).collect();
+            let winner = pick_best(&survivors);
+            let best_restart = per_restart[winner].0;
+            let best = survivors[winner].clone();
+            let degraded = per_restart.len() < restarts;
 
             let ukey = unit_key(
                 &name,
@@ -368,7 +540,7 @@ pub fn run_sweep(
                 &policy_json,
             );
             if let Some(rec) = cached_units.get(&ukey) {
-                return UnitOutcome {
+                return UnitStatus::Done(Box::new(UnitOutcome {
                     label: unit.label.clone(),
                     version: unit.version,
                     best_restart: rec.best_restart,
@@ -377,10 +549,52 @@ pub fn run_sweep(
                     work_units: rec.work_units,
                     wall_secs: rec.wall_secs,
                     cached: true,
-                };
+                }));
+            }
+            let prior_attempts = attempts_of(ukey);
+            if prior_attempts >= max_attempts {
+                let h = &failure_history[&ukey];
+                return UnitStatus::Failed(RunFailure {
+                    version: labels[unit.version].clone(),
+                    unit: unit.label.clone(),
+                    restart: best_restart,
+                    stage: h.stage.clone(),
+                    attempt: h.attempts,
+                    retriable: false,
+                    reason: h.last_reason.clone(),
+                });
             }
             let t0 = Instant::now();
-            let eval = family.evaluate(unit, &best.calibration);
+            let eval = match simcal::fault::guard(|| family.evaluate(unit, &best.calibration)) {
+                Ok(eval) if eval.samples.iter().all(|s| s.is_finite()) => eval,
+                outcome => {
+                    let reason = match outcome {
+                        Ok(_) => "held-out evaluation produced non-finite samples".to_string(),
+                        Err(message) => message,
+                    };
+                    let attempt = prior_attempts + 1;
+                    if let Some(l) = ledger {
+                        log_io(l.append(&LedgerEvent::RunFailed {
+                            key: ukey,
+                            unit: unit.label.clone(),
+                            restart: best_restart,
+                            seed: config.seed,
+                            attempt,
+                            stage: "evaluate".into(),
+                            reason: reason.clone(),
+                        }));
+                    }
+                    return UnitStatus::Failed(RunFailure {
+                        version: labels[unit.version].clone(),
+                        unit: unit.label.clone(),
+                        restart: best_restart,
+                        stage: "evaluate".into(),
+                        attempt,
+                        retriable: attempt < max_attempts,
+                        reason,
+                    });
+                }
+            };
             let wall_secs = t0.elapsed().as_secs_f64();
             let record = UnitRecord {
                 key: ukey,
@@ -390,10 +604,16 @@ pub fn run_sweep(
                 work_units: eval.work_units,
                 wall_secs,
             };
-            if let Some(l) = ledger {
-                log_io(l.append(&LedgerEvent::UnitCompleted { record }));
+            // A degraded unit (some restarts failed) is not checkpointed:
+            // once a resume successfully retries the failed runs, the
+            // winner may change, and a stale checkpoint would pin the old
+            // evaluation forever.
+            if !degraded {
+                if let Some(l) = ledger {
+                    log_io(l.append(&LedgerEvent::UnitCompleted { record }));
+                }
             }
-            UnitOutcome {
+            UnitStatus::Done(Box::new(UnitOutcome {
                 label: unit.label.clone(),
                 version: unit.version,
                 best_restart,
@@ -402,9 +622,17 @@ pub fn run_sweep(
                 work_units: eval.work_units,
                 wall_secs,
                 cached: false,
-            }
+            }))
         })
         .collect();
+    let mut unit_outcomes: Vec<UnitOutcome> = Vec::new();
+    for status in unit_statuses {
+        match status {
+            UnitStatus::Done(outcome) => unit_outcomes.push(*outcome),
+            UnitStatus::Failed(failure) => failures.push(failure),
+            UnitStatus::Skipped => {}
+        }
+    }
     drop(evaluate_span);
 
     // Reduce to versions; under truncation keep only fully-covered ones.
@@ -433,7 +661,10 @@ pub fn run_sweep(
     }
 
     let complete = active_units == units.len();
-    let recommendation = complete.then(|| {
+    // Recommend from the surviving versions; a sweep whose every version
+    // failed has nobody left to recommend (recommend() rejects an empty
+    // slate), so the outcome carries only the failure report.
+    let recommendation = (complete && !versions.is_empty()).then(|| {
         recommend(
             &versions.iter().map(|v| v.label.clone()).collect::<Vec<_>>(),
             &versions.iter().map(|v| v.test_error).collect::<Vec<_>>(),
@@ -445,6 +676,7 @@ pub fn run_sweep(
         family: name.clone(),
         complete,
         versions,
+        failures,
         recommendation,
     };
     if complete {

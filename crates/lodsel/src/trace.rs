@@ -267,6 +267,29 @@ pub fn render_report(trace: &TraceFile) -> String {
         out.push_str(&t.render());
     }
 
+    // Failure summary: surfaced only when something actually failed, so
+    // healthy traces render exactly as they always have.
+    let counter = |name: &str| {
+        trace
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    let (panics, nonfinite, retries) = (
+        counter("eval_panics"),
+        counter("eval_nonfinite"),
+        counter("ledger_retries"),
+    );
+    if panics + nonfinite + retries > 0 {
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "failures: {panics} evaluation panic(s), {nonfinite} non-finite loss(es), \
+             {retries} ledger write retry(ies) — all isolated; see the run ledger for details"
+        );
+    }
+
     for h in &trace.histograms {
         out.push('\n');
         let mean = if h.count > 0 {

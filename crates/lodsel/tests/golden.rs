@@ -43,6 +43,19 @@ fn sweep_reproduces_the_known_pareto_geometry() {
 }
 
 #[test]
+fn fault_free_digests_are_pinned_bit_for_bit() {
+    // Captured before the failure model existed. A fault-free sweep must
+    // keep digesting to exactly these values: the failure machinery may
+    // only extend the digest input when failures actually occur.
+    let a = run_sweep(&ToyFamily::new(true), &config(), None);
+    assert!(a.failures.is_empty());
+    assert_eq!(a.digest(), "c10c6fae5e95faac");
+    let b = run_sweep(&ToyFamily::new(false), &config(), None);
+    assert!(b.failures.is_empty());
+    assert_eq!(b.digest(), "9da6bcf5cdc8e746");
+}
+
+#[test]
 fn digest_is_stable_across_runs_and_sensitive_to_configuration() {
     let a = run_sweep(&ToyFamily::new(true), &config(), None);
     let b = run_sweep(&ToyFamily::new(true), &config(), None);

@@ -18,6 +18,7 @@ fn config(restarts: usize, max_units: Option<usize>) -> SweepConfig {
         seed: 42,
         epsilon: 0.1,
         max_units,
+        max_fault_retries: 2,
     }
 }
 

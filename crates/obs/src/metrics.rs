@@ -16,24 +16,36 @@ pub enum Counter {
     EvalCacheHits,
     /// Evaluator memoization misses (full simulation performed).
     EvalCacheMisses,
+    /// Objective invocations that panicked and were isolated/quarantined
+    /// by the evaluator instead of aborting the calibration.
+    EvalPanics,
+    /// Objective invocations that returned a non-finite loss and were
+    /// quarantined.
+    EvalNonfinite,
     /// Successful steals from another worker's deque in the
     /// work-stealing pool.
     PoolSteals,
     /// Times a pool worker parked (timed wait) because no work was
     /// available anywhere.
     PoolParks,
+    /// Transient ledger write errors that were retried (with backoff)
+    /// before succeeding or giving up.
+    LedgerRetries,
 }
 
 impl Counter {
     /// All counters, in trace-emission order.
-    pub const ALL: [Counter; 7] = [
+    pub const ALL: [Counter; 10] = [
         Counter::KernelEvents,
         Counter::KernelHeapReinserts,
         Counter::KernelSharingResolves,
         Counter::EvalCacheHits,
         Counter::EvalCacheMisses,
+        Counter::EvalPanics,
+        Counter::EvalNonfinite,
         Counter::PoolSteals,
         Counter::PoolParks,
+        Counter::LedgerRetries,
     ];
 
     /// Stable snake_case name used in the JSONL trace.
@@ -44,8 +56,11 @@ impl Counter {
             Counter::KernelSharingResolves => "kernel_sharing_resolves",
             Counter::EvalCacheHits => "eval_cache_hits",
             Counter::EvalCacheMisses => "eval_cache_misses",
+            Counter::EvalPanics => "eval_panics",
+            Counter::EvalNonfinite => "eval_nonfinite",
             Counter::PoolSteals => "pool_steals",
             Counter::PoolParks => "pool_parks",
+            Counter::LedgerRetries => "ledger_retries",
         }
     }
 

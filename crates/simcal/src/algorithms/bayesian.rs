@@ -88,12 +88,37 @@ impl SearchAlgorithm for BayesianOpt {
 
         let mut surrogate = self.surrogate.build(seed ^ 0x5eed);
         while !evaluator.exhausted() {
-            // Guard against degenerate histories (all-equal losses still
-            // fit fine; NaN losses would poison the surrogate).
-            debug_assert!(ys.iter().all(|y| y.is_finite()));
-            surrogate.fit(&xs, &ys);
-            let best_y = ys.iter().copied().fold(f64::INFINITY, f64::min);
-            let best_x = xs[numeric::argmin(&ys).expect("non-empty history")].clone();
+            // Quarantined evaluations surface as +inf losses (and a
+            // custom evaluator could hand back NaN); non-finite pairs
+            // must never reach the surrogate fit or pick the incumbent —
+            // in release builds they would silently poison every
+            // subsequent prediction. In the fault-free case the filter
+            // is a no-op, so trajectories are unchanged.
+            let (fit_xs, fit_ys): (Vec<Vec<f64>>, Vec<f64>) = xs
+                .iter()
+                .zip(&ys)
+                .filter(|&(_, y)| y.is_finite())
+                .map(|(x, &y)| (x.clone(), y))
+                .unzip();
+            if fit_xs.is_empty() {
+                // Every evaluation so far failed: nothing to model, so
+                // explore uniformly at random until something survives.
+                let batch: Vec<Vec<f64>> = (0..self.batch_size.max(1))
+                    .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+                    .collect();
+                match evaluator.eval_batch(&batch) {
+                    Some(losses) => {
+                        let n = losses.len();
+                        xs.extend_from_slice(&batch[..n]);
+                        ys.extend(losses);
+                    }
+                    None => return,
+                }
+                continue;
+            }
+            surrogate.fit(&fit_xs, &fit_ys);
+            let best_y = fit_ys.iter().copied().fold(f64::INFINITY, f64::min);
+            let best_x = fit_xs[numeric::argmin(&fit_ys).expect("non-empty history")].clone();
 
             // Candidate pool: uniform exploration, multi-scale Gaussian
             // perturbations of the incumbent, and single-coordinate
@@ -260,6 +285,52 @@ mod tests {
             ev.best().unwrap().0
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn non_finite_losses_never_reach_the_surrogate() {
+        // Regression for the release-mode hole: NaN/inf history pairs
+        // were guarded only by a debug_assert!, so optimized builds fit
+        // the surrogate on poisoned data. The evaluator quarantines NaN
+        // losses into +inf, and the fit now filters non-finite pairs —
+        // this test exercises the whole path in every build profile.
+        let obj = make_objective(2, |v| {
+            if v[0] > 0.6 {
+                f64::NAN // quarantined as NonFinite by the evaluator
+            } else {
+                (v[0] - 0.3).powi(2) + (v[1] - 0.3).powi(2)
+            }
+        });
+        for kind in [SurrogateKind::GaussianProcess, SurrogateKind::Gbrt] {
+            let ev = Evaluator::new(&obj, Budget::Evaluations(80));
+            BayesianOpt::new(kind).search(&ev, 11);
+            assert_eq!(ev.evaluations(), 80, "{}", kind.name());
+            assert!(ev.eval_nonfinite() > 0, "{}", kind.name());
+            let best = ev.best().expect("finite region must produce a best").0;
+            assert!(best.is_finite(), "{}", kind.name());
+            assert!(best < 0.2, "{}: best {best}", kind.name());
+        }
+    }
+
+    #[test]
+    fn all_failing_history_falls_back_to_random_exploration() {
+        // If every early evaluation fails, the fit set is empty; the
+        // search must keep exploring instead of panicking on argmin.
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let obj = make_objective(1, move |v| {
+            // The first probes all fail; later ones succeed on half the
+            // domain, so random exploration eventually finds a survivor.
+            let n = calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if n < 20 || v[0] > 0.5 {
+                f64::NAN
+            } else {
+                v[0]
+            }
+        });
+        let ev = Evaluator::new(&obj, Budget::Evaluations(60));
+        BayesianOpt::new(SurrogateKind::GaussianProcess).search(&ev, 4);
+        assert_eq!(ev.evaluations(), 60);
+        assert!(ev.best().is_some(), "a survivor must become the incumbent");
     }
 
     #[test]

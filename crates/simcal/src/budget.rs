@@ -7,12 +7,14 @@
 //! bit-for-bit reproducible regardless of host speed, which is what the
 //! workspace's tests and experiment binaries use by default.
 
+use crate::fault::{self, EvalFailure, FaultKind, FaultPlan};
 use crate::objective::Objective;
 use crate::param::Calibration;
 use parking_lot::{Mutex, RwLock};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A bound on the calibration effort.
@@ -121,6 +123,16 @@ struct Best {
     trace: Vec<TracePoint>,
 }
 
+/// A memoized evaluation outcome: either a finite loss, or a quarantine
+/// marker for a point whose evaluation failed (panicked or returned a
+/// non-finite loss). Quarantined points are served on re-proposal without
+/// re-invoking the objective and are never reported as valid losses.
+#[derive(Clone)]
+enum Cached {
+    Loss(f64),
+    Quarantined(EvalFailure),
+}
+
 /// Budget-enforcing, trace-recording gateway between search algorithms and
 /// the objective. Algorithms request evaluations of unit-hypercube points;
 /// the evaluator denormalizes, invokes the objective (in parallel, fanning
@@ -139,23 +151,50 @@ struct Best {
 /// evaluation** and without re-recording the incumbent (it was recorded
 /// when first computed). [`Evaluator::cache_hits`] /
 /// [`Evaluator::cache_misses`] expose the counters.
+///
+/// # Failure isolation
+///
+/// Every objective invocation runs under [`fault::guard`]: a panic or a
+/// non-finite loss is converted into a typed [`EvalFailure`], consumes
+/// one budget evaluation, and **quarantines** the point — the search
+/// algorithm sees `+inf` (so the point is maximally unattractive but the
+/// search continues), the incumbent and convergence trace are never
+/// updated from it, and re-proposals are served from the quarantine
+/// cache without re-invoking the objective. Failure counts are exposed
+/// via [`Evaluator::eval_panics`] / [`Evaluator::eval_nonfinite`] /
+/// [`Evaluator::failures`].
 pub struct Evaluator<'a> {
     objective: &'a dyn Objective,
     budget: Budget,
+    /// Seed of the calibration run driving this evaluator; used only to
+    /// scope injected faults (searches draw their own rng from the same
+    /// seed independently).
+    seed: u64,
+    /// Snapshot of the fault-injection plan installed when the
+    /// evaluator was constructed ([`fault::current`]).
+    faults: Option<Arc<FaultPlan>>,
     start: Instant,
     count: AtomicUsize,
     best: Mutex<Best>,
-    cache: RwLock<HashMap<Vec<u64>, f64>>,
+    cache: RwLock<HashMap<Vec<u64>, Cached>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    panics: AtomicUsize,
+    nonfinite: AtomicUsize,
+    failures: Mutex<Vec<(usize, EvalFailure)>>,
 }
 
 impl<'a> Evaluator<'a> {
-    /// Create an evaluator; the wall-clock budget starts now.
+    /// Create an evaluator; the wall-clock budget starts now. The
+    /// evaluator snapshots the process-global fault-injection plan (if
+    /// any) with seed 0; use [`Evaluator::with_seed`] to scope
+    /// seed-targeted faults to this evaluator.
     pub fn new(objective: &'a dyn Objective, budget: Budget) -> Self {
         Self {
             objective,
             budget,
+            seed: 0,
+            faults: fault::current(),
             start: Instant::now(),
             count: AtomicUsize::new(0),
             best: Mutex::new(Best {
@@ -166,7 +205,17 @@ impl<'a> Evaluator<'a> {
             cache: RwLock::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            panics: AtomicUsize::new(0),
+            nonfinite: AtomicUsize::new(0),
+            failures: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Tag the evaluator with the calibration run's seed so that
+    /// seed-scoped [`FaultPlan`] entries can target it.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// The objective's parameter space.
@@ -221,6 +270,78 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Record a failed evaluation: it consumes one budget evaluation
+    /// (keeping `cache_misses == evaluations`), bumps the matching
+    /// failure counter, and quarantines the point so re-proposals never
+    /// re-invoke the objective. The incumbent and trace are untouched.
+    fn record_failure(&self, key: &[u64], failure: EvalFailure) {
+        let index = self.count.fetch_add(1, Ordering::Relaxed);
+        match &failure {
+            EvalFailure::Panic { .. } => {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+                obs::counter(obs::Counter::EvalPanics, 1);
+            }
+            EvalFailure::NonFinite { .. } => {
+                self.nonfinite.fetch_add(1, Ordering::Relaxed);
+                obs::counter(obs::Counter::EvalNonfinite, 1);
+            }
+            EvalFailure::BudgetExhausted => {}
+        }
+        self.cache
+            .write()
+            .insert(key.to_vec(), Cached::Quarantined(failure.clone()));
+        self.failures.lock().push((index, failure));
+    }
+
+    /// The fault (if any) the active plan injects into evaluation
+    /// `index` of this evaluator.
+    fn fault_for(&self, index: usize) -> Option<FaultKind> {
+        self.faults
+            .as_ref()
+            .and_then(|plan| plan.fault_at(self.seed, index))
+    }
+
+    /// Evaluate one chunk of uncached calibrations, point `p` taking
+    /// evaluation index `base + p`. Without matching faults this is a
+    /// single flattened [`Objective::try_par_loss_batch`] fan-out; with
+    /// faults, clean points still share one fan-out while faulted points
+    /// synthesize their failure through the same [`fault::guard`] the
+    /// real path uses (an injected panic really panics and really
+    /// unwinds), keeping injected-fault runs bit-for-bit reproducible
+    /// across thread counts.
+    fn run_chunk(&self, base: usize, calibs: &[Calibration]) -> Vec<Result<f64, String>> {
+        let faults: Vec<Option<FaultKind>> = (0..calibs.len())
+            .map(|p| self.fault_for(base + p))
+            .collect();
+        if faults.iter().all(Option::is_none) {
+            return self.objective.try_par_loss_batch(calibs);
+        }
+        let clean: Vec<Calibration> = calibs
+            .iter()
+            .zip(&faults)
+            .filter(|(_, f)| f.is_none())
+            .map(|(c, _)| c.clone())
+            .collect();
+        let mut clean_results = self.objective.try_par_loss_batch(&clean).into_iter();
+        faults
+            .iter()
+            .enumerate()
+            .map(|(p, f)| match f {
+                None => clean_results
+                    .next()
+                    .expect("one batch result per clean point"),
+                Some(FaultKind::Panic) => fault::guard(|| {
+                    panic!(
+                        "injected fault: panic at evaluation {} (seed {})",
+                        base + p,
+                        self.seed
+                    )
+                }),
+                Some(FaultKind::Nan) => Ok(f64::NAN),
+            })
+            .collect()
+    }
+
     /// Canonical cache key of a unit point: the bit pattern of its
     /// denormalized (natural-unit) calibration, so unit points that snap
     /// to the same calibration share an entry.
@@ -229,34 +350,80 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluate one unit-hypercube point. Returns `None` (without
-    /// evaluating) when the budget is exhausted. Routes through the same
-    /// memoization and recording path as [`Evaluator::eval_batch`]: a
-    /// cached point returns its loss without consuming a budget
+    /// evaluating) when the budget is exhausted, and `+inf` for a point
+    /// whose evaluation failed (panic or non-finite loss) — see
+    /// [`Evaluator::try_eval`] for the typed variant. Routes through the
+    /// same memoization and recording path as [`Evaluator::eval_batch`]:
+    /// a cached point returns its loss without consuming a budget
     /// evaluation, and an uncached point fans its per-scenario simulator
     /// invocations into the thread pool via [`Objective::par_loss`].
     pub fn eval(&self, unit_point: &[f64]) -> Option<f64> {
+        match self.try_eval(unit_point) {
+            Ok(loss) => Some(loss),
+            Err(EvalFailure::BudgetExhausted) => None,
+            Err(_) => Some(f64::INFINITY),
+        }
+    }
+
+    /// Evaluate one unit-hypercube point, reporting failures as typed
+    /// [`EvalFailure`] values instead of sentinel losses. A failed
+    /// evaluation consumes one budget evaluation and quarantines the
+    /// point: re-proposing it returns the same failure as a cache hit,
+    /// without re-invoking the objective.
+    pub fn try_eval(&self, unit_point: &[f64]) -> Result<f64, EvalFailure> {
         if self.exhausted() {
-            return None;
+            return Err(EvalFailure::BudgetExhausted);
         }
         let calib = self.objective.space().denormalize(unit_point);
         let key = Self::cache_key(&calib);
-        if let Some(&loss) = self.cache.read().get(&key) {
+        if let Some(cached) = self.cache.read().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             obs::counter(obs::Counter::EvalCacheHits, 1);
-            return Some(loss);
+            return match cached {
+                Cached::Loss(loss) => Ok(loss),
+                Cached::Quarantined(failure) => Err(failure),
+            };
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         obs::counter(obs::Counter::EvalCacheMisses, 1);
         // The clock read is gated so the disabled path stays one
         // relaxed atomic load.
         let t0 = obs::enabled().then(Instant::now);
-        let loss = self.objective.par_loss(&calib);
-        if let Some(t0) = t0 {
-            obs::observe(obs::Hist::EvalLatency, t0.elapsed().as_secs_f64());
+        // The index this evaluation will record under. Exact as long as
+        // evaluations are driven from one search thread (all shipped
+        // algorithms), which is what makes fault targeting by index
+        // deterministic.
+        let index = self.count.load(Ordering::Relaxed);
+        let outcome = match self.fault_for(index) {
+            Some(FaultKind::Panic) => fault::guard(|| {
+                panic!(
+                    "injected fault: panic at evaluation {index} (seed {})",
+                    self.seed
+                )
+            }),
+            Some(FaultKind::Nan) => Ok(f64::NAN),
+            None => fault::guard(|| self.objective.par_loss(&calib)),
+        };
+        match outcome {
+            Ok(loss) if loss.is_finite() => {
+                if let Some(t0) = t0 {
+                    obs::observe(obs::Hist::EvalLatency, t0.elapsed().as_secs_f64());
+                }
+                self.record(unit_point, loss);
+                self.cache.write().insert(key, Cached::Loss(loss));
+                Ok(loss)
+            }
+            Ok(loss) => {
+                let failure = EvalFailure::NonFinite { loss };
+                self.record_failure(&key, failure.clone());
+                Err(failure)
+            }
+            Err(message) => {
+                let failure = EvalFailure::Panic { message };
+                self.record_failure(&key, failure.clone());
+                Err(failure)
+            }
         }
-        self.record(unit_point, loss);
-        self.cache.write().insert(key, loss);
-        Some(loss)
     }
 
     /// Evaluate a batch of points in parallel. The batch is truncated to
@@ -270,9 +437,12 @@ impl<'a> Evaluator<'a> {
     /// Cached points are served for free (no budget evaluation); each
     /// chunk of uncached points — deduplicated within the chunk — is
     /// evaluated as one flattened (point × scenario) fan-out via
-    /// [`Objective::par_loss_batch`], and recorded sequentially in input
-    /// order so the incumbent/trace update is deterministic, independent
-    /// of pool scheduling.
+    /// [`Objective::try_par_loss_batch`], and recorded sequentially in
+    /// input order so the incumbent/trace update is deterministic,
+    /// independent of pool scheduling. A point whose evaluation fails
+    /// (panic or non-finite loss) resolves to `+inf` in the returned
+    /// losses and is quarantined; it still consumes its budget
+    /// evaluation.
     pub fn eval_batch(&self, unit_points: &[Vec<f64>]) -> Option<Vec<f64>> {
         // Small enough that a wall-clock overrun is bounded by one chunk,
         // large enough to keep the pool's workers saturated (each point
@@ -300,9 +470,15 @@ impl<'a> Evaluator<'a> {
             while j < unit_points.len() && pending_inputs.len() < take {
                 let calib = self.objective.space().denormalize(&unit_points[j]);
                 let key = Self::cache_key(&calib);
-                if let Some(&l) = self.cache.read().get(&key) {
+                if let Some(cached) = self.cache.read().get(&key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    window.push(Ok(l));
+                    window.push(Ok(match cached {
+                        Cached::Loss(l) => *l,
+                        // Quarantined points are served as +inf without
+                        // re-invoking the objective or re-recording the
+                        // failure.
+                        Cached::Quarantined(_) => f64::INFINITY,
+                    }));
                 } else if let Some(dup) = pending_keys.iter().position(|k| *k == key) {
                     // Same canonical point already pending in this chunk:
                     // evaluate once, serve both slots.
@@ -324,10 +500,15 @@ impl<'a> Evaluator<'a> {
             );
             obs::counter(obs::Counter::EvalCacheMisses, pending_calibs.len() as u64);
             let t0 = obs::enabled().then(Instant::now);
-            let chunk_losses = if pending_calibs.is_empty() {
+            // The indices the pending points will record under: records
+            // happen sequentially in input order below, so point `p` of
+            // the chunk gets index `base + p` — deterministic regardless
+            // of how the pool schedules the fan-out.
+            let base = self.count.load(Ordering::Relaxed);
+            let outcomes = if pending_calibs.is_empty() {
                 Vec::new()
             } else {
-                self.objective.par_loss_batch(&pending_calibs)
+                self.run_chunk(base, &pending_calibs)
             };
             if let Some(t0) = t0.filter(|_| !pending_calibs.is_empty()) {
                 // The chunk runs as one fan-out; attribute its wall time
@@ -337,9 +518,23 @@ impl<'a> Evaluator<'a> {
                     obs::observe(obs::Hist::EvalLatency, per_point);
                 }
             }
-            for ((&input, key), &l) in pending_inputs.iter().zip(&pending_keys).zip(&chunk_losses) {
-                self.record(&unit_points[input], l);
-                self.cache.write().insert(key.clone(), l);
+            let mut chunk_losses: Vec<f64> = Vec::with_capacity(outcomes.len());
+            for ((&input, key), outcome) in pending_inputs.iter().zip(&pending_keys).zip(outcomes) {
+                match outcome {
+                    Ok(l) if l.is_finite() => {
+                        self.record(&unit_points[input], l);
+                        self.cache.write().insert(key.clone(), Cached::Loss(l));
+                        chunk_losses.push(l);
+                    }
+                    Ok(l) => {
+                        self.record_failure(key, EvalFailure::NonFinite { loss: l });
+                        chunk_losses.push(f64::INFINITY);
+                    }
+                    Err(message) => {
+                        self.record_failure(key, EvalFailure::Panic { message });
+                        chunk_losses.push(f64::INFINITY);
+                    }
+                }
             }
             losses.extend(window.into_iter().map(|w| match w {
                 Ok(l) => l,
@@ -361,13 +556,32 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Memoization misses: evaluations that actually invoked the
-    /// objective (always equals [`Evaluator::evaluations`]).
+    /// objective (always equals [`Evaluator::evaluations`]; failed
+    /// evaluations count too — they consumed budget).
     pub fn cache_misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Evaluations whose objective invocation panicked (isolated and
+    /// quarantined rather than crashing the calibration).
+    pub fn eval_panics(&self) -> usize {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations whose objective returned a non-finite loss.
+    pub fn eval_nonfinite(&self) -> usize {
+        self.nonfinite.load(Ordering::Relaxed)
+    }
+
+    /// Every failed evaluation as `(evaluation index, failure)`, in the
+    /// order the failures were recorded.
+    pub fn failures(&self) -> Vec<(usize, EvalFailure)> {
+        self.failures.lock().clone()
+    }
+
     /// The incumbent `(loss, unit_point, natural calibration)`, or `None`
-    /// if nothing has been evaluated.
+    /// if no evaluation produced a finite loss (nothing evaluated, or
+    /// every evaluation was quarantined).
     pub fn best(&self) -> Option<(f64, Vec<f64>, Calibration)> {
         let best = self.best.lock();
         if best.loss.is_finite() {
@@ -577,6 +791,191 @@ mod tests {
         let back: TracePoint = serde_json::from_str(&json).expect("parse");
         assert_eq!(back, tp);
         assert_eq!(back.elapsed_secs.to_bits(), tp.elapsed_secs.to_bits());
+    }
+
+    /// An objective that panics inside a marked region of the unit square
+    /// and counts real invocations, so tests can prove quarantined
+    /// re-proposals never re-invoke it.
+    fn trapdoor(
+        calls: &std::sync::atomic::AtomicUsize,
+    ) -> FnObjective<impl Fn(&Calibration) -> f64 + Sync + '_> {
+        let space = ParameterSpace::new()
+            .with("a", ParamKind::Continuous { lo: -1.0, hi: 1.0 })
+            .with("b", ParamKind::Continuous { lo: -1.0, hi: 1.0 });
+        FnObjective::new(space, move |c: &Calibration| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            if c.values[0] > 0.5 {
+                panic!("simulator diverged at a={}", c.values[0]);
+            }
+            if c.values[1] > 0.5 {
+                return f64::NAN;
+            }
+            c.values.iter().map(|v| v * v).sum()
+        })
+    }
+
+    #[test]
+    fn panicking_point_is_quarantined_not_fatal() {
+        let calls = AtomicUsize::new(0);
+        let obj = trapdoor(&calls);
+        let ev = Evaluator::new(&obj, Budget::Evaluations(10));
+        // a = 0.9 natural -> panic region.
+        assert_eq!(ev.eval(&[0.95, 0.5]), Some(f64::INFINITY));
+        assert_eq!(ev.evaluations(), 1, "a failed evaluation consumes budget");
+        assert_eq!(ev.eval_panics(), 1);
+        assert_eq!(ev.eval_nonfinite(), 0);
+        assert!(ev.best().is_none(), "a quarantined point never wins");
+        assert!(ev.trace().is_empty());
+        let failures = ev.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, 0);
+        match &failures[0].1 {
+            EvalFailure::Panic { message } => assert!(message.contains("simulator diverged")),
+            other => panic!("expected Panic, got {other:?}"),
+        }
+        // Re-proposing the quarantined point is a cache hit: no budget,
+        // no re-invocation of the objective.
+        let invocations = calls.load(Ordering::SeqCst);
+        assert_eq!(ev.eval(&[0.95, 0.5]), Some(f64::INFINITY));
+        assert_eq!(calls.load(Ordering::SeqCst), invocations);
+        assert_eq!(ev.evaluations(), 1);
+        assert_eq!(ev.cache_hits(), 1);
+        // A healthy point afterwards still works and becomes the best.
+        assert!(ev.eval(&[0.5, 0.5]).unwrap().abs() < 1e-12);
+        assert!(ev.best().is_some());
+    }
+
+    #[test]
+    fn nan_loss_is_quarantined_as_nonfinite() {
+        let calls = AtomicUsize::new(0);
+        let obj = trapdoor(&calls);
+        let ev = Evaluator::new(&obj, Budget::Evaluations(10));
+        match ev.try_eval(&[0.1, 0.95]) {
+            Err(EvalFailure::NonFinite { loss }) => assert!(loss.is_nan()),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        assert_eq!(ev.eval_nonfinite(), 1);
+        assert_eq!(ev.evaluations(), 1);
+        // The typed failure is replayed on re-proposal, served from the
+        // quarantine cache.
+        let invocations = calls.load(Ordering::SeqCst);
+        assert!(matches!(
+            ev.try_eval(&[0.1, 0.95]),
+            Err(EvalFailure::NonFinite { .. })
+        ));
+        assert_eq!(calls.load(Ordering::SeqCst), invocations);
+        assert_eq!(ev.cache_hits(), 1);
+    }
+
+    #[test]
+    fn try_eval_reports_budget_exhaustion() {
+        let obj = sphere();
+        let ev = Evaluator::new(&obj, Budget::Evaluations(1));
+        assert!(ev.try_eval(&[0.5, 0.5]).is_ok());
+        assert_eq!(ev.try_eval(&[0.1, 0.1]), Err(EvalFailure::BudgetExhausted));
+    }
+
+    #[test]
+    fn batch_isolates_failures_per_point() {
+        let calls = AtomicUsize::new(0);
+        let obj = trapdoor(&calls);
+        let ev = Evaluator::new(&obj, Budget::Evaluations(10));
+        // healthy, panic, nan, healthy — the healthy losses must be
+        // exactly what a clean evaluator computes.
+        let batch = vec![
+            vec![0.25, 0.25],
+            vec![0.95, 0.25],
+            vec![0.25, 0.95],
+            vec![0.4, 0.4],
+        ];
+        let losses = ev.eval_batch(&batch).unwrap();
+        assert_eq!(losses.len(), 4);
+        assert!(losses[0].is_finite());
+        assert_eq!(losses[1], f64::INFINITY);
+        assert_eq!(losses[2], f64::INFINITY);
+        assert!(losses[3].is_finite());
+        assert_eq!(ev.evaluations(), 4, "failed points consume budget");
+        assert_eq!(ev.eval_panics(), 1);
+        assert_eq!(ev.eval_nonfinite(), 1);
+        assert_eq!(ev.cache_misses(), ev.evaluations());
+        // Failure records carry the deterministic evaluation indices.
+        let indices: Vec<usize> = ev.failures().iter().map(|(i, _)| *i).collect();
+        assert_eq!(indices, vec![1, 2]);
+        // Cross-check the healthy values against a clean evaluator.
+        let clean_calls = AtomicUsize::new(0);
+        let clean_obj = trapdoor(&clean_calls);
+        let clean = Evaluator::new(&clean_obj, Budget::Evaluations(10));
+        assert_eq!(clean.eval(&[0.25, 0.25]), Some(losses[0]));
+        assert_eq!(clean.eval(&[0.4, 0.4]), Some(losses[3]));
+    }
+
+    /// Serializes tests that install the process-global fault plan.
+    static FAULTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    /// A seed no other simcal test uses, so a concurrently constructed
+    /// evaluator (tests run threaded) can never match these specs.
+    const FAULT_SEED: u64 = 0xFA17_FA17;
+
+    #[test]
+    fn injected_faults_hit_exact_evaluation_indices() {
+        let _lock = FAULTS.lock().unwrap();
+        let calls = AtomicUsize::new(0);
+        let space = ParameterSpace::new().with("a", ParamKind::Continuous { lo: 0.0, hi: 1.0 });
+        let obj = FnObjective::new(space, |c: &Calibration| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            c.values[0]
+        });
+        crate::fault::install(
+            crate::fault::FaultPlan::new()
+                .with_seeded_fault(crate::fault::FaultKind::Panic, 1, FAULT_SEED)
+                .with_seeded_fault(crate::fault::FaultKind::Nan, 3, FAULT_SEED),
+        );
+        let ev = Evaluator::new(&obj, Budget::Evaluations(8)).with_seed(FAULT_SEED);
+        crate::fault::uninstall();
+        let batch: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 / 10.0]).collect();
+        let losses = ev.eval_batch(&batch).unwrap();
+        assert!(losses[0].is_finite());
+        assert_eq!(losses[1], f64::INFINITY);
+        assert!(losses[2].is_finite());
+        assert_eq!(losses[3], f64::INFINITY);
+        assert!(losses[4].is_finite());
+        assert_eq!(ev.eval_panics(), 1);
+        assert_eq!(ev.eval_nonfinite(), 1);
+        let failures = ev.failures();
+        assert_eq!(failures[0].0, 1);
+        match &failures[0].1 {
+            EvalFailure::Panic { message } => {
+                assert!(message.contains("injected fault"), "{message}");
+                assert!(message.contains("evaluation 1"), "{message}");
+            }
+            other => panic!("expected injected Panic, got {other:?}"),
+        }
+        assert_eq!(failures[1].0, 3);
+        // The surviving losses are exactly the clean objective's values.
+        for (i, &l) in losses.iter().enumerate() {
+            if l.is_finite() {
+                assert!((l - i as f64 / 10.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_scoped_faults_miss_other_evaluators() {
+        let _lock = FAULTS.lock().unwrap();
+        let obj = sphere();
+        crate::fault::install(crate::fault::FaultPlan::new().with_seeded_fault(
+            crate::fault::FaultKind::Panic,
+            0,
+            FAULT_SEED,
+        ));
+        let hit = Evaluator::new(&obj, Budget::Evaluations(4)).with_seed(FAULT_SEED);
+        let miss = Evaluator::new(&obj, Budget::Evaluations(4)).with_seed(FAULT_SEED ^ 1);
+        crate::fault::uninstall();
+        assert_eq!(hit.eval(&[0.5, 0.5]), Some(f64::INFINITY));
+        assert!(miss.eval(&[0.5, 0.5]).unwrap().is_finite());
+        // Plans are snapshotted at construction: an evaluator created
+        // after uninstall sees no faults even for the targeted seed.
+        let after = Evaluator::new(&obj, Budget::Evaluations(4)).with_seed(FAULT_SEED);
+        assert!(after.eval(&[0.5, 0.5]).unwrap().is_finite());
     }
 
     #[test]

@@ -36,32 +36,80 @@ impl Calibrator {
     /// Run the calibration against `objective`.
     ///
     /// # Panics
-    /// Panics if the budget admitted no evaluation at all (e.g. a
-    /// zero-duration wall-clock budget), since there would be no
-    /// calibration to return.
+    /// Panics if no evaluation produced a finite loss — either the
+    /// budget admitted no evaluation at all (e.g. a zero-duration
+    /// wall-clock budget) or every evaluation failed (panicked or
+    /// returned a non-finite loss). The panic message carries the
+    /// failure counts; use [`Calibrator::try_calibrate`] to handle this
+    /// case without unwinding.
     pub fn calibrate(&self, objective: &dyn Objective) -> CalibrationResult {
+        self.try_calibrate(objective)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run the calibration against `objective`, returning an error
+    /// instead of panicking when no evaluation produced a finite loss.
+    ///
+    /// Individual objective panics and non-finite losses are isolated
+    /// and quarantined by the [`Evaluator`] (see its "Failure isolation"
+    /// docs); the calibration only fails as a whole when *no* usable
+    /// incumbent survives the budget.
+    pub fn try_calibrate(
+        &self,
+        objective: &dyn Objective,
+    ) -> Result<CalibrationResult, CalibrationFailed> {
         let _span = obs::span!(
             "calibrate",
             algorithm = self.algorithm.name(),
             seed = self.seed
         );
-        let evaluator = Evaluator::new(objective, self.budget);
+        let evaluator = Evaluator::new(objective, self.budget).with_seed(self.seed);
         self.algorithm.build().search(&evaluator, self.seed);
-        let (loss, _, calibration) = evaluator
-            .best()
-            .expect("budget admitted no evaluations; nothing to return");
-        CalibrationResult {
+        let Some((loss, _, calibration)) = evaluator.best() else {
+            return Err(CalibrationFailed {
+                evaluations: evaluator.evaluations(),
+                eval_panics: evaluator.eval_panics(),
+                eval_nonfinite: evaluator.eval_nonfinite(),
+            });
+        };
+        Ok(CalibrationResult {
             calibration,
             loss,
             evaluations: evaluator.evaluations(),
             cache_hits: evaluator.cache_hits(),
             cache_misses: evaluator.cache_misses(),
+            eval_panics: evaluator.eval_panics(),
+            eval_nonfinite: evaluator.eval_nonfinite(),
             elapsed_secs: evaluator.elapsed_secs(),
             trace: evaluator.trace(),
             algorithm: self.algorithm,
-        }
+        })
     }
 }
+
+/// A calibration run that produced no usable result: the budget admitted
+/// no evaluations, or every evaluation was quarantined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CalibrationFailed {
+    /// Budget evaluations consumed (including failed ones).
+    pub evaluations: usize,
+    /// How many of them panicked.
+    pub eval_panics: usize,
+    /// How many of them returned a non-finite loss.
+    pub eval_nonfinite: usize,
+}
+
+impl std::fmt::Display for CalibrationFailed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "calibration found no finite loss: {} evaluations ({} panicked, {} non-finite)",
+            self.evaluations, self.eval_panics, self.eval_nonfinite
+        )
+    }
+}
+
+impl std::error::Error for CalibrationFailed {}
 
 /// Outcome of a calibration run.
 ///
@@ -84,6 +132,12 @@ pub struct CalibrationResult {
     /// `evaluations`; recorded separately so ledger consumers can audit
     /// the evaluator's accounting without re-deriving it).
     pub cache_misses: usize,
+    /// Evaluations whose objective invocation panicked and was isolated
+    /// (quarantined as `+inf`, never fed to the surrogate or incumbent).
+    pub eval_panics: usize,
+    /// Evaluations whose objective returned a non-finite loss
+    /// (quarantined the same way).
+    pub eval_nonfinite: usize,
     /// Wall-clock seconds spent.
     pub elapsed_secs: f64,
     /// Convergence trace: one point per incumbent improvement.
@@ -170,6 +224,60 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert_eq!(back.loss.to_bits(), result.loss.to_bits());
+    }
+
+    #[test]
+    fn try_calibrate_reports_total_failure_instead_of_panicking() {
+        // An objective that always panics: every evaluation is
+        // quarantined, so there is no finite incumbent to return.
+        let space = ParameterSpace::new().with("a", ParamKind::Continuous { lo: 0.0, hi: 1.0 });
+        let obj = FnObjective::new(space, |_: &Calibration| -> f64 {
+            panic!("this simulator version is broken")
+        });
+        let err = Calibrator::bo_gp(Budget::Evaluations(6), 3)
+            .try_calibrate(&obj)
+            .unwrap_err();
+        assert_eq!(err.evaluations, 6);
+        assert_eq!(err.eval_panics, 6);
+        assert_eq!(err.eval_nonfinite, 0);
+        let msg = err.to_string();
+        assert!(msg.contains("no finite loss"), "{msg}");
+        assert!(msg.contains("6 panicked"), "{msg}");
+    }
+
+    #[test]
+    fn calibrate_panics_with_failure_counts_when_nothing_survives() {
+        let space = ParameterSpace::new().with("a", ParamKind::Continuous { lo: 0.0, hi: 1.0 });
+        let obj = FnObjective::new(space, |_: &Calibration| f64::NAN);
+        let caught = crate::fault::guard(|| {
+            Calibrator::bo_gp(Budget::Evaluations(4), 3).calibrate(&obj);
+        });
+        let msg = caught.unwrap_err();
+        assert!(msg.contains("no finite loss"), "{msg}");
+        assert!(msg.contains("4 non-finite"), "{msg}");
+    }
+
+    #[test]
+    fn partial_failures_survive_and_are_counted() {
+        // Panic on part of the domain: calibration still converges on
+        // the surviving region and reports how many evaluations failed.
+        let space = ParameterSpace::new()
+            .with("a", ParamKind::Continuous { lo: 0.0, hi: 10.0 })
+            .with("b", ParamKind::Continuous { lo: 0.0, hi: 10.0 });
+        let obj = FnObjective::new(space, |c: &Calibration| {
+            if c.values[1] > 9.0 {
+                panic!("unstable region");
+            }
+            (c.values[0] - 3.0).powi(2) + (c.values[1] - 8.0).powi(2)
+        });
+        let result = Calibrator::bo_gp(Budget::Evaluations(100), 42)
+            .try_calibrate(&obj)
+            .unwrap();
+        assert!(result.loss.is_finite());
+        assert!(result.eval_panics > 0, "the search must have probed b > 9");
+        assert_eq!(result.evaluations, 100);
+        assert_eq!(result.cache_misses, result.evaluations);
+        assert!((result.calibration.values[0] - 3.0).abs() < 1.5);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   regressors ([`surrogate`]);
 //! - [`budget`] — wall-clock and evaluation-count budgets with parallel
 //!   batch evaluation and convergence traces;
+//! - [`fault`] — panic isolation ([`fault::guard`]), the typed
+//!   [`fault::EvalFailure`] quarantine taxonomy, and the deterministic
+//!   [`fault::FaultPlan`] injection harness behind the chaos tests;
 //! - [`calibrate`] — the top-level [`calibrate::Calibrator`] driver;
 //! - [`synthetic`] — synthetic benchmarking and the calibration-error
 //!   metric used to select the loss/algorithm pair (Tables 3 and 5).
@@ -57,6 +60,7 @@
 pub mod algorithms;
 pub mod budget;
 pub mod calibrate;
+pub mod fault;
 pub mod loss;
 pub mod objective;
 pub mod param;
@@ -69,7 +73,8 @@ pub mod prelude {
         AlgorithmKind, BayesianOpt, GradientDescent, GridSearch, RandomSearch, SearchAlgorithm,
     };
     pub use crate::budget::{Budget, Evaluator, TracePoint};
-    pub use crate::calibrate::{CalibrationResult, Calibrator};
+    pub use crate::calibrate::{CalibrationFailed, CalibrationResult, Calibrator};
+    pub use crate::fault::{EvalFailure, FaultKind, FaultPlan};
     pub use crate::loss::{
         relative_error, Agg, ElementMix, Loss, MatrixLoss, ScenarioError, StructuredLoss,
     };

@@ -48,6 +48,25 @@ pub trait Objective: Sync {
     fn par_loss_batch(&self, calibrations: &[Calibration]) -> Vec<f64> {
         calibrations.par_iter().map(|c| self.loss(c)).collect()
     }
+
+    /// Like [`Objective::par_loss_batch`], but every per-point
+    /// evaluation is isolated under [`crate::fault::guard`]: a panic in
+    /// one point's simulation surfaces as that point's `Err(message)`
+    /// instead of unwinding through the whole batch. Successful points
+    /// must return bit-for-bit the same values as
+    /// [`Objective::par_loss_batch`].
+    ///
+    /// The default guards each point's [`Objective::par_loss`];
+    /// [`SimulationObjective`] overrides it to keep the flattened
+    /// (calibration × scenario) fan-out while guarding each individual
+    /// `Simulator::run` invocation, so a panic is attributed to exactly
+    /// the point whose scenario raised it.
+    fn try_par_loss_batch(&self, calibrations: &[Calibration]) -> Vec<Result<f64, String>> {
+        calibrations
+            .par_iter()
+            .map(|c| crate::fault::guard(|| self.par_loss(c)))
+            .collect()
+    }
 }
 
 /// A use-case-specific simulator: invoked once per ground-truth scenario,
@@ -157,6 +176,44 @@ where
             .map(|per_point| self.loss.aggregate(per_point))
             .collect()
     }
+
+    /// Same flattened (calibration × scenario) fan-out as
+    /// [`Objective::par_loss_batch`], with every `Simulator::run`
+    /// invocation individually guarded: a panicking scenario fails only
+    /// the calibration point it belongs to (first failing scenario in
+    /// dataset order wins), while the other points aggregate exactly the
+    /// output sequence the unguarded path builds.
+    fn try_par_loss_batch(&self, calibrations: &[Calibration]) -> Vec<Result<f64, String>> {
+        let n_scenarios = self.dataset.len();
+        let product: Vec<(usize, usize)> = (0..calibrations.len())
+            .flat_map(|c| (0..n_scenarios).map(move |s| (c, s)))
+            .collect();
+        let outputs: Vec<Result<S::Output, String>> = product
+            .par_iter()
+            .map(|&(c, s)| {
+                crate::fault::guard(|| self.simulator.run(&self.dataset[s], &calibrations[c]))
+            })
+            .collect();
+        let mut outputs = outputs.into_iter();
+        (0..calibrations.len())
+            .map(|_| {
+                let mut per_point: Vec<S::Output> = Vec::with_capacity(n_scenarios);
+                let mut failed: Option<String> = None;
+                for _ in 0..n_scenarios {
+                    match outputs.next().expect("one output per product item") {
+                        Ok(output) => per_point.push(output),
+                        Err(message) => {
+                            failed.get_or_insert(message);
+                        }
+                    }
+                }
+                match failed {
+                    None => crate::fault::guard(|| self.loss.aggregate(&per_point)),
+                    Some(message) => Err(message),
+                }
+            })
+            .collect()
+    }
 }
 
 /// A closure-backed objective, handy for tests and for analytic
@@ -247,6 +304,49 @@ mod tests {
             StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
             space1(),
         );
+    }
+
+    #[test]
+    fn try_batch_isolates_panicking_scenarios_per_point() {
+        /// Panics only for one (calibration, scenario) combination, so the
+        /// flattened fan-out must attribute the failure to exactly that
+        /// calibration point.
+        struct Flaky;
+        impl Simulator for Flaky {
+            type Scenario = f64;
+            type Output = ScenarioError;
+            fn run(&self, scenario: &f64, calibration: &Calibration) -> ScenarioError {
+                if calibration.values[0] > 50.0 && *scenario == 20.0 {
+                    panic!("scenario 20 exploded");
+                }
+                ScenarioError::scalar_only(crate::loss::relative_error(
+                    *scenario,
+                    calibration.values[0],
+                ))
+            }
+        }
+        let dataset = vec![10.0, 20.0];
+        let obj = SimulationObjective::new(
+            &Flaky,
+            &dataset,
+            StructuredLoss::new(Agg::Avg, ElementMix::Ignore, "L1"),
+            space1(),
+        );
+        let calibs = vec![
+            Calibration::new(vec![10.0]),
+            Calibration::new(vec![60.0]), // its scenario 20 panics
+            Calibration::new(vec![20.0]),
+        ];
+        let results = obj.try_par_loss_batch(&calibs);
+        assert_eq!(results.len(), 3);
+        assert!(results[1]
+            .as_ref()
+            .unwrap_err()
+            .contains("scenario 20 exploded"));
+        // Surviving points equal the unguarded batch path bit-for-bit.
+        let clean = obj.par_loss_batch(&[calibs[0].clone(), calibs[2].clone()]);
+        assert_eq!(results[0].as_ref().unwrap().to_bits(), clean[0].to_bits());
+        assert_eq!(results[2].as_ref().unwrap().to_bits(), clean[1].to_bits());
     }
 
     #[test]

@@ -138,8 +138,18 @@ impl RegressionTree {
         for &f in &features {
             let thresholds: Vec<f64> = match config.strategy {
                 SplitStrategy::Exhaustive => {
-                    let mut vals: Vec<f64> = indices.iter().map(|&i| x[i][f]).collect();
-                    vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature value"));
+                    // total_cmp instead of partial_cmp().expect(): a
+                    // single NaN feature value (e.g. from a quarantined
+                    // observation) must not panic the surrogate fit
+                    // mid-calibration. Non-finite values are dropped —
+                    // a midpoint with a NaN or infinite endpoint is not
+                    // a usable threshold.
+                    let mut vals: Vec<f64> = indices
+                        .iter()
+                        .map(|&i| x[i][f])
+                        .filter(|v| v.is_finite())
+                        .collect();
+                    vals.sort_by(f64::total_cmp);
                     vals.dedup();
                     vals.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
                 }
@@ -223,6 +233,21 @@ mod tests {
         let tree = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng);
         assert_eq!(tree.predict(&[0.2]), 1.0);
         assert_eq!(tree.predict(&[0.8]), 5.0);
+    }
+
+    #[test]
+    fn nan_feature_value_does_not_panic_the_fit() {
+        // Regression: the exhaustive splitter sorted candidate
+        // thresholds with partial_cmp().expect("NaN feature value"), so
+        // a single NaN observation panicked the GBRT surrogate
+        // mid-calibration. NaNs now sort via total_cmp and are dropped
+        // from the threshold candidates.
+        let (mut x, y) = grid_xy(|v| if v < 0.5 { 1.0 } else { 5.0 });
+        x[10][0] = f64::NAN;
+        let mut rng = rng_from_seed(0);
+        let tree = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng);
+        assert!(tree.predict(&[0.8]).is_finite());
+        assert!(tree.predict(&[0.2]).is_finite());
     }
 
     #[test]
