@@ -12,6 +12,8 @@
 //! - `--uncalibrated`    — where applicable, add the spec-based baseline;
 //! - `--ledger PATH`     — for sweep-driven binaries: checkpoint completed
 //!   work to (and resume it from) a lodsel run ledger;
+//! - `--cache DIR`       — persistent loss-cache directory (see
+//!   [`simcal::cache`]; overrides the `CALIB_CACHE` environment variable);
 //! - `--epsilon F`       — recommendation tolerance for those binaries;
 //! - `--trace PATH`      — record an `obs` JSONL trace of the run
 //!   (summarize it later with `lodsel --trace-report PATH`).
@@ -40,6 +42,8 @@ pub struct ExpArgs {
     pub uncalibrated: bool,
     /// Optional lodsel run-ledger path (sweep-driven binaries only).
     pub ledger: Option<String>,
+    /// Optional persistent loss-cache directory.
+    pub cache: Option<String>,
     /// Recommendation tolerance (sweep-driven binaries only).
     pub epsilon: f64,
     /// Optional JSONL trace output path.
@@ -58,6 +62,7 @@ impl ExpArgs {
         let mut tsv = None;
         let mut uncalibrated = false;
         let mut ledger = None;
+        let mut cache = None;
         let mut epsilon = 0.1;
         let mut trace = None;
 
@@ -100,6 +105,7 @@ impl ExpArgs {
                 "--tsv" => tsv = Some(take_value(&mut i)),
                 "--uncalibrated" => uncalibrated = true,
                 "--ledger" => ledger = Some(take_value(&mut i)),
+                "--cache" => cache = Some(take_value(&mut i)),
                 "--epsilon" => {
                     epsilon = take_value(&mut i)
                         .parse()
@@ -109,8 +115,8 @@ impl ExpArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --budget-evals N | --budget-secs S | --seed S | --fast | \
-                         --tsv PATH | --uncalibrated | --ledger PATH | --epsilon F | \
-                         --trace PATH"
+                         --tsv PATH | --uncalibrated | --ledger PATH | --cache DIR | \
+                         --epsilon F | --trace PATH"
                     );
                     std::process::exit(0);
                 }
@@ -133,8 +139,17 @@ impl ExpArgs {
             tsv,
             uncalibrated,
             ledger,
+            cache,
             epsilon,
             trace,
+        }
+    }
+
+    /// If `--cache` was given, install it as the process-global
+    /// persistent loss-cache directory (see [`simcal::cache::install`]).
+    pub fn install_cache(&self) {
+        if let Some(dir) = &self.cache {
+            simcal::cache::install(dir.clone());
         }
     }
 

@@ -51,6 +51,7 @@ fn main() {
         epsilon: args.epsilon,
         max_units: None,
         max_fault_retries: 2,
+        cache: args.cache.as_ref().map(std::path::PathBuf::from),
     };
     let ledger = args.open_ledger();
     let recorder = args.install_trace();

@@ -5,7 +5,22 @@ use simcal::prelude::*;
 
 // The experiment grid lives with the sweepable family definition now; the
 // old paths keep working for the single-version binaries.
-pub use lodsel::families::mpi::{emulator_config, node_counts};
+pub use lodsel::families::mpi::{dataset_fingerprint, emulator_config, node_counts};
+
+/// Cache fingerprint of one (version, training set, loss) calibration —
+/// the same identity the MPI sweep family uses, so standalone binaries
+/// and sweeps share persistent-cache entries.
+pub fn cache_fingerprint(
+    version: MpiSimulatorVersion,
+    train: &[MpiScenario],
+    loss: &MatrixLoss,
+) -> CacheFingerprint {
+    CacheFingerprint::of(
+        "mpi",
+        &version.label(),
+        dataset_fingerprint(train, loss.name()),
+    )
+}
 
 /// Calibrate `version` against `train` under `loss`.
 pub fn calibrate_version(
@@ -16,7 +31,8 @@ pub fn calibrate_version(
     seed: u64,
 ) -> CalibrationResult {
     let sim = MpiSimulator::new(version);
-    let obj = objective(&sim, train, loss);
+    let fingerprint = cache_fingerprint(version, train, &loss);
+    let obj = objective(&sim, train, loss).with_cache_fingerprint(fingerprint);
     Calibrator::bo_gp(budget, seed).calibrate(&obj)
 }
 
@@ -33,7 +49,8 @@ pub fn calibrate_version_best_of(
     restarts: usize,
 ) -> CalibrationResult {
     let sim = MpiSimulator::new(version);
-    let obj = objective(&sim, train, loss);
+    let fingerprint = cache_fingerprint(version, train, &loss);
+    let obj = objective(&sim, train, loss).with_cache_fingerprint(fingerprint);
     lodsel::multistart::calibrate_best_of(&obj, budget, seed, restarts)
 }
 

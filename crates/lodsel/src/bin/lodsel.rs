@@ -29,6 +29,8 @@ usage: lodsel [options]
   --seed <n>               master seed (default: 42)
   --epsilon <f>            recommendation tolerance (default: 0.1)
   --max-fault-retries <n>  resume retries for failed runs (default: 2)
+  --cache <dir>            persistent loss-cache directory (overrides the
+                           CALIB_CACHE environment variable)
   --ledger <path>          JSONL run ledger to checkpoint to / resume from
   --status                 summarize the ledger (requires --ledger) and exit
   --trace <path>           record a JSONL trace of the sweep to <path>
@@ -44,6 +46,7 @@ struct Opts {
     seed: u64,
     epsilon: f64,
     max_fault_retries: usize,
+    cache: Option<String>,
     ledger: Option<String>,
     status: bool,
     trace: Option<String>,
@@ -66,6 +69,7 @@ fn parse_opts() -> Opts {
         seed: 42,
         epsilon: 0.1,
         max_fault_retries: 2,
+        cache: None,
         ledger: None,
         status: false,
         trace: None,
@@ -112,6 +116,7 @@ fn parse_opts() -> Opts {
                     .parse()
                     .unwrap_or_else(|_| die("--max-fault-retries must be an integer"));
             }
+            "--cache" => opts.cache = Some(value("--cache")),
             "--ledger" => opts.ledger = Some(value("--ledger")),
             "--status" => opts.status = true,
             "--trace" => opts.trace = Some(value("--trace")),
@@ -229,6 +234,7 @@ fn main() {
         epsilon: opts.epsilon,
         max_units: None,
         max_fault_retries: opts.max_fault_retries,
+        cache: opts.cache.as_ref().map(std::path::PathBuf::from),
     };
     let ledger = opts.ledger.as_ref().map(|path| {
         Ledger::open(path).unwrap_or_else(|e| die(&format!("cannot open ledger {path}: {e}")))
@@ -302,6 +308,6 @@ fn main() {
     match &outcome.recommendation {
         Some(rec) => print!("{}", render_recommendation(rec)),
         None if !outcome.complete => println!("sweep incomplete: no recommendation"),
-        None => println!("every version failed: no recommendation"),
+        None => println!("no recommendation: every version failed or none has a finite test error"),
     }
 }

@@ -13,8 +13,8 @@ use batchsim::prelude::{
     WorkloadSpec,
 };
 use simcal::prelude::{
-    relative_error, Agg, Budget, Calibration, CalibrationResult, Calibrator, ElementMix,
-    StructuredLoss,
+    relative_error, Agg, Budget, CacheFingerprint, Calibration, CalibrationResult, Calibrator,
+    ElementMix, StructuredLoss,
 };
 
 /// The batch simulator family: 4 versions × one unit each.
@@ -162,7 +162,8 @@ impl VersionFamily for BatchFamily {
 
     fn calibrate(&self, unit: &SweepUnit, budget: Budget, seed: u64) -> CalibrationResult {
         let sim = BatchSimulator::new(self.versions[unit.version], self.total_nodes);
-        let obj = objective(&sim, &self.train, self.loss.clone());
+        let obj = objective(&sim, &self.train, self.loss.clone())
+            .with_cache_fingerprint(CacheFingerprint::of("batch", &unit.label, self.fingerprint));
         Calibrator::bo_gp(budget, seed).calibrate(&obj)
     }
 

@@ -12,7 +12,9 @@ use mpisim::prelude::{
     dataset, mean_relative_rate_error, objective, BenchmarkKind, MpiEmulatorConfig, MpiScenario,
     MpiSimulator, MpiSimulatorVersion, NODE_COUNTS,
 };
-use simcal::prelude::{Budget, Calibration, CalibrationResult, Calibrator, MatrixLoss};
+use simcal::prelude::{
+    Budget, CacheFingerprint, Calibration, CalibrationResult, Calibrator, MatrixLoss,
+};
 
 /// Node counts used by the experiments. The paper runs 128/256/512; the
 /// `fast` grid shrinks the base scale (contention structure is preserved)
@@ -31,6 +33,26 @@ pub fn emulator_config(fast: bool) -> MpiEmulatorConfig {
         repetitions: if fast { 3 } else { 5 },
         ..Default::default()
     }
+}
+
+/// Content hash of an MPI scenario set under a named loss: the dataset
+/// component of both the family fingerprint and the persistent-cache
+/// fingerprint. Rate observations contribute exact bit patterns, so two
+/// hashes agree only when the ground truth is identical.
+pub fn dataset_fingerprint(scenarios: &[MpiScenario], loss_label: &str) -> u64 {
+    let mut parts = vec![format!("mpi|loss={loss_label}")];
+    for s in scenarios {
+        parts.push(format!(
+            "bench={}|nodes={}|sizes={}",
+            s.benchmark.name(),
+            s.n_nodes,
+            s.sizes.len()
+        ));
+        for rate in s.mean_rates() {
+            parts.push(format!("rate={:016x}", rate.to_bits()));
+        }
+    }
+    super::fingerprint_of(parts)
 }
 
 /// The MPI simulator family: 16 versions × one unit each.
@@ -54,19 +76,7 @@ impl MpiFamily {
             !versions.is_empty() && !scenarios.is_empty(),
             "empty family"
         );
-        let mut parts = vec![format!("mpi|loss={loss_label}")];
-        for s in &scenarios {
-            parts.push(format!(
-                "bench={}|nodes={}|sizes={}",
-                s.benchmark.name(),
-                s.n_nodes,
-                s.sizes.len()
-            ));
-            for rate in s.mean_rates() {
-                parts.push(format!("rate={:016x}", rate.to_bits()));
-            }
-        }
-        let fingerprint = super::fingerprint_of(parts);
+        let fingerprint = dataset_fingerprint(&scenarios, loss_label);
         Self {
             versions,
             scenarios,
@@ -122,7 +132,8 @@ impl VersionFamily for MpiFamily {
 
     fn calibrate(&self, unit: &SweepUnit, budget: Budget, seed: u64) -> CalibrationResult {
         let sim = MpiSimulator::new(self.versions[unit.version]);
-        let obj = objective(&sim, &self.scenarios, self.loss.clone());
+        let obj = objective(&sim, &self.scenarios, self.loss.clone())
+            .with_cache_fingerprint(CacheFingerprint::of("mpi", &unit.label, self.fingerprint));
         Calibrator::bo_gp(budget, seed).calibrate(&obj)
     }
 

@@ -9,7 +9,8 @@
 
 use crate::family::{SweepUnit, UnitEval, VersionFamily};
 use simcal::prelude::{
-    relative_error, Budget, Calibration, CalibrationResult, Calibrator, StructuredLoss,
+    relative_error, Budget, CacheFingerprint, Calibration, CalibrationResult, Calibrator,
+    StructuredLoss,
 };
 use wfsim::prelude::{
     dataset_for, objective, split_train_test, AppKind, DatasetOptions, SimulatorVersion,
@@ -159,7 +160,8 @@ impl VersionFamily for WfFamily {
 
     fn calibrate(&self, unit: &SweepUnit, budget: Budget, seed: u64) -> CalibrationResult {
         let sim = WorkflowSimulator::new(self.versions[unit.version]);
-        let obj = objective(&sim, &self.splits[unit.slot].train, self.loss.clone());
+        let obj = objective(&sim, &self.splits[unit.slot].train, self.loss.clone())
+            .with_cache_fingerprint(CacheFingerprint::of("wf", &unit.label, self.fingerprint));
         Calibrator::bo_gp(budget, seed).calibrate(&obj)
     }
 

@@ -205,6 +205,7 @@ struct Inner {
 ///     epsilon: 0.1,
 ///     max_units: None,
 ///     max_fault_retries: 2,
+///     cache: None,
 /// };
 ///
 /// let ledger = Ledger::open(&path).unwrap();

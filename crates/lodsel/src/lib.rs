@@ -58,7 +58,8 @@ pub mod prelude {
     pub use crate::ledger::{FailureHistory, Ledger, LedgerEvent, RunRecord, UnitRecord};
     pub use crate::multistart::{best_result, calibrate_best_of, pick_best, restart_seed};
     pub use crate::pareto::{
-        pareto_front, recommend, render_recommendation, Recommendation, VersionScore,
+        pareto_front, recommend, render_recommendation, try_recommend, RecommendError,
+        Recommendation, VersionScore,
     };
     pub use crate::report::{fnum, pct, Table};
     pub use crate::sweep::{

@@ -62,6 +62,27 @@ pub struct Recommendation {
     pub scores: Vec<VersionScore>,
 }
 
+/// A recommendation could not be made: every surviving version's test
+/// error is non-finite (NaN or infinite), so there is no best error to
+/// anchor the ε-eligibility threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecommendError {
+    /// How many versions were considered (all with non-finite errors).
+    pub versions: usize,
+}
+
+impl std::fmt::Display for RecommendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no version has a finite test error ({} considered)",
+            self.versions
+        )
+    }
+}
+
+impl std::error::Error for RecommendError {}
+
 /// Rank versions and pick the cheapest one within ε of the best accuracy.
 ///
 /// ```
@@ -76,14 +97,44 @@ pub struct Recommendation {
 /// ```
 ///
 /// # Panics
-/// Panics if the slices are empty or of unequal length.
+/// Panics if the slices are empty or of unequal length, or if no version
+/// has a finite test error — use [`try_recommend`] to handle the latter
+/// without unwinding.
 pub fn recommend(labels: &[String], errors: &[f64], works: &[u64], epsilon: f64) -> Recommendation {
+    try_recommend(labels, errors, works, epsilon).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`recommend`], but returning a typed error when every version's
+/// test error is non-finite instead of silently producing a NaN
+/// `best_error` (and with it a position-dependent, meaningless ranking).
+///
+/// Versions with non-finite errors are never eligible, never counted as
+/// Pareto-front members, and rank after every finite-error version.
+///
+/// # Panics
+/// Still panics on the programming errors: empty or unequal-length
+/// slices.
+pub fn try_recommend(
+    labels: &[String],
+    errors: &[f64],
+    works: &[u64],
+    epsilon: f64,
+) -> Result<Recommendation, RecommendError> {
     assert!(!labels.is_empty(), "no versions to recommend from");
     assert!(
         labels.len() == errors.len() && labels.len() == works.len(),
         "mismatched version data"
     );
-    let best_error = errors.iter().copied().fold(f64::INFINITY, f64::min);
+    let best_error = errors
+        .iter()
+        .copied()
+        .filter(|e| e.is_finite())
+        .fold(f64::INFINITY, f64::min);
+    if !best_error.is_finite() {
+        return Err(RecommendError {
+            versions: labels.len(),
+        });
+    }
     let threshold = best_error * (1.0 + epsilon);
     let front = pareto_front(
         &errors
@@ -94,7 +145,7 @@ pub fn recommend(labels: &[String], errors: &[f64], works: &[u64], epsilon: f64)
     );
 
     let mut order: Vec<usize> = (0..labels.len()).collect();
-    let eligible = |i: usize| errors[i] <= threshold;
+    let eligible = |i: usize| errors[i].is_finite() && errors[i] <= threshold;
     order.sort_by(|&a, &b| {
         match (eligible(a), eligible(b)) {
             (true, false) => return std::cmp::Ordering::Less,
@@ -106,7 +157,8 @@ pub fn recommend(labels: &[String], errors: &[f64], works: &[u64], epsilon: f64)
                 // Cheapest first; break work ties by accuracy.
                 (works[i] as i64, errors[i])
             } else {
-                // Closest to eligibility first.
+                // Closest to eligibility first; `total_cmp` below ranks
+                // non-finite errors (inf, then NaN) after every finite one.
                 (0, errors[i])
             }
         };
@@ -121,15 +173,18 @@ pub fn recommend(labels: &[String], errors: &[f64], works: &[u64], epsilon: f64)
             test_error: errors[i],
             work_units: works[i],
             eligible: eligible(i),
-            on_front: front[i],
+            // A NaN error compares false against everything, so the
+            // dominance test can never rule such a point out; require a
+            // finite error for front membership.
+            on_front: front[i] && errors[i].is_finite(),
         })
         .collect();
-    Recommendation {
+    Ok(Recommendation {
         epsilon,
         best_error,
         chosen: scores[0].label.clone(),
         scores,
-    }
+    })
 }
 
 /// Multi-line human-readable rendering of a recommendation.
@@ -212,6 +267,45 @@ mod tests {
         let rec = recommend(&labels(1), &[0.5], &[7], 0.1);
         assert_eq!(rec.chosen, "v0");
         assert!(rec.scores[0].eligible && rec.scores[0].on_front);
+    }
+
+    #[test]
+    fn non_finite_errors_are_ineligible_and_ranked_last() {
+        // Regression: a NaN test error used to poison `best_error`
+        // (fold over min with NaN first yields NaN), make its version
+        // spuriously Pareto-optimal, and leave its rank position-
+        // dependent. It must lose to every finite version.
+        let errs = [f64::NAN, 0.10, f64::INFINITY, 0.12];
+        let works = [1, 100, 2, 10];
+        let rec = try_recommend(&labels(4), &errs, &works, 0.5).unwrap();
+        assert_eq!(rec.best_error, 0.10);
+        assert_eq!(rec.chosen, "v3"); // cheapest eligible finite version
+        let ranked: Vec<&str> = rec.scores.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(ranked, vec!["v3", "v1", "v2", "v0"]); // inf before NaN
+        for s in &rec.scores {
+            if !s.test_error.is_finite() {
+                assert!(!s.eligible, "{}", s.label);
+                assert!(!s.on_front, "{}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn all_non_finite_errors_yield_a_typed_error() {
+        let errs = [f64::NAN, f64::INFINITY];
+        let err = try_recommend(&labels(2), &errs, &[1, 2], 0.1).unwrap_err();
+        assert_eq!(err, RecommendError { versions: 2 });
+        assert!(err
+            .to_string()
+            .contains("no version has a finite test error"));
+    }
+
+    #[test]
+    fn recommend_panics_when_nothing_is_finite() {
+        let caught = std::panic::catch_unwind(|| {
+            recommend(&labels(1), &[f64::NAN], &[1], 0.1);
+        });
+        assert!(caught.is_err());
     }
 
     #[test]

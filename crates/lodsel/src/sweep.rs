@@ -26,11 +26,12 @@ use crate::ledger::{
     run_key, unit_key, FailureHistory, Ledger, LedgerEvent, RunRecord, UnitRecord,
 };
 use crate::multistart::{pick_best, restart_seed};
-use crate::pareto::{pareto_front, recommend, Recommendation};
+use crate::pareto::{pareto_front, try_recommend, Recommendation};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use simcal::prelude::{Budget, CalibrationResult};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// How the sweep's evaluation budget is distributed over calibration runs.
@@ -77,6 +78,14 @@ pub struct SweepConfig {
     /// re-running. Without a ledger there is nothing to count attempts
     /// against, so the value is inert.
     pub max_fault_retries: usize,
+    /// Persistent loss-cache directory ([`simcal::cache`]). When set, it
+    /// is installed process-globally for the duration of the sweep (the
+    /// previous state is restored afterwards), so every calibration whose
+    /// objective carries a cache fingerprint replays identical
+    /// evaluations from disk across sweep executions. `None` leaves
+    /// whatever is already active (an installed directory or
+    /// `CALIB_CACHE`) untouched.
+    pub cache: Option<PathBuf>,
 }
 
 impl SweepConfig {
@@ -90,6 +99,44 @@ impl SweepConfig {
             epsilon: 0.1,
             max_units: None,
             max_fault_retries: 2,
+            cache: None,
+        }
+    }
+}
+
+/// Installs a sweep's persistent-cache directory for its duration and
+/// restores the previous process-global state on drop (panic-safe).
+struct CacheScope {
+    previous: Option<std::sync::Arc<PathBuf>>,
+    active: bool,
+}
+
+impl CacheScope {
+    fn activate(dir: Option<&std::path::Path>) -> Self {
+        match dir {
+            Some(d) => {
+                let previous = simcal::cache::installed();
+                simcal::cache::install(d);
+                Self {
+                    previous,
+                    active: true,
+                }
+            }
+            None => Self {
+                previous: None,
+                active: false,
+            },
+        }
+    }
+}
+
+impl Drop for CacheScope {
+    fn drop(&mut self) {
+        if self.active {
+            match self.previous.take() {
+                Some(p) => simcal::cache::install(p.as_ref().clone()),
+                None => simcal::cache::uninstall(),
+            }
         }
     }
 }
@@ -303,6 +350,7 @@ pub fn run_sweep(
     let labels = family.version_labels();
     let units = family.units();
     assert!(!units.is_empty(), "family has no units to sweep");
+    let _cache_scope = CacheScope::activate(config.cache.as_deref());
     let restarts = config.restarts.max(1);
     let name = family.name().to_string();
     let fingerprint = family.fingerprint();
@@ -662,16 +710,30 @@ pub fn run_sweep(
 
     let complete = active_units == units.len();
     // Recommend from the surviving versions; a sweep whose every version
-    // failed has nobody left to recommend (recommend() rejects an empty
-    // slate), so the outcome carries only the failure report.
-    let recommendation = (complete && !versions.is_empty()).then(|| {
-        recommend(
+    // failed has nobody left to recommend, and a slate whose every
+    // surviving version carries a non-finite test error has nothing to
+    // anchor ε-eligibility on — both degrade to a failure row instead of
+    // a recommendation.
+    let mut recommendation = None;
+    if complete && !versions.is_empty() {
+        match try_recommend(
             &versions.iter().map(|v| v.label.clone()).collect::<Vec<_>>(),
             &versions.iter().map(|v| v.test_error).collect::<Vec<_>>(),
             &versions.iter().map(|v| v.work_units).collect::<Vec<_>>(),
             config.epsilon,
-        )
-    });
+        ) {
+            Ok(rec) => recommendation = Some(rec),
+            Err(e) => failures.push(RunFailure {
+                version: "(all)".into(),
+                unit: "(recommendation)".into(),
+                restart: 0,
+                stage: "recommend".into(),
+                attempt: 1,
+                retriable: false,
+                reason: e.to_string(),
+            }),
+        }
+    }
     let outcome = SweepOutcome {
         family: name.clone(),
         complete,

@@ -6,7 +6,8 @@
 
 use lodsel::prelude::*;
 use simcal::prelude::{
-    Budget, Calibration, CalibrationResult, Calibrator, FnObjective, ParamKind, ParameterSpace,
+    Budget, CacheFingerprint, Calibration, CalibrationResult, Calibrator, FnObjective, ParamKind,
+    ParameterSpace,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -19,6 +20,9 @@ pub struct ToyFamily {
     /// Counts real calibration runs, so tests can prove a resumed sweep
     /// never re-consumes budget.
     pub calibrations: AtomicUsize,
+    /// Counts objective invocations across all runs, so tests can prove
+    /// a persistent-cache replay skipped the objective entirely.
+    pub evaluations: AtomicUsize,
     /// When set, evaluation samples depend on the winning calibration's
     /// parameter value — any drift in calibration or winner selection
     /// between fresh and resumed sweeps then changes the digest.
@@ -29,12 +33,17 @@ impl ToyFamily {
     pub fn new(calibration_dependent: bool) -> Self {
         Self {
             calibrations: AtomicUsize::new(0),
+            evaluations: AtomicUsize::new(0),
             calibration_dependent,
         }
     }
 
     pub fn calibration_runs(&self) -> usize {
         self.calibrations.load(Ordering::SeqCst)
+    }
+
+    pub fn objective_evaluations(&self) -> usize {
+        self.evaluations.load(Ordering::SeqCst)
     }
 }
 
@@ -69,7 +78,16 @@ impl VersionFamily for ToyFamily {
         self.calibrations.fetch_add(1, Ordering::SeqCst);
         let target = 0.2 * (unit.version as f64 + 1.0);
         let space = ParameterSpace::new().with("x", ParamKind::Continuous { lo: 0.0, hi: 1.0 });
-        let obj = FnObjective::new(space, move |c: &Calibration| (c.values[0] - target).powi(2));
+        let evals = &self.evaluations;
+        let obj = FnObjective::new(space, move |c: &Calibration| {
+            evals.fetch_add(1, Ordering::SeqCst);
+            (c.values[0] - target).powi(2)
+        })
+        .with_cache_fingerprint(CacheFingerprint::of(
+            "toy",
+            &unit.label,
+            self.fingerprint(),
+        ));
         Calibrator::bo_gp(budget, seed).calibrate(&obj)
     }
 

@@ -19,6 +19,7 @@ fn config(restarts: usize, max_units: Option<usize>) -> SweepConfig {
         epsilon: 0.1,
         max_units,
         max_fault_retries: 2,
+        cache: None,
     }
 }
 

@@ -31,11 +31,17 @@ pub enum Counter {
     /// Transient ledger write errors that were retried (with backoff)
     /// before succeeding or giving up.
     LedgerRetries,
+    /// Evaluations replayed from the persistent on-disk loss cache
+    /// (budget consumed, simulation skipped).
+    DiskCacheHits,
+    /// Evaluations that consulted the on-disk loss cache and missed
+    /// (full simulation performed; only counted when a cache is active).
+    DiskCacheMisses,
 }
 
 impl Counter {
     /// All counters, in trace-emission order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 12] = [
         Counter::KernelEvents,
         Counter::KernelHeapReinserts,
         Counter::KernelSharingResolves,
@@ -46,6 +52,8 @@ impl Counter {
         Counter::PoolSteals,
         Counter::PoolParks,
         Counter::LedgerRetries,
+        Counter::DiskCacheHits,
+        Counter::DiskCacheMisses,
     ];
 
     /// Stable snake_case name used in the JSONL trace.
@@ -61,6 +69,8 @@ impl Counter {
             Counter::PoolSteals => "pool_steals",
             Counter::PoolParks => "pool_parks",
             Counter::LedgerRetries => "ledger_retries",
+            Counter::DiskCacheHits => "disk_cache_hits",
+            Counter::DiskCacheMisses => "disk_cache_misses",
         }
     }
 

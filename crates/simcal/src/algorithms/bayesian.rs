@@ -29,6 +29,15 @@ pub struct BayesianOpt {
     pub local_fraction: f64,
     /// Standard deviation of the local perturbations (unit-cube units).
     pub local_sigma: f64,
+    /// Warm-start observations `(unit point, loss)` from a previous
+    /// calibration (e.g. a neighbouring simulator version or scale, read
+    /// back from the persistent cache). They join the surrogate's fit
+    /// set and steer the incumbent anchor of the acquisition, but are
+    /// never themselves evaluated, never consume budget, and never enter
+    /// the evaluator's incumbent — the reported best always comes from
+    /// points this run actually evaluated. Non-finite losses and points
+    /// of the wrong dimension are ignored.
+    pub warm_start: Vec<(Vec<f64>, f64)>,
 }
 
 impl BayesianOpt {
@@ -41,7 +50,14 @@ impl BayesianOpt {
             n_candidates: 512,
             local_fraction: 0.3,
             local_sigma: 0.08,
+            warm_start: Vec::new(),
         }
+    }
+
+    /// Attach warm-start observations (see the `warm_start` field).
+    pub fn with_warm_start(mut self, warm_start: Vec<(Vec<f64>, f64)>) -> Self {
+        self.warm_start = warm_start;
+        self
     }
 }
 
@@ -69,6 +85,15 @@ impl SearchAlgorithm for BayesianOpt {
         let dim = evaluator.space().dim();
         let mut rng = rng_from_seed(seed);
 
+        // Warm-start observations participate in every surrogate fit but
+        // are never evaluated and never consume budget.
+        let warm: Vec<(Vec<f64>, f64)> = self
+            .warm_start
+            .iter()
+            .filter(|(x, y)| x.len() == dim && y.is_finite())
+            .cloned()
+            .collect();
+
         // Observation history (unit points and losses).
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
@@ -94,11 +119,15 @@ impl SearchAlgorithm for BayesianOpt {
             // in release builds they would silently poison every
             // subsequent prediction. In the fault-free case the filter
             // is a no-op, so trajectories are unchanged.
-            let (fit_xs, fit_ys): (Vec<Vec<f64>>, Vec<f64>) = xs
+            let (fit_xs, fit_ys): (Vec<Vec<f64>>, Vec<f64>) = warm
                 .iter()
-                .zip(&ys)
-                .filter(|&(_, y)| y.is_finite())
-                .map(|(x, &y)| (x.clone(), y))
+                .map(|(x, y)| (x.clone(), *y))
+                .chain(
+                    xs.iter()
+                        .zip(&ys)
+                        .filter(|&(_, y)| y.is_finite())
+                        .map(|(x, &y)| (x.clone(), y)),
+                )
                 .unzip();
             if fit_xs.is_empty() {
                 // Every evaluation so far failed: nothing to model, so
@@ -331,6 +360,52 @@ mod tests {
         BayesianOpt::new(SurrogateKind::GaussianProcess).search(&ev, 4);
         assert_eq!(ev.evaluations(), 60);
         assert!(ev.best().is_some(), "a survivor must become the incumbent");
+    }
+
+    #[test]
+    fn invalid_warm_points_are_ignored() {
+        // Wrong-dimension and non-finite warm observations must leave
+        // the trajectory bit-for-bit identical to a cold start.
+        let obj = make_objective(2, |v| (v[0] - 0.2).abs() + (v[1] - 0.9).abs());
+        let run = |warm: Vec<(Vec<f64>, f64)>| {
+            let ev = Evaluator::new(&obj, Budget::Evaluations(40));
+            BayesianOpt::new(SurrogateKind::GaussianProcess)
+                .with_warm_start(warm)
+                .search(&ev, 13);
+            let (loss, unit, _) = ev.best().unwrap();
+            (loss.to_bits(), unit)
+        };
+        let cold = run(Vec::new());
+        let warm = run(vec![
+            (vec![0.5], 0.1),                // wrong dimension
+            (vec![0.2, 0.9], f64::NAN),      // non-finite loss
+            (vec![0.2, 0.9], f64::INFINITY), // non-finite loss
+        ]);
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn warm_start_steers_but_never_consumes_budget() {
+        // Warm observations at the optimum bias the surrogate toward it
+        // without being evaluated: the budget is spent entirely on this
+        // run's own proposals, and the incumbent is one of them.
+        let f = |v: &[f64]| (v[0] - 0.7).powi(2) + (v[1] - 0.3).powi(2);
+        let obj = make_objective(2, f);
+        let warm: Vec<(Vec<f64>, f64)> = vec![
+            (vec![0.7, 0.3], 0.0),
+            (vec![0.68, 0.33], 0.0013),
+            (vec![0.75, 0.28], 0.0029),
+        ];
+        let ev = Evaluator::new(&obj, Budget::Evaluations(40));
+        BayesianOpt::new(SurrogateKind::GaussianProcess)
+            .with_warm_start(warm)
+            .search(&ev, 21);
+        assert_eq!(ev.evaluations(), 40, "warm points must not consume budget");
+        let (loss, unit, _) = ev.best().unwrap();
+        // The reported best was really evaluated: its loss matches the
+        // objective at the reported unit point.
+        assert!((loss - f(&unit)).abs() < 1e-12);
+        assert!(loss < 0.05, "warm-started search should home in: {loss}");
     }
 
     #[test]

@@ -7,14 +7,16 @@
 //! bit-for-bit reproducible regardless of host speed, which is what the
 //! workspace's tests and experiment binaries use by default.
 
+use crate::cache::{self, CachedOutcome, DiskCache};
 use crate::fault::{self, EvalFailure, FaultKind, FaultPlan};
 use crate::objective::Objective;
 use crate::param::Calibration;
 use parking_lot::{Mutex, RwLock};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A bound on the calibration effort.
@@ -144,13 +146,30 @@ enum Cached {
 ///
 /// [`Objective::loss`] is required to be deterministic, so the evaluator
 /// caches losses keyed by the *canonicalized* point — the bit pattern of
-/// the denormalized natural-unit calibration. Two unit points that snap to
-/// the same calibration (common for integer/discrete parameters, grid
+/// the denormalized natural-unit calibration, with `-0.0` folded into
+/// `0.0` (see [`cache::canonical_key`]). Two unit points that snap to the
+/// same calibration (common for integer/discrete parameters, grid
 /// re-sweeps, and BO local refinement re-proposals) share one cache entry.
 /// A cache hit returns the stored loss **without consuming a budget
 /// evaluation** and without re-recording the incumbent (it was recorded
 /// when first computed). [`Evaluator::cache_hits`] /
-/// [`Evaluator::cache_misses`] expose the counters.
+/// [`Evaluator::cache_misses`] expose the counters. A point with a NaN
+/// component has no canonical identity and is evaluated uncached.
+///
+/// # Persistent cache
+///
+/// When the objective declares a [`Objective::cache_fingerprint`] and a
+/// cache directory is active ([`cache::install`] or `CALIB_CACHE`,
+/// snapshotted at construction like the fault plan), a memo miss consults
+/// the on-disk shard for (fingerprint, seed) before invoking the
+/// objective. A disk hit **consumes a budget evaluation** exactly like a
+/// fresh invocation — incumbent, trace, failure counters, and evaluation
+/// indices are bit-for-bit identical to an uncached run — but skips the
+/// simulation itself (`cache_misses` still counts it; the objective was
+/// simply not re-invoked). Fresh outcomes, including quarantined
+/// failures, are persisted back to the shard; evaluations synthesized by
+/// an injected [`FaultPlan`] are *not*, so chaos runs never poison the
+/// cache.
 ///
 /// # Failure isolation
 ///
@@ -173,6 +192,13 @@ pub struct Evaluator<'a> {
     /// Snapshot of the fault-injection plan installed when the
     /// evaluator was constructed ([`fault::current`]).
     faults: Option<Arc<FaultPlan>>,
+    /// Snapshot of the persistent-cache directory active at construction
+    /// ([`cache::current`]).
+    cache_dir: Option<Arc<PathBuf>>,
+    /// Lazily opened disk shard (`None` inside when the objective has no
+    /// fingerprint or no cache directory is active). Opened on first
+    /// evaluation so that [`Evaluator::with_seed`] is already applied.
+    disk: OnceLock<Option<Arc<DiskCache>>>,
     start: Instant,
     count: AtomicUsize,
     best: Mutex<Best>,
@@ -195,6 +221,8 @@ impl<'a> Evaluator<'a> {
             budget,
             seed: 0,
             faults: fault::current(),
+            cache_dir: cache::current(),
+            disk: OnceLock::new(),
             start: Instant::now(),
             count: AtomicUsize::new(0),
             best: Mutex::new(Best {
@@ -272,9 +300,10 @@ impl<'a> Evaluator<'a> {
 
     /// Record a failed evaluation: it consumes one budget evaluation
     /// (keeping `cache_misses == evaluations`), bumps the matching
-    /// failure counter, and quarantines the point so re-proposals never
-    /// re-invoke the objective. The incumbent and trace are untouched.
-    fn record_failure(&self, key: &[u64], failure: EvalFailure) {
+    /// failure counter, and quarantines the point (when it has a
+    /// canonical key) so re-proposals never re-invoke the objective. The
+    /// incumbent and trace are untouched.
+    fn record_failure(&self, key: Option<&[u64]>, failure: EvalFailure) {
         let index = self.count.fetch_add(1, Ordering::Relaxed);
         match &failure {
             EvalFailure::Panic { .. } => {
@@ -287,10 +316,71 @@ impl<'a> Evaluator<'a> {
             }
             EvalFailure::BudgetExhausted => {}
         }
-        self.cache
-            .write()
-            .insert(key.to_vec(), Cached::Quarantined(failure.clone()));
+        if let Some(key) = key {
+            self.cache
+                .write()
+                .insert(key.to_vec(), Cached::Quarantined(failure.clone()));
+        }
         self.failures.lock().push((index, failure));
+    }
+
+    /// The persistent-cache shard for this evaluator, opened on first
+    /// use; `None` when the objective declares no fingerprint or no cache
+    /// directory was active at construction.
+    fn disk(&self) -> Option<&DiskCache> {
+        self.disk
+            .get_or_init(|| {
+                let dir = self.cache_dir.as_ref()?;
+                let fingerprint = self.objective.cache_fingerprint()?;
+                Some(Arc::new(DiskCache::open(
+                    dir,
+                    fingerprint.shard_id(self.seed),
+                )))
+            })
+            .as_deref()
+    }
+
+    /// Persist a fresh evaluation outcome to the disk shard. Skipped for
+    /// keyless (NaN-component) points and for outcomes synthesized by an
+    /// injected fault — a chaos run must never poison the shared cache.
+    fn persist(&self, calib: &Calibration, key: Option<&Vec<u64>>, outcome: CachedOutcome) {
+        if key.is_none() {
+            return;
+        }
+        if let Some(disk) = self.disk() {
+            disk.store(&calib.values, outcome);
+        }
+    }
+
+    /// Replay a disk-cached outcome as if the objective had just produced
+    /// it: identical budget consumption, incumbent/trace updates, failure
+    /// accounting, and memo-map population — only the simulation itself
+    /// is skipped.
+    fn replay(
+        &self,
+        unit_point: &[f64],
+        key: &[u64],
+        outcome: CachedOutcome,
+    ) -> Result<f64, EvalFailure> {
+        match outcome {
+            CachedOutcome::Loss { loss } => {
+                self.record(unit_point, loss);
+                self.cache.write().insert(key.to_vec(), Cached::Loss(loss));
+                Ok(loss)
+            }
+            CachedOutcome::Panic { message } => {
+                let failure = EvalFailure::Panic { message };
+                self.record_failure(Some(key), failure.clone());
+                Err(failure)
+            }
+            CachedOutcome::NonFinite { loss_bits } => {
+                let failure = EvalFailure::NonFinite {
+                    loss: f64::from_bits(loss_bits),
+                };
+                self.record_failure(Some(key), failure.clone());
+                Err(failure)
+            }
+        }
     }
 
     /// The fault (if any) the active plan injects into evaluation
@@ -302,17 +392,16 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluate one chunk of uncached calibrations, point `p` taking
-    /// evaluation index `base + p`. Without matching faults this is a
+    /// evaluation index `indices[p]`. Without matching faults this is a
     /// single flattened [`Objective::try_par_loss_batch`] fan-out; with
     /// faults, clean points still share one fan-out while faulted points
     /// synthesize their failure through the same [`fault::guard`] the
     /// real path uses (an injected panic really panics and really
     /// unwinds), keeping injected-fault runs bit-for-bit reproducible
     /// across thread counts.
-    fn run_chunk(&self, base: usize, calibs: &[Calibration]) -> Vec<Result<f64, String>> {
-        let faults: Vec<Option<FaultKind>> = (0..calibs.len())
-            .map(|p| self.fault_for(base + p))
-            .collect();
+    fn run_chunk(&self, indices: &[usize], calibs: &[Calibration]) -> Vec<Result<f64, String>> {
+        debug_assert_eq!(indices.len(), calibs.len());
+        let faults: Vec<Option<FaultKind>> = indices.iter().map(|&i| self.fault_for(i)).collect();
         if faults.iter().all(Option::is_none) {
             return self.objective.try_par_loss_batch(calibs);
         }
@@ -333,20 +422,12 @@ impl<'a> Evaluator<'a> {
                 Some(FaultKind::Panic) => fault::guard(|| {
                     panic!(
                         "injected fault: panic at evaluation {} (seed {})",
-                        base + p,
-                        self.seed
+                        indices[p], self.seed
                     )
                 }),
                 Some(FaultKind::Nan) => Ok(f64::NAN),
             })
             .collect()
-    }
-
-    /// Canonical cache key of a unit point: the bit pattern of its
-    /// denormalized (natural-unit) calibration, so unit points that snap
-    /// to the same calibration share an entry.
-    fn cache_key(calib: &Calibration) -> Vec<u64> {
-        calib.values.iter().map(|v| v.to_bits()).collect()
     }
 
     /// Evaluate one unit-hypercube point. Returns `None` (without
@@ -375,16 +456,29 @@ impl<'a> Evaluator<'a> {
             return Err(EvalFailure::BudgetExhausted);
         }
         let calib = self.objective.space().denormalize(unit_point);
-        let key = Self::cache_key(&calib);
-        if let Some(cached) = self.cache.read().get(&key).cloned() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            obs::counter(obs::Counter::EvalCacheHits, 1);
-            return match cached {
-                Cached::Loss(loss) => Ok(loss),
-                Cached::Quarantined(failure) => Err(failure),
-            };
+        let key = cache::canonical_key(&calib);
+        if let Some(key) = &key {
+            if let Some(cached) = self.cache.read().get(key).cloned() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::counter(obs::Counter::EvalCacheHits, 1);
+                return match cached {
+                    Cached::Loss(loss) => Ok(loss),
+                    Cached::Quarantined(failure) => Err(failure),
+                };
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        // Disk lookup behind the memo map: a hit replays the stored
+        // outcome (consuming budget, skipping the simulation).
+        if let Some(key) = &key {
+            if let Some(disk) = self.disk() {
+                if let Some(outcome) = disk.lookup(key) {
+                    obs::counter(obs::Counter::DiskCacheHits, 1);
+                    return self.replay(unit_point, key, outcome);
+                }
+                obs::counter(obs::Counter::DiskCacheMisses, 1);
+            }
+        }
         obs::counter(obs::Counter::EvalCacheMisses, 1);
         // The clock read is gated so the disabled path stays one
         // relaxed atomic load.
@@ -394,7 +488,9 @@ impl<'a> Evaluator<'a> {
         // algorithms), which is what makes fault targeting by index
         // deterministic.
         let index = self.count.load(Ordering::Relaxed);
-        let outcome = match self.fault_for(index) {
+        let fault = self.fault_for(index);
+        let injected = fault.is_some();
+        let outcome = match fault {
             Some(FaultKind::Panic) => fault::guard(|| {
                 panic!(
                     "injected fault: panic at evaluation {index} (seed {})",
@@ -410,17 +506,36 @@ impl<'a> Evaluator<'a> {
                     obs::observe(obs::Hist::EvalLatency, t0.elapsed().as_secs_f64());
                 }
                 self.record(unit_point, loss);
-                self.cache.write().insert(key, Cached::Loss(loss));
+                if let Some(key) = &key {
+                    self.cache.write().insert(key.clone(), Cached::Loss(loss));
+                }
+                if !injected {
+                    self.persist(&calib, key.as_ref(), CachedOutcome::Loss { loss });
+                }
                 Ok(loss)
             }
             Ok(loss) => {
                 let failure = EvalFailure::NonFinite { loss };
-                self.record_failure(&key, failure.clone());
+                self.record_failure(key.as_deref(), failure.clone());
+                if !injected {
+                    self.persist(
+                        &calib,
+                        key.as_ref(),
+                        CachedOutcome::NonFinite {
+                            loss_bits: loss.to_bits(),
+                        },
+                    );
+                }
                 Err(failure)
             }
             Err(message) => {
-                let failure = EvalFailure::Panic { message };
-                self.record_failure(&key, failure.clone());
+                let failure = EvalFailure::Panic {
+                    message: message.clone(),
+                };
+                self.record_failure(key.as_deref(), failure.clone());
+                if !injected {
+                    self.persist(&calib, key.as_ref(), CachedOutcome::Panic { message });
+                }
                 Err(failure)
             }
         }
@@ -458,81 +573,162 @@ impl<'a> Evaluator<'a> {
             if take == 0 {
                 break;
             }
-            // Build the next window: cache hits resolve immediately;
-            // uncached points accumulate (deduplicated) until the chunk
-            // budget is full. `window` maps each input to Ok(cached loss)
-            // or Err(index into the pending chunk).
+            // Build the next window: memo hits resolve immediately;
+            // budget-consuming points accumulate (deduplicated) until the
+            // chunk budget is full. `window` maps each input to Ok(cached
+            // loss) or Err(index into the pending chunk). A pending slot
+            // is either a disk-cache replay or a real invocation — both
+            // consume budget, in slot order, so evaluation indices match
+            // an uncached run exactly.
             let mut window: Vec<Result<f64, usize>> = Vec::new();
-            let mut pending_keys: Vec<Vec<u64>> = Vec::new();
+            let mut pending_keys: Vec<Option<Vec<u64>>> = Vec::new();
             let mut pending_calibs: Vec<Calibration> = Vec::new();
             let mut pending_inputs: Vec<usize> = Vec::new();
+            let mut pending_disk: Vec<Option<CachedOutcome>> = Vec::new();
             let mut j = idx;
             while j < unit_points.len() && pending_inputs.len() < take {
                 let calib = self.objective.space().denormalize(&unit_points[j]);
-                let key = Self::cache_key(&calib);
-                if let Some(cached) = self.cache.read().get(&key) {
+                let key = cache::canonical_key(&calib);
+                let memo = key.as_ref().and_then(|k| self.cache.read().get(k).cloned());
+                if let Some(cached) = memo {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     window.push(Ok(match cached {
-                        Cached::Loss(l) => *l,
+                        Cached::Loss(l) => l,
                         // Quarantined points are served as +inf without
                         // re-invoking the objective or re-recording the
                         // failure.
                         Cached::Quarantined(_) => f64::INFINITY,
                     }));
-                } else if let Some(dup) = pending_keys.iter().position(|k| *k == key) {
+                } else if let Some(dup) = key
+                    .as_ref()
+                    .and_then(|k| pending_keys.iter().position(|p| p.as_ref() == Some(k)))
+                {
                     // Same canonical point already pending in this chunk:
                     // evaluate once, serve both slots.
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     window.push(Err(dup));
                 } else {
+                    let disk_hit = key
+                        .as_ref()
+                        .and_then(|k| self.disk().and_then(|d| d.lookup(k)));
                     window.push(Err(pending_inputs.len()));
                     pending_keys.push(key);
                     pending_calibs.push(calib);
                     pending_inputs.push(j);
+                    pending_disk.push(disk_hit);
                 }
                 j += 1;
             }
             self.misses
-                .fetch_add(pending_calibs.len(), Ordering::Relaxed);
+                .fetch_add(pending_inputs.len(), Ordering::Relaxed);
             obs::counter(
                 obs::Counter::EvalCacheHits,
-                (window.len() - pending_calibs.len()) as u64,
+                (window.len() - pending_inputs.len()) as u64,
             );
-            obs::counter(obs::Counter::EvalCacheMisses, pending_calibs.len() as u64);
-            let t0 = obs::enabled().then(Instant::now);
-            // The indices the pending points will record under: records
-            // happen sequentially in input order below, so point `p` of
-            // the chunk gets index `base + p` — deterministic regardless
-            // of how the pool schedules the fan-out.
+            // Split the pending slots: disk replays are recorded in the
+            // slot loop below; run slots go to the objective as one
+            // fan-out with their exact evaluation indices.
             let base = self.count.load(Ordering::Relaxed);
-            let outcomes = if pending_calibs.is_empty() {
+            let run_indices: Vec<usize> = pending_disk
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.is_none())
+                .map(|(s, _)| base + s)
+                .collect();
+            let run_calibs: Vec<Calibration> = pending_disk
+                .iter()
+                .zip(&pending_calibs)
+                .filter(|(d, _)| d.is_none())
+                .map(|(_, c)| c.clone())
+                .collect();
+            let disk_hits = pending_inputs.len() - run_calibs.len();
+            obs::counter(obs::Counter::DiskCacheHits, disk_hits as u64);
+            if self.disk().is_some() {
+                obs::counter(obs::Counter::DiskCacheMisses, run_calibs.len() as u64);
+            }
+            obs::counter(obs::Counter::EvalCacheMisses, run_calibs.len() as u64);
+            let t0 = obs::enabled().then(Instant::now);
+            let outcomes = if run_calibs.is_empty() {
                 Vec::new()
             } else {
-                self.run_chunk(base, &pending_calibs)
+                self.run_chunk(&run_indices, &run_calibs)
             };
-            if let Some(t0) = t0.filter(|_| !pending_calibs.is_empty()) {
+            if let Some(t0) = t0.filter(|_| !run_calibs.is_empty()) {
                 // The chunk runs as one fan-out; attribute its wall time
-                // evenly across the points it evaluated.
-                let per_point = t0.elapsed().as_secs_f64() / pending_calibs.len() as f64;
-                for _ in 0..pending_calibs.len() {
+                // evenly across the points it actually evaluated.
+                let per_point = t0.elapsed().as_secs_f64() / run_calibs.len() as f64;
+                for _ in 0..run_calibs.len() {
                     obs::observe(obs::Hist::EvalLatency, per_point);
                 }
             }
-            let mut chunk_losses: Vec<f64> = Vec::with_capacity(outcomes.len());
-            for ((&input, key), outcome) in pending_inputs.iter().zip(&pending_keys).zip(outcomes) {
-                match outcome {
-                    Ok(l) if l.is_finite() => {
-                        self.record(&unit_points[input], l);
-                        self.cache.write().insert(key.clone(), Cached::Loss(l));
-                        chunk_losses.push(l);
+            // Record sequentially in slot order: slot `s` consumes
+            // evaluation index `base + s` whether it was replayed from
+            // disk or freshly evaluated — deterministic regardless of
+            // pool scheduling, bit-for-bit identical to an uncached run.
+            let mut run_outcomes = outcomes.into_iter();
+            let mut chunk_losses: Vec<f64> = Vec::with_capacity(pending_inputs.len());
+            for s in 0..pending_inputs.len() {
+                let input = pending_inputs[s];
+                let key = &pending_keys[s];
+                match pending_disk[s].take() {
+                    Some(outcome) => {
+                        let key = key.as_ref().expect("disk hits always have a key");
+                        match self.replay(&unit_points[input], key, outcome) {
+                            Ok(l) => chunk_losses.push(l),
+                            Err(_) => chunk_losses.push(f64::INFINITY),
+                        }
                     }
-                    Ok(l) => {
-                        self.record_failure(key, EvalFailure::NonFinite { loss: l });
-                        chunk_losses.push(f64::INFINITY);
-                    }
-                    Err(message) => {
-                        self.record_failure(key, EvalFailure::Panic { message });
-                        chunk_losses.push(f64::INFINITY);
+                    None => {
+                        let injected = self.fault_for(base + s).is_some();
+                        let outcome = run_outcomes.next().expect("one outcome per run slot");
+                        match outcome {
+                            Ok(l) if l.is_finite() => {
+                                self.record(&unit_points[input], l);
+                                if let Some(k) = key {
+                                    self.cache.write().insert(k.clone(), Cached::Loss(l));
+                                }
+                                if !injected {
+                                    self.persist(
+                                        &pending_calibs[s],
+                                        key.as_ref(),
+                                        CachedOutcome::Loss { loss: l },
+                                    );
+                                }
+                                chunk_losses.push(l);
+                            }
+                            Ok(l) => {
+                                self.record_failure(
+                                    key.as_deref(),
+                                    EvalFailure::NonFinite { loss: l },
+                                );
+                                if !injected {
+                                    self.persist(
+                                        &pending_calibs[s],
+                                        key.as_ref(),
+                                        CachedOutcome::NonFinite {
+                                            loss_bits: l.to_bits(),
+                                        },
+                                    );
+                                }
+                                chunk_losses.push(f64::INFINITY);
+                            }
+                            Err(message) => {
+                                self.record_failure(
+                                    key.as_deref(),
+                                    EvalFailure::Panic {
+                                        message: message.clone(),
+                                    },
+                                );
+                                if !injected {
+                                    self.persist(
+                                        &pending_calibs[s],
+                                        key.as_ref(),
+                                        CachedOutcome::Panic { message },
+                                    );
+                                }
+                                chunk_losses.push(f64::INFINITY);
+                            }
+                        }
                     }
                 }
             }
@@ -555,9 +751,10 @@ impl<'a> Evaluator<'a> {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Memoization misses: evaluations that actually invoked the
-    /// objective (always equals [`Evaluator::evaluations`]; failed
-    /// evaluations count too — they consumed budget).
+    /// Memoization misses: proposals that consumed a budget evaluation
+    /// (always equals [`Evaluator::evaluations`]; failed evaluations and
+    /// disk-cache replays count too — they consumed budget, even though a
+    /// replay skips the objective invocation itself).
     pub fn cache_misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
     }
@@ -988,5 +1185,235 @@ mod tests {
         assert_eq!(ev.eval(&[0.8, 0.8]), Some(losses[1]));
         assert_eq!(ev.evaluations(), 2);
         assert_eq!(ev.cache_hits(), 2);
+    }
+
+    #[test]
+    fn signed_zero_calibrations_share_one_cache_entry() {
+        // Regression: the key used raw `f64::to_bits`, so a range whose
+        // denormalization can produce both -0.0 and +0.0 split one
+        // calibration across two entries, double-consuming budget. With
+        // `lo: -0.0`, unit -0.0 denormalizes to -0.0 + (-0.0) * 1.0 = -0.0
+        // while unit 0.0 gives -0.0 + 0.0 = +0.0: equal calibrations,
+        // formerly distinct keys.
+        let space = ParameterSpace::new().with("x", ParamKind::Continuous { lo: -0.0, hi: 1.0 });
+        let calls = AtomicUsize::new(0);
+        let obj = FnObjective::new(space, |c: &Calibration| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            c.values[0] + 1.0
+        });
+        // Sanity: the two unit points really produce differently-signed
+        // zeros, i.e. the regression vehicle still bites.
+        assert_eq!(
+            obj.space().denormalize(&[-0.0]).values[0].to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(
+            obj.space().denormalize(&[0.0]).values[0].to_bits(),
+            0.0f64.to_bits()
+        );
+        let ev = Evaluator::new(&obj, Budget::Evaluations(10));
+        let a = ev.eval(&[-0.0]).unwrap();
+        let b = ev.eval(&[0.0]).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(ev.evaluations(), 1, "equal calibrations share one entry");
+        assert_eq!(ev.cache_hits(), 1);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nan_component_points_are_evaluated_uncached() {
+        let space = ParameterSpace::new().with("x", ParamKind::Continuous { lo: 0.0, hi: 1.0 });
+        let calls = AtomicUsize::new(0);
+        let obj = FnObjective::new(space, |_: &Calibration| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            f64::NAN
+        });
+        let ev = Evaluator::new(&obj, Budget::Evaluations(4));
+        // A NaN unit coordinate denormalizes to a NaN calibration value:
+        // no canonical key, so each proposal re-invokes (and each is
+        // quarantined individually, consuming budget).
+        assert_eq!(ev.eval(&[f64::NAN]), Some(f64::INFINITY));
+        assert_eq!(ev.eval(&[f64::NAN]), Some(f64::INFINITY));
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(ev.evaluations(), 2);
+        assert_eq!(ev.cache_hits(), 0);
+    }
+
+    /// Serializes tests that install the process-global cache directory.
+    static CACHE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// Collision-free temp cache directory (tests run concurrently).
+    fn tmp_cache_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "simcal-budget-cache-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Construct an evaluator with the disk cache rooted at `dir`,
+    /// leaving the process-global state clean afterwards.
+    fn evaluator_with_cache<'a>(
+        obj: &'a dyn Objective,
+        budget: Budget,
+        seed: u64,
+        dir: &PathBuf,
+    ) -> Evaluator<'a> {
+        cache::install(dir);
+        let ev = Evaluator::new(obj, budget).with_seed(seed);
+        cache::uninstall();
+        ev
+    }
+
+    #[test]
+    fn repeated_run_is_served_entirely_from_disk() {
+        let _lock = CACHE_LOCK.lock().unwrap();
+        let dir = tmp_cache_dir("repeat");
+        let fp = crate::cache::CacheFingerprint::of("sphere-l1", "toy-v1", 7);
+        let calls = AtomicUsize::new(0);
+        let space = ParameterSpace::new()
+            .with("a", ParamKind::Continuous { lo: -1.0, hi: 1.0 })
+            .with("b", ParamKind::Continuous { lo: -1.0, hi: 1.0 });
+        let obj = FnObjective::new(space, |c: &Calibration| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            c.values.iter().map(|v| v * v).sum()
+        })
+        .with_cache_fingerprint(fp);
+        let points = vec![
+            vec![0.9, 0.9],
+            vec![0.5, 0.5],
+            vec![0.3, 0.8],
+            vec![0.1, 0.2],
+        ];
+        let run = |seed: u64| {
+            let ev = evaluator_with_cache(&obj, Budget::Evaluations(6), seed, &dir);
+            let mut losses = ev.eval_batch(&points).unwrap();
+            losses.push(ev.eval(&[0.7, 0.6]).unwrap());
+            (
+                losses,
+                ev.evaluations(),
+                ev.cache_hits(),
+                ev.cache_misses(),
+                ev.trace()
+                    .iter()
+                    .map(|t| (t.evaluations, t.best_loss.to_bits()))
+                    .collect::<Vec<_>>(),
+                ev.best().map(|(l, u, c)| (l.to_bits(), u, c)),
+            )
+        };
+        let cold = run(7);
+        let invocations = calls.load(Ordering::SeqCst);
+        assert_eq!(invocations, 5);
+        // Same fingerprint + seed: the warm run replays every outcome
+        // from disk with zero objective invocations and identical
+        // deterministic results.
+        let warm = run(7);
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            invocations,
+            "zero invocations"
+        );
+        assert_eq!(warm, cold);
+        // A different seed reads a different shard: fully cold.
+        let other = run(8);
+        assert_eq!(calls.load(Ordering::SeqCst), invocations + 5);
+        assert_eq!(other.0, cold.0, "the objective is seed-independent");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantined_failures_replay_from_disk() {
+        let _lock = CACHE_LOCK.lock().unwrap();
+        let dir = tmp_cache_dir("quarantine");
+        let fp = crate::cache::CacheFingerprint::of("trapdoor", "toy-v1", 1);
+        let calls = AtomicUsize::new(0);
+        let make = || {
+            let space = ParameterSpace::new()
+                .with("a", ParamKind::Continuous { lo: -1.0, hi: 1.0 })
+                .with("b", ParamKind::Continuous { lo: -1.0, hi: 1.0 });
+            FnObjective::new(space, |c: &Calibration| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                if c.values[0] > 0.5 {
+                    panic!("simulator diverged at a={}", c.values[0]);
+                }
+                if c.values[1] > 0.5 {
+                    return f64::NAN;
+                }
+                c.values.iter().map(|v| v * v).sum()
+            })
+            .with_cache_fingerprint(fp)
+        };
+        let obj = make();
+        let batch = vec![vec![0.25, 0.25], vec![0.95, 0.25], vec![0.25, 0.95]];
+        let run = |ev: &Evaluator<'_>| {
+            let losses = ev.eval_batch(&batch).unwrap();
+            // Compare failures by bit pattern: `PartialEq` on a NaN
+            // `NonFinite` loss is always false.
+            let failures: Vec<(usize, u8, String, u64)> = ev
+                .failures()
+                .iter()
+                .map(|(i, f)| match f {
+                    EvalFailure::Panic { message } => (*i, 0, message.clone(), 0),
+                    EvalFailure::NonFinite { loss } => (*i, 1, String::new(), loss.to_bits()),
+                    EvalFailure::BudgetExhausted => (*i, 2, String::new(), 0),
+                })
+                .collect();
+            (losses, ev.eval_panics(), ev.eval_nonfinite(), failures)
+        };
+        let cold_ev = evaluator_with_cache(&obj, Budget::Evaluations(10), 3, &dir);
+        let cold = run(&cold_ev);
+        let invocations = calls.load(Ordering::SeqCst);
+        assert_eq!(cold.1, 1);
+        assert_eq!(cold.2, 1);
+        let warm_ev = evaluator_with_cache(&obj, Budget::Evaluations(10), 3, &dir);
+        let warm = run(&warm_ev);
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            invocations,
+            "failures replay without re-invoking the broken simulator"
+        );
+        assert_eq!(warm, cold, "losses, counters, and failure records match");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_faults_are_not_persisted_to_disk() {
+        let _lock = CACHE_LOCK.lock().unwrap();
+        let _fault_lock = FAULTS.lock().unwrap();
+        let dir = tmp_cache_dir("nofault");
+        let fp = crate::cache::CacheFingerprint::of("clean", "toy-v1", 2);
+        let calls = AtomicUsize::new(0);
+        let space = ParameterSpace::new().with("a", ParamKind::Continuous { lo: 0.0, hi: 1.0 });
+        let obj = FnObjective::new(space, |c: &Calibration| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            c.values[0]
+        })
+        .with_cache_fingerprint(fp);
+        let batch: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64 / 10.0]).collect();
+        // Cold run with an injected panic at evaluation 1.
+        crate::fault::install(crate::fault::FaultPlan::new().with_seeded_fault(
+            crate::fault::FaultKind::Panic,
+            1,
+            FAULT_SEED,
+        ));
+        cache::install(&dir);
+        let faulted = Evaluator::new(&obj, Budget::Evaluations(8)).with_seed(FAULT_SEED);
+        cache::uninstall();
+        crate::fault::uninstall();
+        let losses = faulted.eval_batch(&batch).unwrap();
+        assert_eq!(losses[1], f64::INFINITY);
+        let invocations = calls.load(Ordering::SeqCst);
+        // Warm run without faults: the three clean outcomes replay from
+        // disk, but the fault-synthesized slot was never persisted, so it
+        // is evaluated for real this time and yields its true loss.
+        let clean = evaluator_with_cache(&obj, Budget::Evaluations(8), FAULT_SEED, &dir);
+        let warm = clean.eval_batch(&batch).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), invocations + 1);
+        assert!((warm[1] - 0.1).abs() < 1e-12, "the poisoned slot healed");
+        assert_eq!(clean.eval_panics(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

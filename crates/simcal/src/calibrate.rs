@@ -58,13 +58,27 @@ impl Calibrator {
         &self,
         objective: &dyn Objective,
     ) -> Result<CalibrationResult, CalibrationFailed> {
-        let _span = obs::span!(
-            "calibrate",
-            algorithm = self.algorithm.name(),
-            seed = self.seed
-        );
+        self.try_calibrate_with(self.algorithm.build().as_ref(), objective)
+    }
+
+    /// Like [`Calibrator::try_calibrate`], but running a caller-supplied
+    /// algorithm instance instead of building one from
+    /// [`Calibrator::algorithm`].
+    ///
+    /// This is the hook for customized searches — e.g. a
+    /// [`crate::algorithms::BayesianOpt`] seeded with warm-start
+    /// observations from a previous calibration's persistent cache. The
+    /// result still records `self.algorithm` as its
+    /// [`CalibrationResult::algorithm`], so pass the kind the instance
+    /// corresponds to.
+    pub fn try_calibrate_with(
+        &self,
+        algorithm: &dyn crate::algorithms::SearchAlgorithm,
+        objective: &dyn Objective,
+    ) -> Result<CalibrationResult, CalibrationFailed> {
+        let _span = obs::span!("calibrate", algorithm = algorithm.name(), seed = self.seed);
         let evaluator = Evaluator::new(objective, self.budget).with_seed(self.seed);
-        self.algorithm.build().search(&evaluator, self.seed);
+        algorithm.search(&evaluator, self.seed);
         let Some((loss, _, calibration)) = evaluator.best() else {
             return Err(CalibrationFailed {
                 evaluations: evaluator.evaluations(),
@@ -128,9 +142,11 @@ pub struct CalibrationResult {
     /// consuming a budget evaluation (common for grid search and for
     /// algorithms that re-probe snapped discrete points).
     pub cache_hits: usize,
-    /// Proposals that actually invoked the objective (always equals
+    /// Proposals that consumed a budget evaluation (always equals
     /// `evaluations`; recorded separately so ledger consumers can audit
-    /// the evaluator's accounting without re-deriving it).
+    /// the evaluator's accounting without re-deriving it). With a
+    /// persistent cache installed, replays from disk count here too —
+    /// they consume budget even though the objective is not invoked.
     pub cache_misses: usize,
     /// Evaluations whose objective invocation panicked and was isolated
     /// (quarantined as `+inf`, never fed to the surrogate or incumbent).

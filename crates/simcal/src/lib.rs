@@ -21,6 +21,10 @@
 //!   regressors ([`surrogate`]);
 //! - [`budget`] — wall-clock and evaluation-count budgets with parallel
 //!   batch evaluation and convergence traces;
+//! - [`cache`] — the persistent, content-addressed on-disk loss cache
+//!   behind the evaluator's memo map (enabled per objective via
+//!   [`objective::Objective::cache_fingerprint`] plus [`cache::install`]
+//!   or `CALIB_CACHE`);
 //! - [`fault`] — panic isolation ([`fault::guard`]), the typed
 //!   [`fault::EvalFailure`] quarantine taxonomy, and the deterministic
 //!   [`fault::FaultPlan`] injection harness behind the chaos tests;
@@ -59,6 +63,7 @@
 
 pub mod algorithms;
 pub mod budget;
+pub mod cache;
 pub mod calibrate;
 pub mod fault;
 pub mod loss;
@@ -73,6 +78,7 @@ pub mod prelude {
         AlgorithmKind, BayesianOpt, GradientDescent, GridSearch, RandomSearch, SearchAlgorithm,
     };
     pub use crate::budget::{Budget, Evaluator, TracePoint};
+    pub use crate::cache::{CacheFingerprint, CacheRecord, CachedOutcome, DiskCache};
     pub use crate::calibrate::{CalibrationFailed, CalibrationResult, Calibrator};
     pub use crate::fault::{EvalFailure, FaultKind, FaultPlan};
     pub use crate::loss::{

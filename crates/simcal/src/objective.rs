@@ -25,6 +25,15 @@ pub trait Objective: Sync {
     /// for a given calibration.
     fn loss(&self, calibration: &Calibration) -> f64;
 
+    /// Content address of this objective for the persistent loss cache
+    /// ([`crate::cache`]). `None` (the default) keeps the objective out of
+    /// the on-disk cache entirely — only objectives that declare what
+    /// their losses depend on (simulator version, scenario set, loss
+    /// definition) may share results across runs.
+    fn cache_fingerprint(&self) -> Option<crate::cache::CacheFingerprint> {
+        None
+    }
+
     /// The loss at `calibration`, free to use the thread pool internally.
     ///
     /// Must return **bit-for-bit** the same value as [`Objective::loss`]:
@@ -96,6 +105,7 @@ pub struct SimulationObjective<'a, S: Simulator, L> {
     dataset: &'a [S::Scenario],
     loss: L,
     space: ParameterSpace,
+    fingerprint: Option<crate::cache::CacheFingerprint>,
 }
 
 impl<'a, S: Simulator, L> SimulationObjective<'a, S, L> {
@@ -116,7 +126,16 @@ impl<'a, S: Simulator, L> SimulationObjective<'a, S, L> {
             dataset,
             loss,
             space,
+            fingerprint: None,
         }
+    }
+
+    /// Declare this objective's content address, enabling the persistent
+    /// loss cache ([`crate::cache`]) for its evaluations when a cache
+    /// directory is active.
+    pub fn with_cache_fingerprint(mut self, fingerprint: crate::cache::CacheFingerprint) -> Self {
+        self.fingerprint = Some(fingerprint);
+        self
     }
 
     /// Number of ground-truth data points (simulator invocations per loss
@@ -133,6 +152,10 @@ where
 {
     fn space(&self) -> &ParameterSpace {
         &self.space
+    }
+
+    fn cache_fingerprint(&self) -> Option<crate::cache::CacheFingerprint> {
+        self.fingerprint
     }
 
     fn loss(&self, calibration: &Calibration) -> f64 {
@@ -221,18 +244,35 @@ where
 pub struct FnObjective<F> {
     space: ParameterSpace,
     f: F,
+    fingerprint: Option<crate::cache::CacheFingerprint>,
 }
 
 impl<F: Fn(&Calibration) -> f64 + Sync> FnObjective<F> {
     /// Wrap `f` over `space`.
     pub fn new(space: ParameterSpace, f: F) -> Self {
-        Self { space, f }
+        Self {
+            space,
+            f,
+            fingerprint: None,
+        }
+    }
+
+    /// Declare this objective's content address, enabling the persistent
+    /// loss cache ([`crate::cache`]) for its evaluations when a cache
+    /// directory is active.
+    pub fn with_cache_fingerprint(mut self, fingerprint: crate::cache::CacheFingerprint) -> Self {
+        self.fingerprint = Some(fingerprint);
+        self
     }
 }
 
 impl<F: Fn(&Calibration) -> f64 + Sync> Objective for FnObjective<F> {
     fn space(&self) -> &ParameterSpace {
         &self.space
+    }
+
+    fn cache_fingerprint(&self) -> Option<crate::cache::CacheFingerprint> {
+        self.fingerprint
     }
 
     fn loss(&self, calibration: &Calibration) -> f64 {

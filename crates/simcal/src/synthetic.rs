@@ -77,12 +77,22 @@ pub fn synthetic_benchmark<O: Objective>(
 }
 
 /// Pick the `(algorithm, loss)` pair with the lowest calibration error.
+///
+/// Cells with a non-finite calibration error (a degraded-mode sweep can
+/// record NaN cells) never win while any finite cell exists: `min_by`
+/// with `partial_cmp(..).unwrap_or(Equal)` made the winner depend on
+/// where the NaN sat in the slice, so the comparison now uses
+/// [`f64::total_cmp`] over the finite cells first, falling back to the
+/// full slice (still totally ordered) only when *no* cell is finite.
 pub fn best_pair(cells: &[SyntheticCell]) -> Option<&SyntheticCell> {
-    cells.iter().min_by(|a, b| {
-        a.calibration_error
-            .partial_cmp(&b.calibration_error)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    })
+    let by_error = |a: &&SyntheticCell, b: &&SyntheticCell| {
+        a.calibration_error.total_cmp(&b.calibration_error)
+    };
+    cells
+        .iter()
+        .filter(|c| c.calibration_error.is_finite())
+        .min_by(by_error)
+        .or_else(|| cells.iter().min_by(by_error))
 }
 
 /// Reference-calibration helper: the midpoint of every parameter's range
@@ -195,5 +205,38 @@ mod tests {
     #[test]
     fn best_pair_of_empty_is_none() {
         assert!(best_pair(&[]).is_none());
+    }
+
+    #[test]
+    fn best_pair_ignores_nan_cells_regardless_of_position() {
+        // Regression: `partial_cmp(..).unwrap_or(Equal)` made a NaN cell
+        // absorb the comparison, so the winner depended on where the NaN
+        // sat in the slice.
+        let objective = FnObjective::new(space(), |c: &Calibration| c.values[0]);
+        let result = Calibrator::bo_gp(Budget::Evaluations(4), 1).calibrate(&objective);
+        let cell = |name: &str, err: f64| SyntheticCell {
+            algorithm: name.to_string(),
+            loss_name: "L1".to_string(),
+            calibration_error: err,
+            result: result.clone(),
+        };
+        let cells = vec![
+            cell("nan", f64::NAN),
+            cell("inf", f64::INFINITY),
+            cell("good", 12.5),
+            cell("best", 3.0),
+        ];
+        for rot in 0..cells.len() {
+            let mut rotated = cells.clone();
+            rotated.rotate_left(rot);
+            let winner = best_pair(&rotated).unwrap();
+            assert_eq!(winner.algorithm, "best", "rotation {rot}");
+        }
+        // With no finite cell at all the pick is still deterministic
+        // (total order: inf sorts below NaN) instead of positional.
+        let all_bad = vec![cell("nan", f64::NAN), cell("inf", f64::INFINITY)];
+        assert_eq!(best_pair(&all_bad).unwrap().algorithm, "inf");
+        let flipped = vec![cell("inf", f64::INFINITY), cell("nan", f64::NAN)];
+        assert_eq!(best_pair(&flipped).unwrap().algorithm, "inf");
     }
 }
