@@ -7,40 +7,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dessim::{max_min_fair_share, ActivityKind, Engine, Platform, ReferenceEngine};
 use std::hint::black_box;
 
-/// A large mixed workload whose link contention decomposes into many small
-/// connected components: groups of 4 links (group count scaling with `n` so
-/// components stay ~128 flows), every flow routed inside one group, plus
-/// computes and timers. This is the regime the incremental engine targets —
-/// each completion re-solves one component instead of the whole platform,
-/// and picks the next event from a heap instead of a scan.
+/// The clustered workload shared with the `engine_scaling` binary (see
+/// [`lodcal_bench::workloads::clustered`]): link contention decomposes
+/// into many small groups, the regime the incremental engine targets.
 fn clustered_workload(n: usize) -> (Platform, Vec<(ActivityKind, u64)>) {
-    const LINKS_PER_GROUP: usize = 4;
-    let groups = (n / 128).max(16);
-    let mut p = Platform::new();
-    let links: Vec<Vec<_>> = (0..groups)
-        .map(|g| {
-            (0..LINKS_PER_GROUP)
-                .map(|i| p.add_link(1e9 + ((g * LINKS_PER_GROUP + i) as f64) * 1e6, 0.0))
-                .collect()
-        })
-        .collect();
-    let batch = (0..n)
-        .map(|i| {
-            let kind = match i % 8 {
-                0 => ActivityKind::compute(1e9 + (i as f64) * 1e3, 1e9),
-                1 => ActivityKind::timer(0.5 + (i % 97) as f64 * 0.01),
-                _ => {
-                    let group = &links[i % groups];
-                    let a = group[i % LINKS_PER_GROUP];
-                    let b = group[(i / groups + 1) % LINKS_PER_GROUP];
-                    let route = if a == b { vec![a] } else { vec![a, b] };
-                    ActivityKind::flow(route, 1e6 + (i as f64) * 37.0)
-                }
-            };
-            (kind, i as u64)
-        })
-        .collect();
-    (p, batch)
+    lodcal_bench::workloads::clustered(n)
 }
 
 fn bench_engine_scaling(c: &mut Criterion) {
@@ -66,14 +37,16 @@ fn bench_engine_scaling(c: &mut Criterion) {
     }
     // Headroom point: the reference engine is quadratic and impractical
     // here, so only the incremental engine runs at this size.
-    let (p, batch) = clustered_workload(50_000);
-    group.bench_with_input(BenchmarkId::new("incremental", 50_000), &(), |b, _| {
-        b.iter(|| {
-            let mut e = Engine::new(p.clone());
-            e.add_activities(batch.clone());
-            black_box(e.run_to_completion().len())
-        })
-    });
+    for &n in &[50_000usize, 200_000] {
+        let (p, batch) = clustered_workload(n);
+        group.bench_with_input(BenchmarkId::new("incremental", n), &(), |b, _| {
+            b.iter(|| {
+                let mut e = Engine::new(p.clone());
+                e.add_activities(batch.clone());
+                black_box(e.run_to_completion().len())
+            })
+        });
+    }
     group.finish();
 }
 

@@ -1,0 +1,143 @@
+//! Kernel scaling measurement: events-per-second of the dessim engine at
+//! large concurrent-activity counts, with kernel counters attributing the
+//! cost to specific mechanisms (heap churn, sharing re-solves, frontier
+//! size, arena footprint).
+//!
+//! Unlike the Criterion group (statistical, small sizes), this binary does
+//! one timed run per size and prints a JSON record per run to stdout —
+//! the format recorded in `results/BENCH_engine.json`. Diagnostics go to
+//! stderr.
+//!
+//! ```text
+//! engine_scaling [--sizes 10000,200000] [--workload clustered|backbone]
+//!                [--engine incremental|reference]
+//!                [--max-seconds S] [--trace PATH]
+//! ```
+//!
+//! `--max-seconds` makes the binary exit non-zero if any single run
+//! exceeds the wall-clock ceiling — the CI smoke uses this together with
+//! `--trace` (asserting `kernel_sharing_resolves / kernel_events` stays
+//! below a pinned bound) as a regression tripwire.
+
+use dessim::{Engine, ReferenceEngine};
+use lodcal_bench::workloads;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn usage() -> ! {
+    obs::diag!(
+        "usage: engine_scaling [--sizes N,N,..] [--workload clustered|backbone] \
+         [--engine incremental|reference] [--max-seconds S] [--trace PATH]"
+    );
+    std::process::exit(2);
+}
+
+/// Peak resident set size of this process so far, in kilobytes, from
+/// `/proc/self/status` (`VmHWM`). Returns 0 where unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")
+                    .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let mut sizes: Vec<usize> = vec![10_000, 50_000, 200_000, 1_000_000];
+    let mut workload = String::from("clustered");
+    let mut engine = String::from("incremental");
+    let mut max_seconds: Option<f64> = None;
+    let mut trace: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--sizes" => {
+                sizes = take(&mut i)
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--workload" => workload = take(&mut i),
+            "--engine" => engine = take(&mut i),
+            "--max-seconds" => max_seconds = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--trace" => trace = Some(take(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let recorder = trace.as_ref().map(|_| {
+        let r = Arc::new(obs::TraceRecorder::new());
+        obs::install(r.clone());
+        r
+    });
+
+    let mut breached = false;
+    for &n in &sizes {
+        let (platform, batch) = match workload.as_str() {
+            "clustered" => workloads::clustered(n),
+            "backbone" => workloads::backbone(n),
+            _ => usage(),
+        };
+        let start = Instant::now();
+        let (events, counters) = match engine.as_str() {
+            "incremental" => {
+                let mut e = Engine::new(platform);
+                e.add_activities(batch);
+                let done = e.run_to_completion().len();
+                (done, Some(e.counters()))
+            }
+            "reference" => {
+                let mut e = ReferenceEngine::new(platform);
+                e.add_activities(batch);
+                (e.run_to_completion().len(), None)
+            }
+            _ => usage(),
+        };
+        let secs = start.elapsed().as_secs_f64();
+        let events_per_sec = events as f64 / secs.max(1e-12);
+        let rss = peak_rss_kb();
+        // One JSON object per line; counters only exist for the
+        // incremental engine.
+        let mech = counters
+            .map(|c| {
+                format!(
+                    ", \"heap_reinserts\": {}, \"sharing_resolves\": {}, \
+                     \"frontier_links\": {}, \"arena_bytes\": {}",
+                    c.heap_reinserts, c.sharing_resolves, c.frontier_links, c.arena_bytes
+                )
+            })
+            .unwrap_or_default();
+        println!(
+            "{{ \"engine\": \"{engine}\", \"workload\": \"{workload}\", \"n\": {n}, \
+             \"events\": {events}, \"secs\": {secs:.3}, \
+             \"events_per_sec\": {events_per_sec:.0}, \"peak_rss_kb\": {rss}{mech} }}"
+        );
+        if let Some(cap) = max_seconds {
+            if secs > cap {
+                obs::diag!("size {n} took {secs:.1}s > ceiling {cap:.1}s");
+                breached = true;
+            }
+        }
+    }
+
+    if let (Some(path), Some(recorder)) = (&trace, recorder) {
+        obs::uninstall();
+        if let Err(e) = recorder.write_jsonl(std::path::Path::new(path)) {
+            obs::diag!("failed to write trace {path}: {e}");
+        }
+    }
+    if breached {
+        std::process::exit(1);
+    }
+}

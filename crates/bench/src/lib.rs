@@ -7,6 +7,7 @@
 pub mod args;
 pub mod case1;
 pub mod case2;
+pub mod workloads;
 
 // The table renderer moved into the lodsel subsystem (sweep drivers and
 // experiment binaries share it); the old path keeps working.

@@ -7,39 +7,78 @@
 //!
 //! Unlike the naive fluid-model loop (recompute every rate and scan every
 //! activity at every event — see [`crate::reference::ReferenceEngine`]),
-//! this engine is built for large concurrent activity counts:
+//! this engine is built for 10⁶ concurrent activities. Four mechanisms
+//! carry the hot path (see DESIGN.md for the per-mechanism O(·) bounds):
 //!
-//! - **Indexed event selection.** Predicted completion times live in a
-//!   min-heap keyed by `(finish, id, generation)`. A rate change bumps the
-//!   activity's generation, lazily invalidating any queued entry; stale
-//!   entries are skipped on pop. Picking the next event is `O(log n)`
-//!   instead of an `O(n)` scan.
-//! - **Incremental rate recomputation.** An add or completion marks the
-//!   links/disks it touches; before the next event is selected, only the
-//!   connected component(s) of the flow–link sharing graph containing
-//!   touched links are re-solved (max-min fair sharing decomposes exactly
-//!   by connected component), reusing a [`Workspace`] so the hot loop is
-//!   allocation-free. Disks are independent sharing domains and are
-//!   re-shared individually.
-//! - **Lazy progress materialization.** An activity's `remaining` amount
-//!   is only brought up to date when its rate changes; unaffected
-//!   activities are never rewritten, so a completion costs work
-//!   proportional to its sharing component, not to the total activity
-//!   count.
+//! - **Structure-of-arrays storage.** Activity state is split into a hot
+//!   column of 32-byte rows (`remaining`, `rate`, `materialized_at`, heap
+//!   position, flags) that the step loop touches, and cold columns
+//!   (serial id, tag, route/disk metadata) it mostly doesn't. Slots are
+//!   recycled through a free list; the *serial* id handed out as
+//!   [`ActivityId`] is never reused, so recycling is invisible to
+//!   callers. All route segments live in one shared arena (`Vec<u32>` of
+//!   link indices), compacted when more than half is dead — no
+//!   per-activity heap allocation survives `add_activity`.
+//! - **Addressable event heap.** Predicted completion times live in an
+//!   indexed binary min-heap keyed by `(finish, serial)`; each activity's
+//!   current heap position is stored in its hot row, so a rate change
+//!   *moves* its single entry (sift-up/down) instead of abandoning a
+//!   stale one. The heap never holds more entries than live activities.
+//! - **Frontier-limited rate recomputation.** An add or completion marks
+//!   the links it touches; the re-solve covers only those links, the
+//!   flows crossing them, and their *boundary* links (modeled by residual
+//!   capacity), expanding outward only when the candidate solution proves
+//!   the boundary approximation wrong ([`crate::sharing::Frontier`]).
+//!   Whole-component walks — `O(component)` per event on well-connected
+//!   platforms — are gone from the hot path.
+//! - **Same-instant batch draining.** After popping an event, every
+//!   further heap entry provably due at the same timestamp (timers,
+//!   zero-remaining activities, anything a pending re-solve cannot move)
+//!   is drained into an internal completion queue before the next sharing
+//!   flush, so a burst of simultaneous completions costs one
+//!   invalidation+re-solve pass instead of one per event.
 //!
 //! Rate recomputation is deferred and merged: any number of
 //! [`Engine::add_activity`] / [`Engine::add_activities`] calls between two
 //! events trigger a single incremental re-solve.
+//!
+//! **Determinism contract:** completion order and times are a function of
+//! the platform and the add sequence only — independent of storage
+//! layout, slot recycling, and frontier size. Ties at one instant resolve
+//! by serial (add) order; residual-capacity sums and commit order are
+//! canonicalized by serial so registry order never leaks into float
+//! arithmetic.
 
 use crate::platform::{DiskId, LinkId, Platform};
-use crate::sharing::Workspace;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::sharing::{Frontier, Workspace};
+use std::collections::VecDeque;
 
 /// Tolerance under which a remaining amount counts as finished.
 const EPS: f64 = 1e-9;
 
+/// Sentinel heap position: the activity has no queued prediction.
+const NO_HEAP: u32 = u32::MAX;
+
+// Hot-row flag layout: low 3 bits hold the kind, the rest are state bits.
+const KIND_MASK: u32 = 0x7;
+const KIND_COMPUTE: u32 = 0;
+const KIND_IO: u32 = 1;
+const KIND_FLOW: u32 = 2;
+const KIND_TIMER: u32 = 3;
+const KIND_TIMER_AT: u32 = 4;
+/// Slot holds a live (not yet completed) activity.
+const FLAG_LIVE: u32 = 0x8;
+/// Flow still paying its route latency (`remaining` is seconds).
+const FLAG_LATENCY: u32 = 0x10;
+/// The activity's rate or phase changed after its first prediction; any
+/// further schedule is a *re*-insert (mirrors the old generation counter
+/// for [`KernelCounters::heap_reinserts`]).
+const FLAG_RESCHED: u32 = 0x20;
+
 /// Unique identifier of an activity within one [`Engine`].
+///
+/// Ids are serial: assigned in add order and never reused, even though
+/// the engine recycles internal storage slots of completed activities.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ActivityId(pub(crate) u64);
 
@@ -164,43 +203,10 @@ pub struct Completion {
     pub time: f64,
 }
 
-#[derive(Clone, Debug, PartialEq)]
-enum Phase {
-    /// Flow still paying its route latency (`remaining` is seconds).
-    Latency,
-    /// Transferring / computing / waiting (`remaining` is bytes, ops, or
-    /// seconds depending on the kind).
-    Active,
-}
-
-/// `f64` ordered by `total_cmp` so predicted finish times can key a heap.
-#[derive(Clone, Copy, Debug, PartialEq)]
-struct OrdF64(f64);
-
-impl Eq for OrdF64 {}
-
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
-/// Heap entry: `(predicted finish, activity id, generation at insertion)`.
-/// Reversed into a min-heap; ties break toward the lowest id, matching the
-/// reference engine's scan order.
-type HeapEntry = Reverse<(OrdF64, usize, u32)>;
-
-#[derive(Clone, Debug)]
-struct Act {
-    kind: ActivityKind,
-    tag: u64,
-    phase: Phase,
+/// Hot per-activity state: everything the step loop reads or writes per
+/// event, packed into one 32-byte row (two rows per cache line).
+#[derive(Clone, Copy, Debug)]
+struct Hot {
     /// Remaining amount in the unit of the current phase, valid as of
     /// `materialized_at`.
     remaining: f64,
@@ -209,86 +215,231 @@ struct Act {
     rate: f64,
     /// Virtual time at which `remaining` was last brought up to date.
     materialized_at: f64,
-    /// Bumped on every rate/phase change; heap entries carrying an older
-    /// generation are stale and skipped.
-    generation: u32,
+    /// Index of this activity's entry in the event heap, or [`NO_HEAP`].
+    heap_pos: u32,
+    /// Kind discriminant and state bits (`KIND_*` / `FLAG_*`).
+    flags: u32,
 }
 
 /// Bring `remaining` up to date at `now` under the activity's current rate.
-fn materialize(a: &mut Act, now: f64) {
-    if now > a.materialized_at {
-        if a.rate.is_infinite() {
-            a.remaining = 0.0;
-        } else if a.rate > 0.0 {
-            a.remaining = (a.remaining - a.rate * (now - a.materialized_at)).max(0.0);
+fn materialize(h: &mut Hot, now: f64) {
+    if now > h.materialized_at {
+        if h.rate.is_infinite() {
+            h.remaining = 0.0;
+        } else if h.rate > 0.0 {
+            h.remaining = (h.remaining - h.rate * (now - h.materialized_at)).max(0.0);
         }
     }
-    a.materialized_at = now;
+    h.materialized_at = now;
 }
 
-/// Schedule `a`'s predicted completion, if one is determinable: finished or
-/// unconstrained activities complete now; rate-0 activities stay
-/// unscheduled until a rate change makes progress possible.
-fn push_finish(
-    a: &Act,
-    heap: &mut BinaryHeap<HeapEntry>,
-    now: f64,
-    id: usize,
-    reinserts: &mut u64,
-) {
-    let finish = if a.remaining <= EPS || a.rate.is_infinite() {
-        now
-    } else if a.rate > 0.0 {
-        now + a.remaining / a.rate
-    } else {
-        return;
-    };
-    heap.push(Reverse((OrdF64(finish), id, a.generation)));
-    // Generation 0 is an activity's very first prediction; any later
-    // generation means a stale entry was left behind for lazy skipping.
-    if a.generation > 0 {
-        *reinserts += 1;
+/// An event-heap entry: a predicted completion (or phase transition).
+#[derive(Clone, Copy, Debug)]
+struct Ev {
+    finish: f64,
+    /// Serial id: the tie-break, so simultaneous events fire in add order
+    /// (matching the reference engine's scan order).
+    serial: u64,
+    slot: u32,
+}
+
+/// Min-order on `(finish, serial)`; serials are unique, so this is total.
+#[inline]
+fn ev_lt(a: Ev, b: Ev) -> bool {
+    match a.finish.total_cmp(&b.finish) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.serial < b.serial,
     }
 }
 
-/// Change an activity's rate: materialize progress under the old rate,
-/// invalidate any queued prediction, and schedule the new one.
-fn set_rate(
-    acts: &mut [Option<Act>],
-    heap: &mut BinaryHeap<HeapEntry>,
+/// Addressable binary min-heap of predicted completions.
+///
+/// Each live activity has at most one entry; its position is maintained
+/// in the hot row (`heap_pos`), so a rate change relocates the entry in
+/// `O(log n)` instead of leaving a stale one behind. Unlike the previous
+/// lazily-invalidated heap, size is bounded by the live-activity count —
+/// at 1M activities the old design accumulated tens of millions of stale
+/// entries.
+#[derive(Clone, Debug, Default)]
+struct EventHeap {
+    v: Vec<Ev>,
+}
+
+impl EventHeap {
+    fn peek(&self) -> Option<&Ev> {
+        self.v.first()
+    }
+
+    fn sift_up(&mut self, hot: &mut [Hot], mut i: usize) -> usize {
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if ev_lt(self.v[i], self.v[p]) {
+                self.v.swap(i, p);
+                hot[self.v[i].slot as usize].heap_pos = i as u32;
+                hot[self.v[p].slot as usize].heap_pos = p as u32;
+                i = p;
+            } else {
+                break;
+            }
+        }
+        i
+    }
+
+    fn sift_down(&mut self, hot: &mut [Hot], mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.v.len() {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < self.v.len() && ev_lt(self.v[r], self.v[l]) {
+                r
+            } else {
+                l
+            };
+            if ev_lt(self.v[c], self.v[i]) {
+                self.v.swap(i, c);
+                hot[self.v[i].slot as usize].heap_pos = i as u32;
+                hot[self.v[c].slot as usize].heap_pos = c as u32;
+                i = c;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Insert `e`, or relocate the slot's existing entry to `e`.
+    fn upsert(&mut self, hot: &mut [Hot], e: Ev) {
+        let pos = hot[e.slot as usize].heap_pos;
+        if pos == NO_HEAP {
+            let i = self.v.len();
+            self.v.push(e);
+            hot[e.slot as usize].heap_pos = i as u32;
+            self.sift_up(hot, i);
+        } else {
+            let i = pos as usize;
+            self.v[i] = e;
+            let j = self.sift_up(hot, i);
+            if j == i {
+                self.sift_down(hot, i);
+            }
+        }
+    }
+
+    /// Remove the slot's entry, if it has one.
+    fn remove(&mut self, hot: &mut [Hot], slot: u32) {
+        let pos = hot[slot as usize].heap_pos;
+        if pos == NO_HEAP {
+            return;
+        }
+        hot[slot as usize].heap_pos = NO_HEAP;
+        let i = pos as usize;
+        let last = self.v.pop().expect("non-empty: slot had an entry");
+        if i < self.v.len() {
+            self.v[i] = last;
+            hot[last.slot as usize].heap_pos = i as u32;
+            let j = self.sift_up(hot, i);
+            if j == i {
+                self.sift_down(hot, i);
+            }
+        }
+    }
+
+    /// Pop the minimum entry.
+    fn pop_min(&mut self, hot: &mut [Hot]) -> Option<Ev> {
+        let min = *self.v.first()?;
+        hot[min.slot as usize].heap_pos = NO_HEAP;
+        let last = self.v.pop().expect("heap is non-empty");
+        if !self.v.is_empty() {
+            self.v[0] = last;
+            hot[last.slot as usize].heap_pos = 0;
+            self.sift_down(hot, 0);
+        }
+        Some(min)
+    }
+}
+
+/// Queue (or relocate) the slot's predicted completion, if one is
+/// determinable: finished or unconstrained activities complete now;
+/// rate-0 activities stay unscheduled — their entry, if any, is removed —
+/// until a rate change makes progress possible.
+fn schedule(
+    hot: &mut [Hot],
+    heap: &mut EventHeap,
+    serials: &[u64],
     now: f64,
-    id: usize,
+    slot: u32,
+    reinserts: &mut u64,
+) {
+    let h = hot[slot as usize];
+    let finish = if h.remaining <= EPS || h.rate.is_infinite() {
+        now
+    } else if h.rate > 0.0 {
+        now + h.remaining / h.rate
+    } else {
+        heap.remove(hot, slot);
+        return;
+    };
+    if h.flags & FLAG_RESCHED != 0 {
+        *reinserts += 1;
+    }
+    heap.upsert(
+        hot,
+        Ev {
+            finish,
+            serial: serials[slot as usize],
+            slot,
+        },
+    );
+}
+
+/// Change an activity's rate: materialize progress under the old rate and
+/// relocate its queued prediction.
+fn set_rate(
+    hot: &mut [Hot],
+    heap: &mut EventHeap,
+    serials: &[u64],
+    now: f64,
+    slot: u32,
     rate: f64,
     reinserts: &mut u64,
 ) {
-    let a = acts[id]
-        .as_mut()
-        .expect("rate change targets a live activity");
-    if a.rate == rate {
+    let h = &mut hot[slot as usize];
+    if h.rate == rate {
         return;
     }
-    materialize(a, now);
-    a.rate = rate;
-    a.generation += 1;
-    push_finish(a, heap, now, id, reinserts);
+    materialize(h, now);
+    h.rate = rate;
+    h.flags |= FLAG_RESCHED;
+    schedule(hot, heap, serials, now, slot, reinserts);
 }
 
 /// Deterministic kernel work counters, read via [`Engine::counters`].
 ///
-/// All three are host-independent measures of simulation effort:
+/// All of these are host-independent measures of simulation effort:
 /// identical platforms and workloads produce identical counts on any
 /// machine and thread count.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KernelCounters {
     /// Completions delivered by [`Engine::step`].
     pub events: u64,
-    /// Predicted-completion heap pushes beyond each activity's first:
-    /// every rate change or phase transition leaves a stale heap entry
-    /// behind and re-inserts a fresh prediction.
+    /// Predicted-completion heap updates beyond each activity's first:
+    /// every rate change or phase transition relocates the activity's
+    /// heap entry to a fresh prediction.
     pub heap_reinserts: u64,
     /// Incremental max-min re-solves: one per touched disk re-share
-    /// plus one per connected-component link solve.
+    /// plus one per candidate frontier solve (expansion iterations
+    /// included).
     pub sharing_resolves: u64,
+    /// Total links included in committed frontier solves; divided by the
+    /// link share of [`KernelCounters::sharing_resolves`] this is the
+    /// mean frontier size, the quantity the frontier optimization keeps
+    /// small on well-connected platforms.
+    pub frontier_links: u64,
+    /// Peak bytes allocated to the shared route arena (capacity, not
+    /// live length), tracking the storage cost of route metadata.
+    pub arena_bytes: u64,
 }
 
 impl Drop for Engine {
@@ -301,6 +452,8 @@ impl Drop for Engine {
             obs::counter(obs::Counter::KernelEvents, self.events);
             obs::counter(obs::Counter::KernelHeapReinserts, self.heap_reinserts);
             obs::counter(obs::Counter::KernelSharingResolves, self.sharing_resolves);
+            obs::counter(obs::Counter::KernelFrontierLinks, self.frontier_links);
+            obs::counter(obs::Counter::KernelArenaBytes, self.arena_bytes);
         }
     }
 }
@@ -318,23 +471,54 @@ pub struct Engine {
     /// performed, independent of host speed (used by `lodsel` as the
     /// simulation-cost axis of its accuracy×cost trade-off).
     events: u64,
-    /// Heap pushes past each activity's first prediction (see
+    /// Heap relocations past each activity's first prediction (see
     /// [`KernelCounters::heap_reinserts`]).
     heap_reinserts: u64,
     /// Incremental sharing re-solves (see
     /// [`KernelCounters::sharing_resolves`]).
     sharing_resolves: u64,
-    /// Slab of activities keyed by id; ids are sequential and never
-    /// reused, completed slots become `None`.
-    acts: Vec<Option<Act>>,
-    /// Number of `Some` slots in `acts`.
+    /// Links in committed frontier solves (see
+    /// [`KernelCounters::frontier_links`]).
+    frontier_links: u64,
+    /// Peak route-arena footprint (see [`KernelCounters::arena_bytes`]).
+    arena_bytes: u64,
+    // --- Structure-of-arrays activity storage, indexed by slot. ---
+    /// Hot rows: the only per-activity state the step loop touches.
+    hot: Vec<Hot>,
+    /// Serial id of the activity occupying each slot.
+    serials: Vec<u64>,
+    /// Caller-supplied tag of the activity occupying each slot.
+    tags: Vec<u64>,
+    /// Kind metadata: flows store the arena start index, I/O ops the
+    /// disk index.
+    m0: Vec<u32>,
+    /// Kind metadata: flows store the (deduplicated) arena route length.
+    m1: Vec<u32>,
+    /// Flows: total transfer bytes, needed at the latency→transfer
+    /// transition.
+    bytes: Vec<f64>,
+    /// Recycled slots (LIFO). Slot reuse is invisible to callers: ids
+    /// are serial and never reused.
+    free: Vec<u32>,
+    /// Next serial id to hand out.
+    next_serial: u64,
+    /// Number of live slots.
     live: usize,
-    heap: BinaryHeap<HeapEntry>,
-    /// Ids of Active-phase flows registered on each link (latency-phase
+    // --- Shared route arena. ---
+    /// All flow routes, flattened: per-flow segments of link indices,
+    /// sorted and deduplicated. Dead segments are reclaimed by
+    /// compaction once they outnumber live ones.
+    routes: Vec<u32>,
+    /// Total length of live segments in `routes`.
+    routes_live: usize,
+    heap: EventHeap,
+    /// Completions drained at the current instant, awaiting delivery.
+    ready: VecDeque<Completion>,
+    /// Slots of Active-phase flows registered on each link (latency-phase
     /// flows consume no bandwidth and are not listed).
-    link_flows: Vec<Vec<usize>>,
-    /// Ids of pending I/O ops per disk, in FIFO (insertion) order.
-    disk_ops: Vec<Vec<usize>>,
+    link_flows: Vec<Vec<u32>>,
+    /// Slots of pending I/O ops per disk, in FIFO (insertion) order.
+    disk_ops: Vec<Vec<u32>>,
     /// Links/disks whose sharing changed since the last flush.
     touched_links: Vec<usize>,
     link_touched: Vec<bool>,
@@ -342,13 +526,9 @@ pub struct Engine {
     disk_touched: Vec<bool>,
     /// Reusable max-min solver buffers.
     ws: Workspace,
-    // Scratch for the component walk; cleared incrementally after use.
-    comp_links: Vec<usize>,
-    comp_flows: Vec<usize>,
-    link_seen: Vec<bool>,
-    flow_seen: Vec<bool>,
-    link_local: Vec<usize>,
-    walk_stack: Vec<usize>,
+    /// Reusable frontier-expansion state (change-queue, membership masks,
+    /// per-link flow counts).
+    frontier: Frontier,
 }
 
 impl Engine {
@@ -362,9 +542,21 @@ impl Engine {
             events: 0,
             heap_reinserts: 0,
             sharing_resolves: 0,
-            acts: Vec::new(),
+            frontier_links: 0,
+            arena_bytes: 0,
+            hot: Vec::new(),
+            serials: Vec::new(),
+            tags: Vec::new(),
+            m0: Vec::new(),
+            m1: Vec::new(),
+            bytes: Vec::new(),
+            free: Vec::new(),
+            next_serial: 0,
             live: 0,
-            heap: BinaryHeap::new(),
+            routes: Vec::new(),
+            routes_live: 0,
+            heap: EventHeap::default(),
+            ready: VecDeque::new(),
             link_flows: vec![Vec::new(); nl],
             disk_ops: vec![Vec::new(); nd],
             touched_links: Vec::new(),
@@ -372,12 +564,7 @@ impl Engine {
             touched_disks: Vec::new(),
             disk_touched: vec![false; nd],
             ws: Workspace::new(),
-            comp_links: Vec::new(),
-            comp_flows: Vec::new(),
-            link_seen: vec![false; nl],
-            flow_seen: Vec::new(),
-            link_local: vec![0; nl],
-            walk_stack: Vec::new(),
+            frontier: Frontier::new(),
         }
     }
 
@@ -402,6 +589,8 @@ impl Engine {
             events: self.events,
             heap_reinserts: self.heap_reinserts,
             sharing_resolves: self.sharing_resolves,
+            frontier_links: self.frontier_links,
+            arena_bytes: self.arena_bytes,
         }
     }
 
@@ -410,9 +599,54 @@ impl Engine {
         &self.platform
     }
 
-    /// Number of in-flight activities.
+    /// Number of in-flight activities (live plus drained-but-undelivered
+    /// completions). O(1): maintained counters, no slab scan.
     pub fn active_count(&self) -> usize {
-        self.live
+        self.live + self.ready.len()
+    }
+
+    /// Copy `route` into the arena as a sorted, deduplicated segment,
+    /// compacting first when dead segments dominate. Returns
+    /// `(start, len)`.
+    fn arena_push(&mut self, route: &[LinkId]) -> (u32, u32) {
+        if self.routes.len() >= 1024 && self.routes_live * 2 < self.routes.len() {
+            self.compact_arena();
+        }
+        let start = self.routes.len();
+        self.routes.extend(route.iter().map(|l| l.index() as u32));
+        self.routes[start..].sort_unstable();
+        let mut w = start;
+        for r in start..self.routes.len() {
+            if w == start || self.routes[r] != self.routes[w - 1] {
+                self.routes[w] = self.routes[r];
+                w += 1;
+            }
+        }
+        self.routes.truncate(w);
+        let len = w - start;
+        self.routes_live += len;
+        self.arena_bytes = self
+            .arena_bytes
+            .max((self.routes.capacity() * std::mem::size_of::<u32>()) as u64);
+        (start as u32, len as u32)
+    }
+
+    /// Rewrite the arena with only live segments, updating each flow's
+    /// start index. Runs when the arena is more than half dead, so its
+    /// O(slots + live-routes) cost is amortized against the adds that
+    /// created the garbage.
+    fn compact_arena(&mut self) {
+        let mut fresh = Vec::with_capacity(self.routes_live.max(64));
+        for si in 0..self.hot.len() {
+            let flags = self.hot[si].flags;
+            if flags & FLAG_LIVE != 0 && flags & KIND_MASK == KIND_FLOW {
+                let start = self.m0[si] as usize;
+                let len = self.m1[si] as usize;
+                self.m0[si] = fresh.len() as u32;
+                fresh.extend_from_slice(&self.routes[start..start + len]);
+            }
+        }
+        self.routes = fresh;
     }
 
     /// Add an activity; `tag` is echoed back in its [`Completion`].
@@ -421,64 +655,108 @@ impl Engine {
     /// [`Engine::peek_time`], so consecutive adds at one instant cost a
     /// single incremental re-solve.
     pub fn add_activity(&mut self, kind: ActivityKind, tag: u64) -> ActivityId {
-        let id = self.acts.len();
         let now = self.time;
-        let (phase, remaining, rate) = match &kind {
-            ActivityKind::Compute { work, rate } => (Phase::Active, *work, *rate),
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.hot.len() as u32;
+                self.hot.push(Hot {
+                    remaining: 0.0,
+                    rate: 0.0,
+                    materialized_at: 0.0,
+                    heap_pos: NO_HEAP,
+                    flags: 0,
+                });
+                self.serials.push(0);
+                self.tags.push(0);
+                self.m0.push(0);
+                self.m1.push(0);
+                self.bytes.push(0.0);
+                s
+            }
+        };
+        let si = slot as usize;
+        self.serials[si] = serial;
+        self.tags[si] = tag;
+
+        let mut exact_deadline = None;
+        let (flags, remaining, rate) = match &kind {
+            ActivityKind::Compute { work, rate } => (KIND_COMPUTE, *work, *rate),
             ActivityKind::Io { disk, bytes } => {
                 let d = disk.index();
-                self.disk_ops[d].push(id);
+                self.m0[si] = d as u32;
+                self.disk_ops[d].push(slot);
                 if !self.disk_touched[d] {
                     self.disk_touched[d] = true;
                     self.touched_disks.push(d);
                 }
-                (Phase::Active, *bytes, 0.0)
+                (KIND_IO, *bytes, 0.0)
             }
             ActivityKind::Flow { route, bytes } => {
+                // Latency is summed over the route as given (duplicates
+                // charge twice); sharing counts each link once, so the
+                // arena keeps the deduplicated form.
                 let lat = self.platform.route_latency(route);
+                let (start, len) = self.arena_push(route);
+                self.m0[si] = start;
+                self.m1[si] = len;
+                self.bytes[si] = *bytes;
                 if lat > 0.0 {
-                    (Phase::Latency, lat, 1.0)
-                } else if route.is_empty() {
+                    (KIND_FLOW | FLAG_LATENCY, lat, 1.0)
+                } else if len == 0 {
                     // Unconstrained: completes at the current instant.
-                    (Phase::Active, *bytes, f64::INFINITY)
+                    (KIND_FLOW, *bytes, f64::INFINITY)
                 } else {
-                    for lid in route {
-                        let l = lid.index();
-                        self.link_flows[l].push(id);
+                    for k in start as usize..(start + len) as usize {
+                        let l = self.routes[k] as usize;
+                        self.link_flows[l].push(slot);
                         if !self.link_touched[l] {
                             self.link_touched[l] = true;
                             self.touched_links.push(l);
                         }
                     }
-                    (Phase::Active, *bytes, 0.0)
+                    (KIND_FLOW, *bytes, 0.0)
                 }
             }
-            ActivityKind::Timer { delay } => (Phase::Active, *delay, 1.0),
-            ActivityKind::TimerAt { at } => (Phase::Active, (*at - now).max(0.0), 1.0),
+            ActivityKind::Timer { delay } => (KIND_TIMER, *delay, 1.0),
+            ActivityKind::TimerAt { at } => {
+                // An absolute timer fires at exactly `at`, not
+                // `now + (at - now)` (which differs in the last ulps).
+                if *at > now {
+                    exact_deadline = Some(*at);
+                }
+                (KIND_TIMER_AT, (*at - now).max(0.0), 1.0)
+            }
         };
-        // An absolute timer fires at exactly `at`, not `now + (at - now)`
-        // (which differs in the last ulps).
-        let exact_deadline = match &kind {
-            ActivityKind::TimerAt { at } if *at > now => Some(*at),
-            _ => None,
-        };
-        let act = Act {
-            kind,
-            tag,
-            phase,
+        self.hot[si] = Hot {
             remaining,
             rate,
             materialized_at: now,
-            generation: 0,
+            heap_pos: NO_HEAP,
+            flags: flags | FLAG_LIVE,
         };
-        match exact_deadline {
-            Some(at) => self.heap.push(Reverse((OrdF64(at), id, 0))),
-            None => push_finish(&act, &mut self.heap, now, id, &mut self.heap_reinserts),
-        }
-        self.acts.push(Some(act));
-        self.flow_seen.push(false);
         self.live += 1;
-        ActivityId(id as u64)
+        match exact_deadline {
+            Some(at) => self.heap.upsert(
+                &mut self.hot,
+                Ev {
+                    finish: at,
+                    serial,
+                    slot,
+                },
+            ),
+            None => schedule(
+                &mut self.hot,
+                &mut self.heap,
+                &self.serials,
+                now,
+                slot,
+                &mut self.heap_reinserts,
+            ),
+        }
+        ActivityId(serial)
     }
 
     /// Add a batch of activities released at the same instant, e.g. a
@@ -495,258 +773,404 @@ impl Engine {
             .collect()
     }
 
-    /// Re-share every touched disk and re-solve the connected component(s)
-    /// of the flow–link graph containing touched links.
+    /// Re-share every touched disk and run a frontier-limited re-solve
+    /// around the touched links.
     fn flush_touched(&mut self) {
         if self.touched_disks.is_empty() && self.touched_links.is_empty() {
             return;
         }
         let now = self.time;
-        let Engine {
-            platform,
-            acts,
-            heap,
-            heap_reinserts,
-            sharing_resolves,
-            link_flows,
-            disk_ops,
-            touched_links,
-            link_touched,
-            touched_disks,
-            disk_touched,
-            ws,
-            comp_links,
-            comp_flows,
-            link_seen,
-            flow_seen,
-            link_local,
-            walk_stack,
-            ..
-        } = self;
-
-        // Disks: each disk is its own sharing domain. The oldest
-        // `max_concurrency` ops split the bandwidth; younger ops wait.
-        for &d in touched_disks.iter() {
-            disk_touched[d] = false;
-            let disk = platform.disk(DiskId(d));
-            let ops = &disk_ops[d];
-            let served = ops.len().min(disk.max_concurrency as usize);
-            let share = if served > 0 {
-                disk.bandwidth / served as f64
-            } else {
-                0.0
-            };
-            for (i, &id) in ops.iter().enumerate() {
-                set_rate(
-                    acts,
-                    heap,
-                    now,
-                    id,
-                    if i < served { share } else { 0.0 },
-                    heap_reinserts,
-                );
-            }
-            *sharing_resolves += 1;
-        }
-        touched_disks.clear();
-
-        // Links: collect the union of connected components containing the
-        // touched links. Max-min fair sharing decomposes exactly by
-        // connected component, so solving these components with their full
-        // link capacities reproduces the global allocation; flows outside
-        // them keep their frozen rates.
-        comp_links.clear();
-        comp_flows.clear();
-        walk_stack.clear();
-        for &l in touched_links.iter() {
-            link_touched[l] = false;
-            if !link_seen[l] {
-                link_seen[l] = true;
-                comp_links.push(l);
-                walk_stack.push(l);
-            }
-        }
-        touched_links.clear();
-        while let Some(l) = walk_stack.pop() {
-            for &fid in &link_flows[l] {
-                if flow_seen[fid] {
-                    continue;
+        if !self.touched_disks.is_empty() {
+            // Disks: each disk is its own sharing domain. The oldest
+            // `max_concurrency` ops split the bandwidth; younger ops wait.
+            let Engine {
+                platform,
+                hot,
+                serials,
+                heap,
+                heap_reinserts,
+                sharing_resolves,
+                disk_ops,
+                touched_disks,
+                disk_touched,
+                ..
+            } = self;
+            for &d in touched_disks.iter() {
+                disk_touched[d] = false;
+                let disk = platform.disk(DiskId(d));
+                let ops = &disk_ops[d];
+                let served = ops.len().min(disk.max_concurrency as usize);
+                let share = if served > 0 {
+                    disk.bandwidth / served as f64
+                } else {
+                    0.0
+                };
+                for (i, &s) in ops.iter().enumerate() {
+                    set_rate(
+                        hot,
+                        heap,
+                        serials,
+                        now,
+                        s,
+                        if i < served { share } else { 0.0 },
+                        heap_reinserts,
+                    );
                 }
-                flow_seen[fid] = true;
-                comp_flows.push(fid);
-                let a = acts[fid].as_ref().expect("registered flow is live");
-                if let ActivityKind::Flow { route, .. } = &a.kind {
-                    for lid in route {
-                        let m = lid.index();
-                        if !link_seen[m] {
-                            link_seen[m] = true;
-                            comp_links.push(m);
-                            walk_stack.push(m);
-                        }
-                    }
-                }
+                *sharing_resolves += 1;
             }
+            touched_disks.clear();
         }
-        if comp_links.is_empty() {
-            return;
-        }
-
-        // Canonical order: the incremental solve must freeze flows in the
-        // same sequence a full solve would, so results match it exactly.
-        comp_links.sort_unstable();
-        comp_flows.sort_unstable();
-
-        ws.clear();
-        for &l in comp_links.iter() {
-            link_local[l] = ws.push_capacity(platform.link(LinkId(l)).bandwidth);
-        }
-        for &fid in comp_flows.iter() {
-            let a = acts[fid].as_ref().expect("component flow is live");
-            if let ActivityKind::Flow { route, .. } = &a.kind {
-                ws.push_route(route.iter().map(|lid| link_local[lid.index()]));
-            }
-        }
-        let rates = ws.solve();
-        *sharing_resolves += 1;
-        for (&fid, &rate) in comp_flows.iter().zip(rates) {
-            set_rate(acts, heap, now, fid, rate, heap_reinserts);
-        }
-
-        for &l in comp_links.iter() {
-            link_seen[l] = false;
-        }
-        for &fid in comp_flows.iter() {
-            flow_seen[fid] = false;
+        if !self.touched_links.is_empty() {
+            self.solve_links(now);
         }
     }
 
-    /// Pop heap entries until the next valid one; `None` means no activity
-    /// has a determinable completion (all rates are 0).
-    fn pop_next(&mut self) -> Option<(f64, usize)> {
-        while let Some(Reverse((OrdF64(finish), id, generation))) = self.heap.pop() {
-            if let Some(a) = &self.acts[id] {
-                if a.generation == generation {
-                    return Some((finish, id));
+    /// Frontier-limited incremental max-min re-solve.
+    ///
+    /// Seeds the dirty set *D* with the touched links, collects the flows
+    /// *F* crossing them and the boundary links *B* those flows also
+    /// cross, and solves the candidate problem over *D ∪ B* where each
+    /// boundary link's capacity is its *residual* (full capacity minus
+    /// the frozen rates of flows outside *F*). A boundary link is
+    /// promoted to dirty — and the solve repeated over the grown frontier
+    /// — iff it has outside flows and either was binding in the candidate
+    /// or carries an *F*-flow whose rate changed; in both cases its
+    /// frozen outside rates are suspect. On commit, the *F*-rates equal a
+    /// full-component solve (see [`Frontier`]); flows outside *F* keep
+    /// their rates without being visited, which is what makes events
+    /// local on platforms whose flow–link graph is one giant component.
+    ///
+    /// Touched links that share no flow are solved as *separate* problems
+    /// rather than one merged one: progressive filling is superlinear in
+    /// problem size, so a batch release touching every link (e.g. the
+    /// initial workload) must decompose into its natural clusters. Seeds
+    /// stay marked in `link_touched` until absorbed; a pending seed
+    /// reached through a shared flow is folded into the active problem
+    /// (the two clusters genuinely interact), everything else starts its
+    /// own problem in touch order.
+    fn solve_links(&mut self, now: f64) {
+        let Engine {
+            platform,
+            hot,
+            serials,
+            m0,
+            m1,
+            routes,
+            heap,
+            heap_reinserts,
+            sharing_resolves,
+            frontier_links,
+            link_flows,
+            touched_links,
+            link_touched,
+            ws,
+            frontier: fr,
+            ..
+        } = self;
+        fr.ensure_links(platform.num_links());
+        fr.ensure_slots(hot.len());
+        // `link_touched[l]` now means "seed not yet absorbed by a problem".
+        for &seed in touched_links.iter() {
+            if !link_touched[seed] {
+                continue; // absorbed by an earlier problem
+            }
+            link_touched[seed] = false;
+            fr.in_dirty[seed] = true;
+            fr.dirty.push(seed);
+
+            let mut d_cursor = 0usize;
+            let mut f_cursor = 0usize;
+            'expand: loop {
+                // Pull the flows of newly-dirty links into F.
+                while d_cursor < fr.dirty.len() {
+                    let l = fr.dirty[d_cursor];
+                    d_cursor += 1;
+                    for &s in &link_flows[l] {
+                        if !fr.in_flows[s as usize] {
+                            fr.in_flows[s as usize] = true;
+                            fr.flows.push(s);
+                        }
+                    }
+                }
+                // Pull the other links of newly-added flows into B,
+                // counting F-crossings per link (arena segments are
+                // deduplicated, so the count compares directly with the
+                // registry length). A pending seed reached here belongs
+                // to this cluster: fold it straight into D.
+                while f_cursor < fr.flows.len() {
+                    let s = fr.flows[f_cursor] as usize;
+                    f_cursor += 1;
+                    let start = m0[s] as usize;
+                    for &lu in &routes[start..start + m1[s] as usize] {
+                        let l = lu as usize;
+                        fr.f_count[l] += 1;
+                        if fr.in_dirty[l] {
+                            continue;
+                        }
+                        if link_touched[l] {
+                            link_touched[l] = false;
+                            fr.in_dirty[l] = true;
+                            fr.dirty.push(l);
+                        } else if !fr.in_boundary[l] {
+                            fr.in_boundary[l] = true;
+                            fr.boundary.push(l);
+                        }
+                    }
+                }
+                if d_cursor < fr.dirty.len() {
+                    continue; // folded-in seeds bring new flows
+                }
+                if fr.flows.is_empty() {
+                    // A touched link with no remaining flows: nothing to
+                    // share, move on to the next seed.
+                    fr.reset();
+                    break 'expand;
+                }
+
+                // Candidate problem: links ascending, flows in serial order —
+                // the canonical order a full solve would use, so freeze
+                // sequences (and hence float results) are reproducible.
+                fr.links_sorted.clear();
+                fr.links_sorted.extend_from_slice(&fr.dirty);
+                for &l in &fr.boundary {
+                    if !fr.in_dirty[l] {
+                        fr.links_sorted.push(l);
+                    }
+                }
+                fr.links_sorted.sort_unstable();
+                fr.flows_sorted.clear();
+                fr.flows_sorted.extend_from_slice(&fr.flows);
+                fr.flows_sorted
+                    .sort_unstable_by_key(|&s| serials[s as usize]);
+
+                ws.clear();
+                for &l in &fr.links_sorted {
+                    let cap = platform.link(LinkId(l)).bandwidth;
+                    let outside = link_flows[l].len() - fr.f_count[l] as usize;
+                    let c = if outside == 0 {
+                        cap
+                    } else {
+                        // Residual capacity: subtract outside flows' frozen
+                        // rates in serial order, so the sum never depends on
+                        // registry (slot) order.
+                        fr.outside.clear();
+                        for &s in &link_flows[l] {
+                            if !fr.in_flows[s as usize] {
+                                fr.outside.push((serials[s as usize], hot[s as usize].rate));
+                            }
+                        }
+                        fr.outside.sort_unstable_by_key(|&(ser, _)| ser);
+                        let mut c = cap;
+                        for &(_, r) in fr.outside.iter() {
+                            c -= r;
+                        }
+                        c
+                    };
+                    fr.local[l] = ws.push_capacity(c);
+                }
+                for &s in &fr.flows_sorted {
+                    let start = m0[s as usize] as usize;
+                    ws.push_route(
+                        routes[start..start + m1[s as usize] as usize]
+                            .iter()
+                            .map(|&lu| fr.local[lu as usize]),
+                    );
+                }
+                ws.solve();
+                *sharing_resolves += 1;
+                let rates = ws.rates();
+
+                // Expansion check: which boundary links invalidate their
+                // residual approximation?
+                for (i, &s) in fr.flows_sorted.iter().enumerate() {
+                    fr.changed[s as usize] = rates[i] != hot[s as usize].rate;
+                }
+                let mut expanded = false;
+                for bi in 0..fr.boundary.len() {
+                    let l = fr.boundary[bi];
+                    if fr.in_dirty[l] {
+                        continue;
+                    }
+                    if link_flows[l].len() == fr.f_count[l] as usize {
+                        // No outside flows: the full capacity was used, the
+                        // candidate is exact here.
+                        continue;
+                    }
+                    let promote = ws.was_binding(fr.local[l])
+                        || link_flows[l]
+                            .iter()
+                            .any(|&s| fr.in_flows[s as usize] && fr.changed[s as usize]);
+                    if promote {
+                        fr.in_dirty[l] = true;
+                        fr.dirty.push(l);
+                        expanded = true;
+                    }
+                }
+                if !expanded {
+                    *frontier_links += fr.links_sorted.len() as u64;
+                    for (i, &s) in fr.flows_sorted.iter().enumerate() {
+                        set_rate(hot, heap, serials, now, s, rates[i], heap_reinserts);
+                    }
+                    fr.reset();
+                    break 'expand;
                 }
             }
         }
-        None
+        touched_links.clear();
+    }
+
+    /// Can the pending flush change this entry's completion? `true` when
+    /// provably not: only Active-phase flows and disk ops have
+    /// flush-mutable rates, and even those are pinned once their
+    /// effective remaining is zero (they complete *now* under any rate).
+    fn drain_safe(&self, slot: u32) -> bool {
+        let h = &self.hot[slot as usize];
+        let kind = h.flags & KIND_MASK;
+        let shared = (kind == KIND_FLOW && h.flags & FLAG_LATENCY == 0) || kind == KIND_IO;
+        if !shared || h.rate.is_infinite() {
+            return true;
+        }
+        let rem = if self.time > h.materialized_at && h.rate > 0.0 {
+            (h.remaining - h.rate * (self.time - h.materialized_at)).max(0.0)
+        } else {
+            h.remaining
+        };
+        rem <= EPS
+    }
+
+    /// Handle a due heap entry: either an internal latency→transfer
+    /// transition or a completion queued for delivery.
+    fn dispatch(&mut self, slot: u32) {
+        let si = slot as usize;
+        let now = self.time;
+        if self.hot[si].flags & FLAG_LATENCY != 0 {
+            // Latency paid: start the transfer phase. The rate is
+            // assigned by the next flush.
+            let h = &mut self.hot[si];
+            h.flags = (h.flags & !FLAG_LATENCY) | FLAG_RESCHED;
+            h.remaining = self.bytes[si];
+            h.materialized_at = now;
+            h.rate = 0.0;
+            schedule(
+                &mut self.hot,
+                &mut self.heap,
+                &self.serials,
+                now,
+                slot,
+                &mut self.heap_reinserts,
+            ); // queues only if bytes ~ 0
+            let start = self.m0[si] as usize;
+            let len = self.m1[si] as usize;
+            for k in start..start + len {
+                let l = self.routes[k] as usize;
+                self.link_flows[l].push(slot);
+                if !self.link_touched[l] {
+                    self.link_touched[l] = true;
+                    self.touched_links.push(l);
+                }
+            }
+            return;
+        }
+
+        // A completion: unregister from sharing domains and queue it.
+        match self.hot[si].flags & KIND_MASK {
+            KIND_FLOW => {
+                let start = self.m0[si] as usize;
+                let len = self.m1[si] as usize;
+                for k in start..start + len {
+                    let l = self.routes[k] as usize;
+                    let lf = &mut self.link_flows[l];
+                    if let Some(pos) = lf.iter().position(|&s| s == slot) {
+                        lf.swap_remove(pos);
+                    }
+                    if !self.link_touched[l] {
+                        self.link_touched[l] = true;
+                        self.touched_links.push(l);
+                    }
+                }
+                self.routes_live -= len;
+            }
+            KIND_IO => {
+                let d = self.m0[si] as usize;
+                if let Some(pos) = self.disk_ops[d].iter().position(|&s| s == slot) {
+                    self.disk_ops[d].remove(pos); // preserve FIFO order
+                }
+                if !self.disk_touched[d] {
+                    self.disk_touched[d] = true;
+                    self.touched_disks.push(d);
+                }
+            }
+            _ => {}
+        }
+        self.hot[si].flags &= !FLAG_LIVE;
+        self.free.push(slot);
+        self.live -= 1;
+        self.ready.push_back(Completion {
+            id: ActivityId(self.serials[si]),
+            tag: self.tags[si],
+            time: now,
+        });
     }
 
     /// Virtual time of the next internal event (completion or phase
     /// transition) without advancing to it. `None` when idle; may also be
     /// `None` if every in-flight activity is stalled at rate 0.
     pub fn peek_time(&mut self) -> Option<f64> {
+        if !self.ready.is_empty() {
+            return Some(self.time);
+        }
         if self.live == 0 {
             return None;
         }
         self.flush_touched();
-        loop {
-            match self.heap.peek() {
-                Some(&Reverse((OrdF64(finish), id, generation))) => match &self.acts[id] {
-                    Some(a) if a.generation == generation => return Some(finish.max(self.time)),
-                    _ => {
-                        self.heap.pop();
-                    }
-                },
-                None => return None,
-            }
-        }
+        self.heap.peek().map(|e| e.finish.max(self.time))
     }
 
     /// Advance to the next completion and return it, or `None` when no
     /// activities remain. Internal phase transitions (a flow finishing its
-    /// latency and starting to consume bandwidth) are handled transparently.
+    /// latency and starting to consume bandwidth) are handled
+    /// transparently. All completions sharing one timestamp are drained
+    /// in a single batch (one sharing re-solve), then delivered one per
+    /// call in serial order.
     pub fn step(&mut self) -> Option<Completion> {
+        if let Some(c) = self.ready.pop_front() {
+            self.events += 1;
+            return Some(c);
+        }
         loop {
             if self.live == 0 {
                 return None;
             }
             self.flush_touched();
-            let Some((finish, id)) = self.pop_next() else {
+            let Some(ev) = self.heap.pop_min(&mut self.hot) else {
                 panic!(
                     "deadlock: every in-flight activity has rate 0 (time {})",
                     self.time
                 )
             };
-            self.time = self.time.max(finish);
-            let now = self.time;
-
-            if self.acts[id]
-                .as_ref()
-                .expect("popped activity is live")
-                .phase
-                == Phase::Latency
-            {
-                // Latency paid: start the transfer phase. The rate is
-                // assigned by the flush at the top of the next iteration.
-                let Engine {
-                    acts,
-                    heap,
-                    heap_reinserts,
-                    link_flows,
-                    touched_links,
-                    link_touched,
-                    ..
-                } = self;
-                let a = acts[id].as_mut().expect("latency flow is live");
-                let bytes = match &a.kind {
-                    ActivityKind::Flow { bytes, .. } => *bytes,
-                    _ => unreachable!("only flows have a latency phase"),
-                };
-                a.phase = Phase::Active;
-                a.remaining = bytes;
-                a.materialized_at = now;
-                a.rate = 0.0;
-                a.generation += 1;
-                push_finish(a, heap, now, id, heap_reinserts); // schedules only if bytes ~ 0
-                let a = acts[id].as_ref().expect("latency flow is live");
-                if let ActivityKind::Flow { route, .. } = &a.kind {
-                    for lid in route {
-                        let l = lid.index();
-                        link_flows[l].push(id);
-                        if !link_touched[l] {
-                            link_touched[l] = true;
-                            touched_links.push(l);
-                        }
-                    }
+            self.time = self.time.max(ev.finish);
+            self.dispatch(ev.slot);
+            // Drain everything else due at this instant. Entries a
+            // pending re-solve could still move force a flush first;
+            // after it, predictions are current and the peek decides.
+            while let Some(&next) = self.heap.peek() {
+                if next.finish > self.time {
+                    break;
                 }
-                continue;
+                if (!self.touched_links.is_empty() || !self.touched_disks.is_empty())
+                    && !self.drain_safe(next.slot)
+                {
+                    self.flush_touched();
+                    continue;
+                }
+                let ev = self.heap.pop_min(&mut self.hot).expect("peeked entry");
+                self.dispatch(ev.slot);
             }
-
-            // A completion: unregister from sharing domains and report.
-            let act = self.acts[id].take().expect("completed activity was live");
-            self.live -= 1;
-            match &act.kind {
-                ActivityKind::Flow { route, .. } => {
-                    // Registered once per route occurrence; remove all.
-                    for lid in route {
-                        let l = lid.index();
-                        self.link_flows[l].retain(|&f| f != id);
-                        if !self.link_touched[l] {
-                            self.link_touched[l] = true;
-                            self.touched_links.push(l);
-                        }
-                    }
-                }
-                ActivityKind::Io { disk, .. } => {
-                    let d = disk.index();
-                    if let Some(pos) = self.disk_ops[d].iter().position(|&f| f == id) {
-                        self.disk_ops[d].remove(pos); // preserve FIFO order
-                    }
-                    if !self.disk_touched[d] {
-                        self.disk_touched[d] = true;
-                        self.touched_disks.push(d);
-                    }
-                }
-                _ => {}
+            if let Some(c) = self.ready.pop_front() {
+                self.events += 1;
+                return Some(c);
             }
-            self.events += 1;
-            return Some(Completion {
-                id: ActivityId(id as u64),
-                tag: act.tag,
-                time: now,
-            });
+            // Only phase transitions fired; flush and pop again.
         }
     }
 
@@ -942,6 +1366,18 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_route_links_share_once_but_charge_latency_twice() {
+        let mut p = Platform::new();
+        let l = p.add_link(100.0, 0.1);
+        let mut e = Engine::new(p);
+        e.add_activity(ActivityKind::flow(vec![l, l], 100.0), 1);
+        let c = e.step().unwrap();
+        // Latency 0.2 (per occurrence) + 100/100 transfer (link counted
+        // once for sharing).
+        assert!(close(c.time, 1.2), "time {}", c.time);
+    }
+
+    #[test]
     fn interleaved_kinds_complete_in_time_order() {
         let mut p = Platform::new();
         let l = p.add_link(100.0, 0.0);
@@ -981,9 +1417,11 @@ mod tests {
 
     #[test]
     fn counters_track_reinserts_and_sharing_resolves() {
-        // Two flows sharing one link: the second arrival re-shares the
-        // link (component re-solve) and re-inserts the first flow's
-        // prediction; each completion re-shares again.
+        // Two flows sharing one link: the arrivals re-share the link
+        // (frontier re-solve) and relocate the flows' predictions. Both
+        // completions land at one instant, so the same-instant batch
+        // drains them under a single invalidation — exactly one resolve,
+        // where per-event flushing would have paid two.
         let mut p = Platform::new();
         let l = p.add_link(100.0, 0.0);
         let mut e = Engine::new(p);
@@ -993,9 +1431,11 @@ mod tests {
         let c = e.counters();
         assert_eq!(c.events, 2);
         assert!(c.heap_reinserts >= 1, "counters: {c:?}");
-        assert!(c.sharing_resolves >= 2, "counters: {c:?}");
+        assert!(c.sharing_resolves >= 1, "counters: {c:?}");
+        assert!(c.frontier_links >= 1, "counters: {c:?}");
+        assert!(c.arena_bytes >= 8, "counters: {c:?}");
 
-        // A lone timer needs neither re-inserts nor sharing.
+        // A lone timer needs neither re-inserts nor sharing nor routes.
         let mut e = Engine::new(Platform::new());
         e.add_activity(ActivityKind::timer(1.0), 1);
         e.run_to_completion();
@@ -1005,7 +1445,9 @@ mod tests {
             KernelCounters {
                 events: 1,
                 heap_reinserts: 0,
-                sharing_resolves: 0
+                sharing_resolves: 0,
+                frontier_links: 0,
+                arena_bytes: 0,
             }
         );
     }
@@ -1041,6 +1483,22 @@ mod tests {
         let c2 = e.step().unwrap();
         assert!(close(c1.time, 1.0) && close(c2.time, 1.0));
         assert_ne!(c1.tag, c2.tag);
+    }
+
+    #[test]
+    fn simultaneous_completions_deliver_in_add_order() {
+        // A same-instant burst (timers, computes, flows reaching zero at
+        // one timestamp) drains as one batch but must still be delivered
+        // in serial (add) order — the reference engine's tie-break.
+        let mut p = Platform::new();
+        let l = p.add_link(100.0, 0.0);
+        let mut e = Engine::new(p);
+        e.add_activity(ActivityKind::flow(vec![l], 100.0), 0); // t=1 alone? no: shares
+        e.add_activity(ActivityKind::timer(1.0), 1);
+        e.add_activity(ActivityKind::compute(1.0, 1.0), 2);
+        // Flow shares nothing (only flow on l): rate 100, finishes t=1.
+        let order: Vec<u64> = e.run_to_completion().iter().map(|c| c.tag).collect();
+        assert_eq!(order, vec![0, 1, 2]);
     }
 
     #[test]
@@ -1126,5 +1584,169 @@ mod tests {
         for &(tag, t) in &order[1..] {
             assert!(close(t, 2.0), "tag {tag} at {t}");
         }
+    }
+
+    #[test]
+    fn frontier_stops_at_backbone_bottleneck() {
+        // Star-over-backbone: cross flows from every leaf link share a
+        // low-capacity backbone, so leaf-local churn never changes a
+        // cross flow's rate. Results must match physics regardless.
+        let mut p = Platform::new();
+        let bb = p.add_link(2.0, 0.0); // cross flows bottleneck here at 1.0
+        let leaf_a = p.add_link(100.0, 0.0);
+        let leaf_b = p.add_link(100.0, 0.0);
+        let mut e = Engine::new(p);
+        e.add_activity(ActivityKind::flow(vec![bb, leaf_a], 10.0), 1); // rate 1
+        e.add_activity(ActivityKind::flow(vec![bb, leaf_b], 10.0), 2); // rate 1
+        e.add_activity(ActivityKind::flow(vec![leaf_a], 99.0), 3); // rate 99
+        let order: Vec<(u64, f64)> = e
+            .run_to_completion()
+            .iter()
+            .map(|c| (c.tag, c.time))
+            .collect();
+        assert_eq!(order[0].0, 3);
+        assert!(close(order[0].1, 1.0), "local flow: {}", order[0].1);
+        // Cross flows: 1 B/s throughout (backbone-bound), 10s each. The
+        // local completion at t=1 must not have perturbed them.
+        assert!(close(order[1].1, 10.0), "cross: {}", order[1].1);
+        assert!(close(order[2].1, 10.0), "cross: {}", order[2].1);
+    }
+
+    #[test]
+    fn frontier_expands_when_boundary_becomes_binding() {
+        // l1 (cap 2): flows f and g. l2 (cap 10): flows f and o.
+        // Initially f=1, g=1 (l1 binding), o=9. When g completes, f's
+        // true rate rises to 2, so o must drop to 8 — the re-solve
+        // touching only l1 must expand across l2 to fix o.
+        let mut p = Platform::new();
+        let l1 = p.add_link(2.0, 0.0);
+        let l2 = p.add_link(10.0, 0.0);
+        let mut e = Engine::new(p);
+        e.add_activity(ActivityKind::flow(vec![l1, l2], 20.0), 1); // f
+        e.add_activity(ActivityKind::flow(vec![l1], 1.0), 2); // g: done t=1
+        e.add_activity(ActivityKind::flow(vec![l2], 90.0), 3); // o
+        let order: Vec<(u64, f64)> = e
+            .run_to_completion()
+            .iter()
+            .map(|c| (c.tag, c.time))
+            .collect();
+        assert_eq!(order[0], (2, order[0].1));
+        assert!(close(order[0].1, 1.0), "g: {}", order[0].1);
+        // f: 1 B/s for 1s, then 2 B/s for 19/2 s => t = 10.5.
+        let f = order.iter().find(|&&(tag, _)| tag == 1).unwrap();
+        assert!(close(f.1, 10.5), "f: {}", f.1);
+        // o: 9 B/s for 1s (81 left), 8 B/s until f is done at 10.5
+        // (76 more, 5 left), then the full 10 B/s => t = 11.0.
+        let o = order.iter().find(|&&(tag, _)| tag == 3).unwrap();
+        assert!(close(o.1, 11.0), "o: {}", o.1);
+    }
+
+    #[test]
+    fn free_list_recycles_slots_but_never_ids() {
+        let mut e = Engine::new(Platform::new());
+        let a = e.add_activity(ActivityKind::timer(1.0), 1);
+        let b = e.add_activity(ActivityKind::timer(1.0), 2);
+        e.run_to_completion();
+        assert_eq!(e.hot.len(), 2, "two slots allocated");
+        // Both slots are free; new adds must reuse them, not grow.
+        let c = e.add_activity(ActivityKind::timer(1.0), 3);
+        let d = e.add_activity(ActivityKind::timer(1.0), 4);
+        assert_eq!(e.hot.len(), 2, "slots recycled, no growth");
+        let ids = [a, b, c, d];
+        for (i, x) in ids.iter().enumerate() {
+            for y in &ids[i + 1..] {
+                assert_ne!(x, y, "ids must never alias");
+            }
+        }
+        assert!(c > b && d > c, "ids are serial");
+        let done = e.run_to_completion();
+        let got: Vec<ActivityId> = done.iter().map(|c| c.id).collect();
+        assert_eq!(got, vec![c, d], "completions carry the serial ids");
+    }
+
+    #[test]
+    fn live_ids_never_aliased_while_slots_recycle() {
+        // Churn adds/completions so slots recycle heavily; every live id
+        // must stay distinct from every other live id at all times.
+        let mut p = Platform::new();
+        let l = p.add_link(100.0, 0.0);
+        let mut e = Engine::new(p);
+        let mut live: std::collections::HashSet<ActivityId> = std::collections::HashSet::new();
+        let mut next_tag = 0u64;
+        for round in 0..50 {
+            for _ in 0..3 {
+                let id = e.add_activity(
+                    ActivityKind::flow(vec![l], 10.0 + (next_tag % 7) as f64),
+                    next_tag,
+                );
+                assert!(live.insert(id), "id {id:?} aliased a live activity");
+                next_tag += 1;
+            }
+            // Complete a couple to free slots for the next round.
+            for _ in 0..2 {
+                if let Some(c) = e.step() {
+                    assert!(live.remove(&c.id), "completion for unknown id");
+                }
+            }
+            assert!(e.hot.len() <= 3 * (round + 1), "slab growth is bounded");
+        }
+        while let Some(c) = e.step() {
+            assert!(live.remove(&c.id));
+        }
+        assert!(live.is_empty());
+    }
+
+    #[test]
+    fn arena_grows_then_compacts_under_churn() {
+        let mut p = Platform::new();
+        let links: Vec<_> = (0..8).map(|_| p.add_link(1e6, 0.0)).collect();
+        let mut e = Engine::new(p);
+        // Many short-lived 4-link flows: dead segments accumulate, so the
+        // arena must compact rather than grow linearly with total adds.
+        for i in 0..2000usize {
+            let route = vec![
+                links[i % 8],
+                links[(i + 1) % 8],
+                links[(i + 2) % 8],
+                links[(i + 3) % 8],
+            ];
+            e.add_activity(ActivityKind::flow(route, 100.0), i as u64);
+            if i % 2 == 1 {
+                // Keep at most ~2 flows in flight.
+                e.step().unwrap();
+                e.step().unwrap();
+            }
+        }
+        e.run_to_completion();
+        assert_eq!(e.routes_live, 0, "all segments dead after drain");
+        assert!(
+            e.routes.len() < 2000,
+            "arena compacted: {} entries for 2000 four-link flows",
+            e.routes.len()
+        );
+        let c = e.counters();
+        assert!(c.arena_bytes > 0);
+        assert!(
+            c.arena_bytes < (2000 * 4 * 4) as u64,
+            "peak arena {} must stay well under the no-compaction total",
+            c.arena_bytes
+        );
+    }
+
+    #[test]
+    fn heap_never_exceeds_live_activities() {
+        let mut p = Platform::new();
+        let l = p.add_link(100.0, 0.0);
+        let mut e = Engine::new(p);
+        for i in 0..64 {
+            e.add_activity(ActivityKind::flow(vec![l], 10.0 + i as f64), i);
+        }
+        while e.step().is_some() {
+            assert!(
+                e.heap.v.len() <= e.live,
+                "addressable heap holds at most one entry per live activity"
+            );
+        }
+        assert!(e.heap.v.is_empty());
     }
 }

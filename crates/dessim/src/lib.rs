@@ -20,11 +20,17 @@
 //! The [`engine::Engine`] advances virtual time from one activity
 //! completion to the next; the simulator on top reacts to each
 //! [`engine::Completion`] by adding new activities, in the classic
-//! discrete-event style. Event selection is heap-indexed and rate
-//! recomputation is incremental per sharing component (see the
-//! [`engine`] module docs); the original full-recompute loop survives as
-//! [`reference::ReferenceEngine`], the oracle the optimized engine is
-//! property-tested against and the baseline for the scaling benchmarks.
+//! discrete-event style. The hot path is built for ~10⁶ concurrent
+//! activities: structure-of-arrays activity storage with a recycled slot
+//! free-list and a shared route arena, an addressable event heap (one
+//! relocatable entry per activity), frontier-limited incremental max-min
+//! re-solves, and same-instant batch draining of simultaneous
+//! completions (see the [`engine`] module docs). The original
+//! full-recompute loop survives as [`reference::ReferenceEngine`], the
+//! oracle the optimized engine is property-tested against — within
+//! tolerance on arbitrary workloads, and *bitwise* on workloads whose
+//! arithmetic is exactly representable — and the baseline for the
+//! scaling benchmarks.
 //!
 //! ## Example
 //!
@@ -48,4 +54,4 @@ pub mod sharing;
 pub use engine::{ActivityId, ActivityKind, Completion, Engine, KernelCounters};
 pub use platform::{Disk, DiskId, Host, HostId, Link, LinkId, Platform};
 pub use reference::ReferenceEngine;
-pub use sharing::{max_min_fair_share, Workspace};
+pub use sharing::{max_min_fair_share, Frontier, Workspace};

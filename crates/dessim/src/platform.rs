@@ -19,6 +19,7 @@ pub struct DiskId(pub(crate) usize);
 
 impl LinkId {
     /// The raw index of this link (stable for the platform's lifetime).
+    #[inline]
     pub fn index(self) -> usize {
         self.0
     }
@@ -26,6 +27,7 @@ impl LinkId {
 
 impl HostId {
     /// The raw index of this host.
+    #[inline]
     pub fn index(self) -> usize {
         self.0
     }
@@ -33,6 +35,7 @@ impl HostId {
 
 impl DiskId {
     /// The raw index of this disk.
+    #[inline]
     pub fn index(self) -> usize {
         self.0
     }
@@ -139,6 +142,7 @@ impl Platform {
     }
 
     /// Look up a link.
+    #[inline]
     pub fn link(&self, id: LinkId) -> Link {
         self.links[id.0]
     }
@@ -149,11 +153,13 @@ impl Platform {
     }
 
     /// Look up a disk.
+    #[inline]
     pub fn disk(&self, id: DiskId) -> Disk {
         self.disks[id.0]
     }
 
     /// Number of registered links.
+    #[inline]
     pub fn num_links(&self) -> usize {
         self.links.len()
     }
@@ -164,6 +170,7 @@ impl Platform {
     }
 
     /// Number of registered disks.
+    #[inline]
     pub fn num_disks(&self) -> usize {
         self.disks.len()
     }

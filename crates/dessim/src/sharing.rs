@@ -15,9 +15,12 @@
 /// unconstrained and gets `f64::INFINITY` — callers model such flows
 /// (e.g. intra-host transfers) with an explicit bound elsewhere.
 ///
-/// This is a convenience wrapper over [`Workspace`], which callers with a
-/// hot loop should hold on to so repeated solves reuse buffers instead of
-/// allocating.
+/// This is a thin delegation to [`Workspace::solve`] — the single
+/// progressive-filling implementation in the workspace is the only solver
+/// in the crate, so the free function, the engine's frontier-limited
+/// incremental re-solves, and direct `Workspace` users (e.g. `mpisim`)
+/// all share one set of bits. Callers with a hot loop should hold a
+/// [`Workspace`] so repeated solves reuse buffers instead of allocating.
 ///
 /// # Panics
 /// Panics if any route references a link index out of bounds.
@@ -50,6 +53,11 @@ pub struct Workspace {
     frozen: Vec<bool>,
     /// Output rates, one per flow.
     rates: Vec<f64>,
+    /// Output: which links were selected as a bottleneck in some filling
+    /// round of the last solve (the *binding* links). Rates are a pure
+    /// function of the binding links' capacities and crossing counts;
+    /// capacities of non-binding links never enter the rate arithmetic.
+    binding: Vec<bool>,
 }
 
 impl Workspace {
@@ -129,6 +137,7 @@ impl Workspace {
             crossing,
             frozen,
             rates,
+            binding,
         } = self;
         let nf = route_ends.len();
         let nl = caps.len();
@@ -139,6 +148,8 @@ impl Workspace {
 
         rates.clear();
         rates.resize(nf, f64::INFINITY);
+        binding.clear();
+        binding.resize(nl, false);
         if nf == 0 {
             return rates;
         }
@@ -178,6 +189,7 @@ impl Workspace {
                 }
             }
             let (bottleneck, share) = best.expect("unfrozen flows imply a crossed link");
+            binding[bottleneck] = true;
 
             // Freeze every unfrozen flow crossing the bottleneck at
             // `share`, and release the capacity they consume elsewhere.
@@ -195,6 +207,122 @@ impl Workspace {
             }
         }
         rates
+    }
+
+    /// Whether link `link` (workspace index) was selected as a bottleneck
+    /// in the last [`Workspace::solve`]. Only meaningful after a solve.
+    ///
+    /// A non-binding link's capacity never entered the rate arithmetic:
+    /// every flow crossing it was frozen by some *other* link first. This
+    /// is what lets the engine's frontier-limited re-solve prove a
+    /// boundary link's residual-capacity approximation exact.
+    pub fn was_binding(&self, link: usize) -> bool {
+        self.binding.get(link).copied().unwrap_or(false)
+    }
+
+    /// The rates computed by the last [`Workspace::solve`], one per flow
+    /// in push order. Unlike the slice `solve` returns, this borrows the
+    /// workspace immutably, so it can coexist with
+    /// [`Workspace::was_binding`] queries.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+}
+
+/// Reusable state for frontier-limited incremental re-solves.
+///
+/// The engine seeds the change-queue with the links whose flow set changed
+/// (`dirty` set *D*), pulls in the flows crossing them (*F*), and the
+/// other links those flows cross (`boundary` set *B*). Boundary links are
+/// modeled by their *residual* capacity (full capacity minus the current
+/// rates of flows outside *F*). After a candidate solve over *D ∪ B*, a
+/// boundary link must be promoted to dirty — expanding the frontier — iff
+/// it has outside flows and either (a) it was binding in the candidate
+/// solve, or (b) some *F*-flow crossing it changed rate: in either case
+/// the frozen outside rates baked into its residual may no longer be the
+/// true max-min rates. When no promotion fires, the candidate rates are
+/// bitwise identical to a full-component solve and can be committed.
+///
+/// All fields are buffers retained across solves; [`Frontier::new`] plus
+/// the engine-side reset protocol keep the hot path allocation-free once
+/// warm. The fields are crate-internal: this type exists so the engine's
+/// change-queue state lives beside the solver it feeds.
+#[derive(Clone, Debug, Default)]
+pub struct Frontier {
+    /// Dirty links *D*, in discovery order.
+    pub(crate) dirty: Vec<usize>,
+    /// Per-link membership mask for `dirty`.
+    pub(crate) in_dirty: Vec<bool>,
+    /// Boundary links *B*, in discovery order (may contain links later
+    /// promoted to dirty; `in_dirty` takes precedence).
+    pub(crate) boundary: Vec<usize>,
+    /// Per-link membership mask for `boundary`.
+    pub(crate) in_boundary: Vec<bool>,
+    /// Flows *F* (engine slot indices), in discovery order.
+    pub(crate) flows: Vec<u32>,
+    /// Per-slot membership mask for `flows`.
+    pub(crate) in_flows: Vec<bool>,
+    /// Per-link count of *F*-flows crossing it (routes are deduplicated,
+    /// so this compares directly against the engine's per-link flow
+    /// registry length to detect outside flows).
+    pub(crate) f_count: Vec<u32>,
+    /// Per-slot scratch: did this flow's rate change in the candidate?
+    pub(crate) changed: Vec<bool>,
+    /// Per-link map to the candidate problem's workspace index.
+    pub(crate) local: Vec<usize>,
+    /// Sorted link set of the candidate problem.
+    pub(crate) links_sorted: Vec<usize>,
+    /// Flows sorted by serial id (canonical commit order).
+    pub(crate) flows_sorted: Vec<u32>,
+    /// Scratch for canonical (serial-ordered) residual summation.
+    pub(crate) outside: Vec<(u64, f64)>,
+}
+
+impl Frontier {
+    /// An empty frontier; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow per-link buffers to cover `num_links` links.
+    pub(crate) fn ensure_links(&mut self, num_links: usize) {
+        if self.in_dirty.len() < num_links {
+            self.in_dirty.resize(num_links, false);
+            self.in_boundary.resize(num_links, false);
+            self.f_count.resize(num_links, 0);
+            self.local.resize(num_links, usize::MAX);
+        }
+    }
+
+    /// Grow per-slot buffers to cover `num_slots` activity slots.
+    pub(crate) fn ensure_slots(&mut self, num_slots: usize) {
+        if self.in_flows.len() < num_slots {
+            self.in_flows.resize(num_slots, false);
+            self.changed.resize(num_slots, false);
+        }
+    }
+
+    /// Clear membership masks and counts touched by the last solve, then
+    /// drop the discovery lists. O(|D| + |B| + |F| + links in problem).
+    pub(crate) fn reset(&mut self) {
+        for &l in &self.dirty {
+            self.in_dirty[l] = false;
+        }
+        for &l in &self.boundary {
+            self.in_boundary[l] = false;
+        }
+        for &l in &self.links_sorted {
+            self.f_count[l] = 0;
+        }
+        for &s in &self.flows {
+            self.in_flows[s as usize] = false;
+        }
+        self.dirty.clear();
+        self.boundary.clear();
+        self.flows.clear();
+        self.links_sorted.clear();
+        self.flows_sorted.clear();
+        self.outside.clear();
     }
 }
 

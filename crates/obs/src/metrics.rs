@@ -12,6 +12,11 @@ pub enum Counter {
     /// Incremental max-min re-solves: one per touched link component
     /// or disk re-share in `dessim`'s sharing workspace.
     KernelSharingResolves,
+    /// Total links included in committed frontier re-solves; together
+    /// with `KernelSharingResolves` this gives the mean frontier size.
+    KernelFrontierLinks,
+    /// Peak bytes allocated to `dessim`'s shared route arena.
+    KernelArenaBytes,
     /// Evaluator memoization hits (loss served without simulating).
     EvalCacheHits,
     /// Evaluator memoization misses (full simulation performed).
@@ -41,10 +46,12 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in trace-emission order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 14] = [
         Counter::KernelEvents,
         Counter::KernelHeapReinserts,
         Counter::KernelSharingResolves,
+        Counter::KernelFrontierLinks,
+        Counter::KernelArenaBytes,
         Counter::EvalCacheHits,
         Counter::EvalCacheMisses,
         Counter::EvalPanics,
@@ -62,6 +69,8 @@ impl Counter {
             Counter::KernelEvents => "kernel_events",
             Counter::KernelHeapReinserts => "kernel_heap_reinserts",
             Counter::KernelSharingResolves => "kernel_sharing_resolves",
+            Counter::KernelFrontierLinks => "kernel_frontier_links",
+            Counter::KernelArenaBytes => "kernel_arena_bytes",
             Counter::EvalCacheHits => "eval_cache_hits",
             Counter::EvalCacheMisses => "eval_cache_misses",
             Counter::EvalPanics => "eval_panics",
