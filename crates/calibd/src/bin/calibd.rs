@@ -1,0 +1,105 @@
+//! The calibration-as-a-service daemon.
+//!
+//! Listens for `lodcal-calibd v1` JSONL frames on a TCP socket,
+//! executes submitted sweeps as sharded resumable jobs under
+//! `--data-dir`, and survives restarts: the job log and the per-job
+//! ledger shards replay on startup, so interrupted jobs resume without
+//! re-consuming budget and finish with the same outcome digest an
+//! uninterrupted run would have produced.
+
+use calibd::daemon::{Daemon, DaemonConfig};
+use std::path::PathBuf;
+use std::process::exit;
+
+const USAGE: &str = "\
+usage: calibd --data-dir <dir> [options]
+  --addr <host:port>        listen address (default: 127.0.0.1:4550)
+  --data-dir <dir>          durable state: job log + ledger shards (required)
+  --shards <n>              default shard count per job (default: 4)
+  --workers <n>             concurrent job executors (default: 2)
+  --quota <n>               default per-tenant evaluation quota
+                            (default: 1000000)
+  --tenant-quota <name=n>   per-tenant override (repeatable)
+  --help                    print this help";
+
+fn die(msg: &str) -> ! {
+    obs::diag!("{msg}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn parse_config() -> DaemonConfig {
+    let mut addr = "127.0.0.1:4550".to_string();
+    let mut data_dir: Option<PathBuf> = None;
+    let mut shards = 4usize;
+    let mut workers = 2usize;
+    let mut quota = 1_000_000usize;
+    let mut tenant_quotas: Vec<(String, usize)> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--data-dir" => data_dir = Some(PathBuf::from(value("--data-dir"))),
+            "--shards" => {
+                shards = value("--shards")
+                    .parse()
+                    .unwrap_or_else(|_| die("--shards must be an integer"));
+            }
+            "--workers" => {
+                workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| die("--workers must be an integer"));
+            }
+            "--quota" => {
+                quota = value("--quota")
+                    .parse()
+                    .unwrap_or_else(|_| die("--quota must be an integer"));
+            }
+            "--tenant-quota" => {
+                let spec = value("--tenant-quota");
+                let Some((name, limit)) = spec.split_once('=') else {
+                    die("--tenant-quota expects name=limit");
+                };
+                let limit = limit
+                    .parse()
+                    .unwrap_or_else(|_| die("--tenant-quota limit must be an integer"));
+                tenant_quotas.push((name.to_string(), limit));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+    let Some(data_dir) = data_dir else {
+        die("--data-dir is required");
+    };
+    DaemonConfig {
+        addr,
+        data_dir,
+        default_shards: shards.max(1),
+        workers,
+        default_quota: quota,
+        tenant_quotas,
+    }
+}
+
+fn main() {
+    let config = parse_config();
+    let handle = match Daemon::start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            obs::diag!("cannot start daemon: {e}");
+            exit(1);
+        }
+    };
+    obs::diag!("listening on {}", handle.addr());
+    handle.join();
+    obs::diag!("shut down");
+}

@@ -1,0 +1,915 @@
+//! The calibd daemon: a job registry, fair multi-tenant scheduling,
+//! sharded sweep execution, and the TCP frontend.
+//!
+//! ## Durability and replay
+//!
+//! Every state transition a restart must survive is appended to
+//! `data_dir/jobs.jsonl` (a [`JobEvent`] per line, read leniently like
+//! the run ledger). On startup the daemon replays the log: jobs with a
+//! `Submitted` event but no terminal event are re-queued in id order and
+//! resume from their ledger shards under `data_dir/job-<id>/` — every
+//! calibration run already checkpointed there is served without
+//! re-consuming any budget, so a kill at any point re-runs at most the
+//! work that was in flight, and the resumed outcome digest is
+//! bit-for-bit what an uninterrupted run would have produced.
+//!
+//! ## Quota semantics
+//!
+//! Admission charges a job's full planned evaluation count against its
+//! tenant's [`QuotaBook`] entry up front (the plan is deterministic, so
+//! the count is exact). Completion keeps the charge; failure and
+//! cancellation refund it in full. Replayed `Submitted` events re-charge
+//! (the in-memory book dies with the process), and replayed terminal
+//! events re-apply their refunds — resumed jobs are never charged twice.
+//!
+//! ## Scheduling
+//!
+//! Queued jobs are drained round-robin across tenants ([`FairQueue`]):
+//! a tenant that submits a burst of jobs cannot starve another tenant's
+//! single job. Shard execution itself fans out on the process-wide
+//! rayon pool; `workers` controls how many jobs make progress
+//! concurrently (0 is allowed and means "accept but never execute",
+//! which the tests use to pin queue behaviour deterministically).
+
+use crate::proto::{
+    check_hello, counter_event, parse_request, read_frame, write_frame, FrameError, JobSpec,
+    JobState, JobStatus, ProtoError, Request, Response, SCHEMA_NAME, SCHEMA_VERSION,
+};
+use lodsel::ledger::{ledger_status, Ledger, LedgerEvent, LedgerStatus};
+use lodsel::prelude::{BatchFamily, BudgetPolicy, MpiFamily, SweepConfig, VersionFamily, WfFamily};
+use lodsel::shard::{merge_shards, run_shard, shard_path};
+use lodsel::sweep::run_sweep;
+use serde::{Deserialize, Serialize};
+use simcal::prelude::{Budget, QuotaBook};
+use std::collections::{BTreeMap, VecDeque};
+use std::fs::OpenOptions;
+use std::io::{self, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Listen address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Root of the daemon's durable state: `jobs.jsonl` plus one
+    /// `job-<id>/` shard directory per job.
+    pub data_dir: PathBuf,
+    /// Shard count for jobs that do not pick one (`spec.shards == 0`).
+    pub default_shards: usize,
+    /// Worker threads executing jobs concurrently (0 = accept only).
+    pub workers: usize,
+    /// Evaluation quota for tenants without an explicit limit.
+    pub default_quota: usize,
+    /// Per-tenant quota overrides.
+    pub tenant_quotas: Vec<(String, usize)>,
+}
+
+impl DaemonConfig {
+    /// Loopback daemon rooted at `data_dir` with generous defaults.
+    pub fn local(data_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            data_dir: data_dir.into(),
+            default_shards: 2,
+            workers: 2,
+            default_quota: 10_000_000,
+            tenant_quotas: Vec::new(),
+        }
+    }
+}
+
+/// One line of `jobs.jsonl`: the durable job-lifecycle log.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum JobEvent {
+    /// A job was admitted. `planned_evals` is recorded so replay can
+    /// re-charge quota without reconstructing the family.
+    Submitted {
+        /// Job id.
+        id: u64,
+        /// The submitted spec.
+        spec: JobSpec,
+        /// Resolved shard count.
+        shards: usize,
+        /// Evaluations charged at admission.
+        planned_evals: usize,
+    },
+    /// The job finished with a recommendation.
+    Completed {
+        /// Job id.
+        id: u64,
+        /// Outcome digest.
+        digest: String,
+        /// Recommended version label.
+        chosen: Option<String>,
+    },
+    /// The job gave up.
+    Failed {
+        /// Job id.
+        id: u64,
+        /// Why.
+        error: String,
+    },
+    /// The job was cancelled by a client.
+    Cancelled {
+        /// Job id.
+        id: u64,
+    },
+}
+
+/// Round-robin-fair per-tenant job queue: `pop` serves tenants in
+/// rotation, one job at a time, so no tenant's backlog starves another.
+#[derive(Default)]
+pub struct FairQueue {
+    queues: BTreeMap<String, VecDeque<u64>>,
+    rotation: VecDeque<String>,
+}
+
+impl FairQueue {
+    /// Enqueue `job` for `tenant` (FIFO within the tenant).
+    pub fn push(&mut self, tenant: &str, job: u64) {
+        if !self.queues.contains_key(tenant) {
+            self.rotation.push_back(tenant.to_string());
+        }
+        self.queues
+            .entry(tenant.to_string())
+            .or_default()
+            .push_back(job);
+    }
+
+    /// Dequeue the next job fairly: the first tenant in rotation with
+    /// work yields one job and moves to the back of the rotation.
+    pub fn pop(&mut self) -> Option<u64> {
+        for _ in 0..self.rotation.len() {
+            let tenant = self.rotation.pop_front()?;
+            let job = self.queues.get_mut(&tenant).and_then(VecDeque::pop_front);
+            self.rotation.push_back(tenant);
+            if job.is_some() {
+                return job;
+            }
+        }
+        None
+    }
+
+    /// Drop a queued job wherever it sits. Returns whether it was found.
+    pub fn remove(&mut self, job: u64) -> bool {
+        for queue in self.queues.values_mut() {
+            if let Some(at) = queue.iter().position(|&j| j == job) {
+                queue.remove(at);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Queued jobs across all tenants.
+    pub fn len(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct Job {
+    spec: JobSpec,
+    shards: usize,
+    planned_evals: usize,
+    state: JobState,
+    digest: Option<String>,
+    chosen: Option<String>,
+    error: Option<String>,
+    cancel: Arc<AtomicBool>,
+}
+
+#[derive(Default)]
+struct Registry {
+    next_id: u64,
+    jobs: BTreeMap<u64, Job>,
+    queue: FairQueue,
+}
+
+struct Shared {
+    config: DaemonConfig,
+    addr: SocketAddr,
+    registry: Mutex<Registry>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    quotas: QuotaBook,
+    jobs_log: Mutex<std::fs::File>,
+}
+
+impl Shared {
+    fn log_event(&self, event: &JobEvent) {
+        if let Ok(line) = serde_json::to_string(event) {
+            let mut file = self.jobs_log.lock().expect("jobs log lock");
+            let _ = file.write_all(line.as_bytes());
+            let _ = file.write_all(b"\n");
+            let _ = file.flush();
+        }
+    }
+}
+
+/// Handle to a running daemon: its bound address plus shutdown/join.
+pub struct DaemonHandle {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The daemon's bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Ask every thread to stop (running jobs pause at their next shard
+    /// boundary and will resume from their ledgers on the next start).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.ready.notify_all();
+        // Wake the blocking accept loop.
+        let _ = TcpStream::connect(self.shared.addr);
+    }
+
+    /// Shut down and wait for the worker and accept threads to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until the daemon shuts down (via a `Shutdown` request).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The daemon entry point.
+pub struct Daemon;
+
+impl Daemon {
+    /// Bind, replay `jobs.jsonl`, and start worker + accept threads.
+    pub fn start(config: DaemonConfig) -> io::Result<DaemonHandle> {
+        std::fs::create_dir_all(&config.data_dir)?;
+        let quotas = QuotaBook::new(config.default_quota);
+        for (tenant, limit) in &config.tenant_quotas {
+            quotas.set_limit(tenant, *limit);
+        }
+        let log_path = config.data_dir.join("jobs.jsonl");
+        let registry = replay(&log_path, &quotas)?;
+        let jobs_log = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log_path)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            addr,
+            registry: Mutex::new(registry),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            quotas,
+            jobs_log: Mutex::new(jobs_log),
+        });
+
+        let mut threads = Vec::new();
+        for _ in 0..shared.config.workers {
+            let shared = shared.clone();
+            threads.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        {
+            let shared = shared.clone();
+            threads.push(std::thread::spawn(move || accept_loop(&listener, &shared)));
+        }
+        Ok(DaemonHandle { shared, threads })
+    }
+}
+
+/// Rebuild the registry from the job log, re-applying quota charges and
+/// refunds, and re-queue every non-terminal job in id order.
+fn replay(log_path: &Path, quotas: &QuotaBook) -> io::Result<Registry> {
+    let mut registry = Registry::default();
+    let text = match std::fs::read_to_string(log_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(event) = serde_json::from_str::<JobEvent>(line) else {
+            continue; // torn tail or foreign line: lenient, like the ledger
+        };
+        match event {
+            JobEvent::Submitted {
+                id,
+                spec,
+                shards,
+                planned_evals,
+            } => {
+                // Re-charge: it was admitted before; changed limits only
+                // gate future admissions.
+                let _ = quotas.charge(&spec.tenant, planned_evals);
+                registry.next_id = registry.next_id.max(id + 1);
+                registry.jobs.insert(
+                    id,
+                    Job {
+                        spec,
+                        shards,
+                        planned_evals,
+                        state: JobState::Queued,
+                        digest: None,
+                        chosen: None,
+                        error: None,
+                        cancel: Arc::new(AtomicBool::new(false)),
+                    },
+                );
+            }
+            JobEvent::Completed { id, digest, chosen } => {
+                if let Some(job) = registry.jobs.get_mut(&id) {
+                    job.state = JobState::Completed;
+                    job.digest = Some(digest);
+                    job.chosen = chosen;
+                }
+            }
+            JobEvent::Failed { id, error } => {
+                if let Some(job) = registry.jobs.get_mut(&id) {
+                    job.state = JobState::Failed;
+                    job.error = Some(error);
+                    quotas.refund(&job.spec.tenant, job.planned_evals);
+                }
+            }
+            JobEvent::Cancelled { id } => {
+                if let Some(job) = registry.jobs.get_mut(&id) {
+                    job.state = JobState::Cancelled;
+                    quotas.refund(&job.spec.tenant, job.planned_evals);
+                }
+            }
+        }
+    }
+    let pending: Vec<(u64, String)> = registry
+        .jobs
+        .iter()
+        .filter(|(_, j)| j.state == JobState::Queued)
+        .map(|(id, j)| (*id, j.spec.tenant.clone()))
+        .collect();
+    for (id, tenant) in pending {
+        registry.queue.push(&tenant, id);
+    }
+    Ok(registry)
+}
+
+/// Instantiate the family a spec names.
+fn make_family(spec: &JobSpec) -> Result<Box<dyn VersionFamily>, String> {
+    match spec.family.as_str() {
+        "wf" => Ok(Box::new(WfFamily::paper(spec.fast, spec.seed))),
+        "mpi" => Ok(Box::new(MpiFamily::paper(spec.fast, spec.seed))),
+        "batch" => Ok(Box::new(BatchFamily::paper(spec.fast, spec.seed))),
+        other => Err(format!("unknown family {other:?} (want wf, mpi, or batch)")),
+    }
+}
+
+/// The sweep configuration a spec maps to.
+fn sweep_config(spec: &JobSpec) -> SweepConfig {
+    SweepConfig {
+        budget: match spec.total_evals {
+            Some(total) => BudgetPolicy::TotalEvaluations { total },
+            None => BudgetPolicy::PerRun {
+                budget: Budget::Evaluations(spec.budget_evals),
+            },
+        },
+        restarts: spec.restarts,
+        seed: spec.seed,
+        epsilon: spec.epsilon,
+        max_units: None,
+        max_fault_retries: 2,
+        cache: None,
+    }
+}
+
+/// A job's shard directory under the daemon's data dir.
+fn job_dir(data_dir: &Path, id: u64) -> PathBuf {
+    data_dir.join(format!("job-{id}"))
+}
+
+/// Combined ledger summary across a job's shard files.
+fn job_ledger_status(data_dir: &Path, id: u64, shards: usize) -> LedgerStatus {
+    let dir = job_dir(data_dir, id);
+    let mut events: Vec<LedgerEvent> = Vec::new();
+    for s in 0..shards {
+        if let Ok(mut shard_events) = Ledger::read(shard_path(&dir, s)) {
+            events.append(&mut shard_events);
+        }
+    }
+    ledger_status(&events)
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let claimed = {
+            let mut registry = shared.registry.lock().expect("registry lock");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = registry.queue.pop() {
+                    break id;
+                }
+                let (guard, _) = shared
+                    .ready
+                    .wait_timeout(registry, Duration::from_millis(100))
+                    .expect("registry lock");
+                registry = guard;
+            }
+        };
+        execute_job(shared, claimed);
+    }
+}
+
+fn execute_job(shared: &Arc<Shared>, id: u64) {
+    let (spec, shards, cancel) = {
+        let mut registry = shared.registry.lock().expect("registry lock");
+        let Some(job) = registry.jobs.get_mut(&id) else {
+            return;
+        };
+        job.state = JobState::Running;
+        (job.spec.clone(), job.shards, job.cancel.clone())
+    };
+    obs::counter(obs::Counter::JobsActive, 1);
+    let _job_span = obs::span!(
+        "job",
+        id = id,
+        family = spec.family.clone(),
+        shards = shards
+    );
+
+    let family = match make_family(&spec) {
+        Ok(f) => f,
+        Err(e) => return finalize_failed(shared, id, e),
+    };
+    let config = sweep_config(&spec);
+    let dir = job_dir(&shared.config.data_dir, id);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return finalize_failed(shared, id, format!("cannot create {}: {e}", dir.display()));
+    }
+
+    for s in 0..shards {
+        if cancel.load(Ordering::SeqCst) {
+            return finalize_cancelled(shared, id);
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Dying mid-job: no terminal event, so the next start
+            // re-queues the job and resumes from the shard ledgers.
+            let mut registry = shared.registry.lock().expect("registry lock");
+            if let Some(job) = registry.jobs.get_mut(&id) {
+                job.state = JobState::Queued;
+            }
+            return;
+        }
+        if let Err(e) = run_shard(family.as_ref(), &config, s, shards, &dir) {
+            return finalize_failed(shared, id, e.to_string());
+        }
+    }
+    if cancel.load(Ordering::SeqCst) {
+        return finalize_cancelled(shared, id);
+    }
+    let paths: Vec<PathBuf> = (0..shards).map(|s| shard_path(&dir, s)).collect();
+    let merged = match merge_shards(&paths, &dir.join("merged.jsonl")) {
+        Ok(l) => l,
+        Err(e) => return finalize_failed(shared, id, e.to_string()),
+    };
+    let outcome = run_sweep(family.as_ref(), &config, Some(&merged));
+    let digest = outcome.digest();
+    let chosen = outcome.recommendation.as_ref().map(|r| r.chosen.clone());
+    shared.log_event(&JobEvent::Completed {
+        id,
+        digest: digest.clone(),
+        chosen: chosen.clone(),
+    });
+    let mut registry = shared.registry.lock().expect("registry lock");
+    if let Some(job) = registry.jobs.get_mut(&id) {
+        job.state = JobState::Completed;
+        job.digest = Some(digest);
+        job.chosen = chosen;
+    }
+}
+
+fn finalize_failed(shared: &Arc<Shared>, id: u64, error: String) {
+    shared.log_event(&JobEvent::Failed {
+        id,
+        error: error.clone(),
+    });
+    let mut registry = shared.registry.lock().expect("registry lock");
+    if let Some(job) = registry.jobs.get_mut(&id) {
+        job.state = JobState::Failed;
+        job.error = Some(error);
+        shared.quotas.refund(&job.spec.tenant, job.planned_evals);
+    }
+}
+
+fn finalize_cancelled(shared: &Arc<Shared>, id: u64) {
+    shared.log_event(&JobEvent::Cancelled { id });
+    let mut registry = shared.registry.lock().expect("registry lock");
+    if let Some(job) = registry.jobs.get_mut(&id) {
+        job.state = JobState::Cancelled;
+        shared.quotas.refund(&job.spec.tenant, job.planned_evals);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = shared.clone();
+        // Connection handlers are detached: they die with their socket.
+        std::thread::spawn(move || {
+            let _ = serve_connection(stream, &shared);
+        });
+    }
+}
+
+fn job_status_of(shared: &Shared, id: u64, job: &Job) -> JobStatus {
+    JobStatus {
+        job: id,
+        tenant: job.spec.tenant.clone(),
+        family: job.spec.family.clone(),
+        shards: job.shards,
+        state: job.state,
+        digest: job.digest.clone(),
+        chosen: job.chosen.clone(),
+        error: job.error.clone(),
+        ledger: Some(job_ledger_status(&shared.config.data_dir, id, job.shards)),
+    }
+}
+
+/// Admit or refuse a submission, under the registry lock.
+fn admit(shared: &Shared, spec: JobSpec) -> Response {
+    let family = match make_family(&spec) {
+        Ok(f) => f,
+        Err(e) => return Response::Rejected { reason: e },
+    };
+    let units = family.units().len();
+    let restarts = spec.restarts.max(1);
+    if let Some(total) = spec.total_evals {
+        if total < units * restarts {
+            return Response::Rejected {
+                reason: format!(
+                    "total budget of {total} evaluations cannot cover {} runs",
+                    units * restarts
+                ),
+            };
+        }
+    } else if spec.budget_evals == 0 {
+        return Response::Rejected {
+            reason: "budget_evals must be at least 1".into(),
+        };
+    }
+    let shards = if spec.shards == 0 {
+        shared.config.default_shards.max(1)
+    } else {
+        spec.shards
+    };
+    let planned = spec.planned_evaluations(units);
+    if let Err(e) = shared.quotas.charge(&spec.tenant, planned) {
+        return Response::Rejected {
+            reason: e.to_string(),
+        };
+    }
+    let mut registry = shared.registry.lock().expect("registry lock");
+    registry.next_id = registry.next_id.max(1);
+    let id = registry.next_id;
+    registry.next_id += 1;
+    shared.log_event(&JobEvent::Submitted {
+        id,
+        spec: spec.clone(),
+        shards,
+        planned_evals: planned,
+    });
+    let tenant = spec.tenant.clone();
+    registry.jobs.insert(
+        id,
+        Job {
+            spec,
+            shards,
+            planned_evals: planned,
+            state: JobState::Queued,
+            digest: None,
+            chosen: None,
+            error: None,
+            cancel: Arc::new(AtomicBool::new(false)),
+        },
+    );
+    registry.queue.push(&tenant, id);
+    drop(registry);
+    obs::counter(obs::Counter::JobsAccepted, 1);
+    obs::counter(obs::Counter::JobsQueued, 1);
+    shared.ready.notify_all();
+    Response::Accepted { job: id }
+}
+
+fn handle_cancel(shared: &Shared, id: u64) -> Response {
+    let mut registry = shared.registry.lock().expect("registry lock");
+    let Some(job) = registry.jobs.get(&id) else {
+        return Response::Error {
+            message: format!("no such job {id}"),
+        };
+    };
+    match job.state {
+        JobState::Queued => {
+            registry.queue.remove(id);
+            drop(registry);
+            finalize_cancelled_locked(shared, id);
+            let registry = shared.registry.lock().expect("registry lock");
+            let job = &registry.jobs[&id];
+            Response::Jobs {
+                jobs: vec![job_status_of(shared, id, job)],
+            }
+        }
+        JobState::Running => {
+            job.cancel.store(true, Ordering::SeqCst);
+            let status = job_status_of(shared, id, job);
+            Response::Jobs { jobs: vec![status] }
+        }
+        state => Response::Error {
+            message: format!("job {id} is already {state:?}"),
+        },
+    }
+}
+
+fn finalize_cancelled_locked(shared: &Shared, id: u64) {
+    shared.log_event(&JobEvent::Cancelled { id });
+    let mut registry = shared.registry.lock().expect("registry lock");
+    if let Some(job) = registry.jobs.get_mut(&id) {
+        job.state = JobState::Cancelled;
+        shared.quotas.refund(&job.spec.tenant, job.planned_evals);
+    }
+}
+
+/// Stream progress frames for `id` until it reaches a terminal state.
+fn handle_watch(shared: &Shared, id: u64, out: &mut TcpStream) -> io::Result<()> {
+    let exists = shared
+        .registry
+        .lock()
+        .expect("registry lock")
+        .jobs
+        .contains_key(&id);
+    if !exists {
+        return write_frame(
+            out,
+            &Response::Error {
+                message: format!("no such job {id}"),
+            },
+        );
+    }
+    let mut seq = 0u64;
+    let mut last_runs = usize::MAX;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return write_frame(
+                out,
+                &Response::Error {
+                    message: "daemon shutting down".into(),
+                },
+            );
+        }
+        let (state, shards, digest, chosen) = {
+            let registry = shared.registry.lock().expect("registry lock");
+            let job = &registry.jobs[&id];
+            (
+                job.state,
+                job.shards,
+                job.digest.clone(),
+                job.chosen.clone(),
+            )
+        };
+        let runs = job_ledger_status(&shared.config.data_dir, id, shards).runs_done;
+        if runs != last_runs {
+            last_runs = runs;
+            write_frame(
+                out,
+                &Response::Progress {
+                    job: id,
+                    seq,
+                    event: counter_event("calibd_runs_completed", runs as u64),
+                },
+            )?;
+            seq += 1;
+        }
+        if state.terminal() {
+            return write_frame(
+                out,
+                &Response::Done {
+                    job: id,
+                    state,
+                    digest,
+                    chosen,
+                },
+            );
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+
+    // The connection opens with a Hello exchange; anything else is a
+    // protocol error that closes the connection.
+    match read_frame(&mut reader) {
+        Ok(Some(line)) => match parse_request(&line) {
+            Ok(Request::Hello { schema, version }) => {
+                if let Err(e) = check_hello(&schema, version) {
+                    write_frame(
+                        &mut writer,
+                        &Response::Error {
+                            message: e.to_string(),
+                        },
+                    )?;
+                    return Ok(());
+                }
+                write_frame(
+                    &mut writer,
+                    &Response::Hello {
+                        schema: SCHEMA_NAME.into(),
+                        version: SCHEMA_VERSION,
+                    },
+                )?;
+            }
+            Ok(_) => {
+                write_frame(
+                    &mut writer,
+                    &Response::Error {
+                        message: "first frame must be Hello".into(),
+                    },
+                )?;
+                return Ok(());
+            }
+            Err(e) => {
+                write_frame(
+                    &mut writer,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                )?;
+                return Ok(());
+            }
+        },
+        Ok(None) => return Ok(()),
+        Err(e) => {
+            let _ = write_frame(
+                &mut writer,
+                &Response::Error {
+                    message: e.to_string(),
+                },
+            );
+            return Ok(());
+        }
+    }
+
+    loop {
+        let line = match read_frame(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(()),
+            Err(e @ FrameError::Oversized { .. }) => {
+                let _ = write_frame(
+                    &mut writer,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                return Ok(());
+            }
+            Err(FrameError::Io(e)) => return Err(e),
+        };
+        let response = match parse_request(&line) {
+            Ok(Request::Hello { schema, version }) => match check_hello(&schema, version) {
+                Ok(()) => Response::Hello {
+                    schema: SCHEMA_NAME.into(),
+                    version: SCHEMA_VERSION,
+                },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Ok(Request::Submit { spec }) => admit(shared, spec),
+            Ok(Request::Status { job }) => {
+                let registry = shared.registry.lock().expect("registry lock");
+                let jobs: Vec<JobStatus> = match job {
+                    Some(id) => match registry.jobs.get(&id) {
+                        Some(j) => vec![job_status_of(shared, id, j)],
+                        None => {
+                            drop(registry);
+                            write_frame(
+                                &mut writer,
+                                &Response::Error {
+                                    message: format!("no such job {id}"),
+                                },
+                            )?;
+                            continue;
+                        }
+                    },
+                    None => registry
+                        .jobs
+                        .iter()
+                        .map(|(id, j)| job_status_of(shared, *id, j))
+                        .collect(),
+                };
+                Response::Jobs { jobs }
+            }
+            Ok(Request::Watch { job }) => {
+                handle_watch(shared, job, &mut writer)?;
+                continue;
+            }
+            Ok(Request::Cancel { job }) => handle_cancel(shared, job),
+            Ok(Request::Shutdown) => {
+                write_frame(&mut writer, &Response::ShuttingDown)?;
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.ready.notify_all();
+                let _ = TcpStream::connect(shared.addr);
+                return Ok(());
+            }
+            Err(
+                e @ (ProtoError::UnknownKind(_)
+                | ProtoError::BadJson(_)
+                | ProtoError::Invalid(_)
+                | ProtoError::BadHello(_)),
+            ) => Response::Error {
+                message: e.to_string(),
+            },
+        };
+        write_frame(&mut writer, &response)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_queue_round_robins_across_tenants() {
+        let mut q = FairQueue::default();
+        q.push("a", 1);
+        q.push("a", 2);
+        q.push("a", 3);
+        q.push("b", 4);
+        q.push("c", 5);
+        // One job per tenant per rotation: a, b, c, then a's backlog.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), Some(5));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fair_queue_removal_and_reuse() {
+        let mut q = FairQueue::default();
+        q.push("a", 1);
+        q.push("b", 2);
+        assert!(q.remove(1));
+        assert!(!q.remove(99));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+        // A drained tenant accepts new work without duplicating its
+        // rotation slot.
+        q.push("a", 3);
+        q.push("a", 4);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn planned_evaluations_cover_both_budget_shapes() {
+        let mut spec = JobSpec {
+            family: "batch".into(),
+            fast: true,
+            budget_evals: 5,
+            total_evals: None,
+            restarts: 2,
+            seed: 1,
+            epsilon: 0.1,
+            shards: 0,
+            tenant: "t".into(),
+        };
+        assert_eq!(spec.planned_evaluations(4), 4 * 2 * 5);
+        spec.total_evals = Some(123);
+        assert_eq!(spec.planned_evaluations(4), 123);
+        spec.total_evals = None;
+        spec.restarts = 0; // clamped to 1, like the sweep itself
+        assert_eq!(spec.planned_evaluations(4), 4 * 5);
+    }
+}

@@ -1,0 +1,24 @@
+//! # calibd — calibration-as-a-service
+//!
+//! A long-running daemon that accepts calibration sweep jobs over a
+//! zero-dependency JSONL wire protocol (`lodcal-calibd v1`, one frame
+//! per line over TCP), executes them as sharded resumable sweeps via
+//! [`lodsel::shard`], and streams progress frames shaped like the
+//! `lodcal-trace` counter events.
+//!
+//! - [`proto`] — the versioned wire schema: requests, responses, frame
+//!   I/O with an oversize guard, and the lenient-parse contract shared
+//!   with the trace reader;
+//! - [`daemon`] — job registry, durable `jobs.jsonl` lifecycle log with
+//!   replay-on-start, fair per-tenant scheduling, quota admission, and
+//!   the TCP accept loop;
+//! - [`client`] — a blocking client used by `calibctl` and the tests.
+//!
+//! Two binaries ship with the crate: `calibd` (the server) and
+//! `calibctl` (submit / status / watch / cancel / shutdown).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod proto;

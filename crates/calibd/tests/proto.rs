@@ -1,0 +1,274 @@
+//! Wire-protocol properties: every frame round-trips bit-for-bit
+//! through the JSONL framing, oversized lines fail typed (never
+//! panicking or blocking), unknown kinds and foreign schema versions
+//! are rejected with exactly the trace parser's lenient contract.
+
+use calibd::proto::{
+    check_hello, counter_event, parse_request, parse_response, read_frame, write_frame, FrameError,
+    JobSpec, JobState, JobStatus, ProtoError, Request, Response, MAX_FRAME_BYTES, SCHEMA_NAME,
+    SCHEMA_VERSION,
+};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+const FAMILIES: [&str; 4] = ["wf", "mpi", "batch", "toy"];
+const STATES: [JobState; 5] = [
+    JobState::Queued,
+    JobState::Running,
+    JobState::Completed,
+    JobState::Failed,
+    JobState::Cancelled,
+];
+
+/// Deterministically expand a handful of drawn integers into a spec.
+/// Epsilon is a dyadic fraction so the JSON float round-trip is exact.
+fn make_spec(family: usize, seed: u64, knobs: u64) -> JobSpec {
+    JobSpec {
+        family: FAMILIES[family % FAMILIES.len()].to_string(),
+        fast: knobs & 1 == 0,
+        budget_evals: (knobs >> 1) as usize % 200,
+        total_evals: if knobs & 2 == 0 {
+            None
+        } else {
+            Some((knobs >> 3) as usize % 5000 + 1)
+        },
+        restarts: (knobs >> 4) as usize % 6,
+        seed,
+        epsilon: (knobs >> 5) as f64 % 64.0 / 16.0,
+        shards: (knobs >> 9) as usize % 9,
+        tenant: format!("tenant-{}", knobs % 7),
+    }
+}
+
+fn make_request(variant: usize, family: usize, seed: u64, knobs: u64) -> Request {
+    match variant % 6 {
+        0 => Request::Hello {
+            schema: if knobs & 1 == 0 {
+                SCHEMA_NAME.to_string()
+            } else {
+                format!("schema-{}", knobs % 5)
+            },
+            version: seed % 4,
+        },
+        1 => Request::Submit {
+            spec: make_spec(family, seed, knobs),
+        },
+        2 => Request::Status {
+            job: if knobs & 1 == 0 { None } else { Some(seed) },
+        },
+        3 => Request::Watch { job: seed },
+        4 => Request::Cancel { job: seed },
+        _ => Request::Shutdown,
+    }
+}
+
+fn make_status(family: usize, seed: u64, knobs: u64) -> JobStatus {
+    let state = STATES[knobs as usize % STATES.len()];
+    JobStatus {
+        job: seed,
+        tenant: format!("tenant-{}", knobs % 7),
+        family: FAMILIES[family % FAMILIES.len()].to_string(),
+        shards: (knobs >> 3) as usize % 8 + 1,
+        state,
+        digest: if knobs & 8 == 0 {
+            None
+        } else {
+            Some(format!("{:016x}", seed ^ knobs))
+        },
+        chosen: if knobs & 16 == 0 {
+            None
+        } else {
+            Some(format!("v{}", knobs % 9))
+        },
+        error: if knobs & 32 == 0 {
+            None
+        } else {
+            Some(format!("shard {} failed", knobs % 4))
+        },
+        ledger: None,
+    }
+}
+
+fn make_response(variant: usize, family: usize, seed: u64, knobs: u64) -> Response {
+    match variant % 8 {
+        0 => Response::Hello {
+            schema: SCHEMA_NAME.to_string(),
+            version: seed % 4,
+        },
+        1 => Response::Accepted { job: seed },
+        2 => Response::Rejected {
+            reason: format!("quota exceeded for tenant-{}", knobs % 7),
+        },
+        3 => Response::Jobs {
+            jobs: (0..knobs % 4)
+                .map(|i| make_status(family + i as usize, seed ^ i, knobs >> i))
+                .collect(),
+        },
+        4 => Response::Progress {
+            job: seed,
+            seq: knobs % 100,
+            event: counter_event("calibd_runs_completed", knobs),
+        },
+        5 => Response::Done {
+            job: seed,
+            state: STATES[knobs as usize % STATES.len()],
+            digest: Some(format!("{:016x}", seed)),
+            chosen: if knobs & 1 == 0 {
+                None
+            } else {
+                Some("v2".to_string())
+            },
+        },
+        6 => Response::Error {
+            message: format!("no such job {seed}"),
+        },
+        _ => Response::ShuttingDown,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// write_frame → read_frame → parse_request is the identity, and
+    /// the stream drains cleanly after the frame.
+    #[test]
+    fn request_frames_round_trip(
+        variant in 0usize..6,
+        family in 0usize..4,
+        seed in 0u64..u64::MAX,
+        knobs in 0u64..u64::MAX,
+    ) {
+        let request = make_request(variant, family, seed, knobs);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &request).unwrap();
+        prop_assert_eq!(wire.last(), Some(&b'\n'), "frames are newline-terminated");
+        let mut reader = BufReader::new(wire.as_slice());
+        let line = read_frame(&mut reader).unwrap().expect("one frame written");
+        prop_assert_eq!(parse_request(&line).unwrap(), request);
+        prop_assert!(read_frame(&mut reader).unwrap().is_none());
+    }
+
+    /// write_frame → read_frame → parse_response is the identity.
+    #[test]
+    fn response_frames_round_trip(
+        variant in 0usize..8,
+        family in 0usize..4,
+        seed in 0u64..u64::MAX,
+        knobs in 0u64..u64::MAX,
+    ) {
+        let response = make_response(variant, family, seed, knobs);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &response).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let line = read_frame(&mut reader).unwrap().expect("one frame written");
+        prop_assert_eq!(parse_response(&line), Some(response));
+    }
+
+    /// Several frames on one stream arrive in order, none lost.
+    #[test]
+    fn frame_streams_preserve_order(
+        variants in proptest::collection::vec(0usize..6, 1..6),
+        seed in 0u64..u64::MAX,
+        knobs in 0u64..u64::MAX,
+    ) {
+        let requests: Vec<Request> = variants
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| make_request(v, i, seed ^ i as u64, knobs.rotate_left(i as u32)))
+            .collect();
+        let mut wire = Vec::new();
+        for request in &requests {
+            write_frame(&mut wire, request).unwrap();
+        }
+        let mut reader = BufReader::new(wire.as_slice());
+        for request in &requests {
+            let line = read_frame(&mut reader).unwrap().expect("frame present");
+            prop_assert_eq!(&parse_request(&line).unwrap(), request);
+        }
+        prop_assert!(read_frame(&mut reader).unwrap().is_none());
+    }
+
+    /// An oversized line is a typed error no matter how far past the
+    /// cap it runs — the reader never buffers it whole.
+    #[test]
+    fn oversized_lines_fail_typed(extra in 0usize..4096) {
+        let wire = vec![b'x'; MAX_FRAME_BYTES + 1 + extra];
+        let mut reader = BufReader::new(wire.as_slice());
+        match read_frame(&mut reader) {
+            Err(FrameError::Oversized { bytes }) => prop_assert!(bytes > MAX_FRAME_BYTES),
+            Err(FrameError::Io(e)) => prop_assert!(false, "expected Oversized, got Io: {e}"),
+            Ok(_) => prop_assert!(false, "expected Oversized, got a frame"),
+        }
+    }
+
+    /// A torn final line (no trailing newline) reads as end-of-stream
+    /// after any complete frames before it — the ledger's torn-tail
+    /// contract, applied to the socket.
+    #[test]
+    fn torn_tails_read_as_end_of_stream(
+        variant in 0usize..6,
+        seed in 0u64..u64::MAX,
+        knobs in 0u64..u64::MAX,
+        cut in 1usize..10,
+    ) {
+        let request = make_request(variant, 0, seed, knobs);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &request).unwrap();
+        let full = wire.len();
+        write_frame(&mut wire, &request).unwrap();
+        // Keep at most `cut` bytes of the second frame, dropping at
+        // least its newline.
+        wire.truncate(full + (wire.len() - full - 1).min(cut));
+        let mut reader = BufReader::new(wire.as_slice());
+        let line = read_frame(&mut reader).unwrap().expect("intact first frame");
+        prop_assert_eq!(parse_request(&line).unwrap(), request);
+        prop_assert!(read_frame(&mut reader).unwrap().is_none(), "torn tail is EOF");
+    }
+
+    /// Unknown frame kinds: a *typed* rejection for requests, a silent
+    /// skip for responses — and neither parser panics on junk.
+    #[test]
+    fn unknown_kinds_reject_typed_and_leniently(pick in 0u64..u64::MAX, junk_len in 0usize..80) {
+        let kind = format!("FutureKind{}", pick % 1000);
+        let framed = format!("{{\"{kind}\":{{\"job\":1}}}}");
+        match parse_request(&framed) {
+            Err(ProtoError::UnknownKind(k)) => prop_assert_eq!(k, kind.clone()),
+            Err(e) => prop_assert!(false, "expected UnknownKind, got {e}"),
+            Ok(_) => prop_assert!(false, "expected UnknownKind, got a request"),
+        }
+        let bare = format!("\"{kind}\"");
+        prop_assert!(
+            matches!(parse_request(&bare), Err(ProtoError::UnknownKind(_))),
+            "bare unknown tags are typed too"
+        );
+        prop_assert_eq!(parse_response(&framed), None, "clients skip unknown kinds");
+        prop_assert_eq!(parse_response(&bare), None);
+        // Arbitrary junk panics neither side.
+        let junk: String = (0..junk_len)
+            .map(|i| char::from(b' ' + ((pick >> (i % 57)) as u8 % 94)))
+            .collect();
+        let _ = parse_request(&junk);
+        let _ = parse_response(&junk);
+    }
+
+    /// The handshake mirrors the trace parser: foreign schema names are
+    /// always refused, versions at or below this build are accepted,
+    /// newer versions are refused.
+    #[test]
+    fn hello_versioning_mirrors_the_trace_contract(pick in 0u64..8, version in 0u64..8) {
+        let schema = match pick {
+            0 => SCHEMA_NAME.to_string(),
+            1 => "lodcal-trace".to_string(),
+            2 => String::new(),
+            n => format!("schema-{n}"),
+        };
+        let verdict = check_hello(&schema, version);
+        if schema != SCHEMA_NAME {
+            prop_assert!(verdict.is_err(), "foreign schema must be refused");
+        } else if version <= SCHEMA_VERSION {
+            prop_assert!(verdict.is_ok(), "older or equal versions are accepted");
+        } else {
+            prop_assert!(verdict.is_err(), "newer versions must be refused");
+        }
+    }
+}

@@ -33,6 +33,7 @@ usage: lodsel [options]
                            CALIB_CACHE environment variable)
   --ledger <path>          JSONL run ledger to checkpoint to / resume from
   --status                 summarize the ledger (requires --ledger) and exit
+  --status-json            like --status, but one machine-readable JSON line
   --trace <path>           record a JSONL trace of the sweep to <path>
   --trace-report <path>    summarize a recorded trace and exit
   --help                   print this help";
@@ -49,6 +50,7 @@ struct Opts {
     cache: Option<String>,
     ledger: Option<String>,
     status: bool,
+    status_json: bool,
     trace: Option<String>,
     trace_report: Option<String>,
 }
@@ -72,6 +74,7 @@ fn parse_opts() -> Opts {
         cache: None,
         ledger: None,
         status: false,
+        status_json: false,
         trace: None,
         trace_report: None,
     };
@@ -119,6 +122,7 @@ fn parse_opts() -> Opts {
             "--cache" => opts.cache = Some(value("--cache")),
             "--ledger" => opts.ledger = Some(value("--ledger")),
             "--status" => opts.status = true,
+            "--status-json" => opts.status_json = true,
             "--trace" => opts.trace = Some(value("--trace")),
             "--trace-report" => opts.trace_report = Some(value("--trace-report")),
             "--help" | "-h" => {
@@ -131,65 +135,18 @@ fn parse_opts() -> Opts {
     opts
 }
 
-fn print_status(path: &str) {
+fn print_status(path: &str, json: bool) {
     let events = match Ledger::read(path) {
         Ok(events) => events,
         Err(e) => die(&format!("cannot read ledger {path}: {e}")),
     };
-    let mut starts = 0usize;
-    let mut runs = 0usize;
-    let mut unit_evals = 0usize;
-    let mut failed = 0usize;
-    let mut last_start: Option<(String, usize, usize)> = None;
-    let mut last_done: Option<(String, String, String)> = None;
-    let mut last_failure: Option<(String, String, String)> = None;
-    for event in &events {
-        match event {
-            LedgerEvent::SweepStarted {
-                family,
-                units,
-                pending_runs,
-                ..
-            } => {
-                starts += 1;
-                last_start = Some((family.clone(), *units, *pending_runs));
-            }
-            LedgerEvent::RunCompleted { .. } => runs += 1,
-            LedgerEvent::UnitCompleted { .. } => unit_evals += 1,
-            LedgerEvent::RunFailed {
-                unit,
-                stage,
-                reason,
-                ..
-            } => {
-                failed += 1;
-                last_failure = Some((unit.clone(), stage.clone(), reason.clone()));
-            }
-            LedgerEvent::SweepCompleted {
-                family,
-                digest,
-                chosen,
-            } => last_done = Some((family.clone(), digest.clone(), chosen.clone())),
-        }
-    }
-    println!("ledger {path}: {} events", events.len());
-    println!("  sweeps started:        {starts}");
-    println!("  calibration runs done: {runs}");
-    println!("  unit evaluations done: {unit_evals}");
-    if failed > 0 {
-        println!("  failed attempts:       {failed}");
-        if let Some((unit, stage, reason)) = last_failure {
-            println!("  last failure: unit={unit} stage={stage} reason={reason}");
-        }
-    }
-    if let Some((family, units, pending)) = last_start {
-        println!("  last sweep: family={family} units={units} pending_runs={pending}");
-    }
-    match last_done {
-        Some((family, digest, chosen)) => {
-            println!("  completed: family={family} chosen={chosen} digest={digest}");
-        }
-        None => println!("  completed: no (resume by re-running with the same --ledger)"),
+    let status = ledger_status(&events);
+    if json {
+        let line = serde_json::to_string(&status)
+            .unwrap_or_else(|e| die(&format!("cannot serialize status: {e}")));
+        println!("{line}");
+    } else {
+        print!("{}", status.render_text(path));
     }
 }
 
@@ -207,9 +164,9 @@ fn main() {
         print_trace_report(path);
         return;
     }
-    if opts.status {
+    if opts.status || opts.status_json {
         match &opts.ledger {
-            Some(path) => print_status(path),
+            Some(path) => print_status(path, opts.status_json),
             None => die("--status requires --ledger"),
         }
         return;

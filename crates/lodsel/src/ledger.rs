@@ -165,6 +165,191 @@ pub enum LedgerEvent {
         /// The recommended version label.
         chosen: String,
     },
+    /// One shard of a sharded sweep ([`crate::shard`]) started appending
+    /// to this ledger. The sweep-plan fingerprint
+    /// ([`crate::sweep::sweep_fingerprint`]) lets the merge step reject
+    /// shards that were produced by a different sweep configuration.
+    ShardStarted {
+        /// Sweep-plan fingerprint the shard was partitioned from.
+        sweep: u64,
+        /// This shard's index (0-based).
+        shard: usize,
+        /// Total shards in the partition.
+        shards: usize,
+        /// Family identifier.
+        family: String,
+        /// Family dataset fingerprint.
+        fingerprint: u64,
+    },
+}
+
+/// Most recent failure recorded in a ledger, for status reports.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailureSummary {
+    /// Unit label of the failed work.
+    pub unit: String,
+    /// Which stage failed: `"calibrate"` or `"evaluate"`.
+    pub stage: String,
+    /// Readable failure reason.
+    pub reason: String,
+}
+
+/// Most recent `SweepStarted` event, for status reports.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// Family identifier.
+    pub family: String,
+    /// Units in the full sweep plan.
+    pub units: usize,
+    /// Calibration runs pending when the sweep (re)started.
+    pub pending_runs: usize,
+}
+
+/// The `SweepCompleted` event, for status reports.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompletionSummary {
+    /// Family identifier.
+    pub family: String,
+    /// Digest of the deterministic outcome.
+    pub digest: String,
+    /// The recommended version label.
+    pub chosen: String,
+}
+
+/// Machine-readable summary of a ledger's event stream: what
+/// `lodsel --status` prints, as data. Serialized by
+/// `lodsel --status-json` and embedded in `calibd` job-status responses,
+/// so both frontends agree on the schema by construction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LedgerStatus {
+    /// Total parseable events in the ledger.
+    pub events: usize,
+    /// `SweepStarted` events (each execution against the ledger logs one).
+    pub sweeps_started: usize,
+    /// `ShardStarted` events (0 for unsharded ledgers).
+    pub shards_started: usize,
+    /// Completed calibration runs.
+    pub runs_done: usize,
+    /// Completed unit evaluations.
+    pub unit_evals_done: usize,
+    /// Failed run/unit attempts.
+    pub failed_attempts: usize,
+    /// Most recent failure, if any.
+    pub last_failure: Option<FailureSummary>,
+    /// Most recent `SweepStarted`, if any.
+    pub last_sweep: Option<SweepSummary>,
+    /// The completion record, once the sweep finished.
+    pub completed: Option<CompletionSummary>,
+}
+
+/// Reduce a ledger's event stream to its [`LedgerStatus`] summary.
+pub fn ledger_status(events: &[LedgerEvent]) -> LedgerStatus {
+    let mut status = LedgerStatus {
+        events: events.len(),
+        sweeps_started: 0,
+        shards_started: 0,
+        runs_done: 0,
+        unit_evals_done: 0,
+        failed_attempts: 0,
+        last_failure: None,
+        last_sweep: None,
+        completed: None,
+    };
+    for event in events {
+        match event {
+            LedgerEvent::SweepStarted {
+                family,
+                units,
+                pending_runs,
+                ..
+            } => {
+                status.sweeps_started += 1;
+                status.last_sweep = Some(SweepSummary {
+                    family: family.clone(),
+                    units: *units,
+                    pending_runs: *pending_runs,
+                });
+            }
+            LedgerEvent::ShardStarted { .. } => status.shards_started += 1,
+            LedgerEvent::RunCompleted { .. } => status.runs_done += 1,
+            LedgerEvent::UnitCompleted { .. } => status.unit_evals_done += 1,
+            LedgerEvent::RunFailed {
+                unit,
+                stage,
+                reason,
+                ..
+            } => {
+                status.failed_attempts += 1;
+                status.last_failure = Some(FailureSummary {
+                    unit: unit.clone(),
+                    stage: stage.clone(),
+                    reason: reason.clone(),
+                });
+            }
+            LedgerEvent::SweepCompleted {
+                family,
+                digest,
+                chosen,
+            } => {
+                status.completed = Some(CompletionSummary {
+                    family: family.clone(),
+                    digest: digest.clone(),
+                    chosen: chosen.clone(),
+                });
+            }
+        }
+    }
+    status
+}
+
+impl LedgerStatus {
+    /// Render the human status table, byte-identical to what
+    /// `lodsel --status` has always printed (the shard line is new and
+    /// appears only for sharded ledgers).
+    pub fn render_text(&self, path: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "ledger {path}: {} events", self.events);
+        let _ = writeln!(out, "  sweeps started:        {}", self.sweeps_started);
+        if self.shards_started > 0 {
+            let _ = writeln!(out, "  shards started:        {}", self.shards_started);
+        }
+        let _ = writeln!(out, "  calibration runs done: {}", self.runs_done);
+        let _ = writeln!(out, "  unit evaluations done: {}", self.unit_evals_done);
+        if self.failed_attempts > 0 {
+            let _ = writeln!(out, "  failed attempts:       {}", self.failed_attempts);
+            if let Some(f) = &self.last_failure {
+                let _ = writeln!(
+                    out,
+                    "  last failure: unit={} stage={} reason={}",
+                    f.unit, f.stage, f.reason
+                );
+            }
+        }
+        if let Some(s) = &self.last_sweep {
+            let _ = writeln!(
+                out,
+                "  last sweep: family={} units={} pending_runs={}",
+                s.family, s.units, s.pending_runs
+            );
+        }
+        match &self.completed {
+            Some(c) => {
+                let _ = writeln!(
+                    out,
+                    "  completed: family={} chosen={} digest={}",
+                    c.family, c.chosen, c.digest
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  completed: no (resume by re-running with the same --ledger)"
+                );
+            }
+        }
+        out
+    }
 }
 
 /// Replayed failure history of one checkpoint key: how many attempts

@@ -30,6 +30,8 @@
 //! - [`sweep`] — the orchestrator: budget division, fan-out, checkpoint
 //!   replay, outcome assembly;
 //! - [`ledger`] — the JSONL run ledger and its content-hash keys;
+//! - [`shard`] — sharded sweep execution: plan slicing, per-shard
+//!   ledgers, and the deterministic merge back to one outcome;
 //! - [`pareto`] — Pareto front and the ε-recommendation;
 //! - [`families`] — [`family::VersionFamily`] implementations for the
 //!   three case studies;
@@ -46,6 +48,7 @@ pub mod ledger;
 pub mod multistart;
 pub mod pareto;
 pub mod report;
+pub mod shard;
 pub mod sweep;
 pub mod trace;
 
@@ -55,16 +58,19 @@ pub mod prelude {
     pub use crate::families::mpi::MpiFamily;
     pub use crate::families::wf::WfFamily;
     pub use crate::family::{SweepUnit, UnitEval, VersionFamily};
-    pub use crate::ledger::{FailureHistory, Ledger, LedgerEvent, RunRecord, UnitRecord};
+    pub use crate::ledger::{
+        ledger_status, FailureHistory, Ledger, LedgerEvent, LedgerStatus, RunRecord, UnitRecord,
+    };
     pub use crate::multistart::{best_result, calibrate_best_of, pick_best, restart_seed};
     pub use crate::pareto::{
         pareto_front, recommend, render_recommendation, try_recommend, RecommendError,
         Recommendation, VersionScore,
     };
     pub use crate::report::{fnum, pct, Table};
+    pub use crate::shard::{merge_shards, run_shard, run_sweep_sharded, shard_path, ShardError};
     pub use crate::sweep::{
-        front_flags, run_sweep, BudgetPolicy, RunFailure, SweepConfig, SweepOutcome, UnitOutcome,
-        VersionOutcome,
+        front_flags, run_sweep, sweep_fingerprint, BudgetPolicy, RunFailure, SweepConfig,
+        SweepOutcome, UnitOutcome, VersionOutcome,
     };
     pub use crate::trace::{parse_trace, render_report, TraceFile};
 }

@@ -1,0 +1,303 @@
+//! Sharded sweep execution: slice the (unit × restart) plan across N
+//! ledger shards, run each slice independently, and merge the shards
+//! back into one sweep ledger whose replay produces a [`SweepOutcome`]
+//! bit-for-bit equal to a single-process [`run_sweep`].
+//!
+//! The partition is round-robin over the deterministic plan order: run
+//! `i` of the full grid belongs to shard `i % shards`. Every shard
+//! computes the *full* plan (budgets and checkpoint keys must not depend
+//! on where a shard boundary lands) and executes only its slice,
+//! appending [`LedgerEvent::RunCompleted`] / [`LedgerEvent::RunFailed`]
+//! checkpoints to its own shard file — the same records, bit-for-bit,
+//! that a single-process sweep would have written. A shard file opens
+//! with a [`LedgerEvent::ShardStarted`] header carrying the sweep-plan
+//! fingerprint ([`crate::sweep::sweep_fingerprint`]); the merge step
+//! refuses (with a typed [`ShardError`], never a panic) to combine
+//! shards whose fingerprints disagree, so shards of two different sweeps
+//! can never be silently mixed.
+//!
+//! [`merge_shards`] reduces shard files into one target ledger, first
+//! write wins on duplicate run keys (duplicates are bit-identical
+//! anyway: runs are deterministic and content-keyed). Running the sweep
+//! against the merged ledger serves every calibration run from a
+//! checkpoint — zero objective re-invocations — and the evaluate/reduce
+//! phases are deterministic, so the merged outcome's digest equals the
+//! single-process digest. That equality is pinned by golden tests.
+
+use crate::family::VersionFamily;
+use crate::ledger::{Ledger, LedgerEvent};
+use crate::sweep::{
+    calibrate_one, plan_sweep, run_sweep, sweep_fingerprint, RunStatus, SweepConfig, SweepOutcome,
+};
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File name of shard `index` under the sharded sweep's directory `dir`.
+pub fn shard_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index}.jsonl"))
+}
+
+/// Why a sharded operation was refused. Merging never panics on bad
+/// inputs: a foreign or headerless shard is a typed error the caller
+/// (e.g. the calibd daemon) reports and survives.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Reading or writing a ledger file failed.
+    Io(io::Error),
+    /// A shard file carries no [`LedgerEvent::ShardStarted`] header, so
+    /// there is no way to tell which sweep it belongs to.
+    MissingHeader {
+        /// The offending shard file.
+        path: PathBuf,
+    },
+    /// A shard was produced by a different sweep configuration than the
+    /// one being merged.
+    FingerprintMismatch {
+        /// The offending shard file.
+        path: PathBuf,
+        /// The sweep-plan fingerprint being merged.
+        expected: u64,
+        /// The fingerprint recorded in the shard's header.
+        found: u64,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "shard I/O error: {e}"),
+            ShardError::MissingHeader { path } => write!(
+                f,
+                "shard {} has no ShardStarted header (not a shard ledger?)",
+                path.display()
+            ),
+            ShardError::FingerprintMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shard {} belongs to a different sweep: fingerprint {found:016x}, \
+                 expected {expected:016x}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<io::Error> for ShardError {
+    fn from(e: io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+/// First `ShardStarted` header of a shard's event stream, or a typed
+/// error when there is none.
+fn shard_header(path: &Path, events: &[LedgerEvent]) -> Result<u64, ShardError> {
+    events
+        .iter()
+        .find_map(|e| match e {
+            LedgerEvent::ShardStarted { sweep, .. } => Some(*sweep),
+            _ => None,
+        })
+        .ok_or_else(|| ShardError::MissingHeader {
+            path: path.to_path_buf(),
+        })
+}
+
+/// Execute shard `index` of a `shards`-way partition of the sweep,
+/// checkpointing into `shard_path(dir, index)`. Resumable exactly like
+/// [`run_sweep`]: runs already checkpointed in the shard file are not
+/// re-executed, and recorded failures count against the retry allowance.
+/// Returns the number of calibration runs newly completed (or newly
+/// failed) in this call — a fully-checkpointed shard returns 0.
+///
+/// A shard file left behind by a *different* sweep configuration is
+/// refused with [`ShardError::FingerprintMismatch`] instead of being
+/// silently polluted.
+pub fn run_shard(
+    family: &dyn VersionFamily,
+    config: &SweepConfig,
+    index: usize,
+    shards: usize,
+    dir: &Path,
+) -> Result<usize, ShardError> {
+    assert!(shards >= 1, "a sharded sweep needs at least one shard");
+    assert!(index < shards, "shard index {index} out of {shards}");
+    let fp = sweep_fingerprint(family, config);
+    let planned = plan_sweep(family, config);
+    let path = shard_path(dir, index);
+    let ledger = Ledger::open(&path)?;
+    let events = ledger.events();
+    if events
+        .iter()
+        .any(|e| matches!(e, LedgerEvent::ShardStarted { .. }))
+    {
+        let found = shard_header(&path, &events)?;
+        if found != fp {
+            return Err(ShardError::FingerprintMismatch {
+                path,
+                expected: fp,
+                found,
+            });
+        }
+    }
+    ledger
+        .append(&LedgerEvent::ShardStarted {
+            sweep: fp,
+            shard: index,
+            shards,
+            family: planned.name.clone(),
+            fingerprint: planned.fingerprint,
+        })
+        .map_err(ShardError::Io)?;
+
+    let active_units = config
+        .max_units
+        .unwrap_or(planned.units.len())
+        .min(planned.units.len());
+    let (cached_runs, _) = ledger.checkpoints();
+    let failure_history = ledger.failure_history();
+    let max_attempts = 1 + config.max_fault_retries;
+    let attempts_of = |key: u64| failure_history.get(&key).map_or(0, |h| h.attempts);
+    // This shard's slice: round-robin over the truncation-aware plan
+    // prefix, minus work already checkpointed or out of retries.
+    let pending: Vec<_> = planned
+        .plans
+        .iter()
+        .take(active_units * planned.restarts)
+        .enumerate()
+        .filter(|(i, _)| i % shards == index)
+        .map(|(_, p)| p)
+        .filter(|p| !cached_runs.contains_key(&p.key) && attempts_of(p.key) < max_attempts)
+        .collect();
+
+    let shard_span = obs::span!(
+        "shard",
+        index = index,
+        shards = shards,
+        pending = pending.len()
+    );
+    let shard_id = shard_span.id();
+    let statuses: Vec<RunStatus> = pending
+        .par_iter()
+        .map(|p| {
+            let attrs = if obs::enabled() {
+                vec![
+                    ("unit", planned.units[p.unit_idx].label.clone()),
+                    ("restart", p.restart.to_string()),
+                ]
+            } else {
+                Vec::new()
+            };
+            let _run = obs::SpanGuard::enter_under("run", shard_id, attrs);
+            let attempt = attempts_of(p.key) + 1;
+            calibrate_one(
+                family,
+                &planned.units[p.unit_idx],
+                p,
+                attempt,
+                Some(&ledger),
+            )
+        })
+        .collect();
+    Ok(statuses.len())
+}
+
+/// Merge shard ledgers into the target ledger at `target`, validating
+/// that every shard belongs to the same sweep. First write wins on
+/// duplicate run keys (re-merging is idempotent); failure events are
+/// deduplicated by full content so retry counting stays correct across
+/// repeated merges. Returns the open merged ledger, ready to be passed
+/// to [`run_sweep`].
+pub fn merge_shards(shard_paths: &[PathBuf], target: &Path) -> Result<Ledger, ShardError> {
+    let merged = Ledger::open(target)?;
+    let mut seen_runs: HashSet<u64> = HashSet::new();
+    let mut seen_units: HashSet<u64> = HashSet::new();
+    let mut seen_failures: HashSet<String> = HashSet::new();
+    for event in merged.events() {
+        match &event {
+            LedgerEvent::RunCompleted { record } => {
+                seen_runs.insert(record.key);
+            }
+            LedgerEvent::UnitCompleted { record } => {
+                seen_units.insert(record.key);
+            }
+            LedgerEvent::RunFailed { .. } => {
+                if let Ok(line) = serde_json::to_string(&event) {
+                    seen_failures.insert(line);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut expected: Option<u64> = None;
+    for path in shard_paths {
+        let events = Ledger::read(path)?;
+        let sweep = shard_header(path, &events)?;
+        match expected {
+            None => expected = Some(sweep),
+            Some(fp) if fp != sweep => {
+                return Err(ShardError::FingerprintMismatch {
+                    path: path.clone(),
+                    expected: fp,
+                    found: sweep,
+                });
+            }
+            Some(_) => {}
+        }
+        for event in &events {
+            match event {
+                LedgerEvent::RunCompleted { record } => {
+                    if seen_runs.insert(record.key) {
+                        merged.append(event).map_err(ShardError::Io)?;
+                    }
+                }
+                LedgerEvent::UnitCompleted { record } => {
+                    if seen_units.insert(record.key) {
+                        merged.append(event).map_err(ShardError::Io)?;
+                    }
+                }
+                LedgerEvent::RunFailed { .. } => {
+                    let line = serde_json::to_string(event).unwrap_or_default();
+                    if seen_failures.insert(line) {
+                        merged.append(event).map_err(ShardError::Io)?;
+                    }
+                }
+                // Shard headers and per-execution markers stay in their
+                // shard files; the merged ledger is a plain sweep ledger.
+                LedgerEvent::ShardStarted { .. }
+                | LedgerEvent::SweepStarted { .. }
+                | LedgerEvent::SweepCompleted { .. } => {}
+            }
+        }
+        obs::counter(obs::Counter::ShardMerges, 1);
+    }
+    Ok(merged)
+}
+
+/// Run the whole sweep as `shards` slices under `dir`, merge the shard
+/// ledgers into `dir/merged.jsonl`, and replay the merged ledger through
+/// [`run_sweep`]. The outcome — including its digest — is bit-for-bit
+/// equal to a single-process `run_sweep` of the same configuration, and
+/// the final replay performs zero calibration work (every run is served
+/// from a merged checkpoint).
+pub fn run_sweep_sharded(
+    family: &dyn VersionFamily,
+    config: &SweepConfig,
+    shards: usize,
+    dir: &Path,
+) -> Result<SweepOutcome, ShardError> {
+    for index in 0..shards {
+        run_shard(family, config, index, shards, dir)?;
+    }
+    let paths: Vec<PathBuf> = (0..shards).map(|i| shard_path(dir, i)).collect();
+    let merged = merge_shards(&paths, &dir.join("merged.jsonl"))?;
+    Ok(run_sweep(family, config, Some(&merged)))
+}

@@ -104,15 +104,38 @@ impl SweepConfig {
     }
 }
 
+/// Identity of a sweep's run plan: family name and dataset fingerprint,
+/// master seed, restarts, budget policy, and unit count. Two sweep
+/// configurations with equal fingerprints generate bit-for-bit identical
+/// (version × restart) run plans — identical checkpoint keys, budgets,
+/// and seeds — so their ledger shards can be merged
+/// ([`crate::shard::merge_shards`]). Settings that do not change any run
+/// (ε, truncation, retry allowance, cache directory) are excluded.
+pub fn sweep_fingerprint(family: &dyn VersionFamily, config: &SweepConfig) -> u64 {
+    let policy_json = serde_json::to_string(&config.budget).expect("policy serializes");
+    crate::ledger::fnv1a(
+        format!(
+            "sweep|family={}|fp={:016x}|seed={}|restarts={}|policy={}|units={}",
+            family.name(),
+            family.fingerprint(),
+            config.seed,
+            config.restarts.max(1),
+            policy_json,
+            family.units().len()
+        )
+        .as_bytes(),
+    )
+}
+
 /// Installs a sweep's persistent-cache directory for its duration and
 /// restores the previous process-global state on drop (panic-safe).
-struct CacheScope {
+pub(crate) struct CacheScope {
     previous: Option<std::sync::Arc<PathBuf>>,
     active: bool,
 }
 
 impl CacheScope {
-    fn activate(dir: Option<&std::path::Path>) -> Self {
+    pub(crate) fn activate(dir: Option<&std::path::Path>) -> Self {
         match dir {
             Some(d) => {
                 let previous = simcal::cache::installed();
@@ -312,18 +335,128 @@ fn run_budgets(policy: &BudgetPolicy, runs: usize) -> Vec<Budget> {
     }
 }
 
-struct RunPlan {
-    unit_idx: usize,
-    restart: usize,
-    seed: u64,
-    budget: Budget,
-    key: u64,
+pub(crate) struct RunPlan {
+    pub(crate) unit_idx: usize,
+    pub(crate) restart: usize,
+    pub(crate) seed: u64,
+    pub(crate) budget: Budget,
+    pub(crate) key: u64,
+}
+
+/// The fully-expanded deterministic plan of a sweep: everything the run
+/// phase needs, computed identically by `run_sweep` and by every shard of
+/// a sharded execution ([`crate::shard`]).
+pub(crate) struct PlannedSweep {
+    pub(crate) name: String,
+    pub(crate) fingerprint: u64,
+    pub(crate) labels: Vec<String>,
+    pub(crate) units: Vec<SweepUnit>,
+    pub(crate) restarts: usize,
+    pub(crate) policy_json: String,
+    pub(crate) plans: Vec<RunPlan>,
+}
+
+/// Plan the FULL (unit × restart) grid — budgets and checkpoint keys must
+/// not depend on where an interruption (or a shard boundary) lands.
+pub(crate) fn plan_sweep(family: &dyn VersionFamily, config: &SweepConfig) -> PlannedSweep {
+    let labels = family.version_labels();
+    let units = family.units();
+    assert!(!units.is_empty(), "family has no units to sweep");
+    let restarts = config.restarts.max(1);
+    let name = family.name().to_string();
+    let fingerprint = family.fingerprint();
+    let policy_json = serde_json::to_string(&config.budget).expect("policy serializes");
+    let budgets = run_budgets(&config.budget, units.len() * restarts);
+    let plans: Vec<RunPlan> = units
+        .iter()
+        .enumerate()
+        .flat_map(|(ui, unit)| {
+            let budgets = &budgets;
+            let name = &name;
+            (0..restarts).map(move |r| {
+                let seed = restart_seed(config.seed, r);
+                let budget = budgets[ui * restarts + r];
+                RunPlan {
+                    unit_idx: ui,
+                    restart: r,
+                    seed,
+                    budget,
+                    key: run_key(name, fingerprint, &unit.label, r, seed, &budget),
+                }
+            })
+        })
+        .collect();
+    PlannedSweep {
+        name,
+        fingerprint,
+        labels,
+        units,
+        restarts,
+        policy_json,
+        plans,
+    }
 }
 
 /// What happened to one pending calibration run.
-enum RunStatus {
+pub(crate) enum RunStatus {
     Done(Box<RunRecord>),
     Failed { attempt: usize, reason: String },
+}
+
+/// Execute one pending calibration run under the fault guard, appending
+/// its checkpoint (or failure) to `ledger`. Shared by `run_sweep` and the
+/// sharded executor ([`crate::shard::run_shard`]), so a shard's records
+/// are bit-for-bit what a single-process sweep would have written.
+pub(crate) fn calibrate_one(
+    family: &dyn VersionFamily,
+    unit: &SweepUnit,
+    plan: &RunPlan,
+    attempt: usize,
+    ledger: Option<&Ledger>,
+) -> RunStatus {
+    // The guard isolates a panicking simulator version: its runs become
+    // RunFailed events and the sweep degrades instead of unwinding.
+    // (Individual evaluation panics are already quarantined inside
+    // simcal; what reaches here is a version whose calibration found no
+    // usable incumbent at all, or a family whose calibrate itself
+    // crashed.)
+    match simcal::fault::guard(|| family.calibrate(unit, plan.budget, plan.seed)) {
+        Ok(result) if result.loss.is_finite() => {
+            let record = RunRecord {
+                key: plan.key,
+                unit: unit.label.clone(),
+                restart: plan.restart,
+                seed: plan.seed,
+                result,
+            };
+            if let Some(l) = ledger {
+                log_io(l.append(&LedgerEvent::RunCompleted {
+                    record: record.clone(),
+                }));
+            }
+            RunStatus::Done(Box::new(record))
+        }
+        outcome => {
+            let reason = match outcome {
+                Ok(result) => {
+                    format!("calibration returned non-finite loss {}", result.loss)
+                }
+                Err(message) => message,
+            };
+            if let Some(l) = ledger {
+                log_io(l.append(&LedgerEvent::RunFailed {
+                    key: plan.key,
+                    unit: unit.label.clone(),
+                    restart: plan.restart,
+                    seed: plan.seed,
+                    attempt,
+                    stage: "calibrate".into(),
+                    reason: reason.clone(),
+                }));
+            }
+            RunStatus::Failed { attempt, reason }
+        }
+    }
 }
 
 /// What happened to one unit's winner selection + held-out evaluation.
@@ -347,14 +480,7 @@ pub fn run_sweep(
     config: &SweepConfig,
     ledger: Option<&Ledger>,
 ) -> SweepOutcome {
-    let labels = family.version_labels();
-    let units = family.units();
-    assert!(!units.is_empty(), "family has no units to sweep");
     let _cache_scope = CacheScope::activate(config.cache.as_deref());
-    let restarts = config.restarts.max(1);
-    let name = family.name().to_string();
-    let fingerprint = family.fingerprint();
-    let policy_json = serde_json::to_string(&config.budget).expect("policy serializes");
 
     // Root span plus one sequential child span per phase, all on the
     // calling thread, so a trace report's per-phase totals add up to
@@ -362,34 +488,21 @@ pub fn run_sweep(
     // workers attach to the phase spans via explicit parenting.
     let _sweep_span = obs::span!(
         "sweep",
-        family = name,
-        units = units.len(),
-        restarts = restarts
+        family = family.name().to_string(),
+        units = family.units().len(),
+        restarts = config.restarts.max(1)
     );
     let plan_span = obs::span!("plan");
 
-    // Plan the FULL grid — budgets and keys must not depend on where an
-    // interruption lands.
-    let budgets = run_budgets(&config.budget, units.len() * restarts);
-    let plans: Vec<RunPlan> = units
-        .iter()
-        .enumerate()
-        .flat_map(|(ui, unit)| {
-            let budgets = &budgets;
-            let name = &name;
-            (0..restarts).map(move |r| {
-                let seed = restart_seed(config.seed, r);
-                let budget = budgets[ui * restarts + r];
-                RunPlan {
-                    unit_idx: ui,
-                    restart: r,
-                    seed,
-                    budget,
-                    key: run_key(name, fingerprint, &unit.label, r, seed, &budget),
-                }
-            })
-        })
-        .collect();
+    let PlannedSweep {
+        name,
+        fingerprint,
+        labels,
+        units,
+        restarts,
+        policy_json,
+        plans,
+    } = plan_sweep(family, config);
 
     let active_units = config.max_units.unwrap_or(units.len()).min(units.len());
     let (cached_runs, cached_units) = match ledger {
@@ -440,51 +553,8 @@ pub fn run_sweep(
                 Vec::new()
             };
             let _run = obs::SpanGuard::enter_under("run", calibrate_id, attrs);
-            // The guard isolates a panicking simulator version: its runs
-            // become RunFailed events and the sweep degrades instead of
-            // unwinding. (Individual evaluation panics are already
-            // quarantined inside simcal; what reaches here is a version
-            // whose calibration found no usable incumbent at all, or a
-            // family whose calibrate itself crashed.)
             let attempt = attempts_of(p.key) + 1;
-            let unit_label = units[p.unit_idx].label.clone();
-            match simcal::fault::guard(|| family.calibrate(&units[p.unit_idx], p.budget, p.seed)) {
-                Ok(result) if result.loss.is_finite() => {
-                    let record = RunRecord {
-                        key: p.key,
-                        unit: unit_label,
-                        restart: p.restart,
-                        seed: p.seed,
-                        result,
-                    };
-                    if let Some(l) = ledger {
-                        log_io(l.append(&LedgerEvent::RunCompleted {
-                            record: record.clone(),
-                        }));
-                    }
-                    RunStatus::Done(Box::new(record))
-                }
-                outcome => {
-                    let reason = match outcome {
-                        Ok(result) => {
-                            format!("calibration returned non-finite loss {}", result.loss)
-                        }
-                        Err(message) => message,
-                    };
-                    if let Some(l) = ledger {
-                        log_io(l.append(&LedgerEvent::RunFailed {
-                            key: p.key,
-                            unit: unit_label,
-                            restart: p.restart,
-                            seed: p.seed,
-                            attempt,
-                            stage: "calibrate".into(),
-                            reason: reason.clone(),
-                        }));
-                    }
-                    RunStatus::Failed { attempt, reason }
-                }
-            }
+            calibrate_one(family, &units[p.unit_idx], p, attempt, ledger)
         })
         .collect();
 

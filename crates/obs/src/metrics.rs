@@ -42,11 +42,21 @@ pub enum Counter {
     /// Evaluations that consulted the on-disk loss cache and missed
     /// (full simulation performed; only counted when a cache is active).
     DiskCacheMisses,
+    /// Ledger shards reduced into a merged sweep ledger
+    /// (one per shard per merge).
+    ShardMerges,
+    /// Jobs accepted by the calibd daemon (admission passed).
+    JobsAccepted,
+    /// Jobs enqueued behind the daemon's fair scheduler (decremented
+    /// implicitly: queued = accepted − active − finished).
+    JobsQueued,
+    /// Jobs promoted from the queue to active execution.
+    JobsActive,
 }
 
 impl Counter {
     /// All counters, in trace-emission order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 18] = [
         Counter::KernelEvents,
         Counter::KernelHeapReinserts,
         Counter::KernelSharingResolves,
@@ -61,6 +71,10 @@ impl Counter {
         Counter::LedgerRetries,
         Counter::DiskCacheHits,
         Counter::DiskCacheMisses,
+        Counter::ShardMerges,
+        Counter::JobsAccepted,
+        Counter::JobsQueued,
+        Counter::JobsActive,
     ];
 
     /// Stable snake_case name used in the JSONL trace.
@@ -80,6 +94,10 @@ impl Counter {
             Counter::LedgerRetries => "ledger_retries",
             Counter::DiskCacheHits => "disk_cache_hits",
             Counter::DiskCacheMisses => "disk_cache_misses",
+            Counter::ShardMerges => "shard_merges",
+            Counter::JobsAccepted => "calibd_jobs_accepted",
+            Counter::JobsQueued => "calibd_jobs_queued",
+            Counter::JobsActive => "calibd_jobs_active",
         }
     }
 

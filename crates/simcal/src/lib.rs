@@ -28,6 +28,8 @@
 //! - [`fault`] — panic isolation ([`fault::guard`]), the typed
 //!   [`fault::EvalFailure`] quarantine taxonomy, and the deterministic
 //!   [`fault::FaultPlan`] injection harness behind the chaos tests;
+//! - [`quota`] — per-tenant evaluation-budget accounting
+//!   ([`quota::QuotaBook`]) for multi-tenant calibration services;
 //! - [`calibrate`] — the top-level [`calibrate::Calibrator`] driver;
 //! - [`synthetic`] — synthetic benchmarking and the calibration-error
 //!   metric used to select the loss/algorithm pair (Tables 3 and 5).
@@ -69,6 +71,7 @@ pub mod fault;
 pub mod loss;
 pub mod objective;
 pub mod param;
+pub mod quota;
 pub mod surrogate;
 pub mod synthetic;
 
@@ -86,6 +89,7 @@ pub mod prelude {
     };
     pub use crate::objective::{FnObjective, Objective, SimulationObjective, Simulator};
     pub use crate::param::{Calibration, ParamDef, ParamKind, ParameterSpace};
+    pub use crate::quota::{QuotaBook, QuotaExceeded};
     pub use crate::surrogate::{Surrogate, SurrogateKind};
     pub use crate::synthetic::{
         best_pair, calibration_error, midpoint_reference, synthetic_benchmark, SyntheticCell,
