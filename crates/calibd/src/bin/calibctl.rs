@@ -15,7 +15,8 @@ const USAGE: &str = "\
 usage: calibctl [--addr <host:port>] <command> [options]
 commands:
   submit    submit a sweep job
-    --family <wf|mpi|batch>  family to sweep (default: batch)
+    --family <name>          family to sweep: wf, mpi, batch, or grid
+                             (default: batch)
     --fast                   shrunken experiment grid for smoke runs
     --budget-evals <n>       per-run evaluation budget (default: 60)
     --total-evals <n>        instead: one shared budget divided fairly

@@ -36,7 +36,9 @@ use crate::proto::{
     JobState, JobStatus, ProtoError, Request, Response, SCHEMA_NAME, SCHEMA_VERSION,
 };
 use lodsel::ledger::{ledger_status, Ledger, LedgerEvent, LedgerStatus};
-use lodsel::prelude::{BatchFamily, BudgetPolicy, MpiFamily, SweepConfig, VersionFamily, WfFamily};
+use lodsel::prelude::{
+    BatchFamily, BudgetPolicy, GridFamily, MpiFamily, SweepConfig, VersionFamily, WfFamily,
+};
 use lodsel::shard::{merge_shards, run_shard, shard_path};
 use lodsel::sweep::run_sweep;
 use serde::{Deserialize, Serialize};
@@ -373,7 +375,10 @@ fn make_family(spec: &JobSpec) -> Result<Box<dyn VersionFamily>, String> {
         "wf" => Ok(Box::new(WfFamily::paper(spec.fast, spec.seed))),
         "mpi" => Ok(Box::new(MpiFamily::paper(spec.fast, spec.seed))),
         "batch" => Ok(Box::new(BatchFamily::paper(spec.fast, spec.seed))),
-        other => Err(format!("unknown family {other:?} (want wf, mpi, or batch)")),
+        "grid" => Ok(Box::new(GridFamily::paper(spec.fast, spec.seed))),
+        other => Err(format!(
+            "unknown family {other:?} (want wf, mpi, batch, or grid)"
+        )),
     }
 }
 

@@ -76,7 +76,7 @@ const REQUEST_KINDS: [&str; 6] = ["Hello", "Submit", "Status", "Watch", "Cancel"
 /// A sweep job, as submitted over the wire.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct JobSpec {
-    /// Simulator family to sweep: `wf`, `mpi`, or `batch`.
+    /// Simulator family to sweep: `wf`, `mpi`, `batch`, or `grid`.
     pub family: String,
     /// Shrunken experiment grid (smoke-test scale).
     pub fast: bool,

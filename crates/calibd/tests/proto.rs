@@ -11,7 +11,7 @@ use calibd::proto::{
 use proptest::prelude::*;
 use std::io::BufReader;
 
-const FAMILIES: [&str; 4] = ["wf", "mpi", "batch", "toy"];
+const FAMILIES: [&str; 5] = ["wf", "mpi", "batch", "grid", "toy"];
 const STATES: [JobState; 5] = [
     JobState::Queued,
     JobState::Running,
@@ -134,7 +134,7 @@ proptest! {
     #[test]
     fn request_frames_round_trip(
         variant in 0usize..6,
-        family in 0usize..4,
+        family in 0usize..5,
         seed in 0u64..u64::MAX,
         knobs in 0u64..u64::MAX,
     ) {
@@ -152,7 +152,7 @@ proptest! {
     #[test]
     fn response_frames_round_trip(
         variant in 0usize..8,
-        family in 0usize..4,
+        family in 0usize..5,
         seed in 0u64..u64::MAX,
         knobs in 0u64..u64::MAX,
     ) {

@@ -1,0 +1,87 @@
+//! Oracle tests: the hidden ground truth must be strictly richer than
+//! every candidate version (so no candidate reproduces it exactly), and
+//! when every candidate is handed the *true* hidden parameter values, the
+//! richest version must predict the truth best — the construction the
+//! paper's methodology relies on in each case study.
+
+use gridsim::prelude::*;
+
+/// The true-parameter calibration for `version` (hit-ratio versions get a
+/// mid-range ratio, since the hidden system has no such parameter).
+fn true_calibration(
+    version: GridVersion,
+    cfg: &GridEmulatorConfig,
+) -> simcal::prelude::Calibration {
+    let space = version.parameter_space();
+    let mut pairs: Vec<(&str, f64)> = vec![
+        ("core_speed", cfg.core_speed),
+        ("wan_bandwidth", cfg.wan_bandwidth),
+        ("wan_latency", cfg.wan_latency),
+        ("disk_bandwidth", cfg.disk_bandwidth),
+    ];
+    match version.cache {
+        CacheDetail::Lru => pairs.push(("cache_mb", cfg.cache_mb)),
+        CacheDetail::HitRatio => pairs.push(("hit_ratio", 0.5)),
+    }
+    if version.transfer == TransferDetail::PerFile {
+        pairs.push(("transfer_startup", cfg.transfer_startup));
+    }
+    if version.broker == BrokerDetail::PerJob {
+        pairs.push(("broker_overhead", cfg.broker_overhead));
+    }
+    space.calibration_from_pairs(&pairs)
+}
+
+/// Mean relative makespan error of `version` (at the true parameters)
+/// over the scenario set.
+fn makespan_error(
+    version: GridVersion,
+    scenarios: &[GridScenario],
+    cfg: &GridEmulatorConfig,
+) -> f64 {
+    let sim = GridSimulator::new(version);
+    let calib = true_calibration(version, cfg);
+    let errs: Vec<f64> = scenarios
+        .iter()
+        .map(|s| {
+            let out = sim.simulate(&s.workload, &calib);
+            ((out.makespan - s.makespan) / s.makespan).abs()
+        })
+        .collect();
+    numeric::mean(&errs)
+}
+
+#[test]
+fn no_candidate_reproduces_the_ground_truth() {
+    let cfg = GridEmulatorConfig::default();
+    let scenarios = dataset(&default_grid(3), &cfg, 3, 17);
+    for version in GridVersion::all() {
+        let err = makespan_error(version, &scenarios, &cfg);
+        assert!(
+            err > 1e-6,
+            "{} reproduces the hidden system exactly (err {err}): \
+             the ground truth must be strictly richer than every candidate",
+            version.label()
+        );
+    }
+}
+
+#[test]
+fn richest_version_is_closest_to_the_truth() {
+    let cfg = GridEmulatorConfig::default();
+    let scenarios = dataset(&default_grid(3), &cfg, 3, 17);
+    let richest = GridVersion::highest_detail();
+    let richest_err = makespan_error(richest, &scenarios, &cfg);
+    for version in GridVersion::all() {
+        if version == richest {
+            continue;
+        }
+        let err = makespan_error(version, &scenarios, &cfg);
+        assert!(
+            richest_err <= err,
+            "at the true parameters the richest version ({} err {richest_err}) must beat {} (err {err})",
+            richest.label(),
+            version.label()
+        );
+    }
+}

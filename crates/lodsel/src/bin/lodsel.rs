@@ -1,6 +1,6 @@
 //! Standalone level-of-detail selection driver.
 //!
-//! Sweeps one of the three simulator families — calibrating every version
+//! Sweeps one of the four simulator families — calibrating every version
 //! with multi-start, scoring held-out accuracy against deterministic
 //! simulation cost — and prints the per-version table plus the ranked
 //! ε-recommendation. With `--ledger`, completed work is checkpointed so an
@@ -21,7 +21,8 @@ use std::sync::Arc;
 
 const USAGE: &str = "\
 usage: lodsel [options]
-  --family <wf|mpi|batch>  family to sweep (default: batch)
+  --family <name>          family to sweep: wf, mpi, batch, or grid
+                           (default: batch)
   --fast                   shrunken experiment grid for smoke runs
   --budget-evals <n>       per-run evaluation budget (default: 60)
   --total-evals <n>        instead: one shared budget divided fairly
@@ -176,7 +177,10 @@ fn main() {
         "wf" => Box::new(WfFamily::paper(opts.fast, opts.seed)),
         "mpi" => Box::new(MpiFamily::paper(opts.fast, opts.seed)),
         "batch" => Box::new(BatchFamily::paper(opts.fast, opts.seed)),
-        other => die(&format!("unknown family {other} (want wf, mpi, or batch)")),
+        "grid" => Box::new(GridFamily::paper(opts.fast, opts.seed)),
+        other => die(&format!(
+            "unknown family {other} (want wf, mpi, batch, or grid)"
+        )),
     };
     let budget = match opts.total_evals {
         Some(total) => BudgetPolicy::TotalEvaluations { total },

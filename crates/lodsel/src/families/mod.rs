@@ -1,8 +1,9 @@
-//! [`crate::family::VersionFamily`] implementations for the three case
+//! [`crate::family::VersionFamily`] implementations for the four case
 //! studies, plus the experiment-grid helpers the standalone binaries
 //! share with them.
 
 pub mod batch;
+pub mod grid;
 pub mod mpi;
 pub mod wf;
 

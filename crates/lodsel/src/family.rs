@@ -2,7 +2,7 @@
 //!
 //! A *family* is a set of simulator versions (levels of detail) together
 //! with the datasets they are calibrated against and evaluated on. The
-//! sweep orchestrator only ever talks to this trait, so the three case
+//! sweep orchestrator only ever talks to this trait, so the four case
 //! studies — and any future simulator — plug into the same machinery.
 
 use simcal::prelude::{Budget, Calibration, CalibrationResult};
@@ -48,7 +48,7 @@ pub struct UnitEval {
 /// on any machine, at any thread count. That determinism is what lets the
 /// sweep orchestrator replay ledger checkpoints bit-for-bit.
 pub trait VersionFamily: Sync {
-    /// Short family identifier (`"wf"`, `"mpi"`, `"batch"`).
+    /// Short family identifier (`"wf"`, `"mpi"`, `"batch"`, `"grid"`).
     fn name(&self) -> &str;
 
     /// Content hash of the family's configuration and datasets. Two

@@ -4,8 +4,8 @@
 //! level of detail should a practitioner simulate at? This crate turns the
 //! workspace's calibration machinery into that decision. It orchestrates
 //! the full (version × restart) calibration sweep behind a small
-//! [`family::VersionFamily`] trait (implemented for the workflow, MPI, and
-//! batch-scheduling simulator families), fans the runs onto the
+//! [`family::VersionFamily`] trait (implemented for the workflow, MPI,
+//! batch-scheduling, and data-grid simulator families), fans the runs onto the
 //! work-stealing pool, and reduces the results to an accuracy-versus-cost
 //! Pareto front plus a ranked recommendation: *the cheapest version whose
 //! held-out error is within ε of the best*.
@@ -34,7 +34,7 @@
 //!   ledgers, and the deterministic merge back to one outcome;
 //! - [`pareto`] — Pareto front and the ε-recommendation;
 //! - [`families`] — [`family::VersionFamily`] implementations for the
-//!   three case studies;
+//!   four case studies;
 //! - [`report`] — plain-text table rendering (shared with the experiment
 //!   binaries);
 //! - [`trace`] — `--trace` JSONL parsing and the `--trace-report`
@@ -55,6 +55,7 @@ pub mod trace;
 /// One-stop imports for sweep drivers.
 pub mod prelude {
     pub use crate::families::batch::BatchFamily;
+    pub use crate::families::grid::GridFamily;
     pub use crate::families::mpi::MpiFamily;
     pub use crate::families::wf::WfFamily;
     pub use crate::family::{SweepUnit, UnitEval, VersionFamily};

@@ -19,6 +19,9 @@
 //! - [`batchsim`] — case study #3 (the paper's stated future-work domain):
 //!   a batch-scheduling simulator with EASY backfilling and 4
 //!   level-of-detail versions.
+//! - [`gridsim`] — case study #4: a federated data-grid simulator (sites,
+//!   storage elements, caches, WAN transfers, job brokering) with 8
+//!   level-of-detail versions.
 //! - [`dessim`] — the flow-level discrete-event simulation kernel the
 //!   first two case studies are built on.
 //! - [`numeric`] — dense linear algebra, statistics, and seeded sampling.
@@ -31,6 +34,7 @@
 
 pub use batchsim;
 pub use dessim;
+pub use gridsim;
 pub use mpisim;
 pub use numeric;
 pub use simcal;

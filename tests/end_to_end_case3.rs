@@ -1,5 +1,5 @@
 //! End-to-end integration tests for case study #3 (batch scheduling),
-//! plus serde persistence of ground-truth records across all three case
+//! plus serde persistence of ground-truth records across all four case
 //! studies (users calibrate against saved datasets).
 
 use lodcal::batchsim::prelude::*;
@@ -92,6 +92,24 @@ fn mpi_ground_truth_records_roundtrip_through_json() {
     let back: Vec<MpiGroundTruthRecord> = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(back[0].samples, records[0].samples);
     assert_eq!(back[0].benchmark, records[0].benchmark);
+}
+
+#[test]
+fn grid_ground_truth_records_roundtrip_through_json() {
+    use lodcal::gridsim::prelude::*;
+    let cfg = GridEmulatorConfig::default();
+    let specs = [GridSpec {
+        jobs: 12,
+        files: 16,
+        ..GridSpec::default()
+    }];
+    let records = dataset(&specs, &cfg, 1, 5);
+    let json = serde_json::to_string(&records).expect("serialize");
+    let back: Vec<GridGroundTruthRecord> = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.len(), records.len());
+    assert_eq!(back[0].spec, records[0].spec);
+    assert_eq!(back[0].makespan, records[0].makespan);
+    assert_eq!(back[0].turnarounds, records[0].turnarounds);
 }
 
 #[test]
