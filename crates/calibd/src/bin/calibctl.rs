@@ -20,6 +20,9 @@ commands:
     --fast                   shrunken experiment grid for smoke runs
     --budget-evals <n>       per-run evaluation budget (default: 60)
     --total-evals <n>        instead: one shared budget divided fairly
+    --budget sh:T:E[:M]      instead: successive halving — total budget T,
+                             elimination factor E, min subset size M
+                             (default 1); forces a single shard
     --restarts <n>           calibration restarts per unit (default: 2)
     --seed <n>               master seed (default: 42)
     --epsilon <f>            recommendation tolerance (default: 0.1)
@@ -128,6 +131,8 @@ fn main() {
         epsilon: 0.1,
         shards: 0,
         tenant: "default".into(),
+        sh_eta: None,
+        sh_min_scenarios: None,
     };
     let mut job: Option<u64> = None;
     let mut json = false;
@@ -154,6 +159,28 @@ fn main() {
                         .parse()
                         .unwrap_or_else(|_| die("--total-evals must be an integer")),
                 );
+            }
+            "--budget" => {
+                let raw = value("--budget");
+                let Some(rest) = raw.strip_prefix("sh:") else {
+                    die(&format!(
+                        "--budget spec {raw} not understood (want sh:TOTAL:ETA[:MIN])"
+                    ));
+                };
+                let parts: Vec<&str> = rest.split(':').collect();
+                if parts.len() < 2 || parts.len() > 3 {
+                    die(&format!(
+                        "--budget spec {raw} not understood (want sh:TOTAL:ETA[:MIN])"
+                    ));
+                }
+                let field = |i: usize, name: &str| -> usize {
+                    parts[i]
+                        .parse()
+                        .unwrap_or_else(|_| die(&format!("--budget {name} must be an integer")))
+                };
+                spec.total_evals = Some(field(0, "TOTAL"));
+                spec.sh_eta = Some(field(1, "ETA"));
+                spec.sh_min_scenarios = (parts.len() == 3).then(|| field(2, "MIN"));
             }
             "--restarts" => {
                 spec.restarts = value("--restarts")

@@ -40,7 +40,7 @@ use lodsel::prelude::{
     BatchFamily, BudgetPolicy, GridFamily, MpiFamily, SweepConfig, VersionFamily, WfFamily,
 };
 use lodsel::shard::{merge_shards, run_shard, shard_path};
-use lodsel::sweep::run_sweep;
+use lodsel::sweep::try_run_sweep;
 use serde::{Deserialize, Serialize};
 use simcal::prelude::{Budget, QuotaBook};
 use std::collections::{BTreeMap, VecDeque};
@@ -385,9 +385,14 @@ fn make_family(spec: &JobSpec) -> Result<Box<dyn VersionFamily>, String> {
 /// The sweep configuration a spec maps to.
 fn sweep_config(spec: &JobSpec) -> SweepConfig {
     SweepConfig {
-        budget: match spec.total_evals {
-            Some(total) => BudgetPolicy::TotalEvaluations { total },
-            None => BudgetPolicy::PerRun {
+        budget: match (spec.total_evals, spec.sh_eta) {
+            (Some(total), Some(eta)) => BudgetPolicy::SuccessiveHalving {
+                total,
+                eta,
+                min_scenarios: spec.sh_min_scenarios.unwrap_or(1),
+            },
+            (Some(total), None) => BudgetPolicy::TotalEvaluations { total },
+            (None, _) => BudgetPolicy::PerRun {
                 budget: Budget::Evaluations(spec.budget_evals),
             },
         },
@@ -491,7 +496,10 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
         Ok(l) => l,
         Err(e) => return finalize_failed(shared, id, e.to_string()),
     };
-    let outcome = run_sweep(family.as_ref(), &config, Some(&merged));
+    let outcome = match try_run_sweep(family.as_ref(), &config, Some(&merged)) {
+        Ok(outcome) => outcome,
+        Err(e) => return finalize_failed(shared, id, e.to_string()),
+    };
     let digest = outcome.digest();
     let chosen = outcome.recommendation.as_ref().map(|r| r.chosen.clone());
     shared.log_event(&JobEvent::Completed {
@@ -565,6 +573,11 @@ fn admit(shared: &Shared, spec: JobSpec) -> Response {
     };
     let units = family.units().len();
     let restarts = spec.restarts.max(1);
+    if spec.sh_eta.is_some() && spec.total_evals.is_none() {
+        return Response::Rejected {
+            reason: "successive halving needs a total evaluation budget (total_evals)".into(),
+        };
+    }
     if let Some(total) = spec.total_evals {
         if total < units * restarts {
             return Response::Rejected {
@@ -579,7 +592,11 @@ fn admit(shared: &Shared, spec: JobSpec) -> Response {
             reason: "budget_evals must be at least 1".into(),
         };
     }
-    let shards = if spec.shards == 0 {
+    // Rung barriers are global rank points, so successive-halving jobs
+    // always run on one shard regardless of the requested count.
+    let shards = if spec.sh_eta.is_some() {
+        1
+    } else if spec.shards == 0 {
         shared.config.default_shards.max(1)
     } else {
         spec.shards
@@ -678,6 +695,9 @@ fn handle_watch(shared: &Shared, id: u64, out: &mut TcpStream) -> io::Result<()>
     }
     let mut seq = 0u64;
     let mut last_runs = usize::MAX;
+    // Rung frames start at 0 (not MAX) so fixed-budget jobs — which never
+    // complete a rung — stream exactly the frames they always did.
+    let mut last_rungs = 0usize;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return write_frame(
@@ -697,7 +717,8 @@ fn handle_watch(shared: &Shared, id: u64, out: &mut TcpStream) -> io::Result<()>
                 job.chosen.clone(),
             )
         };
-        let runs = job_ledger_status(&shared.config.data_dir, id, shards).runs_done;
+        let ledger = job_ledger_status(&shared.config.data_dir, id, shards);
+        let runs = ledger.runs_done;
         if runs != last_runs {
             last_runs = runs;
             write_frame(
@@ -706,6 +727,19 @@ fn handle_watch(shared: &Shared, id: u64, out: &mut TcpStream) -> io::Result<()>
                     job: id,
                     seq,
                     event: counter_event("calibd_runs_completed", runs as u64),
+                },
+            )?;
+            seq += 1;
+        }
+        let rungs = ledger.rungs_done;
+        if rungs != last_rungs {
+            last_rungs = rungs;
+            write_frame(
+                out,
+                &Response::Progress {
+                    job: id,
+                    seq,
+                    event: counter_event("calibd_rungs_completed", rungs as u64),
                 },
             )?;
             seq += 1;
@@ -909,6 +943,8 @@ mod tests {
             epsilon: 0.1,
             shards: 0,
             tenant: "t".into(),
+            sh_eta: None,
+            sh_min_scenarios: None,
         };
         assert_eq!(spec.planned_evaluations(4), 4 * 2 * 5);
         spec.total_evals = Some(123);
@@ -916,5 +952,33 @@ mod tests {
         spec.total_evals = None;
         spec.restarts = 0; // clamped to 1, like the sweep itself
         assert_eq!(spec.planned_evaluations(4), 4 * 5);
+    }
+
+    #[test]
+    fn planned_evaluations_follow_the_sh_schedule() {
+        let spec = JobSpec {
+            family: "batch".into(),
+            fast: true,
+            budget_evals: 5,
+            total_evals: Some(48),
+            restarts: 2,
+            seed: 1,
+            epsilon: 0.1,
+            shards: 0,
+            tenant: "t".into(),
+            sh_eta: Some(2),
+            sh_min_scenarios: None,
+        };
+        // 4 units × 2 restarts = 8 runs: the eta-2 ladder over a 48
+        // budget spends 44 (see the ShSchedule tests), and the charge
+        // matches what the sweep will actually consume.
+        assert_eq!(spec.planned_evaluations(4), 44);
+        // An unplannable total charges as requested; the worker's typed
+        // failure refunds it.
+        let starved = JobSpec {
+            total_evals: Some(9),
+            ..spec
+        };
+        assert_eq!(starved.planned_evaluations(4), 9);
     }
 }

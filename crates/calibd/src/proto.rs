@@ -84,6 +84,14 @@ pub struct JobSpec {
     pub budget_evals: usize,
     /// Shared total-evaluation budget divided fairly over the plan.
     pub total_evals: Option<usize>,
+    /// Successive-halving elimination factor. When set (with
+    /// `total_evals` as the total budget), the sweep runs the
+    /// multi-fidelity rung ladder instead of a fixed split. Absent on
+    /// the wire for fixed-budget jobs, so v1 clients interoperate
+    /// unchanged.
+    pub sh_eta: Option<usize>,
+    /// Minimum scenario-subset size per rung (successive halving only).
+    pub sh_min_scenarios: Option<usize>,
     /// Calibration restarts per unit.
     pub restarts: usize,
     /// Master seed.
@@ -101,9 +109,21 @@ impl JobSpec {
     /// exact planned count (the plan is deterministic).
     pub fn planned_evaluations(&self, units: usize) -> usize {
         let restarts = self.restarts.max(1);
-        match self.total_evals {
-            Some(total) => total,
-            None => units * restarts * self.budget_evals,
+        match (self.total_evals, self.sh_eta) {
+            // Successive halving spends the scheduled rung budgets, which
+            // can deterministically undershoot the requested total; an
+            // unplannable (too small) total is charged as requested and
+            // refunded when the worker surfaces the typed error.
+            (Some(total), Some(eta)) => lodsel::sweep::ShSchedule::plan(
+                units * restarts,
+                total,
+                eta,
+                self.sh_min_scenarios.unwrap_or(1),
+            )
+            .map(|s| s.total_evaluations())
+            .unwrap_or(total),
+            (Some(total), None) => total,
+            (None, _) => units * restarts * self.budget_evals,
         }
     }
 }

@@ -12,7 +12,7 @@ use calibd::proto::{
 use lodsel::ledger::{Ledger, LedgerEvent};
 use lodsel::prelude::{BatchFamily, BudgetPolicy, SweepConfig};
 use lodsel::shard::{run_shard, shard_path};
-use lodsel::sweep::run_sweep;
+use lodsel::sweep::{run_sweep, try_run_sweep};
 use simcal::prelude::Budget;
 use std::io::{BufReader, Write as _};
 use std::net::TcpStream;
@@ -41,6 +41,8 @@ fn toy_spec(seed: u64, shards: usize, tenant: &str) -> JobSpec {
         epsilon: 0.1,
         shards,
         tenant: tenant.into(),
+        sh_eta: None,
+        sh_min_scenarios: None,
     }
 }
 
@@ -303,6 +305,101 @@ fn rejected_submissions_are_typed_not_fatal() {
 
     // The connection survived every rejection.
     assert_eq!(client.status(None).unwrap().len(), 0);
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sh_job_completes_with_rung_progress_and_the_single_process_digest() {
+    let dir = tmp_dir("sh-e2e");
+    let handle = Daemon::start(config(&dir, 1)).unwrap();
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+
+    // 4 units x 2 restarts = 8 runs; the eta-2 ladder fits in 48.
+    let mut spec = toy_spec(7, 4, "sh-alice");
+    spec.restarts = 2;
+    spec.total_evals = Some(48);
+    spec.sh_eta = Some(2);
+    let job = client.submit(spec).unwrap();
+
+    let mut saw_rung_frame = false;
+    let (state, digest, chosen) = client
+        .watch(job, |_seq, event| {
+            if event.get("name").and_then(serde::Value::as_str) == Some("calibd_rungs_completed") {
+                saw_rung_frame = true;
+            }
+        })
+        .unwrap();
+    assert_eq!(state, JobState::Completed);
+    assert!(chosen.is_some());
+    assert!(saw_rung_frame, "watch streams rung-progress frames");
+
+    // SH needs global rank points, so the daemon runs it on one shard
+    // regardless of the requested 4.
+    let statuses = client.status(Some(job)).unwrap();
+    assert_eq!(statuses[0].shards, 1);
+    let ledger = statuses[0].ledger.as_ref().unwrap();
+    assert!(ledger.rungs_done > 0, "rung records landed in the ledger");
+    assert!(ledger.promotions > 0 && ledger.eliminations > 0);
+
+    // Bit-for-bit the single-process SH outcome.
+    let sh_config = SweepConfig {
+        budget: BudgetPolicy::SuccessiveHalving {
+            total: 48,
+            eta: 2,
+            min_scenarios: 1,
+        },
+        restarts: 2,
+        seed: 7,
+        epsilon: 0.1,
+        max_units: None,
+        max_fault_retries: 2,
+        cache: None,
+    };
+    let fresh = try_run_sweep(&BatchFamily::paper(true, 7), &sh_config, None).unwrap();
+    assert_eq!(digest.as_deref(), Some(fresh.digest().as_str()));
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn starved_sh_job_fails_typed_and_refunds_quota() {
+    let dir = tmp_dir("sh-starve");
+    let mut cfg = config(&dir, 1);
+    // Room for exactly one charge of 9 at a time: a successful refund is
+    // the only way the second submission can be admitted.
+    cfg.default_quota = 10;
+    let handle = Daemon::start(cfg).unwrap();
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+
+    // 4 runs with eta 2 need 3 rungs x 4 = 12 evaluations, so a total of
+    // 9 passes the flat admission check (9 >= 4 runs) but cannot be
+    // planned — the worker must surface the typed error, not abort.
+    let mut spec = toy_spec(3, 1, "sh-frank");
+    spec.total_evals = Some(9);
+    spec.sh_eta = Some(2);
+    let job = client.submit(spec.clone()).unwrap();
+    let (state, digest, _) = client.watch(job, |_, _| {}).unwrap();
+    assert_eq!(state, JobState::Failed);
+    assert_eq!(digest, None);
+    let statuses = client.status(Some(job)).unwrap();
+    let error = statuses[0].error.as_deref().unwrap();
+    assert!(
+        error.contains("cannot cover"),
+        "failure carries the typed budget error: {error}"
+    );
+
+    // The 9-evaluation charge was refunded: an identical submission fits
+    // under the 10-evaluation quota again.
+    client.submit(spec).unwrap();
+
+    // And SH without a total budget is refused outright.
+    let mut no_total = toy_spec(3, 1, "sh-frank");
+    no_total.sh_eta = Some(2);
+    let err = client.submit(no_total).unwrap_err();
+    assert!(err.to_string().contains("total"), "rejection: {err}");
+
     handle.stop();
     let _ = std::fs::remove_dir_all(&dir);
 }

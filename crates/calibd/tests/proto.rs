@@ -37,6 +37,16 @@ fn make_spec(family: usize, seed: u64, knobs: u64) -> JobSpec {
         epsilon: (knobs >> 5) as f64 % 64.0 / 16.0,
         shards: (knobs >> 9) as usize % 9,
         tenant: format!("tenant-{}", knobs % 7),
+        sh_eta: if knobs & 4 == 0 {
+            None
+        } else {
+            Some((knobs >> 13) as usize % 5 + 2)
+        },
+        sh_min_scenarios: if knobs & 8 == 0 {
+            None
+        } else {
+            Some((knobs >> 16) as usize % 9 + 1)
+        },
     }
 }
 

@@ -26,6 +26,10 @@ usage: lodsel [options]
   --fast                   shrunken experiment grid for smoke runs
   --budget-evals <n>       per-run evaluation budget (default: 60)
   --total-evals <n>        instead: one shared budget divided fairly
+  --budget sh:T:E[:M]      instead: successive halving — total budget T
+                           split over log_E rungs, top 1/E promoted per
+                           rung, scenario subsets growing to the full set
+                           (M = minimum subset size, default 1)
   --restarts <n>           calibration restarts per unit (default: 2)
   --seed <n>               master seed (default: 42)
   --epsilon <f>            recommendation tolerance (default: 0.1)
@@ -44,6 +48,7 @@ struct Opts {
     fast: bool,
     budget_evals: usize,
     total_evals: Option<usize>,
+    policy: Option<BudgetPolicy>,
     restarts: usize,
     seed: u64,
     epsilon: f64,
@@ -68,6 +73,7 @@ fn parse_opts() -> Opts {
         fast: false,
         budget_evals: 60,
         total_evals: None,
+        policy: None,
         restarts: 2,
         seed: 42,
         epsilon: 0.1,
@@ -99,6 +105,10 @@ fn parse_opts() -> Opts {
                         .parse()
                         .unwrap_or_else(|_| die("--total-evals must be an integer")),
                 );
+            }
+            "--budget" => {
+                let spec = value("--budget");
+                opts.policy = Some(parse_budget_spec(&spec).unwrap_or_else(|e| die(&e)));
             }
             "--restarts" => {
                 opts.restarts = value("--restarts")
@@ -134,6 +144,34 @@ fn parse_opts() -> Opts {
         }
     }
     opts
+}
+
+/// Parse a `--budget` spec. Only the `sh:TOTAL:ETA[:MIN]` form exists
+/// today (plain budgets keep their dedicated flags).
+fn parse_budget_spec(spec: &str) -> Result<BudgetPolicy, String> {
+    let rest = spec
+        .strip_prefix("sh:")
+        .ok_or_else(|| format!("--budget spec {spec} not understood (want sh:TOTAL:ETA[:MIN])"))?;
+    let parts: Vec<&str> = rest.split(':').collect();
+    if parts.len() < 2 || parts.len() > 3 {
+        return Err(format!(
+            "--budget spec {spec} not understood (want sh:TOTAL:ETA[:MIN])"
+        ));
+    }
+    let field = |i: usize, name: &str| -> Result<usize, String> {
+        parts[i]
+            .parse()
+            .map_err(|_| format!("--budget {name} must be an integer (got {})", parts[i]))
+    };
+    Ok(BudgetPolicy::SuccessiveHalving {
+        total: field(0, "TOTAL")?,
+        eta: field(1, "ETA")?,
+        min_scenarios: if parts.len() == 3 {
+            field(2, "MIN")?
+        } else {
+            1
+        },
+    })
 }
 
 fn print_status(path: &str, json: bool) {
@@ -182,9 +220,10 @@ fn main() {
             "unknown family {other} (want wf, mpi, batch, or grid)"
         )),
     };
-    let budget = match opts.total_evals {
-        Some(total) => BudgetPolicy::TotalEvaluations { total },
-        None => BudgetPolicy::PerRun {
+    let budget = match (opts.policy, opts.total_evals) {
+        (Some(policy), _) => policy,
+        (None, Some(total)) => BudgetPolicy::TotalEvaluations { total },
+        (None, None) => BudgetPolicy::PerRun {
             budget: Budget::Evaluations(opts.budget_evals),
         },
     };
@@ -212,7 +251,8 @@ fn main() {
         family.units().len(),
         config.restarts,
     );
-    let outcome = run_sweep(family.as_ref(), &config, ledger.as_ref());
+    let outcome = try_run_sweep(family.as_ref(), &config, ledger.as_ref())
+        .unwrap_or_else(|e| die(&format!("cannot run sweep: {e}")));
 
     if let (Some(path), Some(rec)) = (&opts.trace, &recorder) {
         obs::uninstall();
@@ -220,6 +260,38 @@ fn main() {
             Ok(()) => obs::diag!("wrote trace {path}"),
             Err(e) => obs::diag!("failed to write trace {path}: {e}"),
         }
+    }
+
+    // The rung ladder first: it explains where the budget went before the
+    // per-version table shows what it bought.
+    if let Some(sh) = &outcome.sh {
+        let mut rungs = Table::new(&[
+            "rung",
+            "entrants",
+            "run budget",
+            "scenarios",
+            "promoted",
+            "failed",
+        ]);
+        for r in &sh.rungs {
+            rungs.row(vec![
+                r.rung.to_string(),
+                r.entrants.to_string(),
+                r.budget.to_string(),
+                if r.scenario_denom <= 1 {
+                    "full".to_string()
+                } else {
+                    format!("1/{}", r.scenario_denom)
+                },
+                r.promoted.to_string(),
+                r.failed.to_string(),
+            ]);
+        }
+        println!(
+            "successive halving (eta {}, total {}, planned {} evaluations):",
+            sh.eta, sh.total, sh.planned_evaluations
+        );
+        println!("{}", rungs.render());
     }
 
     let front = front_flags(&outcome.versions);

@@ -14,7 +14,7 @@ use batchsim::prelude::{
 };
 use simcal::prelude::{
     relative_error, Agg, Budget, CacheFingerprint, Calibration, CalibrationResult, Calibrator,
-    ElementMix, StructuredLoss,
+    ElementMix, Fidelity, StructuredLoss, SubsampledObjective,
 };
 
 /// The batch simulator family: 4 versions × one unit each.
@@ -164,6 +164,34 @@ impl VersionFamily for BatchFamily {
         let sim = BatchSimulator::new(self.versions[unit.version], self.total_nodes);
         let obj = objective(&sim, &self.train, self.loss.clone())
             .with_cache_fingerprint(CacheFingerprint::of("batch", &unit.label, self.fingerprint));
+        Calibrator::bo_gp(budget, seed).calibrate(&obj)
+    }
+
+    fn calibrate_at(
+        &self,
+        unit: &SweepUnit,
+        budget: Budget,
+        seed: u64,
+        fidelity: &Fidelity,
+    ) -> CalibrationResult {
+        if fidelity.is_full(self.train.len()) {
+            return self.calibrate(unit, budget, seed);
+        }
+        let sim = BatchSimulator::new(self.versions[unit.version], self.total_nodes);
+        let indices = fidelity.indices(self.train.len(), seed);
+        let obj = SubsampledObjective::new(
+            &sim,
+            &self.train,
+            &indices,
+            self.loss.clone(),
+            self.versions[unit.version].parameter_space(),
+        );
+        let tag = obj.tag();
+        let obj = obj.with_cache_fingerprint(CacheFingerprint::of(
+            "batch",
+            &format!("{}#sub{tag:016x}", unit.label),
+            self.fingerprint,
+        ));
         Calibrator::bo_gp(budget, seed).calibrate(&obj)
     }
 

@@ -14,7 +14,7 @@ use gridsim::prelude::{
 };
 use simcal::prelude::{
     relative_error, Agg, Budget, CacheFingerprint, Calibration, CalibrationResult, Calibrator,
-    ElementMix, StructuredLoss,
+    ElementMix, Fidelity, StructuredLoss, SubsampledObjective,
 };
 
 /// The data-grid simulator family: 8 versions × one unit each.
@@ -153,6 +153,34 @@ impl VersionFamily for GridFamily {
         let sim = GridSimulator::new(self.versions[unit.version]);
         let obj = objective(&sim, &self.train, self.loss.clone())
             .with_cache_fingerprint(CacheFingerprint::of("grid", &unit.label, self.fingerprint));
+        Calibrator::bo_gp(budget, seed).calibrate(&obj)
+    }
+
+    fn calibrate_at(
+        &self,
+        unit: &SweepUnit,
+        budget: Budget,
+        seed: u64,
+        fidelity: &Fidelity,
+    ) -> CalibrationResult {
+        if fidelity.is_full(self.train.len()) {
+            return self.calibrate(unit, budget, seed);
+        }
+        let sim = GridSimulator::new(self.versions[unit.version]);
+        let indices = fidelity.indices(self.train.len(), seed);
+        let obj = SubsampledObjective::new(
+            &sim,
+            &self.train,
+            &indices,
+            self.loss.clone(),
+            self.versions[unit.version].parameter_space(),
+        );
+        let tag = obj.tag();
+        let obj = obj.with_cache_fingerprint(CacheFingerprint::of(
+            "grid",
+            &format!("{}#sub{tag:016x}", unit.label),
+            self.fingerprint,
+        ));
         Calibrator::bo_gp(budget, seed).calibrate(&obj)
     }
 

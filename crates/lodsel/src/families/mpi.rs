@@ -13,7 +13,8 @@ use mpisim::prelude::{
     MpiSimulator, MpiSimulatorVersion, NODE_COUNTS,
 };
 use simcal::prelude::{
-    Budget, CacheFingerprint, Calibration, CalibrationResult, Calibrator, MatrixLoss,
+    Budget, CacheFingerprint, Calibration, CalibrationResult, Calibrator, Fidelity, MatrixLoss,
+    SubsampledObjective,
 };
 
 /// Node counts used by the experiments. The paper runs 128/256/512; the
@@ -134,6 +135,34 @@ impl VersionFamily for MpiFamily {
         let sim = MpiSimulator::new(self.versions[unit.version]);
         let obj = objective(&sim, &self.scenarios, self.loss.clone())
             .with_cache_fingerprint(CacheFingerprint::of("mpi", &unit.label, self.fingerprint));
+        Calibrator::bo_gp(budget, seed).calibrate(&obj)
+    }
+
+    fn calibrate_at(
+        &self,
+        unit: &SweepUnit,
+        budget: Budget,
+        seed: u64,
+        fidelity: &Fidelity,
+    ) -> CalibrationResult {
+        if fidelity.is_full(self.scenarios.len()) {
+            return self.calibrate(unit, budget, seed);
+        }
+        let sim = MpiSimulator::new(self.versions[unit.version]);
+        let indices = fidelity.indices(self.scenarios.len(), seed);
+        let obj = SubsampledObjective::new(
+            &sim,
+            &self.scenarios,
+            &indices,
+            self.loss.clone(),
+            self.versions[unit.version].parameter_space(),
+        );
+        let tag = obj.tag();
+        let obj = obj.with_cache_fingerprint(CacheFingerprint::of(
+            "mpi",
+            &format!("{}#sub{tag:016x}", unit.label),
+            self.fingerprint,
+        ));
         Calibrator::bo_gp(budget, seed).calibrate(&obj)
     }
 

@@ -9,8 +9,8 @@
 
 use crate::family::{SweepUnit, UnitEval, VersionFamily};
 use simcal::prelude::{
-    relative_error, Budget, CacheFingerprint, Calibration, CalibrationResult, Calibrator,
-    StructuredLoss,
+    relative_error, Budget, CacheFingerprint, Calibration, CalibrationResult, Calibrator, Fidelity,
+    StructuredLoss, SubsampledObjective,
 };
 use wfsim::prelude::{
     dataset_for, objective, split_train_test, AppKind, DatasetOptions, SimulatorVersion,
@@ -162,6 +162,35 @@ impl VersionFamily for WfFamily {
         let sim = WorkflowSimulator::new(self.versions[unit.version]);
         let obj = objective(&sim, &self.splits[unit.slot].train, self.loss.clone())
             .with_cache_fingerprint(CacheFingerprint::of("wf", &unit.label, self.fingerprint));
+        Calibrator::bo_gp(budget, seed).calibrate(&obj)
+    }
+
+    fn calibrate_at(
+        &self,
+        unit: &SweepUnit,
+        budget: Budget,
+        seed: u64,
+        fidelity: &Fidelity,
+    ) -> CalibrationResult {
+        let train = &self.splits[unit.slot].train;
+        if fidelity.is_full(train.len()) {
+            return self.calibrate(unit, budget, seed);
+        }
+        let sim = WorkflowSimulator::new(self.versions[unit.version]);
+        let indices = fidelity.indices(train.len(), seed);
+        let obj = SubsampledObjective::new(
+            &sim,
+            train,
+            &indices,
+            self.loss.clone(),
+            self.versions[unit.version].parameter_space(),
+        );
+        let tag = obj.tag();
+        let obj = obj.with_cache_fingerprint(CacheFingerprint::of(
+            "wf",
+            &format!("{}#sub{tag:016x}", unit.label),
+            self.fingerprint,
+        ));
         Calibrator::bo_gp(budget, seed).calibrate(&obj)
     }
 

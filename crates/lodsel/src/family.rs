@@ -5,7 +5,7 @@
 //! sweep orchestrator only ever talks to this trait, so the four case
 //! studies — and any future simulator — plug into the same machinery.
 
-use simcal::prelude::{Budget, Calibration, CalibrationResult};
+use simcal::prelude::{Budget, Calibration, CalibrationResult, Fidelity};
 
 /// One calibration work item of a sweep.
 ///
@@ -68,6 +68,36 @@ pub trait VersionFamily: Sync {
 
     /// Calibrate one unit against its training data.
     fn calibrate(&self, unit: &SweepUnit, budget: Budget, seed: u64) -> CalibrationResult;
+
+    /// Calibrate one unit at a reduced fidelity: against the
+    /// deterministic, seed-derived scenario subset `fidelity` selects
+    /// out of the unit's training data ([`simcal::fidelity`]). The cheap
+    /// rungs of successive-halving sweeps call this instead of
+    /// [`VersionFamily::calibrate`].
+    ///
+    /// Contract: at full fidelity (`fidelity.is_full(n)` for the unit's
+    /// `n` training scenarios) this must return **bit-for-bit** what
+    /// `calibrate(unit, budget, seed)` returns — implementations should
+    /// simply delegate in that case, which also shares loss-cache
+    /// entries with fixed-budget sweeps. At reduced fidelity the subset
+    /// objective must carry a subset-specific cache fingerprint
+    /// ([`simcal::fidelity::SubsampledObjective::tag`]) so subset losses
+    /// never collide with full-set losses.
+    ///
+    /// The default ignores `fidelity` and calibrates at full fidelity —
+    /// correct for any family (successive halving then only saves budget,
+    /// not scenarios), and what families without a meaningful scenario
+    /// axis keep.
+    fn calibrate_at(
+        &self,
+        unit: &SweepUnit,
+        budget: Budget,
+        seed: u64,
+        fidelity: &Fidelity,
+    ) -> CalibrationResult {
+        let _ = fidelity;
+        self.calibrate(unit, budget, seed)
+    }
 
     /// Evaluate a calibration on the unit's held-out test data.
     fn evaluate(&self, unit: &SweepUnit, calibration: &Calibration) -> UnitEval;

@@ -51,6 +51,19 @@ pub fn run_key(
     )
 }
 
+/// Checkpoint key of one rung execution of a successive-halving run:
+/// derived from the run's base plan key plus everything that shapes the
+/// rung's evaluation (rung index, per-rung budget, scenario-subset
+/// denominator), so a resumed sweep can only replay a rung record against
+/// the exact rung configuration that wrote it.
+pub fn rung_key(base: u64, rung: usize, budget: &Budget, scenario_denom: usize) -> u64 {
+    let budget_json = serde_json::to_string(budget).expect("budget serializes");
+    fnv1a(
+        format!("rung|base={base:016x}|rung={rung}|budget={budget_json}|denom={scenario_denom}")
+            .as_bytes(),
+    )
+}
+
 /// Checkpoint key of one unit's held-out evaluation (covers the full
 /// multi-start configuration the evaluated calibration was selected from).
 pub fn unit_key(
@@ -165,6 +178,37 @@ pub enum LedgerEvent {
         /// The recommended version label.
         chosen: String,
     },
+    /// One rung of a successive-halving run finished
+    /// ([`crate::sweep::BudgetPolicy::SuccessiveHalving`]).
+    RungCompleted {
+        /// Base plan key of the run the rung belongs to (the key
+        /// promotion decisions are recorded against).
+        base: u64,
+        /// Rung index (0 = cheapest).
+        rung: usize,
+        /// The checkpoint payload; its `key` is the rung-specific
+        /// [`rung_key`].
+        record: RunRecord,
+    },
+    /// A successive-halving run was promoted past a rung. Decisions are
+    /// appended in plan order once a rung's ranking is computed, so a
+    /// resumed sweep *replays* the recorded decision set instead of
+    /// re-ranking (a partially recorded rung falls back to the
+    /// deterministic re-rank, which reproduces the same decisions).
+    RunPromoted {
+        /// Base plan key of the promoted run.
+        key: u64,
+        /// The rung the decision was made at.
+        rung: usize,
+    },
+    /// A successive-halving run was eliminated at a rung (ranked below
+    /// the promotion cut, or failed the rung's calibration).
+    RunEliminated {
+        /// Base plan key of the eliminated run.
+        key: u64,
+        /// The rung the decision was made at.
+        rung: usize,
+    },
     /// One shard of a sharded sweep ([`crate::shard`]) started appending
     /// to this ledger. The sweep-plan fingerprint
     /// ([`crate::sweep::sweep_fingerprint`]) lets the merge step reject
@@ -230,6 +274,13 @@ pub struct LedgerStatus {
     pub shards_started: usize,
     /// Completed calibration runs.
     pub runs_done: usize,
+    /// Completed successive-halving rung executions (0 for fixed-budget
+    /// sweeps).
+    pub rungs_done: usize,
+    /// Recorded successive-halving promotion decisions.
+    pub promotions: usize,
+    /// Recorded successive-halving elimination decisions.
+    pub eliminations: usize,
     /// Completed unit evaluations.
     pub unit_evals_done: usize,
     /// Failed run/unit attempts.
@@ -249,6 +300,9 @@ pub fn ledger_status(events: &[LedgerEvent]) -> LedgerStatus {
         sweeps_started: 0,
         shards_started: 0,
         runs_done: 0,
+        rungs_done: 0,
+        promotions: 0,
+        eliminations: 0,
         unit_evals_done: 0,
         failed_attempts: 0,
         last_failure: None,
@@ -272,6 +326,9 @@ pub fn ledger_status(events: &[LedgerEvent]) -> LedgerStatus {
             }
             LedgerEvent::ShardStarted { .. } => status.shards_started += 1,
             LedgerEvent::RunCompleted { .. } => status.runs_done += 1,
+            LedgerEvent::RungCompleted { .. } => status.rungs_done += 1,
+            LedgerEvent::RunPromoted { .. } => status.promotions += 1,
+            LedgerEvent::RunEliminated { .. } => status.eliminations += 1,
             LedgerEvent::UnitCompleted { .. } => status.unit_evals_done += 1,
             LedgerEvent::RunFailed {
                 unit,
@@ -315,6 +372,14 @@ impl LedgerStatus {
             let _ = writeln!(out, "  shards started:        {}", self.shards_started);
         }
         let _ = writeln!(out, "  calibration runs done: {}", self.runs_done);
+        if self.rungs_done > 0 || self.promotions > 0 || self.eliminations > 0 {
+            let _ = writeln!(out, "  rung runs done:        {}", self.rungs_done);
+            let _ = writeln!(
+                out,
+                "  promoted/eliminated:   {} / {}",
+                self.promotions, self.eliminations
+            );
+        }
         let _ = writeln!(out, "  unit evaluations done: {}", self.unit_evals_done);
         if self.failed_attempts > 0 {
             let _ = writeln!(out, "  failed attempts:       {}", self.failed_attempts);
@@ -521,6 +586,40 @@ impl Ledger {
             }
         }
         (runs, units)
+    }
+
+    /// Successive-halving rung checkpoints currently in the ledger,
+    /// keyed by `(base plan key, rung)`. Later records win on duplicates
+    /// (a re-run of identical work writes an identical record anyway).
+    pub fn rung_checkpoints(&self) -> HashMap<(u64, usize), RunRecord> {
+        let mut rungs = HashMap::new();
+        for event in self.inner.lock().events.iter() {
+            if let LedgerEvent::RungCompleted { base, rung, record } = event {
+                rungs.insert((*base, *rung), record.clone());
+            }
+        }
+        rungs
+    }
+
+    /// Successive-halving promotion/elimination decisions replayed from
+    /// the ledger, keyed by `(base plan key, rung)`; `true` means
+    /// promoted. The *last* recorded decision for a key wins, so a rung
+    /// that was re-ranked (e.g. after a kill mid-decision left partial
+    /// coverage) replays its final decision set.
+    pub fn rung_decisions(&self) -> HashMap<(u64, usize), bool> {
+        let mut decisions = HashMap::new();
+        for event in self.inner.lock().events.iter() {
+            match event {
+                LedgerEvent::RunPromoted { key, rung } => {
+                    decisions.insert((*key, *rung), true);
+                }
+                LedgerEvent::RunEliminated { key, rung } => {
+                    decisions.insert((*key, *rung), false);
+                }
+                _ => {}
+            }
+        }
+        decisions
     }
 
     /// Per-key failure history replayed from the ledger: how many

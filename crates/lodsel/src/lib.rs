@@ -70,8 +70,9 @@ pub mod prelude {
     pub use crate::report::{fnum, pct, Table};
     pub use crate::shard::{merge_shards, run_shard, run_sweep_sharded, shard_path, ShardError};
     pub use crate::sweep::{
-        front_flags, run_sweep, sweep_fingerprint, BudgetPolicy, RunFailure, SweepConfig,
-        SweepOutcome, UnitOutcome, VersionOutcome,
+        front_flags, run_sweep, sweep_fingerprint, try_run_sweep, BudgetPolicy, RunFailure,
+        ShReport, ShRung, ShRungReport, ShSchedule, SweepConfig, SweepError, SweepOutcome,
+        UnitOutcome, VersionOutcome,
     };
     pub use crate::trace::{parse_trace, render_report, TraceFile};
 }

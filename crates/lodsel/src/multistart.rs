@@ -8,7 +8,6 @@
 //! hence the pinned unit tests.
 
 use simcal::prelude::{Budget, CalibrationResult, Calibrator, Objective};
-use std::cmp::Ordering;
 
 /// Seed of restart `restart` derived from a master `seed`.
 ///
@@ -19,17 +18,29 @@ pub fn restart_seed(seed: u64, restart: usize) -> u64 {
     seed ^ ((restart as u64) << 32)
 }
 
-/// Index of the best result: lowest training loss, first-wins on ties
-/// (including NaN, which compares as equal so never displaces an earlier
-/// finite incumbent).
+/// Index of the best result: lowest training loss among the finite
+/// losses, first-wins on ties. A non-finite loss (NaN/inf) can never win
+/// while any finite result exists — regardless of slice order. Only when
+/// *every* loss is non-finite does the first entry win, so callers always
+/// get an index back.
+///
+/// (The previous `partial_cmp(..).unwrap_or(Equal)` made NaN compare
+/// equal to everything, so a NaN in front of the slice was crowned —
+/// the winner depended on restart order. Same fix as
+/// `simcal::synthetic::best_pair`.)
 ///
 /// # Panics
 /// Panics on an empty slice.
 pub fn pick_best(results: &[CalibrationResult]) -> usize {
+    let by_loss = |&(_, a): &(usize, &CalibrationResult), &(_, b): &(usize, &CalibrationResult)| {
+        a.loss.total_cmp(&b.loss)
+    };
     results
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| a.loss.partial_cmp(&b.loss).unwrap_or(Ordering::Equal))
+        .filter(|(_, r)| r.loss.is_finite())
+        .min_by(by_loss)
+        .or_else(|| results.iter().enumerate().next())
         .expect("at least one result")
         .0
 }
@@ -102,6 +113,35 @@ mod tests {
     #[test]
     fn nan_never_displaces_a_finite_incumbent() {
         let results = vec![result_with_loss(3.0, 0.0), result_with_loss(f64::NAN, 1.0)];
+        assert_eq!(pick_best(&results), 0);
+    }
+
+    #[test]
+    fn nan_restart_is_never_crowned_regardless_of_order() {
+        // Regression: `partial_cmp(..).unwrap_or(Equal)` made every
+        // comparison against NaN a tie, so a NaN in slot 0 won first-wins
+        // and the reported winner depended on restart order.
+        let results = vec![
+            result_with_loss(f64::NAN, 0.0),
+            result_with_loss(3.0, 1.0),
+            result_with_loss(2.0, 2.0),
+        ];
+        assert_eq!(pick_best(&results), 2);
+        let best = best_result(results).unwrap();
+        assert_eq!(best.calibration.values[0], 2.0);
+
+        // Infinities are non-finite too: they lose to any finite loss.
+        let results = vec![
+            result_with_loss(f64::INFINITY, 0.0),
+            result_with_loss(9.0, 1.0),
+        ];
+        assert_eq!(pick_best(&results), 1);
+
+        // All-non-finite input still returns an index (first-wins).
+        let results = vec![
+            result_with_loss(f64::NAN, 0.0),
+            result_with_loss(f64::INFINITY, 1.0),
+        ];
         assert_eq!(pick_best(&results), 0);
     }
 

@@ -1,7 +1,7 @@
 //! Sharded sweep execution: slice the (unit × restart) plan across N
 //! ledger shards, run each slice independently, and merge the shards
 //! back into one sweep ledger whose replay produces a [`SweepOutcome`]
-//! bit-for-bit equal to a single-process [`run_sweep`].
+//! bit-for-bit equal to a single-process [`run_sweep`](crate::sweep::run_sweep).
 //!
 //! The partition is round-robin over the deterministic plan order: run
 //! `i` of the full grid belongs to shard `i % shards`. Every shard
@@ -27,7 +27,8 @@
 use crate::family::VersionFamily;
 use crate::ledger::{Ledger, LedgerEvent};
 use crate::sweep::{
-    calibrate_one, plan_sweep, run_sweep, sweep_fingerprint, RunStatus, SweepConfig, SweepOutcome,
+    calibrate_one, plan_sweep, run_sh_phase, sweep_fingerprint, try_run_sweep, RunStatus,
+    SweepConfig, SweepError, SweepOutcome,
 };
 use rayon::prelude::*;
 use std::collections::HashSet;
@@ -63,6 +64,18 @@ pub enum ShardError {
         /// The fingerprint recorded in the shard's header.
         found: u64,
     },
+    /// The sweep itself cannot be planned (e.g. the total budget is
+    /// smaller than the run plan) — nothing was executed.
+    Plan(SweepError),
+    /// The budget policy cannot run under this shard partition
+    /// (successive halving needs global rung barriers, so it only runs
+    /// unsharded).
+    PolicyUnsupported {
+        /// The offending policy, serialized.
+        policy: String,
+        /// The requested partition width.
+        shards: usize,
+    },
 }
 
 impl fmt::Display for ShardError {
@@ -83,6 +96,12 @@ impl fmt::Display for ShardError {
                 "shard {} belongs to a different sweep: fingerprint {found:016x}, \
                  expected {expected:016x}",
                 path.display()
+            ),
+            ShardError::Plan(e) => write!(f, "sweep cannot be planned: {e}"),
+            ShardError::PolicyUnsupported { policy, shards } => write!(
+                f,
+                "budget policy {policy} needs global rung barriers and cannot run \
+                 across {shards} shards (use 1 shard)"
             ),
         }
     }
@@ -112,7 +131,7 @@ fn shard_header(path: &Path, events: &[LedgerEvent]) -> Result<u64, ShardError> 
 
 /// Execute shard `index` of a `shards`-way partition of the sweep,
 /// checkpointing into `shard_path(dir, index)`. Resumable exactly like
-/// [`run_sweep`]: runs already checkpointed in the shard file are not
+/// [`run_sweep`](crate::sweep::run_sweep): runs already checkpointed in the shard file are not
 /// re-executed, and recorded failures count against the retry allowance.
 /// Returns the number of calibration runs newly completed (or newly
 /// failed) in this call — a fully-checkpointed shard returns 0.
@@ -130,7 +149,13 @@ pub fn run_shard(
     assert!(shards >= 1, "a sharded sweep needs at least one shard");
     assert!(index < shards, "shard index {index} out of {shards}");
     let fp = sweep_fingerprint(family, config);
-    let planned = plan_sweep(family, config);
+    let planned = plan_sweep(family, config).map_err(ShardError::Plan)?;
+    if planned.schedule.is_some() && shards > 1 {
+        return Err(ShardError::PolicyUnsupported {
+            policy: planned.policy_json.clone(),
+            shards,
+        });
+    }
     let path = shard_path(dir, index);
     let ledger = Ledger::open(&path)?;
     let events = ledger.events();
@@ -161,6 +186,28 @@ pub fn run_shard(
         .max_units
         .unwrap_or(planned.units.len())
         .min(planned.units.len());
+
+    // Successive halving runs the full rung ladder into the (single)
+    // shard ledger: rung records and promotion decisions land there, and
+    // the post-merge replay serves everything from them.
+    if let Some(schedule) = &planned.schedule {
+        let active_plans: Vec<_> = planned
+            .plans
+            .iter()
+            .take(active_units * planned.restarts)
+            .collect();
+        let phase = run_sh_phase(
+            family,
+            &planned.labels,
+            &planned.units,
+            schedule,
+            &active_plans,
+            config,
+            Some(&ledger),
+        );
+        return Ok(phase.executed);
+    }
+
     let (cached_runs, _) = ledger.checkpoints();
     let failure_history = ledger.failure_history();
     let max_attempts = 1 + config.max_fault_retries;
@@ -214,7 +261,7 @@ pub fn run_shard(
 /// duplicate run keys (re-merging is idempotent); failure events are
 /// deduplicated by full content so retry counting stays correct across
 /// repeated merges. Returns the open merged ledger, ready to be passed
-/// to [`run_sweep`].
+/// to [`run_sweep`](crate::sweep::run_sweep).
 pub fn merge_shards(shard_paths: &[PathBuf], target: &Path) -> Result<Ledger, ShardError> {
     let merged = Ledger::open(target)?;
     let mut seen_runs: HashSet<u64> = HashSet::new();
@@ -259,12 +306,22 @@ pub fn merge_shards(shard_paths: &[PathBuf], target: &Path) -> Result<Ledger, Sh
                         merged.append(event).map_err(ShardError::Io)?;
                     }
                 }
+                LedgerEvent::RungCompleted { record, .. } => {
+                    // Rung keys are content hashes of (base, rung,
+                    // budget, subset), so first-write-wins per key is as
+                    // idempotent as plain run records.
+                    if seen_runs.insert(record.key) {
+                        merged.append(event).map_err(ShardError::Io)?;
+                    }
+                }
                 LedgerEvent::UnitCompleted { record } => {
                     if seen_units.insert(record.key) {
                         merged.append(event).map_err(ShardError::Io)?;
                     }
                 }
-                LedgerEvent::RunFailed { .. } => {
+                LedgerEvent::RunFailed { .. }
+                | LedgerEvent::RunPromoted { .. }
+                | LedgerEvent::RunEliminated { .. } => {
                     let line = serde_json::to_string(event).unwrap_or_default();
                     if seen_failures.insert(line) {
                         merged.append(event).map_err(ShardError::Io)?;
@@ -284,7 +341,7 @@ pub fn merge_shards(shard_paths: &[PathBuf], target: &Path) -> Result<Ledger, Sh
 
 /// Run the whole sweep as `shards` slices under `dir`, merge the shard
 /// ledgers into `dir/merged.jsonl`, and replay the merged ledger through
-/// [`run_sweep`]. The outcome — including its digest — is bit-for-bit
+/// [`run_sweep`](crate::sweep::run_sweep). The outcome — including its digest — is bit-for-bit
 /// equal to a single-process `run_sweep` of the same configuration, and
 /// the final replay performs zero calibration work (every run is served
 /// from a merged checkpoint).
@@ -299,5 +356,5 @@ pub fn run_sweep_sharded(
     }
     let paths: Vec<PathBuf> = (0..shards).map(|i| shard_path(dir, i)).collect();
     let merged = merge_shards(&paths, &dir.join("merged.jsonl"))?;
-    Ok(run_sweep(family, config, Some(&merged)))
+    try_run_sweep(family, config, Some(&merged)).map_err(ShardError::Plan)
 }

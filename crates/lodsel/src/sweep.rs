@@ -23,13 +23,13 @@
 
 use crate::family::{SweepUnit, VersionFamily};
 use crate::ledger::{
-    run_key, unit_key, FailureHistory, Ledger, LedgerEvent, RunRecord, UnitRecord,
+    fnv1a, run_key, rung_key, unit_key, FailureHistory, Ledger, LedgerEvent, RunRecord, UnitRecord,
 };
 use crate::multistart::{pick_best, restart_seed};
 use crate::pareto::{pareto_front, try_recommend, Recommendation};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use simcal::prelude::{Budget, CalibrationResult};
+use simcal::prelude::{Budget, CalibrationResult, Fidelity};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -52,6 +52,26 @@ pub enum BudgetPolicy {
     TotalEvaluations {
         /// Total loss evaluations available to the whole sweep.
         total: usize,
+    },
+    /// Hyperband-style successive halving over the full (unit × restart)
+    /// plan: every run starts on a cheap rung — a small per-run budget
+    /// over a small, seed-derived scenario subset
+    /// ([`simcal::fidelity`]) — survivors are ranked by rung loss and
+    /// the top `1/eta` promoted, until the final rung runs the full
+    /// scenario set. The rung schedule ([`ShSchedule::plan`]) is
+    /// computed over the *full* plan, so interruptions and shard
+    /// boundaries never change budgets, subsets, or checkpoint keys.
+    SuccessiveHalving {
+        /// Total loss evaluations across all rungs (must be at least
+        /// `rungs × runs`, else the sweep fails with
+        /// [`SweepError::BudgetTooSmall`]).
+        total: usize,
+        /// Halving factor (clamped to at least 2): survivors per rung
+        /// shrink by `eta`, scenario subsets grow by `eta`.
+        eta: usize,
+        /// Lower bound on a rung's scenario-subset size (clamped to each
+        /// unit's dataset size).
+        min_scenarios: usize,
     },
 }
 
@@ -226,6 +246,40 @@ pub struct RunFailure {
     pub reason: String,
 }
 
+/// What happened on one rung of a successive-halving sweep.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct ShRungReport {
+    /// Rung index (0 = cheapest).
+    pub rung: usize,
+    /// Runs that entered the rung.
+    pub entrants: usize,
+    /// Per-run evaluation budget on the rung.
+    pub budget: usize,
+    /// Scenario-subset denominator the rung evaluated at.
+    pub scenario_denom: usize,
+    /// Runs promoted to the next rung (entrants on the final rung).
+    pub promoted: usize,
+    /// Entrants whose rung calibration failed (never promoted).
+    pub failed: usize,
+}
+
+/// Deterministic summary of a successive-halving execution, carried on
+/// the outcome and folded into its digest.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct ShReport {
+    /// Halving factor.
+    pub eta: usize,
+    /// Configured total evaluation budget.
+    pub total: usize,
+    /// Scenario-subset floor.
+    pub min_scenarios: usize,
+    /// Evaluations the ladder assigns on a fault-free execution
+    /// ([`ShSchedule::total_evaluations`]).
+    pub planned_evaluations: usize,
+    /// Per-rung outcomes, cheapest first.
+    pub rungs: Vec<ShRungReport>,
+}
+
 /// Outcome of a sweep.
 #[derive(Clone, Debug)]
 pub struct SweepOutcome {
@@ -245,6 +299,8 @@ pub struct SweepOutcome {
     /// The recommendation; present only for complete sweeps that left at
     /// least one version with usable results.
     pub recommendation: Option<Recommendation>,
+    /// Successive-halving summary; `None` for fixed-budget sweeps.
+    pub sh: Option<ShReport>,
 }
 
 /// The digest's serialized shape: every deterministic field of the
@@ -309,28 +365,179 @@ impl SweepOutcome {
             let failures = serde_json::to_string(&self.failures).expect("digest serializes");
             bytes.extend_from_slice(failures.as_bytes());
         }
+        // Same pattern for successive halving: the report extends the
+        // digest input only when the policy ran, so every fixed-budget
+        // digest stays bit-for-bit what the golden tests pinned.
+        if let Some(sh) = &self.sh {
+            let report = serde_json::to_string(sh).expect("digest serializes");
+            bytes.extend_from_slice(report.as_bytes());
+        }
         format!("{:016x}", crate::ledger::fnv1a(&bytes))
     }
 }
 
-/// Per-run budgets for a plan of `runs` runs under `policy`.
+/// A sweep configuration that cannot be planned. Surfaced as a typed
+/// error (not a panic) so services embedding sweeps — calibd worker
+/// threads in particular — can fail the one job instead of aborting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SweepError {
+    /// The total evaluation budget cannot give every planned run (or,
+    /// under successive halving, every rung entrant) at least one
+    /// evaluation.
+    BudgetTooSmall {
+        /// The configured total budget.
+        total: usize,
+        /// Runs in the full (unit × restart) plan.
+        runs: usize,
+        /// Smallest total the policy accepts for this plan.
+        needed: usize,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::BudgetTooSmall {
+                total,
+                runs,
+                needed,
+            } => write!(
+                f,
+                "total budget of {total} evaluations cannot cover {runs} runs \
+                 (at least {needed} needed)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// One rung of a successive-halving schedule.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct ShRung {
+    /// Rung index (0 = cheapest).
+    pub rung: usize,
+    /// Runs that enter this rung (per the full plan; faults may thin the
+    /// actual field).
+    pub survivors: usize,
+    /// Per-run evaluation budget on this rung.
+    pub budget: usize,
+    /// Scenario-subset denominator: entrants evaluate roughly `1/denom`
+    /// of their unit's scenario set (1 on the final rung = full set).
+    pub scenario_denom: usize,
+}
+
+/// The deterministic rung ladder of a successive-halving sweep.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct ShSchedule {
+    /// Halving factor (already clamped to at least 2).
+    pub eta: usize,
+    /// Configured total evaluation budget.
+    pub total: usize,
+    /// Scenario-subset floor.
+    pub min_scenarios: usize,
+    /// The rungs, cheapest first; the last always has `scenario_denom`
+    /// 1 (full scenario set).
+    pub rungs: Vec<ShRung>,
+}
+
+impl ShSchedule {
+    /// Plan the ladder for `runs` runs: `floor(log_eta(runs)) + 1`
+    /// rungs, rung `r` keeping `max(1, runs / eta^r)` survivors on a
+    /// `1/eta^(R-1-r)` scenario subset, each rung splitting an equal
+    /// share of `total` over its survivors (the remainder of either
+    /// division is deterministically left unspent). Errs unless every
+    /// rung can give each entrant at least one evaluation, i.e.
+    /// `total >= rungs × runs`.
+    pub fn plan(
+        runs: usize,
+        total: usize,
+        eta: usize,
+        min_scenarios: usize,
+    ) -> Result<ShSchedule, SweepError> {
+        assert!(runs > 0, "cannot schedule a sweep of zero runs");
+        let eta = eta.max(2);
+        let mut levels = 1usize;
+        let mut p = eta;
+        while p <= runs {
+            levels += 1;
+            p *= eta;
+        }
+        let needed = levels * runs;
+        if total < needed {
+            return Err(SweepError::BudgetTooSmall {
+                total,
+                runs,
+                needed,
+            });
+        }
+        let rungs = (0..levels)
+            .map(|r| {
+                let survivors = (runs / eta.pow(r as u32)).max(1);
+                let share = total / levels + usize::from(r < total % levels);
+                ShRung {
+                    rung: r,
+                    survivors,
+                    budget: share / survivors,
+                    scenario_denom: eta.pow((levels - 1 - r) as u32),
+                }
+            })
+            .collect();
+        Ok(ShSchedule {
+            eta,
+            total,
+            min_scenarios,
+            rungs,
+        })
+    }
+
+    /// Evaluations the ladder actually assigns (≤ `total`; the planned
+    /// spend of a fault-free execution, which is what calibd charges
+    /// quota for).
+    pub fn total_evaluations(&self) -> usize {
+        self.rungs.iter().map(|r| r.survivors * r.budget).sum()
+    }
+
+    /// The fidelity entrants of rung `r` evaluate at.
+    pub fn fidelity(&self, r: usize) -> Fidelity {
+        Fidelity {
+            rung: r,
+            scenario_denom: self.rungs[r].scenario_denom,
+            min_scenarios: self.min_scenarios,
+        }
+    }
+}
+
+/// Per-run budgets for a plan of `runs` runs under `policy`. For
+/// successive halving the plan's nominal per-run budget is the rung-0
+/// budget (rung executions carry their own budgets).
 ///
-/// # Panics
-/// With [`BudgetPolicy::TotalEvaluations`], panics unless every run gets
-/// at least one evaluation.
-fn run_budgets(policy: &BudgetPolicy, runs: usize) -> Vec<Budget> {
+/// Errs with [`SweepError::BudgetTooSmall`] when a total budget cannot
+/// give every run at least one evaluation.
+fn run_budgets(policy: &BudgetPolicy, runs: usize) -> Result<Vec<Budget>, SweepError> {
     match *policy {
-        BudgetPolicy::PerRun { budget } => vec![budget; runs],
+        BudgetPolicy::PerRun { budget } => Ok(vec![budget; runs]),
         BudgetPolicy::TotalEvaluations { total } => {
-            assert!(
-                total >= runs,
-                "total budget of {total} evaluations cannot cover {runs} runs"
-            );
+            if total < runs {
+                return Err(SweepError::BudgetTooSmall {
+                    total,
+                    runs,
+                    needed: runs,
+                });
+            }
             let base = total / runs;
             let extra = total % runs;
-            (0..runs)
+            Ok((0..runs)
                 .map(|i| Budget::Evaluations(base + usize::from(i < extra)))
-                .collect()
+                .collect())
+        }
+        BudgetPolicy::SuccessiveHalving {
+            total,
+            eta,
+            min_scenarios,
+        } => {
+            let schedule = ShSchedule::plan(runs, total, eta, min_scenarios)?;
+            Ok(vec![Budget::Evaluations(schedule.rungs[0].budget); runs])
         }
     }
 }
@@ -354,11 +561,16 @@ pub(crate) struct PlannedSweep {
     pub(crate) restarts: usize,
     pub(crate) policy_json: String,
     pub(crate) plans: Vec<RunPlan>,
+    /// The rung ladder, for successive-halving sweeps only.
+    pub(crate) schedule: Option<ShSchedule>,
 }
 
 /// Plan the FULL (unit × restart) grid — budgets and checkpoint keys must
 /// not depend on where an interruption (or a shard boundary) lands.
-pub(crate) fn plan_sweep(family: &dyn VersionFamily, config: &SweepConfig) -> PlannedSweep {
+pub(crate) fn plan_sweep(
+    family: &dyn VersionFamily,
+    config: &SweepConfig,
+) -> Result<PlannedSweep, SweepError> {
     let labels = family.version_labels();
     let units = family.units();
     assert!(!units.is_empty(), "family has no units to sweep");
@@ -366,27 +578,58 @@ pub(crate) fn plan_sweep(family: &dyn VersionFamily, config: &SweepConfig) -> Pl
     let name = family.name().to_string();
     let fingerprint = family.fingerprint();
     let policy_json = serde_json::to_string(&config.budget).expect("policy serializes");
-    let budgets = run_budgets(&config.budget, units.len() * restarts);
+    let schedule = match config.budget {
+        BudgetPolicy::SuccessiveHalving {
+            total,
+            eta,
+            min_scenarios,
+        } => Some(ShSchedule::plan(
+            units.len() * restarts,
+            total,
+            eta,
+            min_scenarios,
+        )?),
+        _ => None,
+    };
+    let budgets = run_budgets(&config.budget, units.len() * restarts)?;
     let plans: Vec<RunPlan> = units
         .iter()
         .enumerate()
         .flat_map(|(ui, unit)| {
             let budgets = &budgets;
             let name = &name;
+            let policy_json = &policy_json;
+            let sh = schedule.is_some();
             (0..restarts).map(move |r| {
                 let seed = restart_seed(config.seed, r);
                 let budget = budgets[ui * restarts + r];
+                // A successive-halving run's base key covers the whole
+                // policy (not just the nominal rung-0 budget), so two SH
+                // configurations that happen to share a rung-0 budget
+                // never replay each other's rung records or decisions.
+                let key = if sh {
+                    fnv1a(
+                        format!(
+                            "shrun|family={name}|fp={fingerprint:016x}|unit={}|restart={r}|\
+                             seed={seed}|policy={policy_json}",
+                            unit.label
+                        )
+                        .as_bytes(),
+                    )
+                } else {
+                    run_key(name, fingerprint, &unit.label, r, seed, &budget)
+                };
                 RunPlan {
                     unit_idx: ui,
                     restart: r,
                     seed,
                     budget,
-                    key: run_key(name, fingerprint, &unit.label, r, seed, &budget),
+                    key,
                 }
             })
         })
         .collect();
-    PlannedSweep {
+    Ok(PlannedSweep {
         name,
         fingerprint,
         labels,
@@ -394,7 +637,8 @@ pub(crate) fn plan_sweep(family: &dyn VersionFamily, config: &SweepConfig) -> Pl
         restarts,
         policy_json,
         plans,
-    }
+        schedule,
+    })
 }
 
 /// What happened to one pending calibration run.
@@ -459,6 +703,306 @@ pub(crate) fn calibrate_one(
     }
 }
 
+/// What one rung execution of one successive-halving run produced.
+enum RungStatus {
+    Done {
+        result: CalibrationResult,
+        /// Whether the result was computed now (false = rung checkpoint).
+        fresh: bool,
+    },
+    Failed {
+        attempt: usize,
+        reason: String,
+        retriable: bool,
+    },
+    /// Not executed: the rung's decision is sealed in the ledger and this
+    /// run was eliminated without leaving a rung record — i.e. its rung
+    /// calibration failed in the recorded execution. Re-running could not
+    /// change the sealed decision, so the replay skips it.
+    Skipped,
+}
+
+/// Everything the successive-halving phase hands back to the sweep.
+pub(crate) struct ShPhase {
+    /// Per base plan key: the run's result from the highest rung it
+    /// reached (eliminated runs keep their last rung's result, so every
+    /// version still gets outcomes for the Pareto reduction).
+    pub(crate) results: HashMap<u64, CalibrationResult>,
+    /// Per base plan key: which rung that result came from.
+    pub(crate) result_rungs: HashMap<u64, usize>,
+    /// Runs that produced no result on any rung.
+    pub(crate) failed: HashMap<u64, RunFailure>,
+    /// Rung executions actually computed now (not replayed).
+    pub(crate) executed: usize,
+    /// The deterministic summary for [`SweepOutcome::sh`].
+    pub(crate) report: ShReport,
+}
+
+/// Execute (or replay) the successive-halving ladder over `active_plans`.
+///
+/// Per rung: serve each entrant's rung calibration from its ledger
+/// checkpoint or run it fresh (as [`LedgerEvent::RungCompleted`]), then
+/// promote. If the ledger already holds a decision for every entrant the
+/// recorded decisions are *replayed*; otherwise entrants are ranked by
+/// rung loss (ascending `total_cmp`, ties broken by plan order) and the
+/// top `survivors(r+1)` promoted, with every decision appended in plan
+/// order. A run whose rung calibration failed is never promoted.
+pub(crate) fn run_sh_phase(
+    family: &dyn VersionFamily,
+    labels: &[String],
+    units: &[SweepUnit],
+    schedule: &ShSchedule,
+    active_plans: &[&RunPlan],
+    config: &SweepConfig,
+    ledger: Option<&Ledger>,
+) -> ShPhase {
+    let (rung_records, decisions) = match ledger {
+        Some(l) => (l.rung_checkpoints(), l.rung_decisions()),
+        None => (HashMap::new(), HashMap::new()),
+    };
+    let failure_history: HashMap<u64, FailureHistory> = match ledger {
+        Some(l) => l.failure_history(),
+        None => HashMap::new(),
+    };
+    let max_attempts = 1 + config.max_fault_retries;
+    let attempts_of = |key: u64| failure_history.get(&key).map_or(0, |h| h.attempts);
+    let failure_row = |i: usize, attempt: usize, retriable: bool, stage: &str, reason: String| {
+        let p: &RunPlan = active_plans[i];
+        RunFailure {
+            version: labels[units[p.unit_idx].version].clone(),
+            unit: units[p.unit_idx].label.clone(),
+            restart: p.restart,
+            stage: stage.into(),
+            attempt,
+            retriable,
+            reason,
+        }
+    };
+
+    let levels = schedule.rungs.len();
+    let mut highest: Vec<Option<(usize, CalibrationResult)>> = vec![None; active_plans.len()];
+    let mut last_failure: Vec<Option<RunFailure>> = vec![None; active_plans.len()];
+    let mut active: Vec<usize> = (0..active_plans.len()).collect();
+    let mut rung_reports: Vec<ShRungReport> = Vec::new();
+    let mut executed = 0usize;
+
+    for rung in &schedule.rungs {
+        let r = rung.rung;
+        let entering = active.clone();
+        let fidelity = schedule.fidelity(r);
+        let rung_budget = Budget::Evaluations(rung.budget);
+        let rung_span = obs::span!("rung", rung = r, entrants = entering.len());
+        let rung_span_id = rung_span.id();
+        // A rung's decision is sealed once the ledger covers every
+        // entrant; replay then substitutes for re-ranking. (The final
+        // rung decides nothing.)
+        let sealed = r + 1 < levels
+            && entering
+                .iter()
+                .all(|&i| decisions.contains_key(&(active_plans[i].key, r)));
+
+        let statuses: Vec<RungStatus> = entering
+            .par_iter()
+            .map(|&i| {
+                let p = active_plans[i];
+                let unit = &units[p.unit_idx];
+                if let Some(rec) = rung_records.get(&(p.key, r)) {
+                    return RungStatus::Done {
+                        result: rec.result.clone(),
+                        fresh: false,
+                    };
+                }
+                if sealed && decisions.get(&(p.key, r)) == Some(&false) {
+                    return RungStatus::Skipped;
+                }
+                let rkey = rung_key(p.key, r, &rung_budget, rung.scenario_denom);
+                let prior = attempts_of(rkey);
+                if prior >= max_attempts {
+                    let h = &failure_history[&rkey];
+                    return RungStatus::Failed {
+                        attempt: h.attempts,
+                        reason: h.last_reason.clone(),
+                        retriable: false,
+                    };
+                }
+                let attrs = if obs::enabled() {
+                    vec![
+                        ("unit", unit.label.clone()),
+                        ("restart", p.restart.to_string()),
+                    ]
+                } else {
+                    Vec::new()
+                };
+                let _run = obs::SpanGuard::enter_under("run", rung_span_id, attrs);
+                match simcal::fault::guard(|| {
+                    family.calibrate_at(unit, rung_budget, p.seed, &fidelity)
+                }) {
+                    Ok(result) if result.loss.is_finite() => {
+                        if let Some(l) = ledger {
+                            log_io(l.append(&LedgerEvent::RungCompleted {
+                                base: p.key,
+                                rung: r,
+                                record: RunRecord {
+                                    key: rkey,
+                                    unit: unit.label.clone(),
+                                    restart: p.restart,
+                                    seed: p.seed,
+                                    result: result.clone(),
+                                },
+                            }));
+                        }
+                        RungStatus::Done {
+                            result,
+                            fresh: true,
+                        }
+                    }
+                    outcome => {
+                        let reason = match outcome {
+                            Ok(result) => {
+                                format!("calibration returned non-finite loss {}", result.loss)
+                            }
+                            Err(message) => message,
+                        };
+                        let attempt = prior + 1;
+                        if let Some(l) = ledger {
+                            log_io(l.append(&LedgerEvent::RunFailed {
+                                key: rkey,
+                                unit: unit.label.clone(),
+                                restart: p.restart,
+                                seed: p.seed,
+                                attempt,
+                                stage: "calibrate".into(),
+                                reason: reason.clone(),
+                            }));
+                        }
+                        RungStatus::Failed {
+                            attempt,
+                            reason,
+                            retriable: attempt < max_attempts,
+                        }
+                    }
+                }
+            })
+            .collect();
+
+        let mut succeeded: Vec<usize> = Vec::new();
+        let mut rung_losses: HashMap<usize, f64> = HashMap::new();
+        let mut failed_count = 0usize;
+        for (&i, status) in entering.iter().zip(statuses) {
+            match status {
+                RungStatus::Done { result, fresh } => {
+                    if fresh {
+                        executed += 1;
+                    }
+                    rung_losses.insert(i, result.loss);
+                    highest[i] = Some((r, result));
+                    succeeded.push(i);
+                }
+                RungStatus::Failed {
+                    attempt,
+                    reason,
+                    retriable,
+                } => {
+                    failed_count += 1;
+                    last_failure[i] = Some(failure_row(i, attempt, retriable, "calibrate", reason));
+                }
+                RungStatus::Skipped => {
+                    failed_count += 1;
+                    let rkey = rung_key(active_plans[i].key, r, &rung_budget, rung.scenario_denom);
+                    if let Some(h) = failure_history.get(&rkey) {
+                        last_failure[i] = Some(failure_row(
+                            i,
+                            h.attempts,
+                            false,
+                            &h.stage,
+                            h.last_reason.clone(),
+                        ));
+                    }
+                }
+            }
+        }
+
+        let promoted: Vec<usize> = if r + 1 < levels {
+            if sealed {
+                entering
+                    .iter()
+                    .copied()
+                    .filter(|&i| decisions.get(&(active_plans[i].key, r)) == Some(&true))
+                    .collect()
+            } else {
+                let target = schedule.rungs[r + 1].survivors.min(succeeded.len());
+                // Stable sort by rung loss: ties keep plan order, and
+                // only successful entrants are rankable at all.
+                let mut order = succeeded.clone();
+                order.sort_by(|&a, &b| rung_losses[&a].total_cmp(&rung_losses[&b]));
+                let mut chosen = order[..target].to_vec();
+                chosen.sort_unstable();
+                if let Some(l) = ledger {
+                    for &i in &entering {
+                        let key = active_plans[i].key;
+                        let event = if chosen.contains(&i) {
+                            LedgerEvent::RunPromoted { key, rung: r }
+                        } else {
+                            LedgerEvent::RunEliminated { key, rung: r }
+                        };
+                        log_io(l.append(&event));
+                    }
+                }
+                chosen
+            }
+        } else {
+            entering.clone()
+        };
+
+        rung_reports.push(ShRungReport {
+            rung: r,
+            entrants: entering.len(),
+            budget: rung.budget,
+            scenario_denom: rung.scenario_denom,
+            promoted: promoted.len(),
+            failed: failed_count,
+        });
+        active = promoted;
+    }
+
+    let mut results = HashMap::new();
+    let mut result_rungs = HashMap::new();
+    let mut failed = HashMap::new();
+    for (i, p) in active_plans.iter().enumerate() {
+        match &highest[i] {
+            Some((r, result)) => {
+                results.insert(p.key, result.clone());
+                result_rungs.insert(p.key, *r);
+            }
+            None => {
+                let failure = last_failure[i].clone().unwrap_or_else(|| {
+                    failure_row(
+                        i,
+                        max_attempts,
+                        false,
+                        "calibrate",
+                        "rung execution skipped after recorded elimination".into(),
+                    )
+                });
+                failed.insert(p.key, failure);
+            }
+        }
+    }
+    ShPhase {
+        results,
+        result_rungs,
+        failed,
+        executed,
+        report: ShReport {
+            eta: schedule.eta,
+            total: schedule.total,
+            min_scenarios: schedule.min_scenarios,
+            planned_evaluations: schedule.total_evaluations(),
+            rungs: rung_reports,
+        },
+    }
+}
+
 /// What happened to one unit's winner selection + held-out evaluation.
 enum UnitStatus {
     Done(Box<UnitOutcome>),
@@ -471,15 +1015,38 @@ enum UnitStatus {
 
 /// Execute (or resume) a sweep of `family` under `config`.
 ///
-/// With a ledger, completed runs and unit evaluations found in it are
-/// served as checkpoints — no budget is re-consumed — and newly completed
-/// work is appended as it finishes, so a kill at any point loses at most
-/// the work in flight.
+/// Infallible wrapper over [`try_run_sweep`] for callers that treat an
+/// unplannable configuration as a programming error.
+///
+/// # Panics
+/// Panics with the [`SweepError`] message when the configuration cannot
+/// be planned (e.g. a total budget smaller than the run plan).
 pub fn run_sweep(
     family: &dyn VersionFamily,
     config: &SweepConfig,
     ledger: Option<&Ledger>,
 ) -> SweepOutcome {
+    match try_run_sweep(family, config, ledger) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Execute (or resume) a sweep of `family` under `config`.
+///
+/// With a ledger, completed runs and unit evaluations found in it are
+/// served as checkpoints — no budget is re-consumed — and newly completed
+/// work is appended as it finishes, so a kill at any point loses at most
+/// the work in flight.
+///
+/// Errs — without running anything — when the configuration cannot be
+/// planned ([`SweepError::BudgetTooSmall`]); services embedding sweeps
+/// surface this as a failed job rather than a crashed worker.
+pub fn try_run_sweep(
+    family: &dyn VersionFamily,
+    config: &SweepConfig,
+    ledger: Option<&Ledger>,
+) -> Result<SweepOutcome, SweepError> {
     let _cache_scope = CacheScope::activate(config.cache.as_deref());
 
     // Root span plus one sequential child span per phase, all on the
@@ -502,7 +1069,8 @@ pub fn run_sweep(
         restarts,
         policy_json,
         plans,
-    } = plan_sweep(family, config);
+        schedule,
+    } = plan_sweep(family, config)?;
 
     let active_units = config.max_units.unwrap_or(units.len()).min(units.len());
     let (cached_runs, cached_units) = match ledger {
@@ -523,11 +1091,22 @@ pub fn run_sweep(
     // attempts already exhausted the retry allowance (then it is reported
     // from the ledger without re-running).
     let active_plans: Vec<&RunPlan> = plans.iter().take(active_units * restarts).collect();
-    let pending: Vec<&RunPlan> = active_plans
-        .iter()
-        .filter(|p| !cached_runs.contains_key(&p.key) && attempts_of(p.key) < max_attempts)
-        .copied()
-        .collect();
+    let pending_count = match &schedule {
+        // Under successive halving a run is "pending" until its rung-0
+        // record exists (later rungs depend on decisions, so a flat
+        // count is the honest summary here).
+        Some(_) => {
+            let rung_records = ledger.map(|l| l.rung_checkpoints()).unwrap_or_default();
+            active_plans
+                .iter()
+                .filter(|p| !rung_records.contains_key(&(p.key, 0)))
+                .count()
+        }
+        None => active_plans
+            .iter()
+            .filter(|p| !cached_runs.contains_key(&p.key) && attempts_of(p.key) < max_attempts)
+            .count(),
+    };
     if let Some(l) = ledger {
         log_io(l.append(&LedgerEvent::SweepStarted {
             family: name.clone(),
@@ -535,75 +1114,99 @@ pub fn run_sweep(
             seed: config.seed,
             restarts,
             units: units.len(),
-            pending_runs: pending.len(),
+            pending_runs: pending_count,
         }));
     }
     drop(plan_span);
-    let calibrate_span = obs::span!("calibrate", pending = pending.len());
+    let calibrate_span = obs::span!("calibrate", pending = pending_count);
     let calibrate_id = calibrate_span.id();
-    let fresh: Vec<RunStatus> = pending
-        .par_iter()
-        .map(|p| {
-            let attrs = if obs::enabled() {
-                vec![
-                    ("unit", units[p.unit_idx].label.clone()),
-                    ("restart", p.restart.to_string()),
-                ]
-            } else {
-                Vec::new()
-            };
-            let _run = obs::SpanGuard::enter_under("run", calibrate_id, attrs);
-            let attempt = attempts_of(p.key) + 1;
-            calibrate_one(family, &units[p.unit_idx], p, attempt, ledger)
-        })
-        .collect();
 
     let mut results: HashMap<u64, CalibrationResult> = HashMap::new();
+    let mut result_rungs: HashMap<u64, usize> = HashMap::new();
     let mut failed_runs: HashMap<u64, RunFailure> = HashMap::new();
-    // Runs whose retries were already exhausted: reported from the
-    // ledger's history, never re-run.
-    for p in &active_plans {
-        if cached_runs.contains_key(&p.key) {
-            continue;
-        }
-        if let Some(h) = failure_history.get(&p.key) {
-            if h.attempts >= max_attempts {
-                failed_runs.insert(
-                    p.key,
-                    RunFailure {
-                        version: labels[units[p.unit_idx].version].clone(),
-                        unit: units[p.unit_idx].label.clone(),
-                        restart: p.restart,
-                        stage: h.stage.clone(),
-                        attempt: h.attempts,
-                        retriable: false,
-                        reason: h.last_reason.clone(),
-                    },
-                );
+    let mut sh_report: Option<ShReport> = None;
+    if let Some(schedule) = &schedule {
+        let phase = run_sh_phase(
+            family,
+            &labels,
+            &units,
+            schedule,
+            &active_plans,
+            config,
+            ledger,
+        );
+        results = phase.results;
+        result_rungs = phase.result_rungs;
+        failed_runs = phase.failed;
+        sh_report = Some(phase.report);
+    } else {
+        let pending: Vec<&RunPlan> = active_plans
+            .iter()
+            .filter(|p| !cached_runs.contains_key(&p.key) && attempts_of(p.key) < max_attempts)
+            .copied()
+            .collect();
+        let fresh: Vec<RunStatus> = pending
+            .par_iter()
+            .map(|p| {
+                let attrs = if obs::enabled() {
+                    vec![
+                        ("unit", units[p.unit_idx].label.clone()),
+                        ("restart", p.restart.to_string()),
+                    ]
+                } else {
+                    Vec::new()
+                };
+                let _run = obs::SpanGuard::enter_under("run", calibrate_id, attrs);
+                let attempt = attempts_of(p.key) + 1;
+                calibrate_one(family, &units[p.unit_idx], p, attempt, ledger)
+            })
+            .collect();
+
+        // Runs whose retries were already exhausted: reported from the
+        // ledger's history, never re-run.
+        for p in &active_plans {
+            if cached_runs.contains_key(&p.key) {
+                continue;
+            }
+            if let Some(h) = failure_history.get(&p.key) {
+                if h.attempts >= max_attempts {
+                    failed_runs.insert(
+                        p.key,
+                        RunFailure {
+                            version: labels[units[p.unit_idx].version].clone(),
+                            unit: units[p.unit_idx].label.clone(),
+                            restart: p.restart,
+                            stage: h.stage.clone(),
+                            attempt: h.attempts,
+                            retriable: false,
+                            reason: h.last_reason.clone(),
+                        },
+                    );
+                }
             }
         }
-    }
-    for (key, record) in cached_runs {
-        results.insert(key, record.result);
-    }
-    for (p, status) in pending.iter().zip(fresh) {
-        match status {
-            RunStatus::Done(record) => {
-                results.insert(record.key, record.result);
-            }
-            RunStatus::Failed { attempt, reason } => {
-                failed_runs.insert(
-                    p.key,
-                    RunFailure {
-                        version: labels[units[p.unit_idx].version].clone(),
-                        unit: units[p.unit_idx].label.clone(),
-                        restart: p.restart,
-                        stage: "calibrate".into(),
-                        attempt,
-                        retriable: attempt < max_attempts,
-                        reason,
-                    },
-                );
+        for (key, record) in cached_runs {
+            results.insert(key, record.result);
+        }
+        for (p, status) in pending.iter().zip(fresh) {
+            match status {
+                RunStatus::Done(record) => {
+                    results.insert(record.key, record.result);
+                }
+                RunStatus::Failed { attempt, reason } => {
+                    failed_runs.insert(
+                        p.key,
+                        RunFailure {
+                            version: labels[units[p.unit_idx].version].clone(),
+                            unit: units[p.unit_idx].label.clone(),
+                            restart: p.restart,
+                            stage: "calibrate".into(),
+                            attempt,
+                            retriable: attempt < max_attempts,
+                            reason,
+                        },
+                    );
+                }
             }
         }
     }
@@ -631,21 +1234,30 @@ pub fn run_sweep(
             };
             let _unit_span = obs::SpanGuard::enter_under("unit", evaluate_id, attrs);
             // Winner selection over the restarts that survived phase 1,
-            // keeping each survivor's original restart index.
-            let per_restart: Vec<(usize, CalibrationResult)> = (0..restarts)
+            // keeping each survivor's original restart index. Under
+            // successive halving only restarts that reached the unit's
+            // highest rung compete — a loss computed on a small scenario
+            // subset is not comparable to a later rung's fuller loss.
+            let per_restart: Vec<(usize, usize, CalibrationResult)> = (0..restarts)
                 .filter_map(|r| {
+                    let key = plans[ui * restarts + r].key;
                     results
-                        .get(&plans[ui * restarts + r].key)
-                        .map(|res| (r, res.clone()))
+                        .get(&key)
+                        .map(|res| (r, result_rungs.get(&key).copied().unwrap_or(0), res.clone()))
                 })
                 .collect();
             if per_restart.is_empty() {
                 return UnitStatus::Skipped;
             }
+            let top_rung = per_restart.iter().map(|&(_, g, _)| g).max().unwrap_or(0);
+            let candidates: Vec<&(usize, usize, CalibrationResult)> = per_restart
+                .iter()
+                .filter(|&&(_, g, _)| g == top_rung)
+                .collect();
             let survivors: Vec<CalibrationResult> =
-                per_restart.iter().map(|(_, r)| r.clone()).collect();
+                candidates.iter().map(|&(_, _, r)| r.clone()).collect();
             let winner = pick_best(&survivors);
-            let best_restart = per_restart[winner].0;
+            let best_restart = candidates[winner].0;
             let best = survivors[winner].clone();
             let degraded = per_restart.len() < restarts;
 
@@ -810,6 +1422,7 @@ pub fn run_sweep(
         versions,
         failures,
         recommendation,
+        sh: sh_report,
     };
     if complete {
         if let (Some(l), Some(rec)) = (ledger, &outcome.recommendation) {
@@ -820,7 +1433,7 @@ pub fn run_sweep(
             }));
         }
     }
-    outcome
+    Ok(outcome)
 }
 
 /// A ledger write failure must not abort a sweep mid-flight (the result is
@@ -847,7 +1460,7 @@ mod tests {
 
     #[test]
     fn total_budget_divides_fairly_with_remainder_to_earliest() {
-        let b = run_budgets(&BudgetPolicy::TotalEvaluations { total: 100 }, 8);
+        let b = run_budgets(&BudgetPolicy::TotalEvaluations { total: 100 }, 8).unwrap();
         let evals: Vec<usize> = b
             .iter()
             .map(|b| match b {
@@ -866,13 +1479,87 @@ mod tests {
                 budget: Budget::Evaluations(7),
             },
             3,
-        );
+        )
+        .unwrap();
         assert_eq!(b, vec![Budget::Evaluations(7); 3]);
     }
 
     #[test]
-    #[should_panic(expected = "cannot cover")]
-    fn starving_a_run_is_rejected() {
-        run_budgets(&BudgetPolicy::TotalEvaluations { total: 3 }, 5);
+    fn starving_a_run_is_a_typed_error_not_a_panic() {
+        // Regression: this used to `assert!`, so a calibd job submitted
+        // with a tiny quota aborted the worker thread that planned it.
+        let err = run_budgets(&BudgetPolicy::TotalEvaluations { total: 3 }, 5).unwrap_err();
+        assert_eq!(
+            err,
+            SweepError::BudgetTooSmall {
+                total: 3,
+                runs: 5,
+                needed: 5
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("cannot cover"), "{msg}");
+        assert!(msg.contains("3 evaluations"), "{msg}");
+    }
+
+    #[test]
+    fn sh_schedule_halves_survivors_and_grows_subsets() {
+        // 8 runs, eta 2 -> 4 rungs keeping 8, 4, 2, 1 survivors on
+        // 1/8, 1/4, 1/2, full scenario subsets.
+        let s = ShSchedule::plan(8, 48, 2, 1).unwrap();
+        let survivors: Vec<usize> = s.rungs.iter().map(|r| r.survivors).collect();
+        let denoms: Vec<usize> = s.rungs.iter().map(|r| r.scenario_denom).collect();
+        let budgets: Vec<usize> = s.rungs.iter().map(|r| r.budget).collect();
+        assert_eq!(survivors, vec![8, 4, 2, 1]);
+        assert_eq!(denoms, vec![8, 4, 2, 1]);
+        // Each rung splits an equal 12-evaluation share over its
+        // survivors; later rungs give each survivor more.
+        assert_eq!(budgets, vec![1, 3, 6, 12]);
+        assert!(s.total_evaluations() <= 48);
+        assert_eq!(s.total_evaluations(), 8 + 12 + 12 + 12);
+        // The final rung is always full fidelity.
+        assert!(s.fidelity(3).is_full(1000));
+        assert!(!s.fidelity(0).is_full(1000));
+    }
+
+    #[test]
+    fn sh_schedule_is_deterministic_and_rejects_tiny_budgets() {
+        assert_eq!(
+            ShSchedule::plan(6, 60, 3, 2).unwrap(),
+            ShSchedule::plan(6, 60, 3, 2).unwrap()
+        );
+        // 5 runs, eta 2 -> 3 rungs; anything under 15 cannot give every
+        // rung-0 entrant one evaluation from its share.
+        let err = ShSchedule::plan(5, 14, 2, 1).unwrap_err();
+        assert_eq!(
+            err,
+            SweepError::BudgetTooSmall {
+                total: 14,
+                runs: 5,
+                needed: 15
+            }
+        );
+        assert!(ShSchedule::plan(5, 15, 2, 1).is_ok());
+        // A single run degenerates to one full-fidelity rung.
+        let s = ShSchedule::plan(1, 9, 2, 1).unwrap();
+        assert_eq!(s.rungs.len(), 1);
+        assert_eq!(s.rungs[0].scenario_denom, 1);
+        assert_eq!(s.rungs[0].budget, 9);
+        // eta is clamped to at least 2 (eta 1 would never halve).
+        assert_eq!(ShSchedule::plan(4, 30, 0, 1).unwrap().eta, 2);
+    }
+
+    #[test]
+    fn sh_run_budgets_use_the_rung_zero_budget() {
+        let b = run_budgets(
+            &BudgetPolicy::SuccessiveHalving {
+                total: 48,
+                eta: 2,
+                min_scenarios: 1,
+            },
+            8,
+        )
+        .unwrap();
+        assert_eq!(b, vec![Budget::Evaluations(1); 8]);
     }
 }

@@ -259,6 +259,128 @@ fn a_fully_failing_run_degrades_the_sweep_but_nothing_else() {
     std::fs::remove_file(&clean_path).ok();
 }
 
+/// Per-rung ledger geometry of a successive-halving sweep: which
+/// `(base, rung)` pairs hold rung checkpoints, which were promoted, and
+/// the unit labels that ever produced a rung record.
+struct ShLedgerSets {
+    completed: std::collections::HashSet<(u64, usize)>,
+    promoted: std::collections::HashSet<(u64, usize)>,
+    units: std::collections::HashSet<(String, usize)>,
+}
+
+fn sh_ledger_sets(path: &Path) -> ShLedgerSets {
+    let mut sets = ShLedgerSets {
+        completed: std::collections::HashSet::new(),
+        promoted: std::collections::HashSet::new(),
+        units: std::collections::HashSet::new(),
+    };
+    for event in Ledger::read(path).unwrap() {
+        match event {
+            LedgerEvent::RungCompleted { base, rung, record } => {
+                sets.completed.insert((base, rung));
+                sets.units.insert((record.unit, record.restart));
+            }
+            LedgerEvent::RunPromoted { key, rung } => {
+                sets.promoted.insert((key, rung));
+            }
+            _ => {}
+        }
+    }
+    sets
+}
+
+/// Injected panics under successive halving: a run whose every
+/// evaluation panics fails its first rung, is eliminated there, and is
+/// never promoted — every promotion in the ledger points at a run that
+/// holds a rung checkpoint for that rung. The sweep still completes,
+/// keeps all four versions (the target's sibling restart survives), and
+/// digests deterministically.
+#[test]
+fn sh_eliminates_a_panicking_run_and_never_promotes_it() {
+    let _guard = lock();
+    fault::uninstall();
+    let sh_config = SweepConfig {
+        budget: BudgetPolicy::SuccessiveHalving {
+            total: 48,
+            eta: 2,
+            min_scenarios: 1,
+        },
+        ..config()
+    };
+    let (label, restart) = ("v2".to_string(), 1usize);
+
+    let clean_path = tmp_ledger("chaos-sh-clean");
+    let clean = run_sweep(
+        &ChaosFamily,
+        &sh_config,
+        Some(&Ledger::open(&clean_path).unwrap()),
+    );
+    assert!(clean.failures.is_empty());
+    std::fs::remove_file(&clean_path).ok();
+
+    // Panic every evaluation the targeted run could ever make (the
+    // deepest rung budgets 12), so no rung of it can produce a loss.
+    let seed = unit_run_seed(&label, restart);
+    let plan = (0..12).fold(fault::FaultPlan::new(), |p, k| {
+        p.with_seeded_fault(FaultKind::Panic, k, seed)
+    });
+    fault::install(plan);
+    let digests: Vec<String> = (0..2)
+        .map(|i| {
+            let path = tmp_ledger(&format!("chaos-sh-{i}"));
+            let outcome = run_sweep(
+                &ChaosFamily,
+                &sh_config,
+                Some(&Ledger::open(&path).unwrap()),
+            );
+
+            assert!(outcome.complete);
+            assert_eq!(outcome.failures.len(), 1);
+            let f = &outcome.failures[0];
+            assert_eq!((f.version.as_str(), f.restart), ("v2", restart));
+            assert_eq!(f.stage, "calibrate");
+
+            let report = outcome.sh.as_ref().expect("SH sweeps carry a report");
+            assert_eq!(report.rungs[0].entrants, 8);
+            assert_eq!(report.rungs[0].failed, 1);
+            assert!(report.rungs[1..].iter().all(|r| r.failed == 0));
+
+            let ShLedgerSets {
+                completed,
+                promoted,
+                units,
+            } = sh_ledger_sets(&path);
+            assert!(
+                !units.contains(&(label.clone(), restart)),
+                "a run that panics every evaluation must never checkpoint a rung"
+            );
+            assert!(
+                promoted.iter().all(|p| completed.contains(p)),
+                "every promotion must point at a run with that rung's checkpoint"
+            );
+            assert_eq!(
+                completed.iter().filter(|&&(_, r)| r == 0).count(),
+                7,
+                "the other seven runs all complete rung 0"
+            );
+
+            // The sibling restart keeps v2 alive, so the toy geometry's
+            // recommendation stands.
+            assert_eq!(outcome.versions.len(), 4);
+            assert_eq!(outcome.recommendation.as_ref().unwrap().chosen, "v2");
+            std::fs::remove_file(&path).ok();
+            outcome.digest()
+        })
+        .collect();
+    fault::uninstall();
+    assert_eq!(digests[0], digests[1], "faulted SH must be deterministic");
+    assert_ne!(
+        digests[0],
+        clean.digest(),
+        "a degraded SH outcome must not impersonate a healthy one"
+    );
+}
+
 /// The acceptance scenario: one version always panics, another always
 /// returns NaN. The sweep completes, records RunFailed events for both,
 /// and recommends from the two survivors.

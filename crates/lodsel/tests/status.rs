@@ -52,6 +52,9 @@ fn status_json_schema_is_stable_and_round_trips() {
         "sweeps_started",
         "shards_started",
         "runs_done",
+        "rungs_done",
+        "promotions",
+        "eliminations",
         "unit_evals_done",
         "failed_attempts",
         "last_failure",

@@ -28,6 +28,9 @@
 //! - [`fault`] — panic isolation ([`fault::guard`]), the typed
 //!   [`fault::EvalFailure`] quarantine taxonomy, and the deterministic
 //!   [`fault::FaultPlan`] injection harness behind the chaos tests;
+//! - [`fidelity`] — deterministic scenario subsampling
+//!   ([`fidelity::SubsampledObjective`]) for the cheap rungs of
+//!   multi-fidelity (successive-halving) sweeps;
 //! - [`quota`] — per-tenant evaluation-budget accounting
 //!   ([`quota::QuotaBook`]) for multi-tenant calibration services;
 //! - [`calibrate`] — the top-level [`calibrate::Calibrator`] driver;
@@ -68,6 +71,7 @@ pub mod budget;
 pub mod cache;
 pub mod calibrate;
 pub mod fault;
+pub mod fidelity;
 pub mod loss;
 pub mod objective;
 pub mod param;
@@ -84,6 +88,7 @@ pub mod prelude {
     pub use crate::cache::{CacheFingerprint, CacheRecord, CachedOutcome, DiskCache};
     pub use crate::calibrate::{CalibrationFailed, CalibrationResult, Calibrator};
     pub use crate::fault::{EvalFailure, FaultKind, FaultPlan};
+    pub use crate::fidelity::{subset_indices, subset_tag, Fidelity, SubsampledObjective};
     pub use crate::loss::{
         relative_error, Agg, ElementMix, Loss, MatrixLoss, ScenarioError, StructuredLoss,
     };
